@@ -1,0 +1,356 @@
+package mfup_test
+
+import (
+	"testing"
+
+	"mfup"
+	"mfup/internal/core"
+	"mfup/internal/loops"
+	"mfup/internal/stats"
+	"mfup/internal/tables"
+	"mfup/internal/trace"
+)
+
+// The benchmarks regenerate each paper table (BenchmarkTable1-8),
+// reporting the table's headline issue rate as a custom metric, and
+// additionally measure raw simulator throughput and the ablations
+// called out in DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The printable tables themselves come from cmd/mfutables.
+
+// reportHeadline attaches a table's most representative cell as a
+// custom benchmark metric so regressions in *results* (not just
+// speed) are visible in benchmark diffs.
+func reportHeadline(b *testing.B, t *tables.Table, row, col int, name string) {
+	b.Helper()
+	b.ReportMetric(t.Rows[row].Rates[col], name)
+}
+
+func BenchmarkTable1(b *testing.B) {
+	var t *tables.Table
+	for i := 0; i < b.N; i++ {
+		t = tables.Table1()
+	}
+	// Scalar CRAY-like on M11BR5: the base machine of the study.
+	reportHeadline(b, t, 3, 0, "scalar-cray-M11BR5")
+}
+
+func BenchmarkTable2(b *testing.B) {
+	var t *tables.Table
+	for i := 0; i < b.N; i++ {
+		t = tables.Table2()
+	}
+	// Scalar Pure actual limit on M11BR5 (the paper's 1.29 analogue).
+	reportHeadline(b, t, 0, 2, "scalar-pure-actual-M11BR5")
+}
+
+func BenchmarkTable3(b *testing.B) {
+	var t *tables.Table
+	for i := 0; i < b.N; i++ {
+		t = tables.Table3()
+	}
+	reportHeadline(b, t, 7, 0, "scalar-8stations-M11BR5-NBus")
+}
+
+func BenchmarkTable4(b *testing.B) {
+	var t *tables.Table
+	for i := 0; i < b.N; i++ {
+		t = tables.Table4()
+	}
+	reportHeadline(b, t, 7, 0, "vector-8stations-M11BR5-NBus")
+}
+
+func BenchmarkTable5(b *testing.B) {
+	var t *tables.Table
+	for i := 0; i < b.N; i++ {
+		t = tables.Table5()
+	}
+	reportHeadline(b, t, 7, 0, "scalar-ooo-8stations-M11BR5-NBus")
+}
+
+func BenchmarkTable6(b *testing.B) {
+	var t *tables.Table
+	for i := 0; i < b.N; i++ {
+		t = tables.Table6()
+	}
+	reportHeadline(b, t, 7, 0, "vector-ooo-8stations-M11BR5-NBus")
+}
+
+func BenchmarkTable7(b *testing.B) {
+	var t *tables.Table
+	for i := 0; i < b.N; i++ {
+		t = tables.Table7()
+	}
+	// 4 units, RUU 40, N-Bus on M11BR5 (the paper's 0.83 analogue).
+	reportHeadline(b, t, 3, 6, "scalar-ruu40-4units-M11BR5-NBus")
+}
+
+func BenchmarkTable8(b *testing.B) {
+	var t *tables.Table
+	for i := 0; i < b.N; i++ {
+		t = tables.Table8()
+	}
+	reportHeadline(b, t, 5, 6, "vector-ruu100-4units-M11BR5-NBus")
+}
+
+// ---------------------------------------------------------------------
+// Simulator throughput: dynamic instructions simulated per second for
+// each machine family, over the full 14-loop suite.
+
+func allTraces() []*trace.Trace {
+	var ts []*trace.Trace
+	for _, k := range loops.All() {
+		ts = append(ts, k.SharedTrace())
+	}
+	return ts
+}
+
+func benchMachine(b *testing.B, m core.Machine) {
+	b.Helper()
+	ts := allTraces()
+	var ops int64
+	for _, t := range ts {
+		ops += int64(t.Len())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, t := range ts {
+			m.Run(t)
+		}
+	}
+	b.ReportMetric(float64(ops*int64(b.N))/b.Elapsed().Seconds(), "instrs/s")
+}
+
+func BenchmarkSimulatorSimple(b *testing.B) {
+	benchMachine(b, core.NewBasic(core.Simple, core.M11BR5))
+}
+
+func BenchmarkSimulatorCRAYLike(b *testing.B) {
+	benchMachine(b, core.NewBasic(core.CRAYLike, core.M11BR5))
+}
+
+func BenchmarkSimulatorMultiIssue(b *testing.B) {
+	benchMachine(b, core.NewMultiIssue(core.M11BR5.WithIssue(4, mfup.BusN)))
+}
+
+func BenchmarkSimulatorOOO(b *testing.B) {
+	benchMachine(b, core.NewMultiIssueOOO(core.M11BR5.WithIssue(4, mfup.BusN)))
+}
+
+func BenchmarkSimulatorRUU(b *testing.B) {
+	benchMachine(b, core.NewRUU(core.M11BR5.WithIssue(4, mfup.BusN).WithRUU(50)))
+}
+
+func BenchmarkTraceGeneration(b *testing.B) {
+	ks := loops.All()
+	for i := 0; i < b.N; i++ {
+		for _, k := range ks {
+			if _, err := k.Trace(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkDataflowLimits(b *testing.B) {
+	ts := allTraces()
+	lat := core.M11BR5.Latencies()
+	var v float64
+	for i := 0; i < b.N; i++ {
+		for _, t := range ts {
+			v = mfup.ComputeLimits(t, core.M11BR5, mfup.Pure).Actual
+		}
+	}
+	_ = lat
+	b.ReportMetric(v, "last-actual-limit")
+}
+
+// ---------------------------------------------------------------------
+// Ablations (DESIGN.md §5).
+
+// BenchmarkAblationXBarVsNBus quantifies the paper's remark that the
+// full-crossbar results are "essentially the same" as N-Bus.
+func BenchmarkAblationXBarVsNBus(b *testing.B) {
+	ts := allTraces()
+	var xbar, nbus float64
+	for i := 0; i < b.N; i++ {
+		var rx, rn []float64
+		mx := core.NewMultiIssue(core.M11BR5.WithIssue(4, mfup.XBar))
+		mn := core.NewMultiIssue(core.M11BR5.WithIssue(4, mfup.BusN))
+		for _, t := range ts {
+			rx = append(rx, mx.Run(t).IssueRate())
+			rn = append(rn, mn.Run(t).IssueRate())
+		}
+		xbar, nbus = stats.HarmonicMean(rx), stats.HarmonicMean(rn)
+	}
+	b.ReportMetric(xbar, "xbar-rate")
+	b.ReportMetric(nbus, "nbus-rate")
+}
+
+// BenchmarkAblationMemoryVsPipelining separates the two §3 levers:
+// interleaving memory alone (NonSegmented over SerialMemory) vs
+// pipelining the functional units alone (CRAYLike over NonSegmented).
+func BenchmarkAblationMemoryVsPipelining(b *testing.B) {
+	ts := allTraces()
+	var serial, interleaved, pipelined float64
+	for i := 0; i < b.N; i++ {
+		rate := func(o core.Organization) float64 {
+			m := core.NewBasic(o, core.M11BR5)
+			var rs []float64
+			for _, t := range ts {
+				rs = append(rs, m.Run(t).IssueRate())
+			}
+			return stats.HarmonicMean(rs)
+		}
+		serial = rate(core.SerialMemory)
+		interleaved = rate(core.NonSegmented)
+		pipelined = rate(core.CRAYLike)
+	}
+	b.ReportMetric(interleaved/serial, "interleave-speedup")
+	b.ReportMetric(pipelined/interleaved, "pipeline-speedup")
+}
+
+// BenchmarkAblationRUUBankPartitioning contrasts the restricted
+// N-Bus RUU (paper) with the single shared pool of the 1-Bus design
+// at equal total size.
+func BenchmarkAblationRUUBankPartitioning(b *testing.B) {
+	ts := allTraces()
+	var banked, shared float64
+	for i := 0; i < b.N; i++ {
+		mb := core.NewRUU(core.M11BR5.WithIssue(4, mfup.BusN).WithRUU(40))
+		ms := core.NewRUU(core.M11BR5.WithIssue(4, mfup.Bus1).WithRUU(40))
+		var rb, rs []float64
+		for _, t := range ts {
+			rb = append(rb, mb.Run(t).IssueRate())
+			rs = append(rs, ms.Run(t).IssueRate())
+		}
+		banked, shared = stats.HarmonicMean(rb), stats.HarmonicMean(rs)
+	}
+	b.ReportMetric(banked, "nbus-banked-rate")
+	b.ReportMetric(shared, "1bus-shared-rate")
+}
+
+// BenchmarkAblationMemoryBanks quantifies what the ideal interleaved
+// memory assumes: with 16 banks (the CRAY-1's configuration) rates
+// are near-ideal; with 4 banks conflicts bite.
+func BenchmarkAblationMemoryBanks(b *testing.B) {
+	ts := allTraces()
+	rates := map[int]float64{}
+	for i := 0; i < b.N; i++ {
+		for _, banks := range []int{0, 16, 4} {
+			m := core.NewBasic(core.CRAYLike, core.M11BR5.WithMemBanks(banks))
+			var rs []float64
+			for _, t := range ts {
+				rs = append(rs, m.Run(t).IssueRate())
+			}
+			rates[banks] = stats.HarmonicMean(rs)
+		}
+	}
+	b.ReportMetric(rates[0], "ideal-rate")
+	b.ReportMetric(rates[16], "banks16-rate")
+	b.ReportMetric(rates[4], "banks4-rate")
+}
+
+// BenchmarkAblationSoftwareScheduling measures the §6 "software code
+// scheduling" lever: static list scheduling of the kernels vs. the
+// original codings, on the single-issue CRAY-like machine (where it
+// pays) and on an RUU machine (where hardware dependency resolution
+// has already claimed most of it).
+func BenchmarkAblationSoftwareScheduling(b *testing.B) {
+	type variant struct{ base, scheduled []*trace.Trace }
+	var v variant
+	for _, k := range loops.All() {
+		v.base = append(v.base, k.SharedTrace())
+		s := mfup.ScheduleProgram(k.Program(), core.M11BR5)
+		m := k.NewMachine()
+		tr, err := mfup.TraceProgram(m, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := k.Validate(m); err != nil {
+			b.Fatal(err)
+		}
+		v.scheduled = append(v.scheduled, tr)
+	}
+	hm := func(m core.Machine, ts []*trace.Trace) float64 {
+		var rs []float64
+		for _, t := range ts {
+			rs = append(rs, m.Run(t).IssueRate())
+		}
+		return stats.HarmonicMean(rs)
+	}
+	var crayBase, craySched, ruuBase, ruuSched float64
+	for i := 0; i < b.N; i++ {
+		cray := core.NewBasic(core.CRAYLike, core.M11BR5)
+		ruu := core.NewRUU(core.M11BR5.WithIssue(2, mfup.BusN).WithRUU(40))
+		crayBase, craySched = hm(cray, v.base), hm(cray, v.scheduled)
+		ruuBase, ruuSched = hm(ruu, v.base), hm(ruu, v.scheduled)
+	}
+	b.ReportMetric(craySched/crayBase, "cray-sched-speedup")
+	b.ReportMetric(ruuSched/ruuBase, "ruu-sched-speedup")
+}
+
+// BenchmarkAblationPerfectBranches measures how much of the remaining
+// blockage is control dependences: the same machines with ideal
+// branch prediction (an upper bound the paper deliberately does not
+// assume).
+func BenchmarkAblationPerfectBranches(b *testing.B) {
+	ts := allTraces()
+	hm := func(m core.Machine) float64 {
+		var rs []float64
+		for _, t := range ts {
+			rs = append(rs, m.Run(t).IssueRate())
+		}
+		return stats.HarmonicMean(rs)
+	}
+	var crayGain, ruuGain float64
+	for i := 0; i < b.N; i++ {
+		crayGain = hm(core.NewBasic(core.CRAYLike, core.M11BR5.WithPerfectBranches())) /
+			hm(core.NewBasic(core.CRAYLike, core.M11BR5))
+		ruuGain = hm(core.NewRUU(core.M11BR5.WithIssue(4, mfup.BusN).WithRUU(50).WithPerfectBranches())) /
+			hm(core.NewRUU(core.M11BR5.WithIssue(4, mfup.BusN).WithRUU(50)))
+	}
+	b.ReportMetric(crayGain, "cray-speedup")
+	b.ReportMetric(ruuGain, "ruu-speedup")
+}
+
+// BenchmarkSection33 regenerates the supplementary dependency-
+// resolution comparison (§3.3 of the paper, quoted in prose there).
+func BenchmarkSection33(b *testing.B) {
+	var t *tables.Table
+	for i := 0; i < b.N; i++ {
+		t = tables.SectionThreeThree()
+	}
+	reportHeadline(b, t, 3, 0, "scalar-ruu1-M11BR5")
+}
+
+// BenchmarkAblationVectorVsSuperscalar measures the extension
+// comparison: the vectorized kernels on the vector-unit machine vs.
+// the same computations as scalar code on the paper's strongest
+// multiple-issue machine. Reported metrics are mean cycle ratios.
+func BenchmarkAblationVectorVsSuperscalar(b *testing.B) {
+	vec := core.NewVector(core.M11BR5)
+	ruu := core.NewRUU(core.M11BR5.WithIssue(4, mfup.BusN).WithRUU(100))
+	cray := core.NewBasic(core.CRAYLike, core.M11BR5)
+	var vsCray, vsRUU float64
+	for i := 0; i < b.N; i++ {
+		vsCray, vsRUU = 0, 0
+		vks := loops.VectorKernels()
+		for _, vk := range vks {
+			sk, err := loops.Get(vk.Number)
+			if err != nil {
+				b.Fatal(err)
+			}
+			vtr := vk.MustTrace()
+			v := float64(vec.Run(vtr).Cycles)
+			vsCray += float64(cray.Run(sk.SharedTrace()).Cycles) / v
+			vsRUU += float64(ruu.Run(sk.SharedTrace()).Cycles) / v
+		}
+		vsCray /= float64(len(vks))
+		vsRUU /= float64(len(vks))
+	}
+	b.ReportMetric(vsCray, "vector-speedup-vs-cray")
+	b.ReportMetric(vsRUU, "vector-speedup-vs-ruu")
+}

@@ -1,0 +1,110 @@
+// Command mfuasm assembles, disassembles, traces, and profiles
+// CRAY-like assembly programs.
+//
+// Usage examples:
+//
+//	mfuasm -file prog.cal                # assemble + disassemble
+//	mfuasm -file prog.cal -run           # execute; print register state
+//	mfuasm -file prog.cal -run -stats    # execute; print trace statistics
+//	mfuasm -file prog.cal -run -trace    # execute; dump the dynamic trace
+//	mfuasm -kernel 5                     # disassemble Livermore kernel 5
+//	mfuasm -kernel 7 -vector             # its vectorized coding
+//
+// Programs loaded from files start with zeroed registers and memory;
+// they lay out their own constants with immediates and stores.
+// Built-in kernels run with their benchmark data.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mfup/internal/asm"
+	"mfup/internal/emu"
+	"mfup/internal/isa"
+	"mfup/internal/loops"
+)
+
+func main() {
+	var (
+		file      = flag.String("file", "", "assembly source file")
+		kernel    = flag.Int("kernel", 0, "disassemble/run built-in Livermore kernel 1-14 instead of a file")
+		vector    = flag.Bool("vector", false, "with -kernel: use the vectorized coding")
+		run       = flag.Bool("run", false, "execute the program on the architectural emulator")
+		dumpTrace = flag.Bool("trace", false, "with -run: dump the dynamic instruction trace")
+		showStats = flag.Bool("stats", false, "with -run: print instruction-mix statistics")
+	)
+	flag.Parse()
+
+	var (
+		p *isa.Program
+		m = emu.New(0)
+	)
+	switch {
+	case *kernel != 0:
+		var k *loops.Kernel
+		var err error
+		if *vector {
+			k, err = loops.VectorKernel(*kernel)
+		} else {
+			k, err = loops.Get(*kernel)
+		}
+		if err != nil {
+			fail(err)
+		}
+		p = k.Program()
+		m = k.NewMachine()
+	case *file != "":
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			fail(err)
+		}
+		p, err = asm.Assemble(*file, string(src))
+		if err != nil {
+			fail(err)
+		}
+	default:
+		fail(fmt.Errorf("either -file or -kernel is required"))
+	}
+	fmt.Printf("; %s: %d instructions\n%s", p.Name, len(p.Code), p.Disassemble())
+	if !*run {
+		return
+	}
+
+	t, err := m.Run(p)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("\nexecuted %d dynamic instructions\n", t.Len())
+	fmt.Println("final A registers:")
+	for i, v := range m.A {
+		fmt.Printf("  A%d = %d\n", i, v)
+	}
+	fmt.Println("final S registers:")
+	for i := range m.S {
+		fmt.Printf("  S%d = %#x (as float: %g)\n", i, m.S[i], m.SFloat(i))
+	}
+
+	if *showStats {
+		mix := t.ComputeMix()
+		fmt.Printf("\ninstruction mix (%s):\n", mix)
+		for u := 0; u < isa.NumUnits; u++ {
+			if mix.ByUnit[u] == 0 {
+				continue
+			}
+			fmt.Printf("  %-14s %7d (%5.1f%%)\n", isa.Unit(u), mix.ByUnit[u], 100*mix.Fraction(isa.Unit(u)))
+		}
+	}
+	if *dumpTrace {
+		fmt.Println("\ndynamic trace:")
+		for i := range t.Ops {
+			fmt.Printf("  %s\n", &t.Ops[i])
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mfuasm:", err)
+	os.Exit(1)
+}

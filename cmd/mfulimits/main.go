@@ -1,0 +1,93 @@
+// Command mfulimits prints the §4 performance bounds — the
+// pseudo-dataflow, resource, and actual limits — for the Livermore
+// loops or a user-supplied assembly program.
+//
+// Usage examples:
+//
+//	mfulimits -mem 11 -br 5 -loops scalar
+//	mfulimits -mode serial -loops all
+//	mfulimits -file kernel.cal
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mfup/internal/asm"
+	"mfup/internal/cli"
+	"mfup/internal/core"
+	"mfup/internal/emu"
+	"mfup/internal/limits"
+	"mfup/internal/stats"
+	"mfup/internal/trace"
+)
+
+func main() {
+	var (
+		mem   = flag.Int("mem", 11, "memory access time in cycles")
+		br    = flag.Int("br", 5, "branch execution time in cycles")
+		mode  = flag.String("mode", "pure", "WAW treatment: pure | serial")
+		which = flag.String("loops", "all", `"all", "scalar", "vector", or comma-separated kernel numbers`)
+		file  = flag.String("file", "", "assembly file to analyze instead of the Livermore loops")
+	)
+	flag.Parse()
+
+	cfg := core.Config{MemLatency: *mem, BranchLatency: *br}
+	var lm limits.Mode
+	switch strings.ToLower(*mode) {
+	case "pure":
+		lm = limits.Pure
+	case "serial":
+		lm = limits.Serial
+	default:
+		fail(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	var traces []*trace.Trace
+	if *file != "" {
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			fail(err)
+		}
+		p, err := asm.Assemble(*file, string(src))
+		if err != nil {
+			fail(err)
+		}
+		m := emu.New(0)
+		t, err := m.Run(p)
+		if err != nil {
+			fail(err)
+		}
+		traces = append(traces, t)
+	} else {
+		ks, err := cli.SelectLoops(*which)
+		if err != nil {
+			fail(err)
+		}
+		for _, k := range ks {
+			traces = append(traces, k.SharedTrace())
+		}
+	}
+
+	fmt.Printf("%s limits, %s\n", lm, cfg.Name())
+	var pdf, res, act []float64
+	for _, t := range traces {
+		l := limits.Compute(t, cfg.Latencies(), lm)
+		pdf = append(pdf, l.PseudoDataflow)
+		res = append(res, l.Resource)
+		act = append(act, l.Actual)
+		fmt.Printf("  %-10s pseudo-dataflow %.3f  resource %.3f  actual %.3f  (critical path %d cycles)\n",
+			t.Name, l.PseudoDataflow, l.Resource, l.Actual, l.CriticalPath)
+	}
+	if len(traces) > 1 {
+		fmt.Printf("harmonic means: pseudo-dataflow %.3f  resource %.3f  actual %.3f\n",
+			stats.HarmonicMean(pdf), stats.HarmonicMean(res), stats.HarmonicMean(act))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mfulimits:", err)
+	os.Exit(1)
+}

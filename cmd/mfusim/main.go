@@ -1,0 +1,103 @@
+// Command mfusim runs one machine configuration over a set of
+// Livermore loops and reports per-loop and harmonic-mean issue rates.
+//
+// Usage examples:
+//
+//	mfusim -machine cray -mem 11 -br 5 -loops scalar
+//	mfusim -machine multi -units 4 -bus nbus -loops all
+//	mfusim -machine ruu -units 3 -ruu 40 -bus 1bus -loops vector
+//	mfusim -machine ooo -units 8 -loops 1,5,13
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mfup/internal/cli"
+	"mfup/internal/core"
+	"mfup/internal/loops"
+	"mfup/internal/stats"
+)
+
+func main() {
+	var (
+		machine  = flag.String("machine", "cray", "simple | serialmem | nonseg | cray | scoreboard | tomasulo | multi | ooo | ruu | vector")
+		mem      = flag.Int("mem", 11, "memory access time in cycles (paper: 11 or 5)")
+		br       = flag.Int("br", 5, "branch execution time in cycles (paper: 5 or 2)")
+		units    = flag.Int("units", 1, "issue units/stations (multi, ooo, ruu)")
+		busKind  = flag.String("bus", "nbus", "result-bus interconnect: nbus | 1bus | xbar")
+		ruuSize  = flag.Int("ruu", 50, "RUU entries (ruu machine)")
+		stations = flag.Int("stations", 4, "reservation stations per unit (tomasulo machine)")
+		which    = flag.String("loops", "all", `"all", "scalar", "vector", or comma-separated kernel numbers`)
+	)
+	flag.Parse()
+
+	kernels, err := cli.SelectLoops(*which)
+	if err != nil {
+		fail(err)
+	}
+	cfg := core.Config{MemLatency: *mem, BranchLatency: *br, IssueUnits: *units, RUUSize: *ruuSize}
+	cfg.Bus, err = cli.ParseBusKind(*busKind)
+	if err != nil {
+		fail(err)
+	}
+
+	var m core.Machine
+	switch strings.ToLower(*machine) {
+	case "simple":
+		m = core.NewBasic(core.Simple, cfg)
+	case "serialmem":
+		m = core.NewBasic(core.SerialMemory, cfg)
+	case "nonseg":
+		m = core.NewBasic(core.NonSegmented, cfg)
+	case "cray":
+		m = core.NewBasic(core.CRAYLike, cfg)
+	case "scoreboard":
+		m = core.NewScoreboard(cfg)
+	case "tomasulo":
+		m = core.NewTomasulo(cfg.WithRUU(*stations))
+	case "multi":
+		m = core.NewMultiIssue(cfg)
+	case "ooo":
+		m = core.NewMultiIssueOOO(cfg)
+	case "ruu":
+		m = core.NewRUU(cfg)
+	case "vector":
+		m = core.NewVector(cfg)
+	default:
+		fail(fmt.Errorf("unknown machine %q", *machine))
+	}
+
+	if strings.ToLower(*machine) == "vector" {
+		// The vector machine runs the vectorized codings.
+		var vks []*loops.Kernel
+		for _, k := range kernels {
+			vk, err := loops.VectorKernel(k.Number)
+			if err != nil {
+				continue // no vector coding for this kernel
+			}
+			vks = append(vks, vk)
+		}
+		if len(vks) == 0 {
+			fail(fmt.Errorf("no vector codings among the selected loops (have 1, 3, 7, 12)"))
+		}
+		kernels = vks
+	}
+
+	fmt.Printf("%s, %s\n", m.Name(), cfg.Name())
+	var rates []float64
+	for _, k := range kernels {
+		r := m.Run(k.SharedTrace())
+		rates = append(rates, r.IssueRate())
+		fmt.Printf("  %-38s %8d instr %9d cycles  %.3f/cycle\n",
+			k.String(), r.Instructions, r.Cycles, r.IssueRate())
+	}
+	fmt.Printf("harmonic mean issue rate: %.3f instructions/cycle\n", stats.HarmonicMean(rates))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mfusim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,61 @@
+// Command mfutables regenerates the tables of Pleszkun & Sohi (1988).
+//
+// Usage:
+//
+//	mfutables            # all eight tables
+//	mfutables -table 7   # one table
+//
+// Each table is produced by running the full set of simulations
+// behind it (all loops, all machine variations), so the output is the
+// reproduction of the paper's evaluation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mfup/internal/tables"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table number 1-8; 0 regenerates all")
+	supplement := flag.Bool("supplement", false, "also print the section 3.3 dependency-resolution supplement")
+	format := flag.String("format", "text", "output format: text | csv | json")
+	flag.Parse()
+
+	emit := func(t *tables.Table) {
+		switch *format {
+		case "text":
+			fmt.Println(t.Render())
+		case "csv":
+			fmt.Print(t.CSV())
+		case "json":
+			b, err := t.MarshalJSON()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mfutables:", err)
+				os.Exit(1)
+			}
+			fmt.Println(string(b))
+		default:
+			fmt.Fprintf(os.Stderr, "mfutables: unknown format %q\n", *format)
+			os.Exit(1)
+		}
+	}
+
+	if *table == 0 {
+		for _, t := range tables.All() {
+			emit(t)
+		}
+		if *supplement {
+			emit(tables.SectionThreeThree())
+		}
+		return
+	}
+	t, err := tables.Get(*table)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mfutables:", err)
+		os.Exit(1)
+	}
+	emit(t)
+}

@@ -1,0 +1,94 @@
+package mfup_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCommandLineTools builds and exercises the four binaries end to
+// end: the deliverable the README's quick-start commands promise.
+// Skipped under -short (it shells out to the Go toolchain).
+func TestCommandLineTools(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end CLI test skipped in -short mode")
+	}
+	bindir := t.TempDir()
+	build := func(name string) string {
+		t.Helper()
+		bin := filepath.Join(bindir, name)
+		out, err := exec.Command("go", "build", "-o", bin, "./cmd/"+name).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, out)
+		}
+		return bin
+	}
+	runBin := func(bin string, args ...string) string {
+		t.Helper()
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+		}
+		return string(out)
+	}
+
+	mfusim := build("mfusim")
+	out := runBin(mfusim, "-machine", "cray", "-loops", "5,12")
+	if !strings.Contains(out, "LFK 5") || !strings.Contains(out, "harmonic mean") {
+		t.Errorf("mfusim output unexpected:\n%s", out)
+	}
+	out = runBin(mfusim, "-machine", "ruu", "-units", "2", "-ruu", "30", "-bus", "1bus", "-loops", "scalar")
+	if !strings.Contains(out, "RUU(2 units, 30 entries, 1-Bus)") {
+		t.Errorf("mfusim ruu output unexpected:\n%s", out)
+	}
+	out = runBin(mfusim, "-machine", "vector", "-loops", "vector")
+	if !strings.Contains(out, "Vector, M11BR5") {
+		t.Errorf("mfusim vector output unexpected:\n%s", out)
+	}
+
+	mfutables := build("mfutables")
+	out = runBin(mfutables, "-table", "1")
+	if !strings.Contains(out, "Table 1.") || !strings.Contains(out, "CRAY-like") {
+		t.Errorf("mfutables output unexpected:\n%s", out)
+	}
+	out = runBin(mfutables, "-table", "2", "-format", "csv")
+	if !strings.HasPrefix(out, "Table 2:") || strings.Count(out, "\n") < 16 {
+		t.Errorf("mfutables csv output unexpected:\n%s", out)
+	}
+	out = runBin(mfutables, "-table", "2", "-format", "json")
+	if !strings.Contains(out, `"number":2`) {
+		t.Errorf("mfutables json output unexpected:\n%s", out)
+	}
+
+	mfulimits := build("mfulimits")
+	out = runBin(mfulimits, "-loops", "5,12", "-mode", "pure")
+	if !strings.Contains(out, "pseudo-dataflow") || !strings.Contains(out, "harmonic means") {
+		t.Errorf("mfulimits output unexpected:\n%s", out)
+	}
+
+	mfuasm := build("mfuasm")
+	// A user source file, assembled, run, with stats.
+	srcFile := filepath.Join(bindir, "prog.cal")
+	prog := `
+    A1 = 10
+    S1 = 2.5
+    [A1] = S1
+    S2 = [A1]
+    S3 = S2 +F S2
+`
+	if err := os.WriteFile(srcFile, []byte(prog), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out = runBin(mfuasm, "-file", srcFile, "-run", "-stats")
+	if !strings.Contains(out, "executed 5 dynamic instructions") ||
+		!strings.Contains(out, "S3 = ") || !strings.Contains(out, "instruction mix") {
+		t.Errorf("mfuasm output unexpected:\n%s", out)
+	}
+	// Built-in kernel dump (vector coding).
+	out = runBin(mfuasm, "-kernel", "12", "-vector", "-run")
+	if !strings.Contains(out, "lfk12v") {
+		t.Errorf("mfuasm kernel output unexpected:\n%s", out)
+	}
+}

@@ -1,0 +1,3 @@
+module mfup
+
+go 1.22

@@ -1,0 +1,69 @@
+package asm
+
+import (
+	"testing"
+
+	"mfup/internal/emu"
+)
+
+// FuzzAssemble: the assembler must never panic on arbitrary source —
+// it either produces a program that passes structural validation or
+// returns a positioned error.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"",
+		"PASS",
+		"A1 = 100\nS1 = [A1]\n[A1 + 1] = S1",
+		"loop:\n    A0 = A0 - A7\n    JAN loop",
+		"V1 = [A2 : 5]\nVL = A1\nS1 = V2 [ A3 ]",
+		"S1 = S2 +F S3 ; comment",
+		"x: J x",
+		"A1 = A2 +",
+		"[A1 : ] = V1",
+		"S1 = 1 / S2\nS1 = POP S2",
+		"= =",
+		"label_only:",
+		"A1 = -9223372036854775808",
+		"S1 = 1e308\nS2 = 0.5",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble("fuzz", src)
+		if err != nil {
+			return
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("assembled program fails validation: %v\nsource:\n%s", verr, src)
+		}
+		// Disassembly of anything we assembled must not panic either.
+		_ = p.Disassemble()
+	})
+}
+
+// FuzzAssembleAndRun: any program the assembler accepts must execute
+// on the emulator without panicking — termination is enforced by the
+// step limit, faults surface as errors.
+func FuzzAssembleAndRun(f *testing.F) {
+	seeds := []string{
+		"A1 = 3\nA7 = 1\nloop:\nA1 = A1 - A7\nA0 = A1 + 0\nJAN loop",
+		"A1 = 10\nS1 = 2.5\n[A1] = S1\nS2 = [A1]",
+		"A1 = 4\nVL = A1\nA2 = 16\nV1 = [A2 : 1]\nV2 = V1 +F V1\n[A2 : 1] = V2",
+		"S1 = 0\nS2 = 1 / S1", // inf, not a fault
+		"A1 = -1\n[A1] = A1",  // memory fault
+		"loop: J loop",        // step limit
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble("fuzz", src)
+		if err != nil {
+			return
+		}
+		m := emu.New(1 << 10)
+		m.StepLimit = 10_000
+		_, _ = m.Run(p) // must not panic; errors are fine
+	})
+}

@@ -1,0 +1,136 @@
+// Package bus models the result-bus interconnect between the outputs
+// of the functional units and the register file (§5.1 of the paper).
+//
+// Three organizations are studied:
+//
+//   - XBar: N busses in a full crossbar; a result may return on any
+//     free bus, so at most N results per cycle, regardless of which
+//     issue station produced them.
+//   - BusN: N busses, but the result of an instruction issued from
+//     station i may use only bus i; station i therefore conflicts
+//     only with its own earlier results.
+//   - Bus1: a single result bus shared by everything; at most one
+//     result per cycle machine-wide.
+//
+// An instruction reserves its result slot at issue time, for the
+// cycle its result will appear; if the slot is taken, issue stalls.
+package bus
+
+import "fmt"
+
+// Kind selects the interconnect organization.
+type Kind uint8
+
+// Interconnect kinds.
+const (
+	XBar Kind = iota // any of N busses
+	BusN             // bus i dedicated to issue station i
+	Bus1             // one bus for everything
+)
+
+// String names the organization as the paper's tables do.
+func (k Kind) String() string {
+	switch k {
+	case XBar:
+		return "X-Bar"
+	case BusN:
+		return "N-Bus"
+	case Bus1:
+		return "1-Bus"
+	}
+	return fmt.Sprintf("bus.Kind(%d)", uint8(k))
+}
+
+// window is the reservation horizon in cycles. Reservations are made
+// at issue for at most maxLatency cycles ahead, so a modest power of
+// two suffices.
+const window = 64
+
+// Tracker schedules result-bus reservations. It exploits monotonic
+// time: a slot is identified by the absolute cycle stored in it, so
+// stale entries from window wrap-around are self-invalidating.
+type Tracker struct {
+	kind Kind
+	n    int
+
+	// shared[c%window] counts results on cycle c (XBar, Bus1).
+	shared [window]slot
+	// perStation[i][c%window] marks station i's bus busy on cycle c.
+	perStation [][window]slot
+}
+
+type slot struct {
+	cycle int64
+	count int
+}
+
+// NewTracker builds a tracker for kind k with n issue stations.
+func NewTracker(k Kind, n int) *Tracker {
+	if n < 1 {
+		panic(fmt.Sprintf("bus: need at least 1 station, got %d", n))
+	}
+	t := &Tracker{kind: k, n: n}
+	if k == BusN {
+		t.perStation = make([][window]slot, n)
+	}
+	return t
+}
+
+// Kind returns the tracker's organization.
+func (t *Tracker) Kind() Kind { return t.kind }
+
+// Reset clears all reservations.
+func (t *Tracker) Reset() {
+	t.shared = [window]slot{}
+	for i := range t.perStation {
+		t.perStation[i] = [window]slot{}
+	}
+}
+
+// capacity returns how many results may share one cycle.
+func (t *Tracker) capacity() int {
+	switch t.kind {
+	case XBar:
+		return t.n
+	case Bus1:
+		return 1
+	}
+	return 1 // BusN: capacity is per station
+}
+
+// Free reports whether station's bus can deliver a result on cycle c.
+func (t *Tracker) Free(station int, c int64) bool {
+	if t.kind == BusN {
+		s := &t.perStation[station][c%window]
+		return s.cycle != c || s.count == 0
+	}
+	s := &t.shared[c%window]
+	return s.cycle != c || s.count < t.capacity()
+}
+
+// Reserve books station's bus for a result on cycle c. The caller
+// must have checked Free.
+func (t *Tracker) Reserve(station int, c int64) {
+	var s *slot
+	if t.kind == BusN {
+		s = &t.perStation[station][c%window]
+	} else {
+		s = &t.shared[c%window]
+	}
+	if s.cycle != c {
+		s.cycle = c
+		s.count = 0
+	}
+	s.count++
+}
+
+// EarliestIssue returns the earliest cycle e >= issueAt such that a
+// result produced by issuing at e (appearing at e+latency) finds a
+// free slot on station's bus.
+func (t *Tracker) EarliestIssue(station int, issueAt int64, latency int) int64 {
+	e := issueAt
+	for !t.Free(station, e+int64(latency)) {
+		e++
+	}
+	return e
+}

@@ -1,0 +1,52 @@
+// Package cli holds the small argument-parsing helpers shared by the
+// command-line tools.
+package cli
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mfup/internal/bus"
+	"mfup/internal/loops"
+)
+
+// SelectLoops resolves a -loops flag value: "all", "scalar", "vector"
+// (the vectorizable class), or a comma-separated list of kernel
+// numbers.
+func SelectLoops(spec string) ([]*loops.Kernel, error) {
+	switch strings.ToLower(strings.TrimSpace(spec)) {
+	case "all":
+		return loops.All(), nil
+	case "scalar":
+		return loops.ByClass(loops.Scalar), nil
+	case "vector", "vectorizable":
+		return loops.ByClass(loops.Vectorizable), nil
+	}
+	var ks []*loops.Kernel
+	for _, f := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad loop spec %q", f)
+		}
+		k, err := loops.Get(n)
+		if err != nil {
+			return nil, err
+		}
+		ks = append(ks, k)
+	}
+	return ks, nil
+}
+
+// ParseBusKind resolves a -bus flag value.
+func ParseBusKind(s string) (bus.Kind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "nbus", "n-bus":
+		return bus.BusN, nil
+	case "1bus", "1-bus":
+		return bus.Bus1, nil
+	case "xbar", "x-bar":
+		return bus.XBar, nil
+	}
+	return 0, fmt.Errorf("unknown bus kind %q (want nbus, 1bus, or xbar)", s)
+}

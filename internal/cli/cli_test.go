@@ -1,0 +1,63 @@
+package cli
+
+import (
+	"testing"
+
+	"mfup/internal/bus"
+)
+
+func TestSelectLoops(t *testing.T) {
+	cases := []struct {
+		spec string
+		want int
+		ok   bool
+	}{
+		{"all", 14, true},
+		{"scalar", 5, true},
+		{"vector", 9, true},
+		{"vectorizable", 9, true},
+		{"Vector", 9, true},
+		{"1,5,13", 3, true},
+		{" 2 , 3 ", 2, true},
+		{"0", 0, false},
+		{"15", 0, false},
+		{"banana", 0, false},
+		{"1,,2", 0, false},
+	}
+	for _, c := range cases {
+		ks, err := SelectLoops(c.spec)
+		if c.ok != (err == nil) {
+			t.Errorf("SelectLoops(%q): err = %v, want ok=%v", c.spec, err, c.ok)
+			continue
+		}
+		if c.ok && len(ks) != c.want {
+			t.Errorf("SelectLoops(%q) = %d kernels, want %d", c.spec, len(ks), c.want)
+		}
+	}
+}
+
+func TestSelectLoopsOrder(t *testing.T) {
+	ks, err := SelectLoops("13,1,5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks[0].Number != 13 || ks[1].Number != 1 || ks[2].Number != 5 {
+		t.Error("explicit list order not preserved")
+	}
+}
+
+func TestParseBusKind(t *testing.T) {
+	for spec, want := range map[string]bus.Kind{
+		"nbus": bus.BusN, "N-Bus": bus.BusN,
+		"1bus": bus.Bus1, "1-bus": bus.Bus1,
+		"xbar": bus.XBar, "X-BAR": bus.XBar,
+	} {
+		got, err := ParseBusKind(spec)
+		if err != nil || got != want {
+			t.Errorf("ParseBusKind(%q) = %v, %v; want %v", spec, got, err, want)
+		}
+	}
+	if _, err := ParseBusKind("omnibus"); err == nil {
+		t.Error("unknown bus kind accepted")
+	}
+}

@@ -1,0 +1,162 @@
+// Package core contains the paper's machine models: the cycle-level
+// timing simulators whose instruction issue rates the study compares.
+//
+// All machines are trace driven. A dynamic instruction trace
+// (internal/trace) fixes what executes; a machine model decides only
+// *when* each instruction issues and completes, under its particular
+// issue rules, functional-unit organization, memory organization, and
+// result-bus interconnect. The machines are:
+//
+//   - Simple: two-stage serial machine; one instruction in execution
+//     at a time (§3.1).
+//   - SerialMemory: overlap across distinct functional units, but
+//     every unit — including memory — handles one operation at a time
+//     (§3.2).
+//   - NonSegmented: like SerialMemory with an interleaved (pipelined)
+//     memory; functional units remain unsegmented, as in the CDC 6600
+//     (§3.2).
+//   - CRAYLike: interleaved memory and fully segmented functional
+//     units, as in the CRAY-1 (§3.2).
+//   - MultiIssue: CRAY-like functional units with N issue stations
+//     and strictly in-order issue (§5.1).
+//   - MultiIssueOOO: N issue stations with out-of-order issue within
+//     the instruction buffer (§5.2).
+//   - RUU: N issue units with dependency resolution and register
+//     renaming through a Register Update Unit (§5.3).
+package core
+
+import (
+	"fmt"
+
+	"mfup/internal/bus"
+	"mfup/internal/isa"
+	"mfup/internal/trace"
+)
+
+// Config carries the machine parameters the paper varies.
+type Config struct {
+	// MemLatency is the memory access time in cycles: 11 in the base
+	// CRAY-1 model ("slow memory"), 5 with fast intermediate storage
+	// ("fast memory").
+	MemLatency int
+
+	// BranchLatency is the branch execution time in cycles: 5 for the
+	// CRAY-1S-style slow branch, 2 for the fast branch.
+	BranchLatency int
+
+	// IssueUnits is the number of issue stations/units for the
+	// multiple-issue machines. Single-issue machines ignore it.
+	IssueUnits int
+
+	// Bus selects the result-bus interconnect for the multiple-issue
+	// machines.
+	Bus bus.Kind
+
+	// RUUSize is the number of Register Update Unit entries for the
+	// RUU machine.
+	RUUSize int
+
+	// PerfectBranches is an upper-bound ablation: branches are
+	// predicted perfectly and never block the issue stage (the paper
+	// deliberately models NO prediction — §2: "we have not
+	// incorporated any type of guessing or branch prediction"). A
+	// branch still occupies one issue slot. Use this to measure how
+	// much of the remaining blockage is control dependences.
+	PerfectBranches bool
+
+	// MemBanks enables the banked interleaved-memory extension
+	// (internal/mem): 0 models the paper's ideal interleaved memory;
+	// B > 0 models B address-interleaved banks, each busy for the
+	// access time of a request it serves. Ignored by machines whose
+	// memory is serial anyway.
+	MemBanks int
+}
+
+// The paper's four machine variations: memory access time crossed
+// with branch execution time.
+var (
+	M11BR5 = Config{MemLatency: 11, BranchLatency: 5}
+	M11BR2 = Config{MemLatency: 11, BranchLatency: 2}
+	M5BR5  = Config{MemLatency: 5, BranchLatency: 5}
+	M5BR2  = Config{MemLatency: 5, BranchLatency: 2}
+)
+
+// BaseConfigs returns the paper's four variations in table order.
+func BaseConfigs() []Config { return []Config{M11BR5, M11BR2, M5BR5, M5BR2} }
+
+// Name returns the paper's name for the memory/branch combination,
+// e.g. "M11BR5".
+func (c Config) Name() string {
+	return fmt.Sprintf("M%dBR%d", c.MemLatency, c.BranchLatency)
+}
+
+// Latencies returns the functional-unit latency table for this
+// configuration.
+func (c Config) Latencies() isa.Latencies {
+	return isa.NewLatencies(c.MemLatency, c.BranchLatency)
+}
+
+// WithIssue returns c with the multiple-issue parameters set.
+func (c Config) WithIssue(units int, kind bus.Kind) Config {
+	c.IssueUnits = units
+	c.Bus = kind
+	return c
+}
+
+// WithRUU returns c with the RUU size set.
+func (c Config) WithRUU(size int) Config {
+	c.RUUSize = size
+	return c
+}
+
+// WithPerfectBranches returns c with the ideal-branch-prediction
+// ablation enabled.
+func (c Config) WithPerfectBranches() Config {
+	c.PerfectBranches = true
+	return c
+}
+
+// WithMemBanks returns c with the banked-memory extension enabled.
+func (c Config) WithMemBanks(banks int) Config {
+	c.MemBanks = banks
+	return c
+}
+
+// validate panics on structurally impossible configurations; configs
+// are built by code, not user input, so this is an assertion.
+func (c Config) validate() {
+	if c.MemLatency <= 0 || c.BranchLatency <= 0 {
+		panic(fmt.Sprintf("core: invalid config %+v", c))
+	}
+}
+
+// Result reports one simulation run.
+type Result struct {
+	Machine      string
+	Trace        string
+	Instructions int64
+	Cycles       int64
+}
+
+// IssueRate returns instructions issued per clock cycle, the paper's
+// performance measure.
+func (r Result) IssueRate() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// String renders the result compactly.
+func (r Result) String() string {
+	return fmt.Sprintf("%s on %s: %d instructions, %d cycles, %.2f/cycle",
+		r.Machine, r.Trace, r.Instructions, r.Cycles, r.IssueRate())
+}
+
+// Machine is a timing model: it runs a trace and reports cycle
+// counts. Implementations are single-use-at-a-time but reusable:
+// Run fully resets internal state.
+type Machine interface {
+	Name() string
+	Run(t *trace.Trace) Result
+}

@@ -1,0 +1,39 @@
+package core
+
+// memScoreboard tracks memory-carried true dependences: the
+// completion cycle of the most recent store to each address. A load
+// may not issue before the store it depends on completes — the base
+// machine has no store-to-load forwarding — and that matches the
+// memory model of the §4 dataflow bounds, keeping "no machine beats
+// its limit" a checkable invariant.
+//
+// Anti-dependences (load then store to the same address) are not
+// timing constraints in any of the models, and output dependences
+// between stores are already serialized by in-order issue in the
+// machines that use this scoreboard.
+type memScoreboard struct {
+	storeDone map[int64]int64
+}
+
+// Reset clears all tracked stores.
+func (m *memScoreboard) Reset() {
+	if m.storeDone == nil {
+		m.storeDone = make(map[int64]int64)
+		return
+	}
+	clear(m.storeDone)
+}
+
+// EarliestLoad returns the earliest cycle >= t at which a load of
+// addr may issue.
+func (m *memScoreboard) EarliestLoad(addr, t int64) int64 {
+	if d, ok := m.storeDone[addr]; ok && d > t {
+		return d
+	}
+	return t
+}
+
+// Store records a store to addr completing at cycle done.
+func (m *memScoreboard) Store(addr, done int64) {
+	m.storeDone[addr] = done
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+
+	"mfup/internal/bus"
+	"mfup/internal/fu"
+	"mfup/internal/isa"
+	"mfup/internal/mem"
+	"mfup/internal/regfile"
+	"mfup/internal/trace"
+)
+
+// multiIssue implements §5.1: N issue stations with strictly
+// sequential (in-order) instruction issue over CRAY-like functional
+// units.
+//
+// The hardware fetches a block of N instructions into an instruction
+// buffer; the issue stations examine the buffer in parallel, but if
+// any instruction cannot issue, no later instruction may issue either.
+// The buffer is refilled only after all of its instructions have
+// issued — except that a taken branch abandons the rest of the buffer
+// and refills from the target. Results return to the register file
+// over the configured result-bus interconnect; an instruction whose
+// result would find no free bus slot stalls at issue.
+type multiIssue struct {
+	cfg   Config
+	pool  *fu.Pool
+	sb    regfile.Scoreboard
+	bt    *bus.Tracker
+	mem   memScoreboard
+	banks *mem.Banks
+}
+
+// NewMultiIssue builds the §5.1 machine: cfg.IssueUnits stations
+// (>= 1), cfg.Bus interconnect, CRAY-like (fully segmented) units and
+// interleaved memory.
+func NewMultiIssue(cfg Config) Machine {
+	cfg.validate()
+	if cfg.IssueUnits < 1 {
+		panic(fmt.Sprintf("core: MultiIssue needs IssueUnits >= 1, got %d", cfg.IssueUnits))
+	}
+	pool := fu.NewPool(cfg.Latencies())
+	pool.SegmentAll()
+	return &multiIssue{
+		cfg:   cfg,
+		pool:  pool,
+		bt:    bus.NewTracker(cfg.Bus, cfg.IssueUnits),
+		banks: mem.NewBanks(cfg.MemBanks, cfg.MemLatency),
+	}
+}
+
+func (m *multiIssue) Name() string {
+	return fmt.Sprintf("MultiIssue(%d,%s)", m.cfg.IssueUnits, m.cfg.Bus)
+}
+
+// usesResultBus reports whether an op delivers a register result over
+// the interconnect. Branches and stores produce no register value.
+func usesResultBus(op *trace.Op) bool { return op.Dst.Valid() }
+
+func (m *multiIssue) Run(t *trace.Trace) Result {
+	rejectVector(m.Name(), t)
+	m.pool.Reset()
+	m.sb.Reset()
+	m.bt.Reset()
+	m.mem.Reset()
+	m.banks.Reset()
+
+	w := m.cfg.IssueUnits
+	brLat := int64(m.cfg.BranchLatency)
+
+	var (
+		nextFetch int64 // earliest issue cycle for the next buffer
+		lastDone  int64
+		srcs      [3]isa.Reg
+	)
+
+	pos := 0
+	for pos < len(t.Ops) {
+		// Fetch a buffer: up to w ops, ending early at a taken branch
+		// (the rest of the line is squashed and refetched from the
+		// target).
+		end := pos + w
+		if end > len(t.Ops) {
+			end = len(t.Ops)
+		}
+		for i := pos; i < end; i++ {
+			if t.Ops[i].IsBranch() && t.Ops[i].Taken {
+				end = i + 1
+				break
+			}
+		}
+
+		prev := nextFetch // in-order: issue times are nondecreasing
+		for i := pos; i < end; i++ {
+			op := &t.Ops[i]
+			station := i - pos
+
+			e := prev
+			if !(op.IsBranch() && m.cfg.PerfectBranches) {
+				e = m.sb.EarliestFor(e, op.Dst, op.Reads(srcs[:0])...)
+			}
+			e = m.pool.EarliestAccept(op.Unit, e)
+			if op.Code.IsLoad() {
+				e = m.mem.EarliestLoad(op.Addr, e)
+			}
+			if op.IsMemory() {
+				e = m.banks.EarliestAccept(op.Addr, e)
+			}
+			if usesResultBus(op) {
+				e = m.bt.EarliestIssue(station, e, m.pool.Latency(op.Unit))
+			}
+			var done int64
+			if op.IsBranch() && m.cfg.PerfectBranches {
+				done = e + 1
+			} else {
+				done = m.pool.Accept(op.Unit, e)
+			}
+			if op.IsMemory() {
+				m.banks.Accept(op.Addr, e)
+			}
+			if usesResultBus(op) {
+				m.bt.Reserve(station, done)
+			}
+			if op.Dst.Valid() {
+				m.sb.SetReady(op.Dst, done)
+			}
+			if op.Code.IsStore() {
+				m.mem.Store(op.Addr, done)
+			}
+			if done > lastDone {
+				lastDone = done
+			}
+
+			if op.IsBranch() && m.cfg.PerfectBranches {
+				prev = e
+				nextFetch = e + 1
+			} else if op.IsBranch() {
+				// No speculation: nothing issues — neither the rest
+				// of this buffer nor the refill — until resolution.
+				prev = e + brLat
+				nextFetch = e + brLat
+			} else {
+				prev = e
+				nextFetch = e + 1
+			}
+		}
+		pos = end
+	}
+	return Result{
+		Machine:      m.Name(),
+		Trace:        t.Name,
+		Instructions: int64(len(t.Ops)),
+		Cycles:       lastDone,
+	}
+}

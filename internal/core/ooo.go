@@ -1,0 +1,234 @@
+package core
+
+import (
+	"fmt"
+
+	"mfup/internal/bus"
+	"mfup/internal/fu"
+	"mfup/internal/isa"
+	"mfup/internal/mem"
+	"mfup/internal/regfile"
+	"mfup/internal/trace"
+)
+
+// multiIssueOOO implements §5.2: N issue stations with out-of-order
+// issue within the instruction buffer.
+//
+// A blocked instruction no longer stops its successors: any
+// instruction in the buffer may issue, provided it has no RAW or WAW
+// hazard against an *earlier unissued* instruction in the buffer (a
+// hazard against an issued instruction is simply a wait for its
+// result). As in §5.1, the buffer refills only when empty, which the
+// paper identifies as the source of the sawtooth in Tables 5 and 6.
+//
+// There is no speculation: a branch issues only once it is the oldest
+// unissued instruction, and no younger instruction issues until the
+// branch resolves.
+type multiIssueOOO struct {
+	cfg   Config
+	pool  *fu.Pool
+	sb    regfile.Scoreboard
+	bt    *bus.Tracker
+	mem   memScoreboard
+	banks *mem.Banks
+}
+
+// NewMultiIssueOOO builds the §5.2 machine.
+func NewMultiIssueOOO(cfg Config) Machine {
+	cfg.validate()
+	if cfg.IssueUnits < 1 {
+		panic(fmt.Sprintf("core: MultiIssueOOO needs IssueUnits >= 1, got %d", cfg.IssueUnits))
+	}
+	pool := fu.NewPool(cfg.Latencies())
+	pool.SegmentAll()
+	return &multiIssueOOO{
+		cfg:   cfg,
+		pool:  pool,
+		bt:    bus.NewTracker(cfg.Bus, cfg.IssueUnits),
+		banks: mem.NewBanks(cfg.MemBanks, cfg.MemLatency),
+	}
+}
+
+func (m *multiIssueOOO) Name() string {
+	return fmt.Sprintf("MultiIssueOOO(%d,%s)", m.cfg.IssueUnits, m.cfg.Bus)
+}
+
+func (m *multiIssueOOO) Run(t *trace.Trace) Result {
+	rejectVector(m.Name(), t)
+	m.pool.Reset()
+	m.sb.Reset()
+	m.bt.Reset()
+	m.mem.Reset()
+	m.banks.Reset()
+
+	w := m.cfg.IssueUnits
+	brLat := int64(m.cfg.BranchLatency)
+
+	var (
+		nextFetch int64
+		lastDone  int64
+		srcs      [3]isa.Reg
+		issuedAt  = make([]int64, w)
+		issued    = make([]bool, w)
+	)
+
+	pos := 0
+	for pos < len(t.Ops) {
+		end := pos + w
+		if end > len(t.Ops) {
+			end = len(t.Ops)
+		}
+		for i := pos; i < end; i++ {
+			if t.Ops[i].IsBranch() && t.Ops[i].Taken {
+				end = i + 1
+				break
+			}
+		}
+		size := end - pos
+		for i := 0; i < size; i++ {
+			issued[i] = false
+		}
+
+		remaining := size
+		maxIssue := nextFetch
+		// brGate is the resolution time of the latest issued branch in
+		// this buffer; instructions younger than that branch may not
+		// issue earlier (no speculation).
+		var brGate int64
+		brGateIdx := -1 // buffer index of that branch
+
+		for c := nextFetch; remaining > 0; c++ {
+			for i := 0; i < size; i++ {
+				if issued[i] {
+					continue
+				}
+				op := &t.Ops[pos+i]
+
+				if i > brGateIdx && brGate > c {
+					// Waiting on an earlier branch's resolution; so is
+					// everything younger.
+					break
+				}
+
+				// Hazards against earlier unissued buffer entries.
+				blocked := false
+				for j := 0; j < i; j++ {
+					if issued[j] {
+						continue
+					}
+					pj := &t.Ops[pos+j]
+					if pj.IsBranch() {
+						// May not issue past an unissued branch.
+						blocked = true
+						break
+					}
+					if pj.Dst.Valid() {
+						if op.Dst == pj.Dst { // WAW
+							blocked = true
+							break
+						}
+						for _, r := range op.Reads(srcs[:0]) { // RAW
+							if r == pj.Dst {
+								blocked = true
+								break
+							}
+						}
+						if blocked {
+							break
+						}
+					}
+					if pj.Code.IsStore() && op.IsMemory() && op.Addr == pj.Addr {
+						// Memory RAW/WAW: neither a load nor a store
+						// may pass an unissued store to its address.
+						blocked = true
+						break
+					}
+				}
+				if blocked {
+					continue
+				}
+				if op.IsBranch() && i > 0 {
+					// A branch issues only as the oldest unissued
+					// instruction: everything before it must be gone.
+					allOlder := true
+					for j := 0; j < i; j++ {
+						if !issued[j] {
+							allOlder = false
+							break
+						}
+					}
+					if !allOlder {
+						continue
+					}
+				}
+
+				// Resource checks: everything must be satisfiable at
+				// exactly cycle c, else the instruction waits.
+				if !(op.IsBranch() && m.cfg.PerfectBranches) &&
+					m.sb.EarliestFor(c, op.Dst, op.Reads(srcs[:0])...) > c {
+					continue
+				}
+				if m.pool.EarliestAccept(op.Unit, c) > c {
+					continue
+				}
+				if op.Code.IsLoad() && m.mem.EarliestLoad(op.Addr, c) > c {
+					continue
+				}
+				if op.IsMemory() && m.banks.EarliestAccept(op.Addr, c) > c {
+					continue
+				}
+				if usesResultBus(op) && !m.bt.Free(i, c+int64(m.pool.Latency(op.Unit))) {
+					continue
+				}
+
+				var done int64
+				if op.IsBranch() && m.cfg.PerfectBranches {
+					done = c + 1
+				} else {
+					done = m.pool.Accept(op.Unit, c)
+				}
+				if op.IsMemory() {
+					m.banks.Accept(op.Addr, c)
+				}
+				if usesResultBus(op) {
+					m.bt.Reserve(i, done)
+				}
+				if op.Dst.Valid() {
+					m.sb.SetReady(op.Dst, done)
+				}
+				if op.Code.IsStore() {
+					m.mem.Store(op.Addr, done)
+				}
+				issued[i] = true
+				issuedAt[i] = c
+				remaining--
+				if c > maxIssue {
+					maxIssue = c
+				}
+				if done > lastDone {
+					lastDone = done
+				}
+				if op.IsBranch() && !m.cfg.PerfectBranches {
+					brGate = c + brLat
+					brGateIdx = i
+				}
+			}
+		}
+
+		// Refill only once the buffer is empty; a terminating branch
+		// additionally delays the refetch until it resolves.
+		nextFetch = maxIssue + 1
+		if last := &t.Ops[end-1]; last.IsBranch() && !m.cfg.PerfectBranches {
+			if g := issuedAt[size-1] + brLat; g > nextFetch {
+				nextFetch = g
+			}
+		}
+		pos = end
+	}
+	return Result{
+		Machine:      m.Name(),
+		Trace:        t.Name,
+		Instructions: int64(len(t.Ops)),
+		Cycles:       lastDone,
+	}
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"fmt"
+
+	"mfup/internal/ruu"
+	"mfup/internal/trace"
+)
+
+// ruuMachine adapts the Register Update Unit simulator (§5.3,
+// internal/ruu) to the Machine interface.
+type ruuMachine struct {
+	sim  *ruu.Simulator
+	name string
+}
+
+// NewRUU builds the §5.3 machine: cfg.IssueUnits issue units over a
+// cfg.RUUSize-entry Register Update Unit with the cfg.Bus
+// interconnect (bus.BusN or bus.Bus1).
+func NewRUU(cfg Config) Machine {
+	cfg.validate()
+	if cfg.IssueUnits < 1 || cfg.RUUSize < cfg.IssueUnits {
+		panic(fmt.Sprintf("core: RUU needs IssueUnits >= 1 and RUUSize >= IssueUnits, got %+v", cfg))
+	}
+	sim := ruu.New(ruu.Config{
+		MemLatency:      cfg.MemLatency,
+		BranchLatency:   cfg.BranchLatency,
+		IssueUnits:      cfg.IssueUnits,
+		Size:            cfg.RUUSize,
+		Bus:             cfg.Bus,
+		MemBanks:        cfg.MemBanks,
+		PerfectBranches: cfg.PerfectBranches,
+	})
+	return &ruuMachine{
+		sim:  sim,
+		name: fmt.Sprintf("RUU(%d units, %d entries, %s)", cfg.IssueUnits, cfg.RUUSize, cfg.Bus),
+	}
+}
+
+func (m *ruuMachine) Name() string { return m.name }
+
+func (m *ruuMachine) Run(t *trace.Trace) Result {
+	rejectVector(m.name, t)
+	cycles := m.sim.Run(t)
+	return Result{
+		Machine:      m.name,
+		Trace:        t.Name,
+		Instructions: int64(len(t.Ops)),
+		Cycles:       cycles,
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"mfup/internal/fu"
+	"mfup/internal/isa"
+	"mfup/internal/regfile"
+	"mfup/internal/trace"
+)
+
+// scoreboard implements the first of §3.3's single-issue dependency
+// resolution schemes: the CDC 6600 discipline. An instruction leaves
+// the issue stage even when its operands are not yet available — it
+// waits at its functional unit — so RAW hazards no longer block
+// issue. A WAW hazard still does: the destination register is
+// reserved at issue and a second writer may not issue until the first
+// completes (the 6600 had no buffering for multiple register
+// instances). Functional units remain CRAY-like (fully segmented,
+// interleaved memory), per §3.3's framing.
+//
+// Branches behave as in the base machines: no prediction, the issue
+// stage blocks for the branch execution time, and a conditional
+// branch additionally waits for A0.
+type scoreboard struct {
+	cfg  Config
+	pool *fu.Pool
+	sb   regfile.Scoreboard
+	mem  memScoreboard
+}
+
+// NewScoreboard builds the CDC-6600-style single-issue machine of
+// §3.3.
+func NewScoreboard(cfg Config) Machine {
+	cfg.validate()
+	pool := fu.NewPool(cfg.Latencies())
+	pool.SegmentAll()
+	return &scoreboard{cfg: cfg, pool: pool}
+}
+
+func (m *scoreboard) Name() string { return "Scoreboard" }
+
+func (m *scoreboard) Run(t *trace.Trace) Result {
+	rejectVector("Scoreboard", t)
+	m.pool.Reset()
+	m.sb.Reset()
+	m.mem.Reset()
+
+	var (
+		nextIssue int64
+		lastDone  int64
+		srcs      [3]isa.Reg
+	)
+	for i := range t.Ops {
+		op := &t.Ops[i]
+
+		// Issue: one per cycle; WAW blocks, RAW does not.
+		e := nextIssue
+		if op.Dst.Valid() {
+			e = m.sb.EarliestFor(e, op.Dst) // destination reservation only
+		}
+
+		if op.IsBranch() {
+			// The branch reads A0 at the issue stage and blocks it
+			// until resolution.
+			s := e
+			for _, r := range op.Reads(srcs[:0]) {
+				if rdy := m.sb.ReadyAt(r); rdy > s {
+					s = rdy
+				}
+			}
+			done := s + int64(m.cfg.BranchLatency)
+			nextIssue = done
+			if done > lastDone {
+				lastDone = done
+			}
+			continue
+		}
+
+		// Execution begins at the unit once operands arrive.
+		s := e
+		for _, r := range op.Reads(srcs[:0]) {
+			if rdy := m.sb.ReadyAt(r); rdy > s {
+				s = rdy
+			}
+		}
+		s = m.pool.EarliestAccept(op.Unit, s)
+		if op.Code.IsLoad() {
+			s = m.mem.EarliestLoad(op.Addr, s)
+		}
+		done := m.pool.Accept(op.Unit, s)
+
+		if op.Dst.Valid() {
+			m.sb.SetReady(op.Dst, done)
+		}
+		if op.Code.IsStore() {
+			m.mem.Store(op.Addr, done)
+		}
+		if done > lastDone {
+			lastDone = done
+		}
+		nextIssue = e + 1
+	}
+	return Result{
+		Machine:      m.Name(),
+		Trace:        t.Name,
+		Instructions: int64(len(t.Ops)),
+		Cycles:       lastDone,
+	}
+}

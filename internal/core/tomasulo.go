@@ -1,0 +1,228 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mfup/internal/fu"
+	"mfup/internal/isa"
+	"mfup/internal/trace"
+)
+
+// DefaultStations is the reservation-station count per functional
+// unit for the Tomasulo machine when the configuration does not say
+// otherwise. The IBM 360/91 floating-point unit had 2-3 stations per
+// unit; 4 is a generous, round setting.
+const DefaultStations = 4
+
+// tomasulo implements the second §3.3 dependency-resolution scheme:
+// the IBM 360/91 algorithm. A single issue unit places instructions
+// into per-functional-unit reservation stations; register renaming
+// through station tags removes both WAW and WAR hazards, so issue
+// stalls only when the needed unit's stations are full or a branch is
+// encountered. Results return over a single common data bus — one
+// broadcast per cycle, the scheme's signature bottleneck — with full
+// bypass: a broadcast value is usable the same cycle.
+//
+// Unlike the RUU, nothing commits in order (the 360/91 is the classic
+// imprecise-interrupt design): a station frees as soon as its result
+// has been broadcast.
+type tomasulo struct {
+	cfg      Config
+	stations int
+	pool     *fu.Pool
+
+	inFlight [isa.NumUnits]int
+	regTag   [isa.NumRegs]*tomEntry
+	regReady [isa.NumRegs]int64
+	memTag   map[int64]*tomEntry
+	memReady map[int64]int64
+
+	cdb     [64]int64 // self-invalidating per-cycle reservation ring
+	pending []*tomEntry
+}
+
+type tomEntry struct {
+	op       *trace.Op
+	depCount int
+	waiters  []*tomEntry
+	readyAt  int64
+	started  bool
+	doneAt   int64 // result broadcast cycle; MaxInt64 until started
+}
+
+// NewTomasulo builds the §3.3 Tomasulo machine. cfg.RUUSize, when
+// positive, sets the reservation stations per functional unit
+// (total buffering is therefore RUUSize x the number of units);
+// otherwise DefaultStations is used.
+func NewTomasulo(cfg Config) Machine {
+	cfg.validate()
+	stations := cfg.RUUSize
+	if stations <= 0 {
+		stations = DefaultStations
+	}
+	pool := fu.NewPool(cfg.Latencies())
+	pool.SegmentAll()
+	return &tomasulo{cfg: cfg, stations: stations, pool: pool}
+}
+
+func (m *tomasulo) Name() string {
+	return fmt.Sprintf("Tomasulo(%d stations/unit)", m.stations)
+}
+
+func (m *tomasulo) reset() {
+	m.pool.Reset()
+	m.inFlight = [isa.NumUnits]int{}
+	m.regTag = [isa.NumRegs]*tomEntry{}
+	m.regReady = [isa.NumRegs]int64{}
+	if m.memTag == nil {
+		m.memTag = make(map[int64]*tomEntry)
+		m.memReady = make(map[int64]int64)
+	} else {
+		clear(m.memTag)
+		clear(m.memReady)
+	}
+	m.cdb = [64]int64{}
+	for i := range m.cdb {
+		m.cdb[i] = -1
+	}
+	m.pending = m.pending[:0]
+}
+
+// cdbFree reports whether the common data bus is unreserved at cycle c.
+func (m *tomasulo) cdbFree(c int64) bool { return m.cdb[c%64] != c }
+
+func (m *tomasulo) cdbReserve(c int64) { m.cdb[c%64] = c }
+
+func (m *tomasulo) Run(t *trace.Trace) Result {
+	rejectVector(m.Name(), t)
+	m.reset()
+
+	var (
+		pos       int
+		issueGate int64
+		lastEvent int64
+		srcs      [3]isa.Reg
+	)
+	bump := func(c int64) {
+		if c > lastEvent {
+			lastEvent = c
+		}
+	}
+
+	for c := int64(0); pos < len(t.Ops) || len(m.pending) > 0; c++ {
+		// 1. Broadcasts: entries whose results appear this cycle free
+		// their stations and wake dependents (bypass: usable at c).
+		keep := m.pending[:0]
+		for _, e := range m.pending {
+			if !e.started || e.doneAt != c {
+				keep = append(keep, e)
+				continue
+			}
+			m.inFlight[e.op.Unit]--
+			if e.op.Dst.Valid() && m.regTag[e.op.Dst] == e {
+				m.regTag[e.op.Dst] = nil
+				m.regReady[e.op.Dst] = c
+			}
+			if e.op.Code.IsStore() && m.memTag[e.op.Addr] == e {
+				delete(m.memTag, e.op.Addr)
+				m.memReady[e.op.Addr] = c
+			}
+			for _, w := range e.waiters {
+				w.depCount--
+				if w.depCount == 0 && c > w.readyAt {
+					w.readyAt = c
+				}
+			}
+			e.waiters = nil
+			bump(c)
+		}
+		m.pending = keep
+
+		// 2. Begin execution: stations with ready operands start at
+		// their unit, reserving a common-data-bus slot for their
+		// completion. Oldest first (pending is in issue order).
+		for _, e := range m.pending {
+			if e.started || e.depCount > 0 || e.readyAt > c {
+				continue
+			}
+			unit := e.op.Unit
+			if m.pool.EarliestAccept(unit, c) > c {
+				continue
+			}
+			done := c + int64(m.pool.Latency(unit))
+			usesCDB := e.op.Dst.Valid()
+			if usesCDB && !m.cdbFree(done) {
+				continue // retry next cycle
+			}
+			m.pool.Accept(unit, c)
+			if usesCDB {
+				m.cdbReserve(done)
+			}
+			e.started = true
+			e.doneAt = done
+			bump(done)
+		}
+
+		// 3. Issue: one instruction per cycle into a reservation
+		// station; stalls on a full station pool or a branch.
+		if c >= issueGate && pos < len(t.Ops) {
+			op := &t.Ops[pos]
+			if op.IsBranch() {
+				if m.cfg.PerfectBranches {
+					bump(c)
+					pos++
+				} else {
+					stall := false
+					a0 := int64(0)
+					if op.Code.IsConditional() {
+						if m.regTag[isa.A0] != nil {
+							stall = true // A0 still in flight
+						} else {
+							a0 = m.regReady[isa.A0]
+						}
+					}
+					if !stall && a0 <= c {
+						issueGate = c + int64(m.cfg.BranchLatency)
+						bump(issueGate)
+						pos++
+					}
+				}
+			} else if m.inFlight[op.Unit] < m.stations {
+				m.inFlight[op.Unit]++
+				e := &tomEntry{op: op, doneAt: math.MaxInt64, readyAt: c + 1}
+				pos++
+				for _, r := range op.Reads(srcs[:0]) {
+					if p := m.regTag[r]; p != nil {
+						p.waiters = append(p.waiters, e)
+						e.depCount++
+					} else if m.regReady[r] > e.readyAt {
+						e.readyAt = m.regReady[r]
+					}
+				}
+				if op.IsMemory() {
+					if p := m.memTag[op.Addr]; p != nil {
+						p.waiters = append(p.waiters, e)
+						e.depCount++
+					} else if d := m.memReady[op.Addr]; d > e.readyAt {
+						e.readyAt = d
+					}
+				}
+				if op.Dst.Valid() {
+					m.regTag[op.Dst] = e
+				}
+				if op.Code.IsStore() {
+					m.memTag[op.Addr] = e
+				}
+				m.pending = append(m.pending, e)
+				bump(c)
+			}
+		}
+	}
+	return Result{
+		Machine:      m.Name(),
+		Trace:        t.Name,
+		Instructions: int64(len(t.Ops)),
+		Cycles:       lastEvent,
+	}
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+
+	"mfup/internal/isa"
+	"mfup/internal/trace"
+)
+
+// vectorMachine is the vector-extension machine: the CRAY-like scalar
+// machine of §3.2 plus a CRAY-1-style vector unit, so the
+// vectorizable loops can be run the way the CRAY actually ran them
+// and compared against the paper's multiple-issue scalar machines.
+//
+// Vector timing rules:
+//
+//   - A vector instruction of length L reserves its (segmented)
+//     functional unit exclusively for L cycles: one element enters
+//     per cycle. Scalar and vector operations share the same units,
+//     the arrangement §3.2 attributes to the CRAY machines.
+//   - The first result element appears after the unit latency;
+//     element i at issue + latency + i.
+//   - Chaining: a dependent vector instruction may issue one cycle
+//     after its operand's first element arrives (the chain slot), and
+//     then streams at the same one-element-per-cycle rate, so timing
+//     stays consistent. A scalar read of a vector register (OpMoveSV)
+//     and a rewrite of a register (WAW) wait for the full vector; a
+//     rewrite also waits for in-flight readers (WAR matters once
+//     registers are read over many cycles).
+//   - Vector memory references stream through the interleaved memory
+//     port at one element per cycle, first element after the memory
+//     access time; bank conflicts are not modeled for vector strides
+//     (the ideal interleaved memory of the paper).
+//
+// Scalar instructions follow the CRAY-like rules of §3, including
+// branch blocking and store-to-load dependences. The machine panics
+// if handed nothing it can check — it is the only model that accepts
+// vector traces; the scalar machines reject them.
+type vectorMachine struct {
+	cfg Config
+
+	// Per-register timing state. For scalar registers the three
+	// times coincide at instruction completion.
+	readyRead   [isa.NumRegs]int64 // value readable/chainable
+	fullDone    [isa.NumRegs]int64 // last element written
+	readersDone [isa.NumRegs]int64 // in-flight readers finished
+
+	lastAccept [isa.NumUnits]int64 // 1 op/cycle per segmented unit
+	busyUntil  [isa.NumUnits]int64 // exclusive vector reservations
+
+	mem memScoreboard // scalar store-to-load dependences
+}
+
+// NewVector builds the vector-extension machine.
+func NewVector(cfg Config) Machine {
+	cfg.validate()
+	return &vectorMachine{cfg: cfg}
+}
+
+func (m *vectorMachine) Name() string { return "Vector" }
+
+func (m *vectorMachine) reset() {
+	m.readyRead = [isa.NumRegs]int64{}
+	m.fullDone = [isa.NumRegs]int64{}
+	m.readersDone = [isa.NumRegs]int64{}
+	m.lastAccept = [isa.NumUnits]int64{}
+	m.busyUntil = [isa.NumUnits]int64{}
+	m.mem.Reset()
+	for u := range m.lastAccept {
+		m.lastAccept[u] = -1
+	}
+}
+
+// latency returns the unit latency under the machine configuration.
+func (m *vectorMachine) latency(u isa.Unit) int64 {
+	return int64(m.cfg.Latencies().Of(u))
+}
+
+func (m *vectorMachine) Run(t *trace.Trace) Result {
+	m.reset()
+
+	var (
+		nextIssue int64
+		lastDone  int64
+		srcs      [4]isa.Reg
+	)
+	bump := func(c int64) {
+		if c > lastDone {
+			lastDone = c
+		}
+	}
+
+	for i := range t.Ops {
+		op := &t.Ops[i]
+		unit := op.Unit
+		lat := m.latency(unit)
+
+		// Issue conditions: one instruction per cycle; sources
+		// readable, destination free of WAW and (for vectors) WAR;
+		// unit accepting.
+		e := nextIssue
+		for _, r := range op.Reads(srcs[:0]) {
+			if m.readyRead[r] > e {
+				e = m.readyRead[r]
+			}
+		}
+		if d := op.Dst; d.Valid() {
+			if m.fullDone[d] > e {
+				e = m.fullDone[d]
+			}
+			if m.readersDone[d] > e {
+				e = m.readersDone[d]
+			}
+		}
+		if m.busyUntil[unit] > e {
+			e = m.busyUntil[unit]
+		}
+		if m.lastAccept[unit] >= e {
+			e = m.lastAccept[unit] + 1
+		}
+		if op.Code.IsLoad() {
+			e = m.mem.EarliestLoad(op.Addr, e)
+		}
+		if op.Code == isa.OpMoveSV {
+			// Reading an element requires the whole source vector,
+			// not just its chain point.
+			if fd := m.fullDone[op.Src1]; fd > e {
+				e = fd
+			}
+		}
+
+		switch {
+		case op.Code.IsVector() && op.Code != isa.OpVLSet && op.Code != isa.OpMoveSV:
+			l := int64(op.VLen)
+			if l < 1 {
+				l = 1 // a zero-length vector op still occupies issue
+			}
+			m.lastAccept[unit] = e
+			m.busyUntil[unit] = e + l
+			first := e + lat // first element available
+			full := e + lat + l
+			if d := op.Dst; d.Valid() {
+				m.readyRead[d] = first + 1 // chain slot
+				m.fullDone[d] = full
+			}
+			for _, r := range op.Reads(srcs[:0]) {
+				if r.Class() == isa.ClassV {
+					if done := e + l; done > m.readersDone[r] {
+						m.readersDone[r] = done
+					}
+				}
+			}
+			bump(full)
+			nextIssue = e + 1
+
+		case op.IsBranch():
+			done := e + int64(m.cfg.BranchLatency)
+			if m.cfg.PerfectBranches {
+				done = e + 1
+			}
+			bump(done)
+			nextIssue = done
+
+		default:
+			// Scalar instructions, OpVLSet, and OpMoveSV: ordinary
+			// single-result operations.
+			m.lastAccept[unit] = e
+			done := e + lat
+			if d := op.Dst; d.Valid() {
+				m.readyRead[d] = done
+				m.fullDone[d] = done
+				m.readersDone[d] = done
+			}
+			if op.Code.IsStore() {
+				m.mem.Store(op.Addr, done)
+			}
+			bump(done)
+			nextIssue = e + 1
+		}
+	}
+	return Result{
+		Machine:      m.Name(),
+		Trace:        t.Name,
+		Instructions: int64(len(t.Ops)),
+		Cycles:       lastDone,
+	}
+}
+
+// rejectVector panics when a scalar-only machine receives a vector
+// trace; mixing the models would silently produce nonsense timing.
+func rejectVector(machine string, t *trace.Trace) {
+	for i := range t.Ops {
+		if t.Ops[i].Code.IsVector() {
+			panic(fmt.Sprintf("core: %s is a scalar machine but trace %q contains vector instruction %s",
+				machine, t.Name, t.Ops[i].Code))
+		}
+	}
+}

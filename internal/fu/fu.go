@@ -1,0 +1,69 @@
+// Package fu models the occupancy of the hardware functional units.
+//
+// The base machine has one unit of each class (internal/isa.Unit).
+// A unit is either segmented (fully pipelined: it accepts a new
+// operation every clock cycle, as in the CRAY-1) or non-segmented (it
+// is busy for the full latency of each operation, as in the CDC
+// 6600). The memory system is a "functional unit" here too: a serial
+// memory is a non-segmented unit, an interleaved memory a segmented
+// one. That is exactly the axis along which the paper's four basic
+// machines differ.
+package fu
+
+import "mfup/internal/isa"
+
+// Pool tracks when each functional-unit class can next accept an
+// operation.
+type Pool struct {
+	lat       isa.Latencies
+	segmented [isa.NumUnits]bool
+	nextFree  [isa.NumUnits]int64
+}
+
+// NewPool builds a pool with the given latency table. Segmentation
+// defaults to non-segmented everywhere; use SetSegmented /
+// SegmentAll.
+func NewPool(lat isa.Latencies) *Pool {
+	return &Pool{lat: lat}
+}
+
+// SetSegmented marks unit u as pipelined (true) or not (false).
+func (p *Pool) SetSegmented(u isa.Unit, seg bool) { p.segmented[u] = seg }
+
+// SegmentAll marks every unit pipelined.
+func (p *Pool) SegmentAll() {
+	for u := range p.segmented {
+		p.segmented[u] = true
+	}
+}
+
+// Segmented reports whether unit u is pipelined.
+func (p *Pool) Segmented(u isa.Unit) bool { return p.segmented[u] }
+
+// Latency returns the latency of unit u under this pool's table.
+func (p *Pool) Latency(u isa.Unit) int { return p.lat.Of(u) }
+
+// Reset marks every unit free at cycle 0.
+func (p *Pool) Reset() { p.nextFree = [isa.NumUnits]int64{} }
+
+// EarliestAccept returns the earliest cycle >= t at which unit u can
+// accept a new operation.
+func (p *Pool) EarliestAccept(u isa.Unit, t int64) int64 {
+	if p.nextFree[u] > t {
+		return p.nextFree[u]
+	}
+	return t
+}
+
+// Accept records that unit u starts an operation at cycle t and
+// returns the completion cycle. A segmented unit can accept again at
+// t+1, a non-segmented one at completion.
+func (p *Pool) Accept(u isa.Unit, t int64) (done int64) {
+	done = t + int64(p.lat.Of(u))
+	if p.segmented[u] {
+		p.nextFree[u] = t + 1
+	} else {
+		p.nextFree[u] = done
+	}
+	return done
+}

@@ -1,0 +1,83 @@
+package fu
+
+import (
+	"testing"
+
+	"mfup/internal/isa"
+)
+
+func pool() *Pool { return NewPool(isa.NewLatencies(11, 5)) }
+
+func TestNonSegmentedOccupiesFullLatency(t *testing.T) {
+	p := pool() // non-segmented by default
+	done := p.Accept(isa.FloatMul, 0)
+	if done != 7 {
+		t.Fatalf("FloatMul completion = %d, want 7", done)
+	}
+	if got := p.EarliestAccept(isa.FloatMul, 1); got != 7 {
+		t.Errorf("non-segmented unit accepts at %d, want 7", got)
+	}
+	// A different unit is unaffected.
+	if got := p.EarliestAccept(isa.FloatAdd, 1); got != 1 {
+		t.Errorf("independent unit accepts at %d, want 1", got)
+	}
+}
+
+func TestSegmentedAcceptsEveryCycle(t *testing.T) {
+	p := pool()
+	p.SetSegmented(isa.FloatMul, true)
+	p.Accept(isa.FloatMul, 0)
+	if got := p.EarliestAccept(isa.FloatMul, 0); got != 1 {
+		t.Errorf("segmented unit accepts at %d, want 1", got)
+	}
+	// But never two in the same cycle.
+	if got := p.EarliestAccept(isa.FloatMul, 0); got == 0 {
+		t.Error("segmented unit accepted two operations in one cycle")
+	}
+}
+
+func TestSegmentAll(t *testing.T) {
+	p := pool()
+	p.SegmentAll()
+	for u := 0; u < isa.NumUnits; u++ {
+		if !p.Segmented(isa.Unit(u)) {
+			t.Errorf("unit %s not segmented after SegmentAll", isa.Unit(u))
+		}
+	}
+}
+
+func TestMemoryLatencyFollowsConfig(t *testing.T) {
+	slow := NewPool(isa.NewLatencies(11, 5))
+	fast := NewPool(isa.NewLatencies(5, 2))
+	if slow.Accept(isa.Memory, 0) != 11 {
+		t.Error("slow memory completion wrong")
+	}
+	if fast.Accept(isa.Memory, 0) != 5 {
+		t.Error("fast memory completion wrong")
+	}
+	if slow.Latency(isa.Branch) != 5 || fast.Latency(isa.Branch) != 2 {
+		t.Error("branch latency wrong")
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := pool()
+	p.Accept(isa.Memory, 0)
+	p.Reset()
+	if got := p.EarliestAccept(isa.Memory, 0); got != 0 {
+		t.Errorf("after Reset, accepts at %d, want 0", got)
+	}
+}
+
+func TestBackToBackNonSegmented(t *testing.T) {
+	// Three sequential uses of a serial unit stack up end to end.
+	p := pool()
+	var at int64
+	for i := 0; i < 3; i++ {
+		at = p.EarliestAccept(isa.ScalarAdd, at)
+		p.Accept(isa.ScalarAdd, at)
+	}
+	if at != 6 { // 0, 3, 6
+		t.Errorf("third acceptance at %d, want 6", at)
+	}
+}

@@ -1,0 +1,173 @@
+package isa
+
+import "fmt"
+
+// Opcode enumerates the operations of the base architecture. The set
+// is a reduced CRAY-1S repertoire: everything the scalar portions of
+// the Livermore loops need, plus the transfer paths between the
+// primary (A/S) and backup (B/T) register files.
+type Opcode uint8
+
+// Opcodes. Naming: leading A = address-register op, S = scalar-
+// register integer/logical op, F = floating op, J = jump.
+const (
+	OpPass Opcode = iota // no-operation
+
+	// Address (integer) arithmetic.
+	OpAAdd    // Ai = Aj + Ak
+	OpASub    // Ai = Aj - Ak
+	OpAMul    // Ai = Aj * Ak
+	OpAImm    // Ai = imm
+	OpAAddImm // Ai = Aj + imm
+
+	// Scalar integer/logical/shift.
+	OpSAdd    // Si = Sj + Sk (integer)
+	OpSSub    // Si = Sj - Sk (integer)
+	OpSAnd    // Si = Sj & Sk
+	OpSOr     // Si = Sj | Sk
+	OpSXor    // Si = Sj ^ Sk
+	OpSShiftL // Si = Sj << imm
+	OpSShiftR // Si = Sj >> imm (logical)
+	OpSImm    // Si = imm
+	OpSPop    // Si = popcount(Sj)
+	OpSLZ     // Si = leading-zero-count(Sj)
+
+	// Floating point (S registers hold IEEE-754 doubles).
+	OpFAdd  // Si = Sj +f Sk
+	OpFSub  // Si = Sj -f Sk
+	OpFMul  // Si = Sj *f Sk
+	OpRecip // Si = reciprocal approximation of Sj
+
+	// Inter-file transfers.
+	OpMoveAS // Ai = Sj (truncating float-to-int is NOT implied; raw bits' low half as integer index use is via OpFix)
+	OpMoveSA // Si = Aj (integer value into S as integer bits)
+	OpMoveAB // Ai = Bj
+	OpMoveBA // Bi = Aj
+	OpMoveST // Si = Tj
+	OpMoveTS // Ti = Sj
+
+	// Float/int conversion (CRAY code does this with add/shift tricks;
+	// we expose it as explicit transfer-unit ops to keep kernels
+	// readable, particularly the particle-in-cell loops 13 and 14).
+	OpFix   // Ai = int(Sj) truncated toward zero
+	OpFloat // Si = float(Aj)
+
+	// Memory (word addressed). Effective address is Aj + imm.
+	OpLoadS  // Si = M[Aj + imm]
+	OpStoreS // M[Aj + imm] = Si
+	OpLoadA  // Ai = M[Aj + imm]
+	OpStoreA // M[Aj + imm] = Ai
+
+	// Branches. Conditional branches decide on A0 (the paper's model).
+	OpJ   // jump always
+	OpJAZ // jump if A0 == 0
+	OpJAN // jump if A0 != 0
+	OpJAP // jump if A0 >= 0
+	OpJAM // jump if A0 < 0
+
+	numOpcodes = int(OpJAM) + 1
+)
+
+// opInfo captures static per-opcode properties.
+type opInfo struct {
+	name    string
+	unit    Unit
+	parcels int
+}
+
+var opTable = [numOpcodes]opInfo{
+	OpPass: {"PASS", Transfer, 1},
+
+	OpAAdd:    {"A+", AddrAdd, 1},
+	OpASub:    {"A-", AddrAdd, 1},
+	OpAMul:    {"A*", AddrMul, 1},
+	OpAImm:    {"A=", Transfer, 2},
+	OpAAddImm: {"A+imm", AddrAdd, 2},
+
+	OpSAdd:    {"S+", ScalarAdd, 1},
+	OpSSub:    {"S-", ScalarAdd, 1},
+	OpSAnd:    {"S&", ScalarLogical, 1},
+	OpSOr:     {"S|", ScalarLogical, 1},
+	OpSXor:    {"S^", ScalarLogical, 1},
+	OpSShiftL: {"S<<", ScalarShift, 2},
+	OpSShiftR: {"S>>", ScalarShift, 2},
+	OpSImm:    {"S=", Transfer, 2},
+	OpSPop:    {"POP", PopLZ, 1},
+	OpSLZ:     {"LZ", PopLZ, 1},
+
+	OpFAdd:  {"F+", FloatAdd, 1},
+	OpFSub:  {"F-", FloatAdd, 1},
+	OpFMul:  {"F*", FloatMul, 1},
+	OpRecip: {"1/", Recip, 1},
+
+	OpMoveAS: {"A<-S", Transfer, 1},
+	OpMoveSA: {"S<-A", Transfer, 1},
+	OpMoveAB: {"A<-B", Transfer, 1},
+	OpMoveBA: {"B<-A", Transfer, 1},
+	OpMoveST: {"S<-T", Transfer, 1},
+	OpMoveTS: {"T<-S", Transfer, 1},
+
+	OpFix:   {"FIX", Transfer, 1},
+	OpFloat: {"FLOAT", Transfer, 1},
+
+	OpLoadS:  {"LDS", Memory, 2},
+	OpStoreS: {"STS", Memory, 2},
+	OpLoadA:  {"LDA", Memory, 2},
+	OpStoreA: {"STA", Memory, 2},
+
+	OpJ:   {"J", Branch, 2},
+	OpJAZ: {"JAZ", Branch, 2},
+	OpJAN: {"JAN", Branch, 2},
+	OpJAP: {"JAP", Branch, 2},
+	OpJAM: {"JAM", Branch, 2},
+}
+
+// info returns the static properties of any opcode, scalar or vector.
+func (o Opcode) info() opInfo {
+	if int(o) < numOpcodes {
+		return opTable[o]
+	}
+	if int(o) < numAllOpcodes {
+		return vectorOpTable[int(o)-numOpcodes]
+	}
+	return opInfo{name: fmt.Sprintf("Opcode(%d)", uint8(o))}
+}
+
+// String returns the opcode mnemonic root.
+func (o Opcode) String() string {
+	n := o.info().name
+	if n == "" {
+		return fmt.Sprintf("Opcode(%d)", uint8(o))
+	}
+	return n
+}
+
+// Unit reports the functional unit class the opcode executes in.
+func (o Opcode) Unit() Unit { return o.info().unit }
+
+// Parcels reports the instruction size: 1 parcel (16 bits) or 2
+// parcels (32 bits). Two-parcel instructions hold the issue stage an
+// extra cycle, per the CRAY-1S model.
+func (o Opcode) Parcels() int { return o.info().parcels }
+
+// IsBranch reports whether the opcode is a control transfer.
+func (o Opcode) IsBranch() bool { return o.Unit() == Branch }
+
+// IsConditional reports whether the opcode is a conditional branch
+// (i.e. reads A0 to decide).
+func (o Opcode) IsConditional() bool {
+	switch o {
+	case OpJAZ, OpJAN, OpJAP, OpJAM:
+		return true
+	}
+	return false
+}
+
+// IsLoad reports whether the opcode reads memory.
+func (o Opcode) IsLoad() bool { return o == OpLoadS || o == OpLoadA }
+
+// IsStore reports whether the opcode writes memory.
+func (o Opcode) IsStore() bool { return o == OpStoreS || o == OpStoreA }
+
+// IsMemory reports whether the opcode uses the memory unit.
+func (o Opcode) IsMemory() bool { return o.Unit() == Memory }

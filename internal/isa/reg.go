@@ -1,0 +1,176 @@
+// Package isa defines the CRAY-like instruction set architecture used
+// throughout the simulator suite: register classes, opcodes, functional
+// units and their latencies, and the static program representation.
+//
+// The architecture follows the base machine of Pleszkun & Sohi (1988):
+// the CRAY-1S instruction set with 1-parcel (16-bit) and 2-parcel
+// (32-bit) instructions, eight address registers (A0-A7), eight scalar
+// registers (S0-S7), and the B/T backup register files (B0-B63,
+// T0-T63). Branch decisions are made on register A0, as in the paper.
+package isa
+
+import "fmt"
+
+// Reg identifies an architectural register. Registers from all
+// classes share one flat namespace so that scoreboards and renaming
+// tables can be simple dense arrays indexed by Reg.
+//
+// Layout: A0-A7 occupy 0-7, S0-S7 occupy 8-15, B0-B63 occupy 16-79,
+// T0-T63 occupy 80-143, the vector extension's V0-V7 occupy 144-151,
+// and VL occupies 152. NoReg (-1) marks an absent operand.
+type Reg int16
+
+// NoReg marks an unused operand slot (e.g. the destination of a store).
+const NoReg Reg = -1
+
+// Register file geometry.
+const (
+	NumA = 8  // address registers A0-A7
+	NumS = 8  // scalar registers S0-S7
+	NumB = 64 // address backup registers B0-B63
+	NumT = 64 // scalar backup registers T0-T63
+	NumV = 8  // vector registers V0-V7 (extension)
+
+	baseA = 0
+	baseS = baseA + NumA
+	baseB = baseS + NumS
+	baseT = baseB + NumB
+	baseV = baseT + NumT
+	vlIdx = baseV + NumV
+
+	// NumRegs is the total number of architectural registers
+	// (including the vector extension); every Reg other than NoReg
+	// satisfies 0 <= r < NumRegs.
+	NumRegs = vlIdx + 1
+)
+
+// A returns the Reg for address register Ai. It panics if i is out of
+// range; register construction happens at assembly time, where a
+// malformed index is a programming error in the assembler itself.
+func A(i int) Reg {
+	mustRange("A", i, NumA)
+	return Reg(baseA + i)
+}
+
+// S returns the Reg for scalar register Si.
+func S(i int) Reg {
+	mustRange("S", i, NumS)
+	return Reg(baseS + i)
+}
+
+// B returns the Reg for backup address register Bi.
+func B(i int) Reg {
+	mustRange("B", i, NumB)
+	return Reg(baseB + i)
+}
+
+// T returns the Reg for backup scalar register Ti.
+func T(i int) Reg {
+	mustRange("T", i, NumT)
+	return Reg(baseT + i)
+}
+
+func mustRange(class string, i, n int) {
+	if i < 0 || i >= n {
+		panic(fmt.Sprintf("isa: register %s%d out of range [0,%d)", class, i, n))
+	}
+}
+
+// RegClass distinguishes the four architectural register files.
+type RegClass uint8
+
+// Register classes.
+const (
+	ClassA  RegClass = iota // address registers
+	ClassS                  // scalar registers
+	ClassB                  // address backup registers
+	ClassT                  // scalar backup registers
+	ClassV                  // vector registers (extension)
+	ClassVL                 // the vector-length register (extension)
+)
+
+// String returns the conventional single-letter class name.
+func (c RegClass) String() string {
+	switch c {
+	case ClassA:
+		return "A"
+	case ClassS:
+		return "S"
+	case ClassB:
+		return "B"
+	case ClassT:
+		return "T"
+	case ClassV:
+		return "V"
+	case ClassVL:
+		return "VL"
+	}
+	return fmt.Sprintf("RegClass(%d)", uint8(c))
+}
+
+// Class reports which register file r belongs to.
+func (r Reg) Class() RegClass {
+	switch {
+	case r < baseS:
+		return ClassA
+	case r < baseB:
+		return ClassS
+	case r < baseT:
+		return ClassB
+	case r < baseV:
+		return ClassT
+	case r < vlIdx:
+		return ClassV
+	default:
+		return ClassVL
+	}
+}
+
+// Index returns r's index within its register file (e.g. 3 for S3).
+func (r Reg) Index() int {
+	switch r.Class() {
+	case ClassA:
+		return int(r) - baseA
+	case ClassS:
+		return int(r) - baseS
+	case ClassB:
+		return int(r) - baseB
+	case ClassT:
+		return int(r) - baseT
+	case ClassV:
+		return int(r) - baseV
+	default:
+		return 0
+	}
+}
+
+// Valid reports whether r names an actual register (not NoReg and in
+// range).
+func (r Reg) Valid() bool { return r >= 0 && int(r) < NumRegs }
+
+// String renders the register in assembly syntax, e.g. "A0", "S7",
+// "B12", "T63", "V3", "VL". NoReg renders as "-".
+func (r Reg) String() string {
+	if !r.Valid() {
+		return "-"
+	}
+	if r.Class() == ClassVL {
+		return "VL"
+	}
+	return fmt.Sprintf("%s%d", r.Class(), r.Index())
+}
+
+// A0 is the branch decision register of the architecture; conditional
+// branches test its value, as in the CRAY-1S model of the paper.
+var A0 = A(0)
+
+// V returns the Reg for vector register Vi (extension).
+func V(i int) Reg {
+	mustRange("V", i, NumV)
+	return Reg(baseV + i)
+}
+
+// VL is the vector-length register (extension): every vector
+// operation processes VL elements. Written by OpVLSet, implicitly
+// read by every other vector instruction.
+var VL = Reg(vlIdx)

@@ -1,0 +1,64 @@
+package isa
+
+// Vector extension. The paper studies the *scalar* units of CRAY-like
+// machines and discusses in §3.2 how the same functional units serve
+// vector operations ("clearly the functional units should be highly
+// pipelined to allow for maximum overlap in the processing of
+// successive elements of a vector"). This extension adds the CRAY-1's
+// vector architecture so the vectorizable loops can also be run the
+// way the CRAY would actually run them: V0-V7 (64 elements each), the
+// VL vector-length register, strided vector memory references, and
+// elementwise vector arithmetic. Chaining is a property of the vector
+// machine model (internal/core), not of the ISA.
+
+// VecLen is the number of elements in a vector register, as on the
+// CRAY-1. Vector operations process min(VL, VecLen) elements.
+const VecLen = 64
+
+// Vector opcodes. Operand interpretation:
+//
+//   - OpVLSet: Dst=VL, Src1=Ak.
+//   - OpVLoad: Dst=Vi, Src1=Aj (base register); Imm is the stride.
+//   - OpVStore: Src1=Aj (base), Src2=Vi (data); Imm is the stride.
+//   - OpMoveSV: Si = element Ak of Vj (Dst=Si, Src1=Vj, Src2=Ak), the
+//     CRAY-1's 076 instruction, used to read back reduction results.
+//   - Arithmetic: Dst=Vi, sources per the form; the "VS" forms
+//     broadcast a scalar against a vector.
+//
+// Every vector opcode except OpVLSet implicitly reads VL.
+const (
+	OpVLSet  = Opcode(numOpcodes + iota) // VL = Ak
+	OpVLoad                              // Vi = [Aj : s]
+	OpVStore                             // [Aj : s] = Vi
+	OpVFAdd                              // Vi = Vj +F Vk
+	OpVFSub                              // Vi = Vj -F Vk
+	OpVFMul                              // Vi = Vj *F Vk
+	OpVSFAdd                             // Vi = Sj +F Vk (broadcast)
+	OpVSFMul                             // Vi = Sj *F Vk (broadcast)
+	OpMoveSV                             // Si = Vj[Ak]
+
+	numAllOpcodes = numOpcodes + iota
+)
+
+var vectorOpTable = [numAllOpcodes - numOpcodes]opInfo{
+	{"VL=", Transfer, 1},
+	{"VLD", Memory, 1},
+	{"VST", Memory, 1},
+	{"V+F", FloatAdd, 1},
+	{"V-F", FloatAdd, 1},
+	{"V*F", FloatMul, 1},
+	{"VS+F", FloatAdd, 1},
+	{"VS*F", FloatMul, 1},
+	{"S<-V", Transfer, 1},
+}
+
+// IsVector reports whether the opcode belongs to the vector
+// extension. Note that OpMoveSV (an S-register result) counts: it
+// reads a vector register and VL-independent element state.
+func (o Opcode) IsVector() bool {
+	return int(o) >= numOpcodes && int(o) < numAllOpcodes
+}
+
+// IsVectorMemory reports whether the opcode is a strided vector
+// memory reference.
+func (o Opcode) IsVectorMemory() bool { return o == OpVLoad || o == OpVStore }

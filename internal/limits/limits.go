@@ -1,0 +1,182 @@
+// Package limits computes the performance bounds of §4 of the paper:
+// upper bounds on the instruction issue rate derived from the dynamic
+// trace rather than from any particular issue mechanism.
+//
+// Three bounds are computed per trace:
+//
+//   - Pseudo-dataflow limit: the program executes as a dataflow
+//     graph. An instruction starts as soon as its operands are
+//     available; there are no resource constraints. The one
+//     sequencing constraint is control: instructions from a later
+//     portion of the dynamic graph (a later loop iteration) cannot
+//     start until the preceding branch has resolved. The limit is
+//     instructions divided by the dataflow-graph critical path.
+//
+//   - Resource limit: the base machine has one unit of each kind
+//     accepting at most one operation per cycle, so a program that
+//     sends C operations to the busiest unit needs at least C cycles
+//     plus that unit's latency to drain.
+//
+//   - Actual limit: per trace, the smaller of the two rates; sets of
+//     loops are combined with the harmonic mean of per-loop actual
+//     limits (which is why the aggregate actual limit is not simply
+//     the minimum of the aggregate pseudo-dataflow and resource
+//     limits).
+//
+// The Serial variant additionally forces instructions that write the
+// same register to finish in order — the behaviour of a machine with
+// no buffering for WAW hazards — which the paper shows collapses the
+// limit to about 1 instruction per cycle.
+package limits
+
+import (
+	"mfup/internal/isa"
+	"mfup/internal/trace"
+)
+
+// Mode selects how WAW hazards are treated in the dataflow bound.
+type Mode uint8
+
+// Modes.
+const (
+	// Pure assumes unlimited buffering: a later write to a register
+	// may complete before an earlier one (Table 2's "Pure" rows).
+	Pure Mode = iota
+
+	// Serial forces writes to the same register to complete in
+	// program order (Table 2's "Serial" rows).
+	Serial
+)
+
+// String names the mode as Table 2 does.
+func (m Mode) String() string {
+	if m == Serial {
+		return "Serial"
+	}
+	return "Pure"
+}
+
+// Limits reports the §4 bounds for one trace under one machine
+// configuration, as issue rates (instructions per cycle).
+type Limits struct {
+	PseudoDataflow float64
+	Resource       float64
+
+	// Actual is the smaller of the two: the binding constraint.
+	Actual float64
+
+	// CriticalPath is the dataflow critical path in cycles, the
+	// denominator of PseudoDataflow.
+	CriticalPath int64
+}
+
+// Compute derives the bounds for t with the given latency table.
+//
+// The dataflow recurrence tracks, per architectural register, the
+// completion time of its latest writer, and — through memory — the
+// completion time of the latest store to each address, so loads honor
+// true (store-to-load) memory dependences. Each branch's completion
+// becomes the control frontier: no later instruction may start before
+// it, which is the paper's "different loop iterations cannot start
+// until the appropriate branch conditions have been resolved".
+func Compute(t *trace.Trace, lat isa.Latencies, mode Mode) Limits {
+	var (
+		regDone  [isa.NumRegs]int64
+		regChain [isa.NumRegs]int64      // vector chain points (first element + 1)
+		memDone  = make(map[int64]int64) // store completion per address
+		ctrl     int64                   // control frontier
+		critical int64
+		unitUse  [isa.NumUnits]int64
+		srcs     [3]isa.Reg
+	)
+	for i := range t.Ops {
+		op := &t.Ops[i]
+
+		// A vector instruction occupies its unit for one cycle per
+		// element and completes when its last element does; its
+		// resource cost is element-cycles, not one slot.
+		var vlen int64
+		if op.Code.IsVector() && op.VLen > 0 {
+			vlen = int64(op.VLen)
+		}
+		if vlen > 0 {
+			unitUse[op.Unit] += vlen
+		} else {
+			unitUse[op.Unit]++
+		}
+
+		// Streaming vector instructions read their vector operands at
+		// the chain point (one cycle after the first element), the way
+		// chaining hardware does; everything else waits for complete
+		// values.
+		chains := vlen > 0
+		start := ctrl
+		for _, r := range op.Reads(srcs[:0]) {
+			avail := regDone[r]
+			if chains && r.Class() == isa.ClassV {
+				avail = regChain[r]
+			}
+			if avail > start {
+				start = avail
+			}
+		}
+		if op.Code.IsLoad() {
+			if d := memDone[op.Addr]; d > start {
+				start = d
+			}
+		}
+		done := start + int64(lat.Of(op.Unit)) + vlen
+
+		if op.Dst.Valid() {
+			if mode == Serial && done <= regDone[op.Dst] {
+				// Writes to one register retire in order: this result
+				// cannot appear before the previous write to the same
+				// register has completed.
+				done = regDone[op.Dst] + 1
+			}
+			regDone[op.Dst] = done
+			if vlen > 0 {
+				regChain[op.Dst] = start + int64(lat.Of(op.Unit)) + 1
+			} else {
+				regChain[op.Dst] = done
+			}
+		}
+		if op.Code.IsStore() {
+			memDone[op.Addr] = done
+		}
+		if op.IsBranch() {
+			ctrl = done
+		}
+		if done > critical {
+			critical = done
+		}
+	}
+
+	n := int64(len(t.Ops))
+	var l Limits
+	l.CriticalPath = critical
+	if critical > 0 {
+		l.PseudoDataflow = float64(n) / float64(critical)
+	}
+
+	// Resource bound: the busiest unit needs its operation count plus
+	// its latency in cycles.
+	var resourceTime int64
+	for u := 0; u < isa.NumUnits; u++ {
+		if unitUse[u] == 0 {
+			continue
+		}
+		if t := unitUse[u] + int64(lat.Of(isa.Unit(u))); t > resourceTime {
+			resourceTime = t
+		}
+	}
+	if resourceTime > 0 {
+		l.Resource = float64(n) / float64(resourceTime)
+	}
+
+	l.Actual = l.PseudoDataflow
+	if l.Resource < l.Actual {
+		l.Actual = l.Resource
+	}
+	return l
+}

@@ -1,0 +1,215 @@
+package limits
+
+import (
+	"math"
+	"testing"
+
+	"mfup/internal/isa"
+	"mfup/internal/trace"
+)
+
+var lat115 = isa.NewLatencies(11, 5)
+
+func op(code isa.Opcode, dst, s1, s2 isa.Reg) trace.Op {
+	return trace.Op{Code: code, Unit: code.Unit(), Parcels: int8(code.Parcels()), Dst: dst, Src1: s1, Src2: s2}
+}
+
+func tr(ops ...trace.Op) *trace.Trace { return &trace.Trace{Name: "t", Ops: ops} }
+
+func TestDependentChain(t *testing.T) {
+	// S1 -> S2 -> S3 -> S4, each a 6-cycle FloatAdd: critical path 24.
+	l := Compute(tr(
+		op(isa.OpFAdd, isa.S(1), isa.S(0), isa.S(0)),
+		op(isa.OpFAdd, isa.S(2), isa.S(1), isa.S(1)),
+		op(isa.OpFAdd, isa.S(3), isa.S(2), isa.S(2)),
+		op(isa.OpFAdd, isa.S(4), isa.S(3), isa.S(3)),
+	), lat115, Pure)
+	if l.CriticalPath != 24 {
+		t.Errorf("critical path = %d, want 24", l.CriticalPath)
+	}
+	if want := 4.0 / 24; math.Abs(l.PseudoDataflow-want) > 1e-12 {
+		t.Errorf("pseudo-dataflow = %v, want %v", l.PseudoDataflow, want)
+	}
+}
+
+func TestIndependentOpsBoundByResources(t *testing.T) {
+	// Six independent FloatAdds: the dataflow path is one latency (6
+	// cycles, rate 1.0), but one float adder bounds the rate to
+	// 6/(6+6) = 0.5, which becomes the actual limit.
+	var ops []trace.Op
+	for i := 0; i < 6; i++ {
+		ops = append(ops, op(isa.OpFAdd, isa.S(i+1), isa.S(0), isa.S(0)))
+	}
+	l := Compute(tr(ops...), lat115, Pure)
+	if l.CriticalPath != 6 {
+		t.Errorf("critical path = %d, want 6", l.CriticalPath)
+	}
+	if want := 1.0; l.PseudoDataflow != want {
+		t.Errorf("pseudo-dataflow = %v, want %v", l.PseudoDataflow, want)
+	}
+	if want := 0.5; l.Resource != want {
+		t.Errorf("resource = %v, want %v", l.Resource, want)
+	}
+	if l.Actual != l.Resource {
+		t.Errorf("actual = %v, want the resource bound %v", l.Actual, l.Resource)
+	}
+}
+
+func TestResourceBoundUsesBusiestUnit(t *testing.T) {
+	// Three memory ops (11-cycle unit) and one float add: memory
+	// dominates: time = 3 + 11 = 14.
+	l := Compute(tr(
+		op(isa.OpLoadS, isa.S(1), isa.A(1), isa.NoReg),
+		op(isa.OpLoadS, isa.S(2), isa.A(1), isa.NoReg),
+		op(isa.OpLoadS, isa.S(3), isa.A(1), isa.NoReg),
+		op(isa.OpFAdd, isa.S(4), isa.S(0), isa.S(0)),
+	), lat115, Pure)
+	if want := 4.0 / 14; math.Abs(l.Resource-want) > 1e-12 {
+		t.Errorf("resource = %v, want %v", l.Resource, want)
+	}
+}
+
+func TestBranchGatesLaterInstructions(t *testing.T) {
+	// An independent FloatAdd after a branch cannot start until the
+	// branch resolves: path = 5 (branch) + 6 = 11. Without the
+	// control dependence it would be 6.
+	br := op(isa.OpJ, isa.NoReg, isa.NoReg, isa.NoReg)
+	br.Taken = true
+	l := Compute(tr(
+		br,
+		op(isa.OpFAdd, isa.S(1), isa.S(0), isa.S(0)),
+	), lat115, Pure)
+	if l.CriticalPath != 11 {
+		t.Errorf("critical path = %d, want 11", l.CriticalPath)
+	}
+}
+
+func TestConditionalBranchWaitsForA0(t *testing.T) {
+	// AddrAdd writes A0 (2 cycles), the branch reads it: resolution
+	// at 2 + 5 = 7; a gated op after adds 6 -> path 13.
+	l := Compute(tr(
+		op(isa.OpAAdd, isa.A0, isa.A(1), isa.A(2)),
+		op(isa.OpJAN, isa.NoReg, isa.NoReg, isa.NoReg),
+		op(isa.OpFAdd, isa.S(1), isa.S(0), isa.S(0)),
+	), lat115, Pure)
+	if l.CriticalPath != 13 {
+		t.Errorf("critical path = %d, want 13", l.CriticalPath)
+	}
+}
+
+func TestStoreToLoadDependence(t *testing.T) {
+	// Store to address 5 completes at 11; a load of the same address
+	// starts there: path = 11 + 11 = 22. A load from a different
+	// address is independent.
+	st := op(isa.OpStoreS, isa.NoReg, isa.A(1), isa.S(1))
+	st.Addr = 5
+	ldSame := op(isa.OpLoadS, isa.S(2), isa.A(1), isa.NoReg)
+	ldSame.Addr = 5
+	ldOther := op(isa.OpLoadS, isa.S(3), isa.A(1), isa.NoReg)
+	ldOther.Addr = 6
+
+	l := Compute(tr(st, ldSame, ldOther), lat115, Pure)
+	if l.CriticalPath != 22 {
+		t.Errorf("critical path = %d, want 22", l.CriticalPath)
+	}
+}
+
+func TestSerialWAWForcesInOrderCompletion(t *testing.T) {
+	// A 14-cycle reciprocal writes S1; an independent 1-cycle
+	// transfer also writes S1. Pure: the transfer completes at 1 and
+	// its reader at 1+6. Serial: the transfer may not complete before
+	// the reciprocal (14), so it finishes at 15 and the reader at 21.
+	ops := func() []trace.Op {
+		return []trace.Op{
+			op(isa.OpRecip, isa.S(1), isa.S(2), isa.NoReg),
+			op(isa.OpSImm, isa.S(1), isa.NoReg, isa.NoReg),
+			op(isa.OpFAdd, isa.S(3), isa.S(1), isa.S(1)),
+		}
+	}
+	pure := Compute(tr(ops()...), lat115, Pure)
+	serial := Compute(tr(ops()...), lat115, Serial)
+	if pure.CriticalPath != 14 { // the reciprocal itself is the longest
+		t.Errorf("pure critical path = %d, want 14", pure.CriticalPath)
+	}
+	if serial.CriticalPath != 21 {
+		t.Errorf("serial critical path = %d, want 21", serial.CriticalPath)
+	}
+}
+
+func TestSerialNoEffectWithoutWAW(t *testing.T) {
+	ops := func() []trace.Op {
+		return []trace.Op{
+			op(isa.OpFAdd, isa.S(1), isa.S(0), isa.S(0)),
+			op(isa.OpFMul, isa.S(2), isa.S(1), isa.S(1)),
+		}
+	}
+	pure := Compute(tr(ops()...), lat115, Pure)
+	serial := Compute(tr(ops()...), lat115, Serial)
+	if pure.CriticalPath != serial.CriticalPath {
+		t.Errorf("serial changed a WAW-free trace: %d vs %d", serial.CriticalPath, pure.CriticalPath)
+	}
+}
+
+func TestMemoryLatencySensitivity(t *testing.T) {
+	// A load feeding an add: path = mem + 6.
+	ld := op(isa.OpLoadS, isa.S(1), isa.A(1), isa.NoReg)
+	ld.Addr = 3
+	ops := []trace.Op{ld, op(isa.OpFAdd, isa.S(2), isa.S(1), isa.S(1))}
+	slow := Compute(tr(ops...), isa.NewLatencies(11, 5), Pure)
+	fast := Compute(tr(ops...), isa.NewLatencies(5, 5), Pure)
+	if slow.CriticalPath != 17 || fast.CriticalPath != 11 {
+		t.Errorf("paths = %d, %d, want 17, 11", slow.CriticalPath, fast.CriticalPath)
+	}
+}
+
+func TestActualIsMinOfBounds(t *testing.T) {
+	l := Limits{}
+	if l.Actual != 0 {
+		t.Skip("zero-value check only")
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	l := Compute(tr(), lat115, Pure)
+	if l.PseudoDataflow != 0 || l.Resource != 0 || l.Actual != 0 || l.CriticalPath != 0 {
+		t.Errorf("empty trace limits = %+v, want zeros", l)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Pure.String() != "Pure" || Serial.String() != "Serial" {
+		t.Error("mode names wrong")
+	}
+}
+
+func TestVectorOpsInLimits(t *testing.T) {
+	// A 64-element vector add: critical path latency + 64 elements;
+	// resource use 64 element-cycles on the float adder.
+	vadd := trace.Op{Code: isa.OpVFAdd, Unit: isa.FloatAdd, Parcels: 1,
+		Dst: isa.V(1), Src1: isa.V(2), Src2: isa.V(3), VLen: 64}
+	l := Compute(tr(vadd), lat115, Pure)
+	if l.CriticalPath != 70 { // 6 + 64
+		t.Errorf("vector critical path = %d, want 70", l.CriticalPath)
+	}
+	// Resource time = 64 element-cycles + 6 latency; 1 instruction.
+	if want := 1.0 / 70; math.Abs(l.Resource-want) > 1e-12 {
+		t.Errorf("vector resource = %v, want %v", l.Resource, want)
+	}
+}
+
+func TestVectorMachineRespectsLimits(t *testing.T) {
+	// This package cannot import internal/core (cycle via loops);
+	// the cross-check lives in internal/core. Here: dependent vector
+	// ops chain through regDone like scalars.
+	v1 := trace.Op{Code: isa.OpVLoad, Unit: isa.Memory, Parcels: 1,
+		Dst: isa.V(1), Src1: isa.A(1), Src2: isa.NoReg, Addr: 64, Stride: 1, VLen: 64}
+	v2 := trace.Op{Code: isa.OpVFMul, Unit: isa.FloatMul, Parcels: 1,
+		Dst: isa.V(2), Src1: isa.V(1), Src2: isa.V(1), VLen: 64}
+	l := Compute(tr(v1, v2), lat115, Pure)
+	// The load's chain point is 11+1 = 12; the multiply starts there
+	// and completes at 12+7+64 = 83 — matching the chaining vector
+	// machine, which this bound must not be beaten by.
+	if l.CriticalPath != 83 {
+		t.Errorf("chained vector path = %d, want 83", l.CriticalPath)
+	}
+}

@@ -1,0 +1,89 @@
+package loops
+
+import (
+	"fmt"
+
+	"mfup/internal/emu"
+)
+
+// LFK 1 — hydro fragment (vectorizable):
+//
+//	DO 1 k = 1,n
+//	1  X(k) = Q + Y(k)*(R*Z(k+10) + T*Z(k+11))
+func init() { registerBuilder(1, 100, buildK01) }
+
+func buildK01(n int) (*Kernel, string, error) {
+	if err := checkN(n, 1, 4000); err != nil {
+		return nil, "", err
+	}
+	const (
+		constB = 0x0100 // q, r, t
+		xB     = 0x1000
+		yB     = 0x2000
+		zB     = 0x3000
+	)
+	g := newLCG(1)
+	q, r, t := g.float(), g.float(), g.float()
+	y := make([]float64, n)
+	z := make([]float64, n+11)
+	for i := range y {
+		y[i] = g.float()
+	}
+	for i := range z {
+		z[i] = g.float()
+	}
+
+	src := fmt.Sprintf(`
+; LFK 1: hydro fragment
+    A6 = %d         ; constant block
+    S1 = [A6 + 0]   ; q
+    S2 = [A6 + 1]   ; r
+    S3 = [A6 + 2]   ; t
+    A1 = %d         ; &x[0]
+    A2 = %d         ; &y[0]
+    A3 = %d         ; &z[0]
+    A7 = 1
+    A0 = %d         ; trip count
+loop:
+    A0 = A0 - A7     ; decrement early so the branch test overlaps the body
+    S4 = [A3 + 10]  ; z[k+10]
+    S5 = [A3 + 11]  ; z[k+11]
+    S4 = S2 *F S4   ; r*z[k+10]
+    S5 = S3 *F S5   ; t*z[k+11]
+    S6 = [A2]       ; y[k]
+    S4 = S4 +F S5
+    S4 = S6 *F S4
+    S4 = S1 +F S4   ; q + ...
+    [A1] = S4       ; x[k]
+    A1 = A1 + A7
+    A2 = A2 + A7
+    A3 = A3 + A7
+    JAN loop
+`, constB, xB, yB, zB, n)
+
+	k := &Kernel{
+		Number: 1,
+		Name:   "hydro fragment",
+		Class:  Vectorizable,
+		N:      n,
+		init: func(m *emu.Machine) {
+			m.SetFloat(constB+0, q)
+			m.SetFloat(constB+1, r)
+			m.SetFloat(constB+2, t)
+			for i, v := range y {
+				m.SetFloat(yB+int64(i), v)
+			}
+			for i, v := range z {
+				m.SetFloat(zB+int64(i), v)
+			}
+		},
+		check: func(m *emu.Machine) error {
+			want := make([]float64, n)
+			for k := 0; k < n; k++ {
+				want[k] = q + y[k]*(r*z[k+10]+t*z[k+11])
+			}
+			return checkFloats(m, "x", xB, want)
+		},
+	}
+	return k, src, nil
+}

@@ -1,0 +1,116 @@
+package loops
+
+import (
+	"fmt"
+
+	"mfup/internal/emu"
+)
+
+// LFK 2 — ICCG excerpt, incomplete Cholesky conjugate gradient
+// (vectorizable):
+//
+//	ii= n
+//	ipntp= 0
+//	222 ipnt= ipntp
+//	    ipntp= ipntp+ii
+//	    ii= ii/2
+//	    i= ipntp+1
+//	    DO 2 k= ipnt+2 ,ipntp ,2
+//	       i= i+1
+//	2      X(i)= X(k) - V(k)*X(k-1) - V(k+1)*X(k+1)
+//	    IF( ii.GT.1) GO TO 222
+//
+// The cascade halves ii each pass, so n is a power of two here.
+func init() { registerBuilder(2, 64, buildK02) }
+
+func buildK02(n int) (*Kernel, string, error) {
+	if err := checkN(n, 4, 1024); err != nil {
+		return nil, "", err
+	}
+	if n&(n-1) != 0 {
+		return nil, "", fmt.Errorf("kernel 2 requires a power-of-two length, got %d", n)
+	}
+	const (
+		xB = 0x1000
+		vB = 0x2000
+	)
+	size := 4 * n // generous bound on the index cascade
+	g := newLCG(2)
+	x0 := make([]float64, size)
+	v := make([]float64, size)
+	for i := range x0 {
+		x0[i] = g.float()
+	}
+	for i := range v {
+		v[i] = g.float()
+	}
+
+	src := fmt.Sprintf(`
+; LFK 2: ICCG excerpt
+    A1 = %[1]d       ; ii = n
+    A3 = 0           ; ipntp (0-based index into x)
+    A7 = 1
+outer:
+    A2 = A3 + 0      ; ipnt = ipntp
+    A3 = A3 + A1     ; ipntp += ii
+    S7 = A1          ; ii /= 2 (shift in the scalar unit)
+    S7 = S7 >> 1
+    A1 = S7
+    A4 = A3 + %[2]d  ; &x[ipntp]  (i pointer, pre-incremented below)
+    A5 = A2 + %[3]d  ; &x[ipnt+1] (k pointer)
+    A6 = A2 + %[4]d  ; &v[ipnt+1]
+    A0 = A1 + 0      ; inner trip count = new ii
+inner:
+    A0 = A0 - A7     ; decrement early so the branch test overlaps the body
+    S1 = [A5]        ; x[k]
+    S2 = [A5 - 1]    ; x[k-1]
+    S3 = [A5 + 1]    ; x[k+1]
+    S4 = [A6]        ; v[k]
+    S5 = [A6 + 1]    ; v[k+1]
+    S2 = S4 *F S2
+    S3 = S5 *F S3
+    S1 = S1 -F S2
+    S1 = S1 -F S3
+    A4 = A4 + A7     ; i++
+    [A4] = S1        ; x[i]
+    A5 = A5 + 2
+    A6 = A6 + 2
+    JAN inner
+    A0 = A1 - A7     ; loop while ii > 1
+    JAN outer
+`, n, xB, xB+1, vB+1)
+
+	k := &Kernel{
+		Number: 2,
+		Name:   "ICCG excerpt",
+		Class:  Vectorizable,
+		N:      n,
+		init: func(m *emu.Machine) {
+			for i, f := range x0 {
+				m.SetFloat(xB+int64(i), f)
+			}
+			for i, f := range v {
+				m.SetFloat(vB+int64(i), f)
+			}
+		},
+		check: func(m *emu.Machine) error {
+			x := append([]float64(nil), x0...)
+			ii, ipntp := n, 0
+			for {
+				ipnt := ipntp
+				ipntp += ii
+				ii /= 2
+				i := ipntp
+				for k := ipnt + 1; k < ipntp; k += 2 {
+					i++
+					x[i] = x[k] - v[k]*x[k-1] - v[k+1]*x[k+1]
+				}
+				if ii <= 1 {
+					break
+				}
+			}
+			return checkFloats(m, "x", xB, x)
+		},
+	}
+	return k, src, nil
+}

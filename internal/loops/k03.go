@@ -1,0 +1,73 @@
+package loops
+
+import (
+	"fmt"
+
+	"mfup/internal/emu"
+)
+
+// LFK 3 — inner product (vectorizable):
+//
+//	Q = 0.0
+//	DO 3 k = 1,n
+//	3  Q = Q + Z(k)*X(k)
+func init() { registerBuilder(3, 100, buildK03) }
+
+func buildK03(n int) (*Kernel, string, error) {
+	if err := checkN(n, 1, 4000); err != nil {
+		return nil, "", err
+	}
+	const (
+		qB = 0x0100
+		zB = 0x1000
+		xB = 0x2000
+	)
+	g := newLCG(3)
+	z := make([]float64, n)
+	x := make([]float64, n)
+	for i := range z {
+		z[i] = g.float()
+		x[i] = g.float()
+	}
+
+	src := fmt.Sprintf(`
+; LFK 3: inner product
+    A1 = %d          ; &z[0]
+    A2 = %d          ; &x[0]
+    A3 = %d          ; &q
+    A7 = 1
+    A0 = %d
+    S1 = 0           ; q (integer 0 is also +0.0)
+loop:
+    A0 = A0 - A7     ; decrement early so the branch test overlaps the body
+    S2 = [A1]        ; z[k]
+    S3 = [A2]        ; x[k]
+    S4 = S2 *F S3
+    S1 = S1 +F S4
+    A1 = A1 + A7
+    A2 = A2 + A7
+    JAN loop
+    [A3] = S1
+`, zB, xB, qB, n)
+
+	k := &Kernel{
+		Number: 3,
+		Name:   "inner product",
+		Class:  Vectorizable,
+		N:      n,
+		init: func(m *emu.Machine) {
+			for i := 0; i < n; i++ {
+				m.SetFloat(zB+int64(i), z[i])
+				m.SetFloat(xB+int64(i), x[i])
+			}
+		},
+		check: func(m *emu.Machine) error {
+			q := 0.0
+			for k := 0; k < n; k++ {
+				q += z[k] * x[k]
+			}
+			return checkFloat(m.Float(qB), "q", q)
+		},
+	}
+	return k, src, nil
+}

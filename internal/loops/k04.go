@@ -1,0 +1,103 @@
+package loops
+
+import (
+	"fmt"
+
+	"mfup/internal/emu"
+)
+
+// LFK 4 — banded linear equations (vectorizable):
+//
+//	m= (1001-7)/2
+//	DO 444 k= 7,1001,m
+//	   lw= k-6
+//	   temp= X(k-1)
+//	   DO 4 j= 5,n,5
+//	      temp= temp - X(lw)*Y(j)
+//	4     lw= lw+1
+//	444 X(k-1)= Y(5)*temp
+func init() { registerBuilder(4, 100, buildK04) }
+
+func buildK04(n int) (*Kernel, string, error) {
+	if err := checkN(n, 5, 4000); err != nil {
+		return nil, "", err
+	}
+	if n%5 != 0 {
+		return nil, "", fmt.Errorf("kernel 4 requires a multiple-of-five length, got %d", n)
+	}
+	const (
+		m4 = (1001 - 7) / 2 // outer stride, 497
+		xB = 0x1000
+		yB = 0x2000
+	)
+	inner := n / 5        // inner trip count
+	xSize := 1014 + inner // covers x[k-2] writes and the x[lw] band reads
+	g := newLCG(4)
+	x0 := make([]float64, xSize)
+	y := make([]float64, n)
+	for i := range x0 {
+		x0[i] = g.float()
+	}
+	for i := range y {
+		y[i] = g.float()
+	}
+
+	// Fortran k takes values 7, 504, 1001: three outer iterations.
+	src := fmt.Sprintf(`
+; LFK 4: banded linear equations
+    A1 = 7           ; k
+    A4 = 3           ; outer trip count
+    A7 = 1
+    A6 = %[2]d       ; &y[4]
+    S5 = [A6]        ; y(5), invariant
+outer:
+    A2 = A1 + %[3]d  ; &x[lw] = &x[k-7]
+    A3 = %[2]d       ; &y[4]  (j pointer)
+    S1 = [A1 + %[4]d] ; temp = x[k-2]
+    A0 = %[5]d       ; inner trip count
+inner:
+    A0 = A0 - A7     ; decrement early so the branch test overlaps the body
+    S2 = [A2]        ; x[lw]
+    S3 = [A3]        ; y[j]
+    S2 = S2 *F S3
+    S1 = S1 -F S2
+    A2 = A2 + A7
+    A3 = A3 + 5
+    JAN inner
+    S1 = S5 *F S1    ; y(5)*temp
+    [A1 + %[4]d] = S1
+    A1 = A1 + %[6]d  ; k += m
+    A4 = A4 - A7
+    A0 = A4 + 0
+    JAN outer
+`, xB, yB+4, xB-7, xB-2, inner, m4)
+
+	k := &Kernel{
+		Number: 4,
+		Name:   "banded linear equations",
+		Class:  Vectorizable,
+		N:      n,
+		init: func(m *emu.Machine) {
+			for i, f := range x0 {
+				m.SetFloat(xB+int64(i), f)
+			}
+			for i, f := range y {
+				m.SetFloat(yB+int64(i), f)
+			}
+		},
+		check: func(m *emu.Machine) error {
+			x := append([]float64(nil), x0...)
+			for k := 7; k <= 1001; k += m4 {
+				lw := k - 7 // 0-based X(lw)
+				temp := x[k-2]
+				for j := 4; j < n; j += 5 {
+					temp -= x[lw] * y[j]
+					lw++
+				}
+				x[k-2] = y[4] * temp
+			}
+			return checkFloats(m, "x", xB, x)
+		},
+	}
+	return k, src, nil
+}

@@ -1,0 +1,80 @@
+package loops
+
+import (
+	"fmt"
+
+	"mfup/internal/emu"
+)
+
+// LFK 5 — tri-diagonal elimination, below diagonal (scalar):
+//
+//	DO 5 i = 2,n
+//	5  X(i) = Z(i)*(Y(i) - X(i-1))
+//
+// A true linear recurrence: each element needs the previous one, so
+// the loop cannot be vectorized. The running x[i-1] is kept in a
+// register, as a compiler would.
+func init() { registerBuilder(5, 100, buildK05) }
+
+func buildK05(n int) (*Kernel, string, error) {
+	if err := checkN(n, 2, 4000); err != nil {
+		return nil, "", err
+	}
+	const (
+		xB = 0x1000
+		yB = 0x2000
+		zB = 0x3000
+	)
+	g := newLCG(5)
+	x0 := g.float()
+	y := make([]float64, n)
+	z := make([]float64, n)
+	for i := range y {
+		y[i] = g.float()
+		z[i] = g.float()
+	}
+
+	src := fmt.Sprintf(`
+; LFK 5: tri-diagonal elimination
+    A1 = %d          ; &x[1]
+    A2 = %d          ; &y[1]
+    A3 = %d          ; &z[1]
+    A7 = 1
+    A0 = %d
+    S1 = [A1 - 1]    ; x[0]
+loop:
+    A0 = A0 - A7     ; decrement early so the branch test overlaps the body
+    S2 = [A2]        ; y[i]
+    S3 = [A3]        ; z[i]
+    S2 = S2 -F S1    ; y[i] - x[i-1]
+    S1 = S3 *F S2    ; z[i]*(...)
+    [A1] = S1        ; x[i], carried into the next iteration
+    A1 = A1 + A7
+    A2 = A2 + A7
+    A3 = A3 + A7
+    JAN loop
+`, xB+1, yB+1, zB+1, n-1)
+
+	k := &Kernel{
+		Number: 5,
+		Name:   "tri-diagonal elimination",
+		Class:  Scalar,
+		N:      n,
+		init: func(m *emu.Machine) {
+			m.SetFloat(xB, x0)
+			for i := 0; i < n; i++ {
+				m.SetFloat(yB+int64(i), y[i])
+				m.SetFloat(zB+int64(i), z[i])
+			}
+		},
+		check: func(m *emu.Machine) error {
+			x := make([]float64, n)
+			x[0] = x0
+			for i := 1; i < n; i++ {
+				x[i] = z[i] * (y[i] - x[i-1])
+			}
+			return checkFloats(m, "x", xB, x)
+		},
+	}
+	return k, src, nil
+}

@@ -1,0 +1,89 @@
+package loops
+
+import (
+	"fmt"
+
+	"mfup/internal/emu"
+)
+
+// LFK 6 — general linear recurrence equations (scalar):
+//
+//	DO 6 i = 2,n
+//	DO 6 k = 1,i-1
+//	6  W(i) = W(i) + B(i,k)*W(i-k)
+//
+// Triangular doubly nested recurrence; every w[i] needs all earlier
+// w values, so the kernel is inherently scalar.
+func init() { registerBuilder(6, 40, buildK06) }
+
+func buildK06(n int) (*Kernel, string, error) {
+	if err := checkN(n, 2, 256); err != nil {
+		return nil, "", err
+	}
+	const (
+		wB = 0x1000
+		bB = 0x2000 // row-major n x n
+	)
+	g := newLCG(6)
+	w0 := make([]float64, n)
+	b := make([]float64, n*n)
+	for i := range w0 {
+		w0[i] = g.float()
+	}
+	for i := range b {
+		b[i] = g.float()
+	}
+
+	src := fmt.Sprintf(`
+; LFK 6: general linear recurrence
+    A1 = 1           ; i
+    A5 = %[1]d       ; n (row stride of b)
+    A6 = %[2]d       ; outer trip count n-1
+    A7 = 1
+outer:
+    S1 = [A1 + %[3]d] ; w[i]
+    A2 = A1 * A5     ; b row offset i*n
+    A2 = A2 + %[4]d  ; &b[i][0]
+    A3 = A1 + %[5]d  ; &w[i-1], walks backward
+    A0 = A1 + 0      ; inner trip count = i
+inner:
+    A0 = A0 - A7     ; decrement early so the branch test overlaps the body
+    S2 = [A2]        ; b[i][k]
+    S3 = [A3]        ; w[i-k-1]
+    S2 = S2 *F S3
+    S1 = S1 +F S2
+    A2 = A2 + A7
+    A3 = A3 - A7
+    JAN inner
+    [A1 + %[3]d] = S1 ; w[i]
+    A1 = A1 + A7
+    A6 = A6 - A7
+    A0 = A6 + 0
+    JAN outer
+`, n, n-1, wB, bB, wB-1)
+
+	k := &Kernel{
+		Number: 6,
+		Name:   "general linear recurrence",
+		Class:  Scalar,
+		N:      n,
+		init: func(m *emu.Machine) {
+			for i, f := range w0 {
+				m.SetFloat(wB+int64(i), f)
+			}
+			for i, f := range b {
+				m.SetFloat(bB+int64(i), f)
+			}
+		},
+		check: func(m *emu.Machine) error {
+			w := append([]float64(nil), w0...)
+			for i := 1; i < n; i++ {
+				for k := 0; k < i; k++ {
+					w[i] = w[i] + b[i*n+k]*w[i-k-1]
+				}
+			}
+			return checkFloats(m, "w", wB, w)
+		},
+	}
+	return k, src, nil
+}

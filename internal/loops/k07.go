@@ -1,0 +1,118 @@
+package loops
+
+import (
+	"fmt"
+
+	"mfup/internal/emu"
+)
+
+// LFK 7 — equation of state fragment (vectorizable):
+//
+//	DO 7 k = 1,n
+//	7  X(k) = U(k) + R*( Z(k) + R*Y(k) )
+//	        + T*( U(k+3) + R*( U(k+2) + R*U(k+1) )
+//	        + T*( U(k+6) + R*( U(k+5) + R*U(k+4) ) ) )
+//
+// The longest straight-line body among the vectorizable kernels:
+// plenty of instruction-level parallelism within an iteration.
+func init() { registerBuilder(7, 100, buildK07) }
+
+func buildK07(n int) (*Kernel, string, error) {
+	if err := checkN(n, 1, 4000); err != nil {
+		return nil, "", err
+	}
+	const (
+		constB = 0x0100 // r, t
+		xB     = 0x1000
+		yB     = 0x2000
+		zB     = 0x3000
+		uB     = 0x4000
+	)
+	g := newLCG(7)
+	r, t := g.float(), g.float()
+	y := make([]float64, n)
+	z := make([]float64, n)
+	u := make([]float64, n+6)
+	for i := range u {
+		u[i] = g.float()
+	}
+	for i := range y {
+		y[i] = g.float()
+		z[i] = g.float()
+	}
+
+	src := fmt.Sprintf(`
+; LFK 7: equation of state fragment
+    A6 = %d
+    S1 = [A6 + 0]    ; r
+    S2 = [A6 + 1]    ; t
+    A1 = %d          ; &x[0]
+    A2 = %d          ; &y[0]
+    A3 = %d          ; &z[0]
+    A4 = %d          ; &u[0]
+    A7 = 1
+    A0 = %d
+loop:
+    A0 = A0 - A7     ; decrement early so the branch test overlaps the body
+    S3 = [A2]        ; y[k]
+    S3 = S1 *F S3    ; r*y
+    S4 = [A3]        ; z[k]
+    S3 = S4 +F S3    ; z + r*y
+    S3 = S1 *F S3    ; r*(z + r*y)
+    S4 = [A4]        ; u[k]
+    S3 = S4 +F S3    ; term1
+    S5 = [A4 + 1]    ; u[k+1]
+    S5 = S1 *F S5
+    S6 = [A4 + 2]    ; u[k+2]
+    S5 = S6 +F S5
+    S5 = S1 *F S5
+    S6 = [A4 + 3]    ; u[k+3]
+    S5 = S6 +F S5    ; inner1
+    S6 = [A4 + 4]    ; u[k+4]
+    S6 = S1 *F S6
+    S7 = [A4 + 5]    ; u[k+5]
+    S6 = S7 +F S6
+    S6 = S1 *F S6
+    S7 = [A4 + 6]    ; u[k+6]
+    S6 = S7 +F S6    ; inner2
+    S6 = S2 *F S6    ; t*inner2
+    S5 = S5 +F S6
+    S5 = S2 *F S5    ; t*(inner1 + t*inner2)
+    S3 = S3 +F S5
+    [A1] = S3        ; x[k]
+    A1 = A1 + A7
+    A2 = A2 + A7
+    A3 = A3 + A7
+    A4 = A4 + A7
+    JAN loop
+`, constB, xB, yB, zB, uB, n)
+
+	k := &Kernel{
+		Number: 7,
+		Name:   "equation of state",
+		Class:  Vectorizable,
+		N:      n,
+		init: func(m *emu.Machine) {
+			m.SetFloat(constB+0, r)
+			m.SetFloat(constB+1, t)
+			for i, f := range u {
+				m.SetFloat(uB+int64(i), f)
+			}
+			for i := 0; i < n; i++ {
+				m.SetFloat(yB+int64(i), y[i])
+				m.SetFloat(zB+int64(i), z[i])
+			}
+		},
+		check: func(m *emu.Machine) error {
+			want := make([]float64, n)
+			for k := 0; k < n; k++ {
+				term1 := u[k] + r*(z[k]+r*y[k])
+				inner1 := u[k+3] + r*(u[k+2]+r*u[k+1])
+				inner2 := u[k+6] + r*(u[k+5]+r*u[k+4])
+				want[k] = term1 + t*(inner1+t*inner2)
+			}
+			return checkFloats(m, "x", xB, want)
+		},
+	}
+	return k, src, nil
+}

@@ -1,0 +1,166 @@
+package loops
+
+import (
+	"fmt"
+	"strings"
+
+	"mfup/internal/emu"
+)
+
+// LFK 8 — ADI integration (vectorizable):
+//
+//	DO 8 kx = 2,3
+//	DO 8 ky = 2,n
+//	  DU1(ky)= U1(kx,ky+1,1) - U1(kx,ky-1,1)        (same for DU2/U2, DU3/U3)
+//	  U1(kx,ky,2)= U1(kx,ky,1) + A11*DU1(ky) + A12*DU2(ky) + A13*DU3(ky)
+//	             + SIG*(U1(kx+1,ky,1) - 2*U1(kx,ky,1) + U1(kx-1,ky,1))
+//	  (same for U2 with A2j, U3 with A3j)
+//
+// The largest straight-line loop body in the suite (~70 instructions,
+// 18 loads, 6 stores per iteration). The 2*U term is computed as
+// ((a-b)-b)+c, avoiding a 2.0 constant; the reference matches that
+// association. Storage is Fortran order: element (kx,ky,l), all
+// 0-based here, lives at kx + NX*ky + NX*NY*l.
+func init() { registerBuilder(8, 50, buildK08) }
+
+func buildK08(n int) (*Kernel, string, error) {
+	if err := checkN(n, 4, 130); err != nil {
+		return nil, "", err
+	}
+	const (
+		uB  = 0x1000 // u1, then u2, then u3, contiguous
+		duB = 0x2000 // du1, du2, du3, contiguous (ny words each)
+		cB  = 0x0100 // a11..a33 row-major, then sig
+	)
+	const nx = 5
+	ny := n + 2
+	plane := nx * ny  // words per time level
+	utot := 2 * plane // words per variable
+	g := newLCG(8)
+	var a [9]float64
+	for i := range a {
+		a[i] = g.float()
+	}
+	sig := g.float()
+	u0 := make([]float64, 3*utot) // plane 0 of each variable is input
+	for v := 0; v < 3; v++ {
+		for i := 0; i < plane; i++ {
+			u0[v*utot+i] = g.float()
+		}
+	}
+
+	idx := func(v, kx, ky, l int) int { return v*utot + kx + nx*ky + plane*l }
+
+	// row emits the update of variable v (0-based) of the inner body.
+	row := func(v int) string {
+		c := v * utot
+		return fmt.Sprintf(`
+    S4 = T%[1]d
+    S4 = S4 *F S1    ; a%[6]d1*du1
+    S5 = [A1 + %[2]d]
+    S4 = S5 +F S4
+    S5 = T%[7]d
+    S5 = S5 *F S2    ; a%[6]d2*du2
+    S4 = S4 +F S5
+    S5 = T%[8]d
+    S5 = S5 *F S3    ; a%[6]d3*du3
+    S4 = S4 +F S5
+    S5 = [A1 + %[3]d] ; u%[6]d(kx+1)
+    S6 = [A1 + %[2]d] ; u%[6]d(kx)
+    S5 = S5 -F S6
+    S5 = S5 -F S6
+    S6 = [A1 + %[4]d] ; u%[6]d(kx-1)
+    S5 = S5 +F S6
+    S6 = T9          ; sig
+    S5 = S6 *F S5
+    S4 = S4 +F S5
+    [A1 + %[5]d] = S4 ; u%[6]d(kx,ky,2)
+`, 3*v, c, c+1, c-1, c+plane, v+1, 3*v+1, 3*v+2)
+	}
+
+	var consts strings.Builder
+	for i := 0; i < 10; i++ {
+		fmt.Fprintf(&consts, "    S4 = [A6 + %d]\n    T%d = S4\n", i, i)
+	}
+
+	src := fmt.Sprintf(`
+; LFK 8: ADI integration
+    A6 = %[1]d       ; constant block
+%[2]s
+    A3 = 1           ; kx (0-based), takes 1 and 2
+    A5 = %[3]d       ; ky stride
+    A6 = 2           ; outer trip count
+    A7 = 1
+outer:
+    A1 = A3 + %[4]d  ; &u1(kx, ky=1, 0)
+    A2 = %[5]d       ; &du1[1]
+    A0 = %[6]d       ; inner trip count
+inner:
+    A0 = A0 - A7     ; decrement early so the branch test overlaps the body
+    S1 = [A1 + %[3]d]  ; u1(kx,ky+1,1)
+    S4 = [A1 - %[3]d]  ; u1(kx,ky-1,1)
+    S1 = S1 -F S4      ; du1
+    [A2 + 0] = S1
+    S2 = [A1 + %[7]d]
+    S4 = [A1 + %[8]d]
+    S2 = S2 -F S4      ; du2
+    [A2 + %[9]d] = S2
+    S3 = [A1 + %[10]d]
+    S4 = [A1 + %[11]d]
+    S3 = S3 -F S4      ; du3
+    [A2 + %[12]d] = S3
+%[13]s
+    A1 = A1 + A5
+    A2 = A2 + A7
+    JAN inner
+    A3 = A3 + A7
+    A6 = A6 - A7
+    A0 = A6 + 0
+    JAN outer
+`,
+		cB, consts.String(), nx, uB+nx, duB+1, n-1,
+		utot+nx, utot-nx, ny, 2*utot+nx, 2*utot-nx, 2*ny,
+		row(0)+row(1)+row(2))
+
+	k := &Kernel{
+		Number: 8,
+		Name:   "ADI integration",
+		Class:  Vectorizable,
+		N:      n,
+		init: func(m *emu.Machine) {
+			for i := 0; i < 9; i++ {
+				m.SetFloat(cB+int64(i), a[i])
+			}
+			m.SetFloat(cB+9, sig)
+			for i, f := range u0 {
+				m.SetFloat(uB+int64(i), f)
+			}
+		},
+		check: func(m *emu.Machine) error {
+			u := append([]float64(nil), u0...)
+			du := make([]float64, 3*ny)
+			for kx := 1; kx <= 2; kx++ {
+				for ky := 1; ky <= n-1; ky++ {
+					for v := 0; v < 3; v++ {
+						du[v*ny+ky] = u[idx(v, kx, ky+1, 0)] - u[idx(v, kx, ky-1, 0)]
+					}
+					for v := 0; v < 3; v++ {
+						uc := u[idx(v, kx, ky, 0)]
+						acc := uc + a[3*v]*du[ky]
+						acc = acc + a[3*v+1]*du[ny+ky]
+						acc = acc + a[3*v+2]*du[2*ny+ky]
+						lap := u[idx(v, kx+1, ky, 0)] - uc
+						lap = lap - uc
+						lap = lap + u[idx(v, kx-1, ky, 0)]
+						u[idx(v, kx, ky, 1)] = acc + sig*lap
+					}
+				}
+			}
+			if err := checkFloats(m, "u", uB, u); err != nil {
+				return err
+			}
+			return checkFloats(m, "du", duB, du)
+		},
+	}
+	return k, src, nil
+}

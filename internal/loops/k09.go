@@ -1,0 +1,140 @@
+package loops
+
+import (
+	"fmt"
+
+	"mfup/internal/emu"
+)
+
+// LFK 9 — integrate predictors (vectorizable):
+//
+//	DO 9 i = 1,n
+//	9  PX(1,i)= DM28*PX(13,i) + DM27*PX(12,i) + DM26*PX(11,i)
+//	          + DM25*PX(10,i) + DM24*PX( 9,i) + DM23*PX( 8,i)
+//	          + DM22*PX( 7,i) + C0*( PX( 5,i) + PX( 6,i)) + PX( 3,i)
+//
+// PX is stored Fortran-style: column j of particle i at pxB + (j-1) +
+// 25*(i-1), so the row pointer advances by 25 per iteration and the
+// columns are constant offsets. The seven DM constants and C0 live in
+// T registers, moved to S registers at each use — the classic CRAY
+// scalar code shape for constant-heavy kernels.
+func init() { registerBuilder(9, 100, buildK09) }
+
+func buildK09(n int) (*Kernel, string, error) {
+	if err := checkN(n, 1, 4000); err != nil {
+		return nil, "", err
+	}
+	const (
+		cols = 25
+		pxB  = 0x1000
+		cB   = 0x0100 // dm28, dm27, ..., dm22, c0
+	)
+	g := newLCG(9)
+	var dm [7]float64 // dm28 down to dm22
+	for i := range dm {
+		dm[i] = g.float()
+	}
+	c0 := g.float()
+	px0 := make([]float64, cols*n)
+	for i := range px0 {
+		px0[i] = g.float()
+	}
+
+	src := fmt.Sprintf(`
+; LFK 9: integrate predictors
+    A6 = %d
+    S4 = [A6 + 0]
+    T0 = S4          ; dm28
+    S4 = [A6 + 1]
+    T1 = S4          ; dm27
+    S4 = [A6 + 2]
+    T2 = S4          ; dm26
+    S4 = [A6 + 3]
+    T3 = S4          ; dm25
+    S4 = [A6 + 4]
+    T4 = S4          ; dm24
+    S4 = [A6 + 5]
+    T5 = S4          ; dm23
+    S4 = [A6 + 6]
+    T6 = S4          ; dm22
+    S4 = [A6 + 7]
+    T7 = S4          ; c0
+    A1 = %d          ; &px[0][0]
+    A7 = 1
+    A0 = %d
+loop:
+    A0 = A0 - A7     ; decrement early so the branch test overlaps the body
+    S1 = T0
+    S2 = [A1 + 12]   ; px(13,i)
+    S1 = S1 *F S2
+    S2 = T1
+    S3 = [A1 + 11]
+    S2 = S2 *F S3
+    S1 = S1 +F S2
+    S2 = T2
+    S3 = [A1 + 10]
+    S2 = S2 *F S3
+    S1 = S1 +F S2
+    S2 = T3
+    S3 = [A1 + 9]
+    S2 = S2 *F S3
+    S1 = S1 +F S2
+    S2 = T4
+    S3 = [A1 + 8]
+    S2 = S2 *F S3
+    S1 = S1 +F S2
+    S2 = T5
+    S3 = [A1 + 7]
+    S2 = S2 *F S3
+    S1 = S1 +F S2
+    S2 = T6
+    S3 = [A1 + 6]
+    S2 = S2 *F S3
+    S1 = S1 +F S2
+    S2 = T7
+    S3 = [A1 + 4]    ; px(5,i)
+    S4 = [A1 + 5]    ; px(6,i)
+    S3 = S3 +F S4
+    S2 = S2 *F S3
+    S1 = S1 +F S2
+    S2 = [A1 + 2]    ; px(3,i)
+    S1 = S1 +F S2
+    [A1 + 0] = S1    ; px(1,i)
+    A1 = A1 + 25
+    JAN loop
+`, cB, pxB, n)
+
+	k := &Kernel{
+		Number: 9,
+		Name:   "integrate predictors",
+		Class:  Vectorizable,
+		N:      n,
+		init: func(m *emu.Machine) {
+			for i, f := range dm {
+				m.SetFloat(cB+int64(i), f)
+			}
+			m.SetFloat(cB+7, c0)
+			for i, f := range px0 {
+				m.SetFloat(pxB+int64(i), f)
+			}
+		},
+		check: func(m *emu.Machine) error {
+			px := append([]float64(nil), px0...)
+			for i := 0; i < n; i++ {
+				r := px[i*cols : (i+1)*cols]
+				acc := dm[0] * r[12]
+				acc = acc + dm[1]*r[11]
+				acc = acc + dm[2]*r[10]
+				acc = acc + dm[3]*r[9]
+				acc = acc + dm[4]*r[8]
+				acc = acc + dm[5]*r[7]
+				acc = acc + dm[6]*r[6]
+				acc = acc + c0*(r[4]+r[5])
+				acc = acc + r[2]
+				r[0] = acc
+			}
+			return checkFloats(m, "px", pxB, px)
+		},
+	}
+	return k, src, nil
+}

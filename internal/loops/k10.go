@@ -1,0 +1,101 @@
+package loops
+
+import (
+	"fmt"
+	"strings"
+
+	"mfup/internal/emu"
+)
+
+// LFK 10 — difference predictors (vectorizable):
+//
+//	DO 10 k= 1,n
+//	   AR      =      CX(5,k)
+//	   BR      = AR - PX(5,k)
+//	   PX(5,k) = AR
+//	   CR      = BR - PX(6,k)
+//	   PX(6,k) = BR
+//	   ...                       (cascades through PX(12,k))
+//	   PX(14,k)= CR - PX(13,k)
+//	   PX(13,k)= CR
+//
+// A serial difference cascade within each iteration; iterations are
+// independent. Layout matches LFK 9: 25 columns per particle.
+func init() { registerBuilder(10, 100, buildK10) }
+
+func buildK10(n int) (*Kernel, string, error) {
+	if err := checkN(n, 1, 1100); err != nil {
+		return nil, "", err
+	}
+	const (
+		cols = 25
+		pxB  = 0x1000
+		cxB  = 0x8000
+	)
+	g := newLCG(10)
+	px0 := make([]float64, cols*n)
+	cx := make([]float64, cols*n)
+	for i := range px0 {
+		px0[i] = g.float()
+		cx[i] = g.float()
+	}
+
+	// The cascade alternates the "previous difference" between S1 and
+	// S2. Stage j (0-based column) computes new = prev - px[j] and
+	// stores px[j] = prev.
+	var body strings.Builder
+	body.WriteString("    S1 = [A2 + 4]    ; ar = cx(5,k)\n")
+	prev, next := "S1", "S2"
+	for j := 4; j <= 11; j++ {
+		fmt.Fprintf(&body, "    S3 = [A1 + %d]\n    %s = %s -F S3\n    [A1 + %d] = %s\n",
+			j, next, prev, j, prev)
+		prev, next = next, prev
+	}
+	fmt.Fprintf(&body, "    S3 = [A1 + 12]   ; px(13,k)\n")
+	fmt.Fprintf(&body, "    %s = %s -F S3\n", next, prev)
+	fmt.Fprintf(&body, "    [A1 + 13] = %s   ; px(14,k)\n", next)
+	fmt.Fprintf(&body, "    [A1 + 12] = %s   ; px(13,k)\n", prev)
+
+	src := fmt.Sprintf(`
+; LFK 10: difference predictors
+    A1 = %d          ; &px[0][0]
+    A2 = %d          ; &cx[0][0]
+    A7 = 1
+    A0 = %d
+loop:
+    A0 = A0 - A7     ; decrement early so the branch test overlaps the body
+%s
+    A1 = A1 + 25
+    A2 = A2 + 25
+    JAN loop
+`, pxB, cxB, n, body.String())
+
+	k := &Kernel{
+		Number: 10,
+		Name:   "difference predictors",
+		Class:  Vectorizable,
+		N:      n,
+		init: func(m *emu.Machine) {
+			for i := range px0 {
+				m.SetFloat(pxB+int64(i), px0[i])
+				m.SetFloat(cxB+int64(i), cx[i])
+			}
+		},
+		check: func(m *emu.Machine) error {
+			px := append([]float64(nil), px0...)
+			for k := 0; k < n; k++ {
+				r := px[k*cols : (k+1)*cols]
+				prev := cx[k*cols+4]
+				for j := 4; j <= 11; j++ {
+					nxt := prev - r[j]
+					r[j] = prev
+					prev = nxt
+				}
+				r[13] = prev - r[12]
+				r[12] = prev
+			}
+			return checkFloats(m, "px", pxB, px)
+		},
+	}
+	return k, src, nil
+}

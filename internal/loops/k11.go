@@ -1,0 +1,72 @@
+package loops
+
+import (
+	"fmt"
+
+	"mfup/internal/emu"
+)
+
+// LFK 11 — first sum (scalar):
+//
+//	X(1)= Y(1)
+//	DO 11 k = 2,n
+//	11 X(k)= X(k-1) + Y(k)
+//
+// A running-sum recurrence; the partial sum stays in a register.
+func init() { registerBuilder(11, 100, buildK11) }
+
+func buildK11(n int) (*Kernel, string, error) {
+	if err := checkN(n, 2, 4000); err != nil {
+		return nil, "", err
+	}
+	const (
+		xB = 0x1000
+		yB = 0x2000
+	)
+	g := newLCG(11)
+	y := make([]float64, n)
+	for i := range y {
+		y[i] = g.float()
+	}
+
+	src := fmt.Sprintf(`
+; LFK 11: first sum
+    A1 = %d          ; &x[0]
+    A2 = %d          ; &y[0]
+    A7 = 1
+    A0 = %d          ; n-1
+    S1 = [A2]        ; y[0]
+    [A1] = S1        ; x[0]
+    A1 = A1 + A7
+    A2 = A2 + A7
+loop:
+    A0 = A0 - A7     ; decrement early so the branch test overlaps the body
+    S2 = [A2]        ; y[k]
+    S1 = S1 +F S2    ; running sum
+    [A1] = S1        ; x[k]
+    A1 = A1 + A7
+    A2 = A2 + A7
+    JAN loop
+`, xB, yB, n-1)
+
+	k := &Kernel{
+		Number: 11,
+		Name:   "first sum",
+		Class:  Scalar,
+		N:      n,
+		init: func(m *emu.Machine) {
+			for i, f := range y {
+				m.SetFloat(yB+int64(i), f)
+			}
+		},
+		check: func(m *emu.Machine) error {
+			x := make([]float64, n)
+			x[0] = y[0]
+			for k := 1; k < n; k++ {
+				x[k] = x[k-1] + y[k]
+			}
+			return checkFloats(m, "x", xB, x)
+		},
+	}
+	return k, src, nil
+}

@@ -1,0 +1,68 @@
+package loops
+
+import (
+	"fmt"
+
+	"mfup/internal/emu"
+)
+
+// LFK 12 — first difference (vectorizable):
+//
+//	DO 12 k = 1,n
+//	12 X(k)= Y(k+1) - Y(k)
+//
+// The shortest loop body in the suite: two loads, one floating
+// subtract, one store, plus loop control.
+func init() { registerBuilder(12, 100, buildK12) }
+
+func buildK12(n int) (*Kernel, string, error) {
+	if err := checkN(n, 1, 4000); err != nil {
+		return nil, "", err
+	}
+	const (
+		xB = 0x1000
+		yB = 0x2000
+	)
+	g := newLCG(12)
+	y := make([]float64, n+1)
+	for i := range y {
+		y[i] = g.float()
+	}
+
+	src := fmt.Sprintf(`
+; LFK 12: first difference
+    A1 = %d          ; &x[0]
+    A2 = %d          ; &y[0]
+    A7 = 1
+    A0 = %d
+loop:
+    A0 = A0 - A7     ; decrement early so the branch test overlaps the body
+    S1 = [A2 + 1]    ; y[k+1]
+    S2 = [A2]        ; y[k]
+    S1 = S1 -F S2
+    [A1] = S1        ; x[k]
+    A1 = A1 + A7
+    A2 = A2 + A7
+    JAN loop
+`, xB, yB, n)
+
+	k := &Kernel{
+		Number: 12,
+		Name:   "first difference",
+		Class:  Vectorizable,
+		N:      n,
+		init: func(m *emu.Machine) {
+			for i, f := range y {
+				m.SetFloat(yB+int64(i), f)
+			}
+		},
+		check: func(m *emu.Machine) error {
+			x := make([]float64, n)
+			for k := 0; k < n; k++ {
+				x[k] = y[k+1] - y[k]
+			}
+			return checkFloats(m, "x", xB, x)
+		},
+	}
+	return k, src, nil
+}

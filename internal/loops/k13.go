@@ -1,0 +1,191 @@
+package loops
+
+import (
+	"fmt"
+
+	"mfup/internal/emu"
+)
+
+// LFK 13 — 2-D particle in cell (scalar):
+//
+//	DO 13 ip= 1,n
+//	  i1= P(1,ip); j1= P(2,ip)                 (truncate to integer)
+//	  i1= MOD2N(i1,64); j1= MOD2N(j1,64)
+//	  P(3,ip)= P(3,ip) + B(i1,j1)
+//	  P(4,ip)= P(4,ip) + C(i1,j1)
+//	  P(1,ip)= P(1,ip) + P(3,ip)
+//	  P(2,ip)= P(2,ip) + P(4,ip)
+//	  i2= MOD2N(P(1,ip),64); j2= MOD2N(P(2,ip),64)
+//	  P(1,ip)= P(1,ip) + Y(i2+32)
+//	  P(2,ip)= P(2,ip) + Z(j2+32)
+//	  i2= i2 + E(i2+32); j2= j2 + F(j2+32)
+//	  H(i2,j2)= H(i2,j2) + 1.0
+//
+// The gather/scatter indirection and the float->int->mask->address
+// sequences make this the least pipeline-friendly kernel: the CRAY
+// has no integer-logical path in the A registers, so every MOD2N
+// round-trips through the scalar unit (FIX, move, mask, move). H is
+// treated as a flat array indexed i2 + 64*j2 in both the assembly and
+// the reference.
+func init() { registerBuilder(13, 100, buildK13) }
+
+func buildK13(n int) (*Kernel, string, error) {
+	if err := checkN(n, 1, 1000); err != nil {
+		return nil, "", err
+	}
+	const (
+		pB    = 0x1000 // 4 words per particle
+		bB    = 0x2000 // 64x64
+		cB    = 0x4000 // 64x64
+		hB    = 0x6000 // flat, see above
+		yB    = 0x8000
+		zB    = 0x8100
+		eB    = 0x8200
+		fB    = 0x8300
+		oneB  = 0x0100 // the constant 1.0
+		hSize = 64*65 + 70
+	)
+	g := newLCG(13)
+	p0 := make([]float64, 4*n)
+	for ip := 0; ip < n; ip++ {
+		p0[4*ip+0] = 10 + 20*g.float()
+		p0[4*ip+1] = 10 + 20*g.float()
+		p0[4*ip+2] = g.float()
+		p0[4*ip+3] = g.float()
+	}
+	b := make([]float64, 64*64)
+	c := make([]float64, 64*64)
+	for i := range b {
+		b[i] = g.float()
+		c[i] = g.float()
+	}
+	y := make([]float64, 96)
+	z := make([]float64, 96)
+	e := make([]float64, 96)
+	f := make([]float64, 96)
+	for i := range y {
+		y[i] = g.float()
+		z[i] = g.float()
+		e[i] = float64(1 + i%2) // integer-valued field offsets
+		f[i] = float64(1 + (i/2)%2)
+	}
+	h0 := make([]float64, hSize)
+	for i := range h0 {
+		h0[i] = g.float()
+	}
+
+	src := fmt.Sprintf(`
+; LFK 13: 2-D particle in cell
+    A5 = %d          ; &one
+    S4 = [A5]
+    T0 = S4          ; 1.0
+    S7 = 63          ; MOD2N mask
+    A6 = 64          ; grid stride
+    A1 = %d          ; particle pointer
+    A7 = 1
+    A0 = %d
+loop:
+    A0 = A0 - A7     ; decrement early so the branch test overlaps the body
+    S1 = [A1 + 0]    ; p1
+    S2 = [A1 + 1]    ; p2
+    A2 = FIX S1
+    A3 = FIX S2
+    S3 = A2
+    S3 = S3 & S7
+    A2 = S3          ; i1
+    S3 = A3
+    S3 = S3 & S7
+    A3 = S3          ; j1
+    A4 = A3 * A6
+    A4 = A4 + A2     ; i1 + 64*j1
+    S3 = [A4 + %d]   ; b(i1,j1)
+    S4 = [A4 + %d]   ; c(i1,j1)
+    S5 = [A1 + 2]    ; p3
+    S5 = S5 +F S3
+    [A1 + 2] = S5
+    S6 = [A1 + 3]    ; p4
+    S6 = S6 +F S4
+    [A1 + 3] = S6
+    S1 = S1 +F S5    ; p1 += p3
+    S2 = S2 +F S6    ; p2 += p4
+    A2 = FIX S1
+    A3 = FIX S2
+    S3 = A2
+    S3 = S3 & S7
+    A2 = S3          ; i2
+    S3 = A3
+    S3 = S3 & S7
+    A3 = S3          ; j2
+    S3 = [A2 + %d]   ; y[i2+32]
+    S1 = S1 +F S3
+    [A1 + 0] = S1
+    S3 = [A3 + %d]   ; z[j2+32]
+    S2 = S2 +F S3
+    [A1 + 1] = S2
+    S3 = [A2 + %d]   ; e[i2+32]
+    A4 = FIX S3
+    A2 = A2 + A4     ; i2 += e
+    S3 = [A3 + %d]   ; f[j2+32]
+    A4 = FIX S3
+    A3 = A3 + A4     ; j2 += f
+    A4 = A3 * A6
+    A4 = A4 + A2     ; i2 + 64*j2
+    S3 = [A4 + %d]   ; h(i2,j2)
+    S4 = T0
+    S3 = S3 +F S4
+    [A4 + %d] = S3
+    A1 = A1 + 4
+    JAN loop
+`, oneB, pB, n, bB, cB, yB+32, zB+32, eB+32, fB+32, hB, hB)
+
+	k := &Kernel{
+		Number: 13,
+		Name:   "2-D particle in cell",
+		Class:  Scalar,
+		N:      n,
+		init: func(m *emu.Machine) {
+			m.SetFloat(oneB, 1.0)
+			for i, v := range p0 {
+				m.SetFloat(pB+int64(i), v)
+			}
+			for i := range b {
+				m.SetFloat(bB+int64(i), b[i])
+				m.SetFloat(cB+int64(i), c[i])
+			}
+			for i := range y {
+				m.SetFloat(yB+int64(i), y[i])
+				m.SetFloat(zB+int64(i), z[i])
+				m.SetFloat(eB+int64(i), e[i])
+				m.SetFloat(fB+int64(i), f[i])
+			}
+			for i, v := range h0 {
+				m.SetFloat(hB+int64(i), v)
+			}
+		},
+		check: func(m *emu.Machine) error {
+			p := append([]float64(nil), p0...)
+			h := append([]float64(nil), h0...)
+			for ip := 0; ip < n; ip++ {
+				r := p[4*ip : 4*ip+4]
+				i1 := int(r[0]) & 63
+				j1 := int(r[1]) & 63
+				r[2] += b[i1+64*j1]
+				r[3] += c[i1+64*j1]
+				r[0] += r[2]
+				r[1] += r[3]
+				i2 := int(r[0]) & 63
+				j2 := int(r[1]) & 63
+				r[0] += y[i2+32]
+				r[1] += z[j2+32]
+				i2 += int(e[i2+32])
+				j2 += int(f[j2+32])
+				h[i2+64*j2] += 1.0
+			}
+			if err := checkFloats(m, "p", pB, p); err != nil {
+				return err
+			}
+			return checkFloats(m, "h", hB, h)
+		},
+	}
+	return k, src, nil
+}

@@ -1,0 +1,196 @@
+package loops
+
+import (
+	"fmt"
+
+	"mfup/internal/emu"
+)
+
+// LFK 14 — 1-D particle in cell (scalar). Three consecutive passes
+// over the particles:
+//
+//	DO 141 k= 1,n
+//	  VX(k)= 0.0; XX(k)= 0.0
+//	  IX(k)= INT(GRD(k)); XI(k)= REAL(IX(k))
+//	  EX1(k)= EX(IX(k)); DEX1(k)= DEX(IX(k))
+//	DO 142 k= 1,n
+//	  VX(k)= VX(k) + EX1(k) + (XX(k) - XI(k))*DEX1(k)
+//	  XX(k)= XX(k) + VX(k) + FLX
+//	DO 143 k= 1,n
+//	  IR= INT(XX(k)); RX= XX(k) - REAL(IR)
+//	  IR= MOD2N(IR,2048) + 1; XX(k)= RX + REAL(IR)
+//	  RH(IR)  = RH(IR)   + 1.0 - RX
+//	  RH(IR+1)= RH(IR+1) + RX
+//
+// The first pass gathers field values through the integer mesh index,
+// the third scatters charge back — the classic deposit phase. All
+// arrays are addressed as base + k with a single index register.
+func init() { registerBuilder(14, 100, buildK14) }
+
+func buildK14(n int) (*Kernel, string, error) {
+	if err := checkN(n, 1, 250); err != nil {
+		return nil, "", err
+	}
+	const (
+		mesh   = 2048
+		grdB   = 0x1000
+		xiB    = 0x1100
+		ex1B   = 0x1200
+		dex1B  = 0x1300
+		vxB    = 0x1400
+		xxB    = 0x1500
+		exB    = 0x2000 // mesh-sized
+		dexB   = 0x3000 // mesh-sized
+		rhB    = 0x4000 // mesh+2
+		constB = 0x0100 // flx, 1.0
+	)
+	g := newLCG(14)
+	grd := make([]float64, n)
+	for i := range grd {
+		grd[i] = 2 + float64(g.next()%(mesh-4)) + g.float()/2
+	}
+	ex := make([]float64, mesh)
+	dex := make([]float64, mesh)
+	for i := range ex {
+		ex[i] = g.float()
+		dex[i] = g.float()
+	}
+	rh0 := make([]float64, mesh+2)
+	for i := range rh0 {
+		rh0[i] = g.float()
+	}
+	flx := g.float()
+
+	src := fmt.Sprintf(`
+; LFK 14: 1-D particle in cell
+    A5 = %[1]d       ; constant block
+    S7 = [A5 + 0]    ; flx
+    S4 = [A5 + 1]
+    T0 = S4          ; 1.0
+    S6 = 0
+    A1 = 0           ; k
+    A7 = 1
+    A0 = %[2]d
+loopA:
+    A0 = A0 - A7     ; decrement early so the branch test overlaps the body
+    S1 = [A1 + %[3]d]  ; grd[k]
+    A3 = FIX S1        ; ix
+    S2 = FLOAT A3
+    [A1 + %[4]d] = S2  ; xi[k]
+    S3 = [A3 + %[5]d]  ; ex[ix]
+    [A1 + %[6]d] = S3  ; ex1[k]
+    S4 = [A3 + %[7]d]  ; dex[ix]
+    [A1 + %[8]d] = S4  ; dex1[k]
+    [A1 + %[9]d] = S6  ; vx[k] = 0
+    [A1 + %[10]d] = S6 ; xx[k] = 0
+    A1 = A1 + A7
+    JAN loopA
+    A1 = 0
+    A0 = %[2]d
+loopB:
+    A0 = A0 - A7     ; decrement early so the branch test overlaps the body
+    S1 = [A1 + %[9]d]  ; vx[k]
+    S2 = [A1 + %[6]d]  ; ex1[k]
+    S1 = S1 +F S2
+    S3 = [A1 + %[10]d] ; xx[k]
+    S4 = [A1 + %[4]d]  ; xi[k]
+    S3 = S3 -F S4
+    S5 = [A1 + %[8]d]  ; dex1[k]
+    S3 = S3 *F S5
+    S1 = S1 +F S3
+    [A1 + %[9]d] = S1  ; vx[k]
+    S3 = [A1 + %[10]d]
+    S3 = S3 +F S1
+    S3 = S3 +F S7      ; + flx
+    [A1 + %[10]d] = S3 ; xx[k]
+    A1 = A1 + A7
+    JAN loopB
+    S6 = 2047          ; MOD2N mask
+    A1 = 0
+    A0 = %[2]d
+loopC:
+    A0 = A0 - A7     ; decrement early so the branch test overlaps the body
+    S1 = [A1 + %[10]d] ; xx[k]
+    A3 = FIX S1
+    S2 = FLOAT A3
+    S2 = S1 -F S2      ; rx
+    S3 = A3
+    S3 = S3 & S6
+    A3 = S3
+    A3 = A3 + A7       ; ir (1-based)
+    S3 = FLOAT A3
+    S3 = S2 +F S3      ; rx + ir
+    [A1 + %[10]d] = S3 ; xx[k]
+    S4 = [A3 + %[11]d] ; rh[ir-1]
+    S5 = T0
+    S5 = S5 -F S2      ; 1.0 - rx
+    S4 = S4 +F S5
+    [A3 + %[11]d] = S4
+    S4 = [A3 + %[12]d] ; rh[ir]
+    S4 = S4 +F S2
+    [A3 + %[12]d] = S4
+    A1 = A1 + A7
+    JAN loopC
+`, constB, n, grdB, xiB, exB, ex1B, dexB, dex1B, vxB, xxB, rhB-1, rhB)
+
+	k := &Kernel{
+		Number: 14,
+		Name:   "1-D particle in cell",
+		Class:  Scalar,
+		N:      n,
+		init: func(m *emu.Machine) {
+			m.SetFloat(constB+0, flx)
+			m.SetFloat(constB+1, 1.0)
+			for i, v := range grd {
+				m.SetFloat(grdB+int64(i), v)
+			}
+			for i := 0; i < mesh; i++ {
+				m.SetFloat(exB+int64(i), ex[i])
+				m.SetFloat(dexB+int64(i), dex[i])
+			}
+			for i, v := range rh0 {
+				m.SetFloat(rhB+int64(i), v)
+			}
+		},
+		check: func(m *emu.Machine) error {
+			xi := make([]float64, n)
+			ex1 := make([]float64, n)
+			dex1 := make([]float64, n)
+			vx := make([]float64, n)
+			xx := make([]float64, n)
+			rh := append([]float64(nil), rh0...)
+			for k := 0; k < n; k++ {
+				ixk := int(grd[k])
+				xi[k] = float64(ixk)
+				ex1[k] = ex[ixk]
+				dex1[k] = dex[ixk]
+			}
+			for k := 0; k < n; k++ {
+				vx[k] = vx[k] + ex1[k] + (xx[k]-xi[k])*dex1[k]
+				xx[k] = xx[k] + vx[k] + flx
+			}
+			for k := 0; k < n; k++ {
+				ir := int(xx[k])
+				rx := xx[k] - float64(ir)
+				ir = ir&2047 + 1
+				xx[k] = rx + float64(ir)
+				rh[ir-1] = rh[ir-1] + (1.0 - rx)
+				rh[ir] = rh[ir] + rx
+			}
+			for _, chk := range []struct {
+				what string
+				base int64
+				want []float64
+			}{
+				{"xi", xiB, xi}, {"ex1", ex1B, ex1}, {"dex1", dex1B, dex1},
+				{"vx", vxB, vx}, {"xx", xxB, xx}, {"rh", rhB, rh},
+			} {
+				if err := checkFloats(m, chk.what, chk.base, chk.want); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+	return k, src, nil
+}

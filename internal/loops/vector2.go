@@ -1,0 +1,370 @@
+package loops
+
+import (
+	"fmt"
+	"strings"
+
+	"mfup/internal/emu"
+)
+
+// Further vector codings: LFK 2, 4, 9, and 10. These exercise the
+// parts of the vector architecture the first four codings do not —
+// non-unit strides (2 for the ICCG cascade, 5 for the band reads, 25
+// for the predictor columns), short vectors set directly from loop
+// bounds rather than strip mining, and a serial reduction that
+// replicates the scalar association bit for bit (kernel 4).
+//
+
+// LFK 2, vector coding. Each pass of the cascade is one vector
+// operation set: the inner iterations of a pass are independent
+// (reads touch x[<= ipntp], writes land at x[> ipntp]) and the loads
+// are stride-2. ii halves each pass, so VL = ii after halving, always
+// <= 32 for n = 64 — no strip mining needed.
+func init() {
+	const (
+		n    = 64
+		size = 4 * n
+		xB   = 0x1000
+		vB   = 0x2000
+	)
+	g := newLCG(2)
+	x0 := make([]float64, size)
+	v := make([]float64, size)
+	for i := range x0 {
+		x0[i] = g.float()
+	}
+	for i := range v {
+		v[i] = g.float()
+	}
+
+	src := fmt.Sprintf(`
+; LFK 2, vectorized: one vector pass per cascade level
+    A1 = %[1]d       ; ii = n
+    A3 = 0           ; ipntp
+    A7 = 1
+outer:
+    A2 = A3 + 0      ; ipnt = ipntp
+    A3 = A3 + A1     ; ipntp += ii
+    S7 = A1          ; ii /= 2
+    S7 = S7 >> 1
+    A1 = S7
+    VL = A1          ; the pass processes ii elements
+    A5 = A2 + %[2]d  ; &x[ipnt+1]   (x[k],   stride 2)
+    V1 = [A5 : 2]
+    A5 = A2 + %[3]d  ; &x[ipnt]     (x[k-1], stride 2)
+    V2 = [A5 : 2]
+    A5 = A2 + %[4]d  ; &x[ipnt+2]   (x[k+1], stride 2)
+    V3 = [A5 : 2]
+    A5 = A2 + %[5]d  ; &v[ipnt+1]   (v[k],   stride 2)
+    V4 = [A5 : 2]
+    A5 = A2 + %[6]d  ; &v[ipnt+2]   (v[k+1], stride 2)
+    V5 = [A5 : 2]
+    V2 = V4 *F V2    ; v[k]*x[k-1]
+    V3 = V5 *F V3    ; v[k+1]*x[k+1]
+    V1 = V1 -F V2
+    V1 = V1 -F V3
+    A5 = A3 + %[7]d  ; &x[ipntp+1]  (destination, stride 1)
+    [A5 : 1] = V1
+    A0 = A1 - A7     ; loop while ii > 1
+    JAN outer
+`, n, xB+1, xB, xB+2, vB+1, vB+2, xB+1)
+
+	registerVector(&Kernel{
+		Number: 2,
+		Name:   "ICCG excerpt (vector)",
+		Class:  Vectorizable,
+		N:      n,
+		init: func(m *emu.Machine) {
+			for i, f := range x0 {
+				m.SetFloat(xB+int64(i), f)
+			}
+			for i, f := range v {
+				m.SetFloat(vB+int64(i), f)
+			}
+		},
+		check: func(m *emu.Machine) error {
+			x := append([]float64(nil), x0...)
+			ii, ipntp := n, 0
+			for {
+				ipnt := ipntp
+				ipntp += ii
+				ii /= 2
+				i := ipntp
+				for k := ipnt + 1; k < ipntp; k += 2 {
+					i++
+					x[i] = x[k] - v[k]*x[k-1] - v[k+1]*x[k+1]
+				}
+				if ii <= 1 {
+					break
+				}
+			}
+			return checkFloats(m, "x", xB, x)
+		},
+	}, src)
+}
+
+// LFK 4, vector coding. The inner band reduction becomes one
+// stride-1 x stride-5 vector multiply of 20 elements, followed by a
+// serial element-by-element subtraction from temp — which reproduces
+// the scalar association (temp - p0 - p1 - ...) exactly, so the
+// scalar reference validates this coding bit for bit.
+func init() {
+	const (
+		n     = 100
+		m4    = (1001 - 7) / 2
+		inner = n / 5
+		xSize = 1014 + inner
+		xB    = 0x1000
+		yB    = 0x2000
+	)
+	g := newLCG(4)
+	x0 := make([]float64, xSize)
+	y := make([]float64, n)
+	for i := range x0 {
+		x0[i] = g.float()
+	}
+	for i := range y {
+		y[i] = g.float()
+	}
+
+	src := fmt.Sprintf(`
+; LFK 4, vectorized band reduction
+    A1 = 7           ; k
+    A4 = 3           ; outer trip count
+    A7 = 1
+    A6 = %[1]d       ; &y[4]
+    S5 = [A6]        ; y(5), invariant
+    A5 = %[2]d
+    VL = A5          ; the band is %[2]d elements
+outer:
+    A2 = A1 + %[3]d  ; &x[k-7]
+    V1 = [A2 : 1]    ; x band
+    V2 = [A6 : 5]    ; y stride 5
+    V1 = V1 *F V2    ; products
+    S1 = [A1 + %[4]d] ; temp = x[k-2]
+    A3 = 0           ; lane index
+    A0 = A5 + 0
+reduce:
+    A0 = A0 - A7
+    S2 = V1 [ A3 ]
+    S1 = S1 -F S2    ; temp -= product, scalar order
+    A3 = A3 + A7
+    JAN reduce
+    S1 = S5 *F S1    ; y(5)*temp
+    [A1 + %[4]d] = S1
+    A1 = A1 + %[5]d  ; k += m
+    A4 = A4 - A7
+    A0 = A4 + 0
+    JAN outer
+`, yB+4, inner, xB-7, xB-2, m4)
+
+	registerVector(&Kernel{
+		Number: 4,
+		Name:   "banded linear equations (vector)",
+		Class:  Vectorizable,
+		N:      n,
+		init: func(m *emu.Machine) {
+			for i, f := range x0 {
+				m.SetFloat(xB+int64(i), f)
+			}
+			for i, f := range y {
+				m.SetFloat(yB+int64(i), f)
+			}
+		},
+		check: func(m *emu.Machine) error {
+			x := append([]float64(nil), x0...)
+			for k := 7; k <= 1001; k += m4 {
+				lw := k - 7
+				temp := x[k-2]
+				for j := 4; j < n; j += 5 {
+					temp -= x[lw] * y[j]
+					lw++
+				}
+				x[k-2] = y[4] * temp
+			}
+			return checkFloats(m, "x", xB, x)
+		},
+	}, src)
+}
+
+// LFK 9, vector coding. Each Fortran "row" PX(j, .) is a stride-25
+// column in our layout; the whole kernel is ~14 strided vector
+// operations per 64-element strip. The eight constants occupy S0-S7.
+func init() {
+	const (
+		n    = 100
+		cols = 25
+		pxB  = 0x1000
+		cB   = 0x0100
+	)
+	g := newLCG(9)
+	var dm [7]float64
+	for i := range dm {
+		dm[i] = g.float()
+	}
+	c0 := g.float()
+	px0 := make([]float64, cols*n)
+	for i := range px0 {
+		px0[i] = g.float()
+	}
+
+	// The seven dm terms: column offsets 12 down to 6, constants
+	// S0..S6; the first term initializes the accumulator.
+	var body strings.Builder
+	body.WriteString("    A5 = A1 + 12\n    V1 = [A5 : 25]\n    V1 = S0 *F V1\n")
+	for i := 1; i < 7; i++ {
+		fmt.Fprintf(&body, "    A5 = A1 + %d\n    V2 = [A5 : 25]\n    V2 = S%d *F V2\n    V1 = V1 +F V2\n", 12-i, i)
+	}
+	body.WriteString(`    A5 = A1 + 4
+    V2 = [A5 : 25]
+    A5 = A1 + 5
+    V3 = [A5 : 25]
+    V2 = V2 +F V3
+    V2 = S7 *F V2
+    V1 = V1 +F V2
+    A5 = A1 + 2
+    V2 = [A5 : 25]
+    V1 = V1 +F V2
+    [A1 : 25] = V1
+`)
+
+	src := fmt.Sprintf(`
+; LFK 9, vectorized: stride-25 columns
+    A6 = %d
+    S0 = [A6 + 0]
+    S1 = [A6 + 1]
+    S2 = [A6 + 2]
+    S3 = [A6 + 3]
+    S4 = [A6 + 4]
+    S5 = [A6 + 5]
+    S6 = [A6 + 6]
+    S7 = [A6 + 7]
+    A1 = %d          ; strip base
+    A4 = %d
+    A7 = 64
+loop:
+    A0 = A4 + 0
+    JAZ done
+    A0 = A4 - 64
+    JAM rest
+    VL = A7
+%s    A1 = A1 + 1600   ; 64 rows of 25
+    A4 = A4 - A7
+    J loop
+rest:
+    VL = A4
+%sdone:
+`, cB, pxB, n, body.String(), body.String())
+
+	registerVector(&Kernel{
+		Number: 9,
+		Name:   "integrate predictors (vector)",
+		Class:  Vectorizable,
+		N:      n,
+		init: func(m *emu.Machine) {
+			for i, f := range dm {
+				m.SetFloat(cB+int64(i), f)
+			}
+			m.SetFloat(cB+7, c0)
+			for i, f := range px0 {
+				m.SetFloat(pxB+int64(i), f)
+			}
+		},
+		check: func(m *emu.Machine) error {
+			px := append([]float64(nil), px0...)
+			for i := 0; i < n; i++ {
+				r := px[i*cols : (i+1)*cols]
+				acc := dm[0] * r[12]
+				acc = acc + dm[1]*r[11]
+				acc = acc + dm[2]*r[10]
+				acc = acc + dm[3]*r[9]
+				acc = acc + dm[4]*r[8]
+				acc = acc + dm[5]*r[7]
+				acc = acc + dm[6]*r[6]
+				acc = acc + c0*(r[4]+r[5])
+				acc = acc + r[2]
+				r[0] = acc
+			}
+			return checkFloats(m, "px", pxB, px)
+		},
+	}, src)
+}
+
+// LFK 10, vector coding: the difference cascade over stride-25
+// columns, alternating V1/V2 as the scalar version alternates S1/S2.
+func init() {
+	const (
+		n    = 100
+		cols = 25
+		pxB  = 0x1000
+		cxB  = 0x8000
+	)
+	g := newLCG(10)
+	px0 := make([]float64, cols*n)
+	cx := make([]float64, cols*n)
+	for i := range px0 {
+		px0[i] = g.float()
+		cx[i] = g.float()
+	}
+
+	var body strings.Builder
+	body.WriteString("    A5 = A2 + 4\n    V1 = [A5 : 25]\n")
+	prev, next := "V1", "V2"
+	for j := 4; j <= 11; j++ {
+		fmt.Fprintf(&body, "    A5 = A1 + %d\n    V3 = [A5 : 25]\n    %s = %s -F V3\n    [A5 : 25] = %s\n",
+			j, next, prev, prev)
+		prev, next = next, prev
+	}
+	fmt.Fprintf(&body, "    A5 = A1 + 12\n    V3 = [A5 : 25]\n    %s = %s -F V3\n", next, prev)
+	fmt.Fprintf(&body, "    A6 = A1 + 13\n    [A6 : 25] = %s\n", next)
+	fmt.Fprintf(&body, "    [A5 : 25] = %s\n", prev)
+
+	src := fmt.Sprintf(`
+; LFK 10, vectorized difference cascade
+    A1 = %d          ; px strip base
+    A2 = %d          ; cx strip base
+    A4 = %d
+    A7 = 64
+loop:
+    A0 = A4 + 0
+    JAZ done
+    A0 = A4 - 64
+    JAM rest
+    VL = A7
+%s    A1 = A1 + 1600
+    A2 = A2 + 1600
+    A4 = A4 - A7
+    J loop
+rest:
+    VL = A4
+%sdone:
+`, pxB, cxB, n, body.String(), body.String())
+
+	registerVector(&Kernel{
+		Number: 10,
+		Name:   "difference predictors (vector)",
+		Class:  Vectorizable,
+		N:      n,
+		init: func(m *emu.Machine) {
+			for i := range px0 {
+				m.SetFloat(pxB+int64(i), px0[i])
+				m.SetFloat(cxB+int64(i), cx[i])
+			}
+		},
+		check: func(m *emu.Machine) error {
+			px := append([]float64(nil), px0...)
+			for k := 0; k < n; k++ {
+				r := px[k*cols : (k+1)*cols]
+				prev := cx[k*cols+4]
+				for j := 4; j <= 11; j++ {
+					nxt := prev - r[j]
+					r[j] = prev
+					prev = nxt
+				}
+				r[13] = prev - r[12]
+				r[12] = prev
+			}
+			return checkFloats(m, "px", pxB, px)
+		},
+	}, src)
+}

@@ -1,0 +1,152 @@
+package loops
+
+import (
+	"fmt"
+	"strings"
+
+	"mfup/internal/emu"
+)
+
+// LFK 8, vector coding — the last and largest of the vectorizable
+// kernels. The inner ky loop becomes stride-5 vector operations of
+// length n-1 (49 <= 64, so one vector set per kx, no strip mining).
+// The nine A coefficients and SIG live in T registers and move
+// through S4 for the scalar-broadcast operations, exactly as the
+// scalar coding keeps them; V1-V3 hold the three difference vectors
+// for the whole body, V4-V6 are working registers.
+func init() {
+	const (
+		n     = 50
+		nx    = 5
+		ny    = n + 2
+		plane = nx * ny
+		utot  = 2 * plane
+		uB    = 0x1000
+		duB   = 0x2000
+		cB    = 0x0100
+	)
+	g := newLCG(8) // identical data to the scalar kernel 8
+	var a [9]float64
+	for i := range a {
+		a[i] = g.float()
+	}
+	sig := g.float()
+	u0 := make([]float64, 3*utot)
+	for v := 0; v < 3; v++ {
+		for i := 0; i < plane; i++ {
+			u0[v*utot+i] = g.float()
+		}
+	}
+
+	idx := func(v, kx, ky, l int) int { return v*utot + kx + nx*ky + plane*l }
+
+	// du computes difference vector Vd = u_v(ky+1) - u_v(ky-1) and
+	// stores it into the du block at row offset.
+	du := func(vd string, c, duOff int) string {
+		return fmt.Sprintf(`    A5 = A1 + %d
+    %s = [A5 : 5]
+    A5 = A1 + %d
+    V6 = [A5 : 5]
+    %s = %s -F V6
+    A5 = A2 + %d
+    [A5 : 1] = %s
+`, c+nx, vd, c-nx, vd, vd, duOff, vd)
+	}
+
+	// row emits the update of variable v.
+	row := func(v int) string {
+		c := v * utot
+		return fmt.Sprintf(`    S4 = T%[1]d
+    V4 = S4 *F V1
+    A5 = A1 + %[2]d
+    V5 = [A5 : 5]
+    V4 = V5 +F V4
+    S4 = T%[3]d
+    V5 = S4 *F V2
+    V4 = V4 +F V5
+    S4 = T%[4]d
+    V5 = S4 *F V3
+    V4 = V4 +F V5
+    A5 = A1 + %[5]d
+    V5 = [A5 : 5]
+    A5 = A1 + %[2]d
+    V6 = [A5 : 5]
+    V5 = V5 -F V6
+    V5 = V5 -F V6
+    A5 = A1 + %[6]d
+    V6 = [A5 : 5]
+    V5 = V5 +F V6
+    S4 = T9
+    V5 = S4 *F V5
+    V4 = V4 +F V5
+    A5 = A1 + %[7]d
+    [A5 : 5] = V4
+`, 3*v, c, 3*v+1, 3*v+2, c+1, c-1, c+plane)
+	}
+
+	var consts strings.Builder
+	for i := 0; i < 10; i++ {
+		fmt.Fprintf(&consts, "    S4 = [A6 + %d]\n    T%d = S4\n", i, i)
+	}
+
+	src := fmt.Sprintf(`
+; LFK 8, vectorized: stride-5 sweeps along ky
+    A6 = %d          ; constant block
+%s
+    A3 = 1           ; kx, takes 1 and 2
+    A6 = 2           ; outer trip count
+    A7 = 1
+    A4 = %d          ; VL = n-1
+    VL = A4
+outer:
+    A1 = A3 + %d     ; &u1(kx, ky=1, 0)
+    A2 = %d          ; &du1[1]
+%s%s%s%s%s%s    A3 = A3 + A7
+    A6 = A6 - A7
+    A0 = A6 + 0
+    JAN outer
+`, cB, consts.String(), n-1, uB+nx, duB+1,
+		du("V1", 0, 0), du("V2", utot, ny), du("V3", 2*utot, 2*ny),
+		row(0), row(1), row(2))
+
+	registerVector(&Kernel{
+		Number: 8,
+		Name:   "ADI integration (vector)",
+		Class:  Vectorizable,
+		N:      n,
+		init: func(m *emu.Machine) {
+			for i := 0; i < 9; i++ {
+				m.SetFloat(cB+int64(i), a[i])
+			}
+			m.SetFloat(cB+9, sig)
+			for i, f := range u0 {
+				m.SetFloat(uB+int64(i), f)
+			}
+		},
+		check: func(m *emu.Machine) error {
+			u := append([]float64(nil), u0...)
+			duv := make([]float64, 3*ny)
+			for kx := 1; kx <= 2; kx++ {
+				for ky := 1; ky <= n-1; ky++ {
+					for v := 0; v < 3; v++ {
+						duv[v*ny+ky] = u[idx(v, kx, ky+1, 0)] - u[idx(v, kx, ky-1, 0)]
+					}
+					for v := 0; v < 3; v++ {
+						uc := u[idx(v, kx, ky, 0)]
+						acc := uc + a[3*v]*duv[ky]
+						acc = acc + a[3*v+1]*duv[ny+ky]
+						acc = acc + a[3*v+2]*duv[2*ny+ky]
+						lap := u[idx(v, kx+1, ky, 0)] - uc
+						lap = lap - uc
+						lap = lap + u[idx(v, kx-1, ky, 0)]
+						u[idx(v, kx, ky, 1)] = acc + sig*lap
+					}
+				}
+			}
+			if err := checkFloats(m, "u", uB, u); err != nil {
+				return err
+			}
+			return checkFloats(m, "du", duB, duv)
+		},
+	}, src)
+}

@@ -1,0 +1,74 @@
+package mem
+
+import "testing"
+
+func TestDisabledModelIsTransparent(t *testing.T) {
+	b := NewBanks(0, 11)
+	if b.Enabled() {
+		t.Fatal("0-bank model reports enabled")
+	}
+	if got := b.EarliestAccept(5, 3); got != 3 {
+		t.Errorf("EarliestAccept = %d, want 3", got)
+	}
+	b.Accept(5, 3) // must be a no-op
+	if got := b.EarliestAccept(5, 4); got != 4 {
+		t.Errorf("after no-op Accept: EarliestAccept = %d, want 4", got)
+	}
+}
+
+func TestBankConflict(t *testing.T) {
+	b := NewBanks(4, 11)
+	if !b.Enabled() {
+		t.Fatal("4-bank model reports disabled")
+	}
+	b.Accept(8, 0) // bank 0 busy until 11
+	if got := b.EarliestAccept(12, 1); got != 11 {
+		t.Errorf("same bank (addr 12): EarliestAccept = %d, want 11", got)
+	}
+	if got := b.EarliestAccept(9, 1); got != 1 {
+		t.Errorf("different bank (addr 9): EarliestAccept = %d, want 1", got)
+	}
+}
+
+func TestBankMapping(t *testing.T) {
+	for addr := int64(0); addr < 16; addr++ {
+		b2 := NewBanks(4, 5)
+		b2.Accept(addr, 0)
+		// Only addresses congruent mod 4 conflict.
+		for probe := int64(0); probe < 16; probe++ {
+			want := int64(0)
+			if probe%4 == addr%4 {
+				want = 5
+			}
+			if got := b2.EarliestAccept(probe, 0); got != want {
+				t.Fatalf("accept %d then probe %d: got %d, want %d", addr, probe, got, want)
+			}
+		}
+	}
+}
+
+func TestNegativeAddresses(t *testing.T) {
+	// Defensive: the emulator rejects negative addresses, but the
+	// model itself must not index out of range.
+	b := NewBanks(4, 5)
+	b.Accept(-3, 0)
+	if got := b.EarliestAccept(-3, 0); got != 5 {
+		t.Errorf("negative address round trip: got %d, want 5", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := NewBanks(2, 7)
+	b.Accept(0, 0)
+	b.Reset()
+	if got := b.EarliestAccept(0, 0); got != 0 {
+		t.Errorf("after Reset: EarliestAccept = %d, want 0", got)
+	}
+}
+
+func TestNegativeBankCountDisables(t *testing.T) {
+	b := NewBanks(-5, 11)
+	if b.Enabled() {
+		t.Error("negative bank count should disable the model")
+	}
+}

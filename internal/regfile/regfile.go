@@ -1,0 +1,50 @@
+// Package regfile provides the register scoreboard used by the
+// in-order machine models: for every architectural register it tracks
+// the cycle at which the register's value is (or will be) available.
+//
+// The CRAY-style issue discipline reads operands at issue and
+// reserves the destination register until the result returns, so both
+// RAW and WAW hazards reduce to the same test: a register involved in
+// the instruction must have no outstanding reservation, i.e. its
+// ready cycle must not lie in the future.
+package regfile
+
+import "mfup/internal/isa"
+
+// Scoreboard records per-register availability times, in cycles.
+// The zero value is ready-everywhere at cycle 0.
+type Scoreboard struct {
+	ready [isa.NumRegs]int64
+}
+
+// Reset marks every register available at cycle 0.
+func (s *Scoreboard) Reset() {
+	s.ready = [isa.NumRegs]int64{}
+}
+
+// ReadyAt returns the cycle at which register r becomes available.
+func (s *Scoreboard) ReadyAt(r isa.Reg) int64 {
+	return s.ready[r]
+}
+
+// SetReady records that register r's new value arrives at cycle c
+// (reserving r until then).
+func (s *Scoreboard) SetReady(r isa.Reg, c int64) {
+	s.ready[r] = c
+}
+
+// EarliestFor returns the earliest cycle at which an instruction with
+// the given source registers and destination can pass the register
+// checks: all sources readable (RAW) and the destination free (WAW).
+// Any register argument may be isa.NoReg.
+func (s *Scoreboard) EarliestFor(t int64, dst isa.Reg, srcs ...isa.Reg) int64 {
+	for _, r := range srcs {
+		if r.Valid() && s.ready[r] > t {
+			t = s.ready[r]
+		}
+	}
+	if dst.Valid() && s.ready[dst] > t {
+		t = s.ready[dst]
+	}
+	return t
+}

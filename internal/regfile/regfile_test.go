@@ -1,0 +1,86 @@
+package regfile
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mfup/internal/isa"
+)
+
+func TestZeroValueReady(t *testing.T) {
+	var s Scoreboard
+	for r := 0; r < isa.NumRegs; r++ {
+		if s.ReadyAt(isa.Reg(r)) != 0 {
+			t.Fatalf("register %d not ready at cycle 0", r)
+		}
+	}
+}
+
+func TestSetAndRead(t *testing.T) {
+	var s Scoreboard
+	s.SetReady(isa.S(3), 17)
+	if got := s.ReadyAt(isa.S(3)); got != 17 {
+		t.Errorf("ReadyAt = %d, want 17", got)
+	}
+	if got := s.ReadyAt(isa.S(4)); got != 0 {
+		t.Errorf("unrelated register ReadyAt = %d, want 0", got)
+	}
+}
+
+func TestEarliestFor(t *testing.T) {
+	var s Scoreboard
+	s.SetReady(isa.S(1), 10) // source pending (RAW)
+	s.SetReady(isa.S(2), 5)  // destination pending (WAW)
+
+	// Both hazards: the later one binds.
+	if got := s.EarliestFor(3, isa.S(2), isa.S(1)); got != 10 {
+		t.Errorf("RAW+WAW earliest = %d, want 10", got)
+	}
+	// Only WAW.
+	if got := s.EarliestFor(3, isa.S(2), isa.S(4)); got != 5 {
+		t.Errorf("WAW earliest = %d, want 5", got)
+	}
+	// No hazards: request time passes through.
+	if got := s.EarliestFor(3, isa.S(5), isa.S(6)); got != 3 {
+		t.Errorf("no-hazard earliest = %d, want 3", got)
+	}
+	// NoReg operands are ignored.
+	if got := s.EarliestFor(3, isa.NoReg, isa.NoReg, isa.S(1)); got != 10 {
+		t.Errorf("NoReg handling: earliest = %d, want 10", got)
+	}
+}
+
+func TestEarliestForRequestInPast(t *testing.T) {
+	var s Scoreboard
+	s.SetReady(isa.A(1), 4)
+	// Requests after the hazard clears are unchanged.
+	if got := s.EarliestFor(9, isa.NoReg, isa.A(1)); got != 9 {
+		t.Errorf("earliest = %d, want 9", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var s Scoreboard
+	s.SetReady(isa.T(10), 99)
+	s.Reset()
+	if s.ReadyAt(isa.T(10)) != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+// Property: EarliestFor never returns less than the request time and
+// never less than any involved register's ready time.
+func TestEarliestForLowerBounds(t *testing.T) {
+	f := func(tReq uint16, rdy1, rdy2 uint16, r1, r2 uint8) bool {
+		var s Scoreboard
+		reg1 := isa.Reg(int(r1) % isa.NumRegs)
+		reg2 := isa.Reg(int(r2) % isa.NumRegs)
+		s.SetReady(reg1, int64(rdy1))
+		s.SetReady(reg2, int64(rdy2))
+		got := s.EarliestFor(int64(tReq), reg2, reg1)
+		return got >= int64(tReq) && got >= s.ReadyAt(reg1) && got >= s.ReadyAt(reg2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,430 @@
+// Package ruu implements the Register Update Unit machine of §5.3 —
+// multiple issue units with full dependency resolution (Sohi &
+// Vajapeyam's RUU scheme [10, 13]).
+//
+// Instructions issue in order, up to N per cycle, into the RUU, where
+// register renaming (per-register instance tracking) removes WAW and
+// WAR hazards. Entries wait in the RUU for their operands, proceed to
+// the functional units out of order when ready, receive results back
+// over the functional-unit/RUU interconnect (with bypass: a result is
+// usable the cycle it returns), and finally commit in program order
+// to the register file, freeing their slot.
+//
+// Two interconnects are modeled, as in the paper:
+//
+//   - 1-Bus: one bus from the RUU to the functional units (one
+//     dispatch per cycle), one bus back (one result per cycle), and
+//     one bus to the register file (one commit per cycle).
+//   - N-Bus (restricted): the RUU is partitioned into N banks, one
+//     per issue unit, each with its own dispatch, result, and commit
+//     bus; instruction k is issued to bank k mod N.
+//
+// Issue stalls when the RUU (bank) is full or when a branch is
+// encountered: there is no speculation, so a branch holds the issue
+// stage until it resolves, reading A0 through the bypass network as
+// soon as the producing instruction's result returns.
+package ruu
+
+import (
+	"fmt"
+	"math"
+
+	"mfup/internal/bus"
+	"mfup/internal/fu"
+	"mfup/internal/isa"
+	"mfup/internal/mem"
+	"mfup/internal/trace"
+)
+
+// Config parameterizes the simulator.
+type Config struct {
+	MemLatency    int
+	BranchLatency int
+	IssueUnits    int      // N
+	Size          int      // total RUU entries
+	Bus           bus.Kind // bus.BusN or bus.Bus1
+	MemBanks      int      // 0 = ideal interleaved memory; see internal/mem
+
+	// PerfectBranches removes all branch stalls (ideal prediction):
+	// a branch costs one issue slot and nothing else. Ablation only;
+	// the paper models no prediction.
+	PerfectBranches bool
+}
+
+// entry is one RUU slot in flight.
+type entry struct {
+	seq     int64
+	op      *trace.Op
+	bank    int
+	issueAt int64
+
+	depCount   int
+	waiters    []*entry
+	readyAt    int64
+	dispatched bool
+	done       bool
+	doneAt     int64
+}
+
+// eventWindow is the scheduling horizon ring size; it must exceed the
+// largest functional-unit latency plus pipeline slack.
+const eventWindow = 64
+
+// cycleList is a ring of per-cycle entry lists with self-invalidating
+// cycle tags (same trick as internal/bus).
+type cycleList struct {
+	cycle   [eventWindow]int64
+	entries [eventWindow][]*entry
+}
+
+func (l *cycleList) add(c int64, e *entry) {
+	i := c % eventWindow
+	if l.cycle[i] != c {
+		l.cycle[i] = c
+		l.entries[i] = l.entries[i][:0]
+	}
+	l.entries[i] = append(l.entries[i], e)
+}
+
+func (l *cycleList) take(c int64) []*entry {
+	i := c % eventWindow
+	if l.cycle[i] != c {
+		return nil
+	}
+	l.cycle[i] = -1
+	return l.entries[i]
+}
+
+// seqHeap is a min-heap of entries ordered by age (issue sequence):
+// dispatch prefers the oldest ready instruction.
+type seqHeap []*entry
+
+func (h *seqHeap) push(e *entry) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if (*h)[p].seq <= (*h)[i].seq {
+			break
+		}
+		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
+		i = p
+	}
+}
+
+func (h *seqHeap) pop() *entry {
+	old := *h
+	e := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = nil
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && (*h)[l].seq < (*h)[s].seq {
+			s = l
+		}
+		if r < n && (*h)[r].seq < (*h)[s].seq {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		(*h)[i], (*h)[s] = (*h)[s], (*h)[i]
+		i = s
+	}
+	return e
+}
+
+// Simulator runs traces under one RUU configuration. It is reusable;
+// Run resets all state.
+type Simulator struct {
+	cfg   Config
+	banks int // dispatch/result/commit domains: N for BusN, 1 for Bus1
+	lat   isa.Latencies
+	pool  *fu.Pool
+
+	capacity []int // slots per bank
+	free     []int
+
+	regProducer [isa.NumRegs]*entry
+	regReadyAt  [isa.NumRegs]int64
+
+	// Memory-carried dependences, renamed per address exactly like
+	// registers: loads (and stores, for per-address ordering) wait on
+	// the latest in-flight store to their address; there is no
+	// store-to-load forwarding in the base machine.
+	memProducer map[int64]*entry
+	memReadyAt  map[int64]int64
+
+	fifo  []*entry // in-flight entries in program order
+	ready []seqHeap
+	retry []*entry
+
+	readyEvents cycleList
+	broadcasts  cycleList
+	results     *bus.Tracker // FU -> RUU result bus slots
+	commitSeen  []bool       // per-bank commit-bus use, reset each cycle
+	memBanks    *mem.Banks
+}
+
+// New builds a simulator; it panics on nonsensical configuration
+// (these are built by code, not parsed input).
+func New(cfg Config) *Simulator {
+	if cfg.IssueUnits < 1 || cfg.Size < cfg.IssueUnits {
+		panic(fmt.Sprintf("ruu: bad config %+v", cfg))
+	}
+	if cfg.Bus != bus.BusN && cfg.Bus != bus.Bus1 {
+		panic(fmt.Sprintf("ruu: unsupported interconnect %s", cfg.Bus))
+	}
+	s := &Simulator{
+		cfg:  cfg,
+		lat:  isa.NewLatencies(cfg.MemLatency, cfg.BranchLatency),
+		pool: fu.NewPool(isa.NewLatencies(cfg.MemLatency, cfg.BranchLatency)),
+	}
+	s.pool.SegmentAll()
+	if cfg.Bus == bus.BusN {
+		s.banks = cfg.IssueUnits
+	} else {
+		s.banks = 1
+	}
+	s.capacity = make([]int, s.banks)
+	for i := 0; i < cfg.Size; i++ {
+		s.capacity[i%s.banks]++
+	}
+	s.free = make([]int, s.banks)
+	s.ready = make([]seqHeap, s.banks)
+	s.results = bus.NewTracker(cfg.Bus, s.banks)
+	s.commitSeen = make([]bool, s.banks)
+	s.memBanks = mem.NewBanks(cfg.MemBanks, cfg.MemLatency)
+	return s
+}
+
+func (s *Simulator) reset() {
+	s.pool.Reset()
+	s.memBanks.Reset()
+	copy(s.free, s.capacity)
+	s.regProducer = [isa.NumRegs]*entry{}
+	s.regReadyAt = [isa.NumRegs]int64{}
+	if s.memProducer == nil {
+		s.memProducer = make(map[int64]*entry)
+		s.memReadyAt = make(map[int64]int64)
+	} else {
+		clear(s.memProducer)
+		clear(s.memReadyAt)
+	}
+	s.fifo = s.fifo[:0]
+	for i := range s.ready {
+		s.ready[i] = s.ready[i][:0]
+	}
+	s.readyEvents = cycleList{}
+	s.broadcasts = cycleList{}
+	s.results.Reset()
+}
+
+// Run simulates t and returns the total cycle count.
+func (s *Simulator) Run(t *trace.Trace) int64 {
+	s.reset()
+
+	var (
+		pos       int   // next trace op to issue
+		seq       int64 // issue sequence counter
+		issueGate int64 // no issue before this cycle (branch resolution)
+		lastEvent int64
+		srcs      [3]isa.Reg
+	)
+	bump := func(c int64) {
+		if c > lastEvent {
+			lastEvent = c
+		}
+	}
+
+	for c := int64(0); pos < len(t.Ops) || len(s.fifo) > 0; c++ {
+		// 1. Results returning this cycle: mark done, wake waiters.
+		for _, e := range s.broadcasts.take(c) {
+			e.done = true
+			e.doneAt = c
+			bump(c)
+			if e.op.Dst.Valid() && s.regProducer[e.op.Dst] == e {
+				s.regProducer[e.op.Dst] = nil
+				s.regReadyAt[e.op.Dst] = c
+			}
+			if e.op.Code.IsStore() && s.memProducer[e.op.Addr] == e {
+				delete(s.memProducer, e.op.Addr)
+				s.memReadyAt[e.op.Addr] = c
+			}
+			for _, w := range e.waiters {
+				w.depCount--
+				if w.depCount == 0 {
+					w.readyAt = c
+					if w.issueAt+1 > w.readyAt {
+						w.readyAt = w.issueAt + 1
+					}
+					s.schedule(w)
+				}
+			}
+			e.waiters = nil
+		}
+
+		// 2. Entries whose operands became available at cycle c.
+		for _, e := range s.readyEvents.take(c) {
+			s.ready[e.bank].push(e)
+		}
+
+		// 3. Commit from the head, in program order, one per
+		// commit-bus domain per cycle.
+		commitBudget := 1
+		if s.cfg.Bus == bus.BusN {
+			commitBudget = s.banks // one per bank; heads rotate banks
+		}
+		for i := range s.commitSeen {
+			s.commitSeen[i] = false
+		}
+		for len(s.fifo) > 0 && commitBudget > 0 {
+			head := s.fifo[0]
+			if !head.done || s.commitSeen[head.bank] {
+				break
+			}
+			s.commitSeen[head.bank] = true
+			commitBudget--
+			s.free[head.bank]++
+			s.fifo = s.fifo[1:]
+			bump(c)
+		}
+
+		// 4. Dispatch ready entries, oldest first, one per dispatch-
+		// bus domain per cycle, subject to functional-unit acceptance
+		// and a free result slot at completion.
+		for b := 0; b < s.banks; b++ {
+			s.dispatchBank(b, c, &lastEvent)
+		}
+
+		// 5. Issue up to N instructions into the RUU, in program
+		// order, stopping at a branch or a full bank.
+		if c >= issueGate {
+			for issued := 0; issued < s.cfg.IssueUnits && pos < len(t.Ops); issued++ {
+				op := &t.Ops[pos]
+				if op.IsBranch() {
+					if s.cfg.PerfectBranches {
+						// Ablation: the branch consumes this issue slot
+						// and nothing more.
+						bump(c)
+						pos++
+						seq++
+						continue
+					}
+					a0 := int64(0)
+					if op.Code.IsConditional() {
+						if s.regProducer[isa.A0] != nil {
+							break // A0 still in flight; retry next cycle
+						}
+						a0 = s.regReadyAt[isa.A0]
+					}
+					if a0 > c {
+						break // retry once A0 is readable
+					}
+					issueGate = c + int64(s.cfg.BranchLatency)
+					bump(issueGate)
+					pos++
+					seq++
+					break // nothing issues past an unresolved branch
+				}
+
+				bank := int(seq) % s.banks
+				if s.free[bank] == 0 {
+					break // RUU (bank) full: in-order issue stalls
+				}
+				s.free[bank]--
+				e := &entry{seq: seq, op: op, bank: bank, issueAt: c, doneAt: math.MaxInt64}
+				seq++
+				pos++
+				s.fifo = append(s.fifo, e)
+
+				for _, r := range op.Reads(srcs[:0]) {
+					if p := s.regProducer[r]; p != nil {
+						p.waiters = append(p.waiters, e)
+						e.depCount++
+					} else if s.regReadyAt[r] > e.readyAt {
+						e.readyAt = s.regReadyAt[r]
+					}
+				}
+				if op.IsMemory() {
+					if p := s.memProducer[op.Addr]; p != nil {
+						p.waiters = append(p.waiters, e)
+						e.depCount++
+					} else if d := s.memReadyAt[op.Addr]; d > e.readyAt {
+						e.readyAt = d
+					}
+				}
+				if op.Dst.Valid() {
+					s.regProducer[op.Dst] = e
+				}
+				if op.Code.IsStore() {
+					s.memProducer[op.Addr] = e
+				}
+				if e.depCount == 0 {
+					if e.issueAt+1 > e.readyAt {
+						e.readyAt = e.issueAt + 1
+					}
+					s.schedule(e)
+				}
+				bump(c)
+			}
+		}
+	}
+	return lastEvent
+}
+
+// schedule queues e for dispatch at e.readyAt.
+func (s *Simulator) schedule(e *entry) {
+	s.readyEvents.add(e.readyAt, e)
+}
+
+// dispatchBank sends at most one ready entry from bank b to the
+// functional units at cycle c. Entries that fail a structural check
+// (unit busy, result slot taken) stay queued.
+func (s *Simulator) dispatchBank(b int, c int64, lastEvent *int64) {
+	h := &s.ready[b]
+	s.retry = s.retry[:0]
+	dispatched := false
+	for len(*h) > 0 && !dispatched {
+		e := h.pop()
+		unit := e.op.Unit
+		if s.pool.EarliestAccept(unit, c) > c {
+			s.retry = append(s.retry, e)
+			continue
+		}
+		if e.op.IsMemory() && s.memBanks.EarliestAccept(e.op.Addr, c) > c {
+			s.retry = append(s.retry, e)
+			continue
+		}
+		done := c + int64(s.pool.Latency(unit))
+		needsBus := e.op.Dst.Valid()
+		if needsBus && !s.results.Free(b, done) {
+			s.retry = append(s.retry, e)
+			continue
+		}
+		s.pool.Accept(unit, c)
+		if e.op.IsMemory() {
+			s.memBanks.Accept(e.op.Addr, c)
+		}
+		e.dispatched = true
+		if needsBus {
+			s.results.Reserve(b, done)
+			s.broadcasts.add(done, e)
+		} else {
+			// Stores: the memory operation completes without a
+			// register result; the entry is committable at completion.
+			s.broadcasts.add(done, e)
+		}
+		if done > *lastEvent {
+			*lastEvent = done
+		}
+		dispatched = true
+	}
+	for _, e := range s.retry {
+		h.push(e)
+	}
+}

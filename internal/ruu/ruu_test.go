@@ -1,0 +1,228 @@
+package ruu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mfup/internal/bus"
+	"mfup/internal/isa"
+	"mfup/internal/trace"
+)
+
+func cfg115(n, size int, kind bus.Kind) Config {
+	return Config{MemLatency: 11, BranchLatency: 5, IssueUnits: n, Size: size, Bus: kind}
+}
+
+func mkOp(seq int, code isa.Opcode, dst, s1, s2 isa.Reg) trace.Op {
+	return trace.Op{Seq: int64(seq), Code: code, Unit: code.Unit(),
+		Parcels: int8(code.Parcels()), Dst: dst, Src1: s1, Src2: s2}
+}
+
+func TestSingleInstruction(t *testing.T) {
+	tr := &trace.Trace{Ops: []trace.Op{mkOp(0, isa.OpFAdd, isa.S(1), isa.S(0), isa.S(0))}}
+	// Issue at 0, dispatch at 1, result at 7.
+	if got := New(cfg115(1, 4, bus.Bus1)).Run(tr); got != 7 {
+		t.Errorf("cycles = %d, want 7", got)
+	}
+}
+
+func TestChainThroughBypass(t *testing.T) {
+	tr := &trace.Trace{Ops: []trace.Op{
+		mkOp(0, isa.OpFAdd, isa.S(1), isa.S(0), isa.S(0)), // dispatch 1, done 7
+		mkOp(1, isa.OpFAdd, isa.S(2), isa.S(1), isa.S(1)), // wakes at 7, done 13
+	}}
+	if got := New(cfg115(2, 8, bus.BusN)).Run(tr); got != 13 {
+		t.Errorf("cycles = %d, want 13", got)
+	}
+}
+
+func TestIndependentOpsOverlap(t *testing.T) {
+	tr := &trace.Trace{Ops: []trace.Op{
+		mkOp(0, isa.OpFAdd, isa.S(1), isa.S(0), isa.S(0)),
+		mkOp(1, isa.OpFMul, isa.S(2), isa.S(0), isa.S(0)),
+	}}
+	// Both issue at 0, dispatch at 1; FMul completes at 8.
+	if got := New(cfg115(2, 8, bus.BusN)).Run(tr); got != 8 {
+		t.Errorf("cycles = %d, want 8", got)
+	}
+}
+
+func TestIssueWidthLimits(t *testing.T) {
+	// Four independent ops in distinct units. N=1: issue 0,1,2,3;
+	// N=4: all issue at 0. The last dispatch difference shows up in
+	// total cycles.
+	ops := []trace.Op{
+		mkOp(0, isa.OpFAdd, isa.S(1), isa.S(0), isa.S(0)),
+		mkOp(1, isa.OpFMul, isa.S(2), isa.S(0), isa.S(0)),
+		mkOp(2, isa.OpAAdd, isa.A(1), isa.A(2), isa.A(3)),
+		mkOp(3, isa.OpSAdd, isa.S(3), isa.S(0), isa.S(0)),
+	}
+	narrow := New(cfg115(1, 8, bus.Bus1)).Run(&trace.Trace{Ops: ops})
+	wide := New(cfg115(4, 8, bus.BusN)).Run(&trace.Trace{Ops: ops})
+	if wide >= narrow {
+		t.Errorf("wide issue (%d cycles) not faster than narrow (%d)", wide, narrow)
+	}
+	if wide != 8 { // FMul: issue 0, dispatch 1, done 8
+		t.Errorf("wide = %d cycles, want 8", wide)
+	}
+}
+
+func TestRUUFullBackpressure(t *testing.T) {
+	// Eight independent 6-cycle adds: with 16 slots they pipeline one
+	// per cycle; with 2 slots only two fit in flight across the
+	// 6-cycle latency, so issue stalls on commits and throughput
+	// drops to about one per three cycles.
+	var ops []trace.Op
+	for i := 0; i < 8; i++ {
+		ops = append(ops, mkOp(i, isa.OpFAdd, isa.S(1+i%7), isa.S(0), isa.S(0)))
+	}
+	small := New(cfg115(1, 2, bus.Bus1)).Run(&trace.Trace{Ops: ops})
+	big := New(cfg115(1, 16, bus.Bus1)).Run(&trace.Trace{Ops: ops})
+	if small <= big+4 {
+		t.Errorf("2-entry RUU (%d cycles) should be clearly slower than 16-entry (%d)", small, big)
+	}
+}
+
+func TestInOrderCommit(t *testing.T) {
+	// The transfer behind the reciprocal finishes early but must not
+	// free its slot before the reciprocal commits; with one slot per
+	// bank the third op waits for the commit chain.
+	ops := []trace.Op{
+		mkOp(0, isa.OpRecip, isa.S(1), isa.S(0), isa.NoReg), // done 15
+		mkOp(1, isa.OpSImm, isa.S(2), isa.NoReg, isa.NoReg), // done 2, commits >= 15
+		mkOp(2, isa.OpSImm, isa.S(3), isa.NoReg, isa.NoReg),
+	}
+	got := New(cfg115(1, 2, bus.Bus1)).Run(&trace.Trace{Ops: ops})
+	// Recip: issue 0, dispatch 1, done 15, commits 15. SImm1: issue 1
+	// done 3. SImm2 needs a slot: only at 15 (recip commit) -> issue
+	// 15, dispatch 16, done 17.
+	if got != 17 {
+		t.Errorf("cycles = %d, want 17", got)
+	}
+}
+
+func TestBranchStallsIssue(t *testing.T) {
+	ops := []trace.Op{
+		{Seq: 0, Code: isa.OpJ, Unit: isa.Branch, Parcels: 2, Dst: isa.NoReg, Src1: isa.NoReg, Src2: isa.NoReg, Taken: true},
+		mkOp(1, isa.OpSImm, isa.S(1), isa.NoReg, isa.NoReg),
+	}
+	got := New(cfg115(4, 16, bus.BusN)).Run(&trace.Trace{Ops: ops})
+	// Branch at 0 resolves at 5; transfer issues 5, dispatches 6, done 7.
+	if got != 7 {
+		t.Errorf("cycles = %d, want 7", got)
+	}
+}
+
+func TestStoreLoadDependence(t *testing.T) {
+	st := mkOp(0, isa.OpStoreS, isa.NoReg, isa.A(1), isa.S(1))
+	st.Addr = 64
+	ldSame := mkOp(1, isa.OpLoadS, isa.S(2), isa.A(1), isa.NoReg)
+	ldSame.Addr = 64
+	ldOther := mkOp(2, isa.OpLoadS, isa.S(3), isa.A(1), isa.NoReg)
+	ldOther.Addr = 65
+
+	got := New(cfg115(4, 16, bus.BusN)).Run(&trace.Trace{Ops: []trace.Op{st, ldSame, ldOther}})
+	// Store: issue 0, dispatch 1, completes 12. Dependent load wakes
+	// at 12, dispatches 12 (bypass), completes 23. Independent load
+	// dispatches at 2 (memory unit accepted the store at 1), done 13.
+	if got != 23 {
+		t.Errorf("cycles = %d, want 23", got)
+	}
+}
+
+func TestStoreStoreOrdering(t *testing.T) {
+	// Two stores to one address may not complete out of order; the
+	// second waits on the first even though the memory unit would
+	// accept it earlier.
+	st1 := mkOp(0, isa.OpStoreS, isa.NoReg, isa.A(1), isa.S(1))
+	st1.Addr = 7
+	st2 := mkOp(1, isa.OpStoreS, isa.NoReg, isa.A(1), isa.S(2))
+	st2.Addr = 7
+	got := New(cfg115(2, 8, bus.BusN)).Run(&trace.Trace{Ops: []trace.Op{st1, st2}})
+	// st1: dispatch 1, done 12; st2 wakes 12, dispatches 12, done 23.
+	if got != 23 {
+		t.Errorf("cycles = %d, want 23", got)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	for name, c := range map[string]Config{
+		"zero units":     {MemLatency: 11, BranchLatency: 5, Size: 8, Bus: bus.Bus1},
+		"size too small": {MemLatency: 11, BranchLatency: 5, IssueUnits: 4, Size: 2, Bus: bus.BusN},
+		"xbar":           {MemLatency: 11, BranchLatency: 5, IssueUnits: 2, Size: 8, Bus: bus.XBar},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: New did not panic", name)
+				}
+			}()
+			New(c)
+		}()
+	}
+}
+
+func TestSimulatorReusable(t *testing.T) {
+	tr := &trace.Trace{Ops: []trace.Op{
+		mkOp(0, isa.OpFAdd, isa.S(1), isa.S(0), isa.S(0)),
+		mkOp(1, isa.OpFMul, isa.S(2), isa.S(1), isa.S(1)),
+	}}
+	s := New(cfg115(2, 8, bus.BusN))
+	if a, b := s.Run(tr), s.Run(tr); a != b {
+		t.Errorf("reruns differ: %d vs %d", a, b)
+	}
+}
+
+// TestRandomTracesTerminateAndRespectWidth: random well-formed traces
+// always drain, and total cycles are at least the trivial lower bound
+// ops/N (issue width) and at least the longest latency used.
+func TestRandomTracesTerminateAndRespectWidth(t *testing.T) {
+	codes := []isa.Opcode{
+		isa.OpFAdd, isa.OpFMul, isa.OpAAdd, isa.OpSAdd, isa.OpSImm,
+		isa.OpRecip, isa.OpLoadS, isa.OpStoreS, isa.OpJAN,
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		size := n + rng.Intn(40)
+		kind := bus.BusN
+		if rng.Intn(2) == 0 {
+			kind = bus.Bus1
+		}
+		var ops []trace.Op
+		count := 1 + rng.Intn(120)
+		for i := 0; i < count; i++ {
+			code := codes[rng.Intn(len(codes))]
+			var op trace.Op
+			switch {
+			case code == isa.OpJAN:
+				op = trace.Op{Code: code, Dst: isa.NoReg, Src1: isa.NoReg, Src2: isa.NoReg, Taken: rng.Intn(2) == 0}
+				op.Unit, op.Parcels = code.Unit(), int8(code.Parcels())
+			case code == isa.OpLoadS:
+				op = mkOp(i, code, isa.S(rng.Intn(8)), isa.A(rng.Intn(8)), isa.NoReg)
+				op.Addr = int64(rng.Intn(8))
+			case code == isa.OpStoreS:
+				op = mkOp(i, code, isa.NoReg, isa.A(rng.Intn(8)), isa.S(rng.Intn(8)))
+				op.Addr = int64(rng.Intn(8))
+			case code == isa.OpSImm:
+				op = mkOp(i, code, isa.S(rng.Intn(8)), isa.NoReg, isa.NoReg)
+			case code == isa.OpRecip:
+				op = mkOp(i, code, isa.S(rng.Intn(8)), isa.S(rng.Intn(8)), isa.NoReg)
+			case code == isa.OpAAdd:
+				op = mkOp(i, code, isa.A(rng.Intn(8)), isa.A(rng.Intn(8)), isa.A(rng.Intn(8)))
+			default:
+				op = mkOp(i, code, isa.S(rng.Intn(8)), isa.S(rng.Intn(8)), isa.S(rng.Intn(8)))
+			}
+			op.Seq = int64(i)
+			ops = append(ops, op)
+		}
+		cycles := New(Config{MemLatency: 11, BranchLatency: 5, IssueUnits: n, Size: size, Bus: kind}).
+			Run(&trace.Trace{Ops: ops})
+		lower := int64((count + n - 1) / n)
+		return cycles >= lower
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

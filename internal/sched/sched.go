@@ -1,0 +1,247 @@
+// Package sched implements the "software code scheduling techniques"
+// the paper's §6 names as one route to reducing instruction blockage
+// at the issue stage: a static list scheduler that reorders the
+// instructions of each basic block so that dependent instructions are
+// separated by independent work.
+//
+// The scheduler preserves program semantics exactly:
+//
+//   - true (RAW), anti (WAR), and output (WAW) register dependences
+//     are edges in the block's dependence DAG;
+//   - memory is handled conservatively, since static addresses are
+//     unknown: a store orders against every other memory operation,
+//     while loads may reorder freely among themselves;
+//   - a branch ends its block and stays last; instructions never move
+//     across block boundaries, so branch targets (which are program
+//     positions) remain valid because blocks keep their extents.
+//
+// Within those constraints, instructions are emitted greedily by
+// descending critical-path priority (the longest latency-weighted
+// path from the instruction to the end of its block), the classic
+// list-scheduling heuristic compilers of the era used for the CRAY-1.
+package sched
+
+import (
+	"sort"
+
+	"mfup/internal/isa"
+)
+
+// Schedule returns a new program with each basic block list-scheduled
+// under the given latency table. The input program is not modified.
+// Scheduling never changes program length, block boundaries, or the
+// label table.
+func Schedule(p *isa.Program, lat isa.Latencies) *isa.Program {
+	out := &isa.Program{
+		Name:   p.Name + "+sched",
+		Code:   make([]isa.Instruction, 0, len(p.Code)),
+		Labels: make(map[string]int, len(p.Labels)),
+	}
+	for name, idx := range p.Labels {
+		out.Labels[name] = idx
+	}
+	for _, block := range blocks(p) {
+		out.Code = append(out.Code, scheduleBlock(p.Code[block.start:block.end], lat)...)
+	}
+	return out
+}
+
+// span is a half-open basic-block extent [start, end).
+type span struct{ start, end int }
+
+// blocks partitions the program into basic blocks. Leaders are the
+// entry, every branch target, and every instruction after a branch.
+func blocks(p *isa.Program) []span {
+	if len(p.Code) == 0 {
+		return nil
+	}
+	leader := make([]bool, len(p.Code)+1)
+	leader[0] = true
+	leader[len(p.Code)] = true
+	for i, in := range p.Code {
+		if in.Op.IsBranch() {
+			if in.Target <= len(p.Code) {
+				leader[in.Target] = true
+			}
+			if i+1 <= len(p.Code) {
+				leader[i+1] = true
+			}
+		}
+	}
+	// Labels may be branched to from code we cannot see (none in
+	// practice, but a label is an entry point by construction).
+	for _, idx := range p.Labels {
+		leader[idx] = true
+	}
+	var spans []span
+	start := 0
+	for i := 1; i <= len(p.Code); i++ {
+		if leader[i] {
+			spans = append(spans, span{start, i})
+			start = i
+		}
+	}
+	return spans
+}
+
+// depNode is one instruction in a block's dependence DAG.
+type depNode struct {
+	index    int   // position within the block (original order)
+	preds    int   // unscheduled predecessors
+	succs    []int // dependent successors
+	priority int   // latency-weighted path to block end
+}
+
+// scheduleBlock list-schedules one block and returns the new order.
+func scheduleBlock(code []isa.Instruction, lat isa.Latencies) []isa.Instruction {
+	n := len(code)
+	if n <= 2 {
+		return append([]isa.Instruction(nil), code...)
+	}
+
+	nodes := make([]depNode, n)
+	for i := range nodes {
+		nodes[i].index = i
+	}
+	// addEdge orders i before j.
+	edges := make(map[[2]int]bool, 4*n)
+	addEdge := func(i, j int) {
+		if i == j {
+			return
+		}
+		key := [2]int{i, j}
+		if edges[key] {
+			return
+		}
+		edges[key] = true
+		nodes[i].succs = append(nodes[i].succs, j)
+		nodes[j].preds++
+	}
+
+	var (
+		lastWriter  [isa.NumRegs]int // -1 = none
+		lastReaders [isa.NumRegs][]int
+		lastStore   = -1
+		memOps      []int // loads and stores since the last store
+		srcs        [3]isa.Reg
+	)
+	for r := range lastWriter {
+		lastWriter[r] = -1
+	}
+
+	for j := 0; j < n; j++ {
+		in := code[j]
+		for _, r := range in.Reads(srcs[:0]) {
+			if w := lastWriter[r]; w >= 0 {
+				addEdge(w, j) // RAW
+			}
+			lastReaders[r] = append(lastReaders[r], j)
+		}
+		if d := in.Writes(); d.Valid() {
+			if w := lastWriter[d]; w >= 0 {
+				addEdge(w, j) // WAW
+			}
+			for _, r := range lastReaders[d] {
+				addEdge(r, j) // WAR
+			}
+			lastWriter[d] = j
+			lastReaders[d] = lastReaders[d][:0]
+		}
+		if in.Op.IsMemory() {
+			if in.Op.IsStore() {
+				// A store orders against every memory op since the
+				// previous store, and against that store.
+				if lastStore >= 0 {
+					addEdge(lastStore, j)
+				}
+				for _, m := range memOps {
+					addEdge(m, j)
+				}
+				lastStore = j
+				memOps = memOps[:0]
+			} else {
+				if lastStore >= 0 {
+					addEdge(lastStore, j) // load after store
+				}
+				memOps = append(memOps, j)
+			}
+		}
+		if in.Op.IsBranch() {
+			// The branch is the block terminator: everything precedes it.
+			for i := 0; i < j; i++ {
+				addEdge(i, j)
+			}
+		}
+	}
+
+	// Priorities: longest latency-weighted path to the block end,
+	// computed backwards (successors are always later in original
+	// order, so a reverse sweep sees them finished).
+	for j := n - 1; j >= 0; j-- {
+		best := 0
+		for _, s := range nodes[j].succs {
+			if nodes[s].priority > best {
+				best = nodes[s].priority
+			}
+		}
+		nodes[j].priority = best + lat.Of(code[j].Unit())
+	}
+
+	// Cycle-aware greedy emission against a one-instruction-per-cycle
+	// issue model: at each slot prefer, among instructions whose
+	// operands would already be available, the one with the highest
+	// critical-path priority; if none is available yet, take the one
+	// that becomes available soonest. This is what interleaves
+	// independent work into the latency shadows of long operations.
+	var (
+		avail = make([]int64, n) // earliest cycle operands are ready
+		out   = make([]isa.Instruction, 0, n)
+		ready = make([]int, 0, n)
+		clock int64
+	)
+	for j := range nodes {
+		if nodes[j].preds == 0 {
+			ready = append(ready, j)
+		}
+	}
+	for len(ready) > 0 {
+		sort.Slice(ready, func(a, b int) bool {
+			na, nb := ready[a], ready[b]
+			ra, rb := avail[na] <= clock, avail[nb] <= clock
+			if ra != rb {
+				return ra // available-now first
+			}
+			if !ra { // neither available: soonest first
+				if avail[na] != avail[nb] {
+					return avail[na] < avail[nb]
+				}
+			}
+			if nodes[na].priority != nodes[nb].priority {
+				return nodes[na].priority > nodes[nb].priority
+			}
+			return nodes[na].index < nodes[nb].index
+		})
+		pick := ready[0]
+		ready = ready[1:]
+		if avail[pick] > clock {
+			clock = avail[pick]
+		}
+		out = append(out, code[pick])
+		done := clock + int64(lat.Of(code[pick].Unit()))
+		clock++
+		for _, s := range nodes[pick].succs {
+			if done > avail[s] {
+				avail[s] = done
+			}
+			nodes[s].preds--
+			if nodes[s].preds == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	if len(out) != n {
+		// A cycle in the DAG would be a construction bug.
+		panic("sched: dependence graph did not drain")
+	}
+	return out
+}

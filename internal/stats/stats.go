@@ -1,0 +1,57 @@
+// Package stats provides the summary statistics of the paper:
+// issue rates are combined across benchmark loops with the harmonic
+// mean, the standard aggregate for rates (Worlton, "Understanding
+// Supercomputer Benchmarks").
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// HarmonicMean returns the harmonic mean of xs. It returns 0 for an
+// empty slice and NaN if any value is zero or negative (rates must be
+// positive).
+func HarmonicMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		sum += 1 / x
+	}
+	return float64(len(xs)) / sum
+}
+
+// Mean returns the arithmetic mean of xs, 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Min returns the smallest element of xs; it panics on an empty
+// slice, which is a caller bug.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Rate2 formats an issue rate with the paper's two-decimal precision.
+func Rate2(x float64) string { return fmt.Sprintf("%.2f", x) }

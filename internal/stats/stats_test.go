@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHarmonicMeanBasics(t *testing.T) {
+	if got := HarmonicMean(nil); got != 0 {
+		t.Errorf("HM(nil) = %v, want 0", got)
+	}
+	if got := HarmonicMean([]float64{2, 2, 2}); got != 2 {
+		t.Errorf("HM(2,2,2) = %v, want 2", got)
+	}
+	// Classic example: HM(1, 2) = 4/3.
+	if got := HarmonicMean([]float64{1, 2}); math.Abs(got-4.0/3) > 1e-12 {
+		t.Errorf("HM(1,2) = %v, want 4/3", got)
+	}
+	if got := HarmonicMean([]float64{1, 0}); !math.IsNaN(got) {
+		t.Errorf("HM with zero = %v, want NaN", got)
+	}
+}
+
+func TestMeanAndMin(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+	if got := Min([]float64{3, 1, 2}); got != 1 {
+		t.Errorf("Min = %v, want 1", got)
+	}
+}
+
+func TestMinPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Min(nil) did not panic")
+		}
+	}()
+	Min(nil)
+}
+
+func TestRate2(t *testing.T) {
+	if got := Rate2(0.4449); got != "0.44" {
+		t.Errorf("Rate2 = %q, want 0.44", got)
+	}
+}
+
+// Properties of the harmonic mean over positive rates: it is bounded
+// by the minimum and the arithmetic mean, and is dominated by slow
+// loops — which is exactly why the paper uses it for issue rates.
+func TestHarmonicMeanProperties(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = 0.05 + float64(r)/64 // positive rates
+		}
+		hm := HarmonicMean(xs)
+		const eps = 1e-9
+		return hm >= Min(xs)-eps && hm <= Mean(xs)+eps
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

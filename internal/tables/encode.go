@@ -1,0 +1,49 @@
+package tables
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// MarshalJSON renders the table as a JSON object with its caption,
+// column headers, and rows, for downstream analysis tooling.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	type row struct {
+		Label string    `json:"label"`
+		Rates []float64 `json:"rates"`
+	}
+	out := struct {
+		Number  int      `json:"number"`
+		Title   string   `json:"title"`
+		Columns []string `json:"columns"`
+		Rows    []row    `json:"rows"`
+	}{Number: t.Number, Title: t.Title, Columns: t.Columns}
+	for _, r := range t.Rows {
+		out.Rows = append(out.Rows, row{Label: r.Label, Rates: r.Rates})
+	}
+	return json.Marshal(out)
+}
+
+// CSV renders the table as comma-separated values: a header row with
+// the caption in the first cell, then one line per row with full
+// float precision (the text renderer rounds to the paper's two
+// decimals; analysis wants the exact values).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	header := append([]string{fmt.Sprintf("Table %d: %s", t.Number, t.Title)}, t.Columns...)
+	_ = w.Write(header)
+	for _, r := range t.Rows {
+		rec := make([]string, 0, 1+len(r.Rates))
+		rec = append(rec, r.Label)
+		for _, v := range r.Rates {
+			rec = append(rec, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		_ = w.Write(rec)
+	}
+	w.Flush()
+	return b.String()
+}

@@ -1,0 +1,318 @@
+// Package tables regenerates the eight tables of the paper's
+// evaluation. Each TableN function runs the full set of simulations
+// behind the corresponding table and returns the rows in the paper's
+// layout; Render prints them in an aligned text form.
+//
+// Issue rates are harmonic means over the loops of a class, exactly
+// as in the paper: the scalar loops are LFK {5, 6, 11, 13, 14}, the
+// vectorizable loops LFK {1, 2, 3, 4, 7, 8, 9, 10, 12}.
+package tables
+
+import (
+	"fmt"
+	"strings"
+
+	"mfup/internal/bus"
+	"mfup/internal/core"
+	"mfup/internal/limits"
+	"mfup/internal/loops"
+	"mfup/internal/stats"
+	"mfup/internal/trace"
+)
+
+// Table is a rendered experiment: a grid of issue rates.
+type Table struct {
+	Number  int
+	Title   string
+	Columns []string // value column headers
+	Rows    []Row
+}
+
+// Row is one table line.
+type Row struct {
+	Label string
+	Rates []float64
+}
+
+// Render formats the table as aligned text, rates with the paper's
+// two-decimal precision.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table %d. %s\n", t.Number, t.Title)
+	width := 10
+	for _, c := range t.Columns {
+		if len(c)+2 > width {
+			width = len(c) + 2
+		}
+	}
+	label := 14
+	for _, r := range t.Rows {
+		if len(r.Label)+2 > label {
+			label = len(r.Label) + 2
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", label, "")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, "%*s", width, c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-*s", label, r.Label)
+		for _, v := range r.Rates {
+			fmt.Fprintf(&b, "%*s", width, stats.Rate2(v))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// classTraces returns the cached traces of a loop class.
+func classTraces(c loops.Class) []*trace.Trace {
+	var ts []*trace.Trace
+	for _, k := range loops.ByClass(c) {
+		ts = append(ts, k.SharedTrace())
+	}
+	return ts
+}
+
+// harmonicRate runs machine m over every trace and combines the
+// per-loop issue rates with the harmonic mean.
+func harmonicRate(m core.Machine, ts []*trace.Trace) float64 {
+	rates := make([]float64, 0, len(ts))
+	for _, t := range ts {
+		rates = append(rates, m.Run(t).IssueRate())
+	}
+	return stats.HarmonicMean(rates)
+}
+
+// configColumns returns the paper's four machine-variation headers.
+func configColumns() []string {
+	var cols []string
+	for _, cfg := range core.BaseConfigs() {
+		cols = append(cols, cfg.Name())
+	}
+	return cols
+}
+
+// Table1 reproduces "Instruction Issue Rates for Different Basic
+// Machine Organizations": the four single-issue machines of §3 over
+// both loop classes and all four M/BR variations.
+func Table1() *Table {
+	t := &Table{
+		Number:  1,
+		Title:   "Instruction Issue Rates for Different Basic Machine Organizations",
+		Columns: configColumns(),
+	}
+	for _, class := range []loops.Class{loops.Scalar, loops.Vectorizable} {
+		ts := classTraces(class)
+		for _, org := range core.Organizations() {
+			row := Row{Label: fmt.Sprintf("%s %s", class, org)}
+			for _, cfg := range core.BaseConfigs() {
+				row.Rates = append(row.Rates, harmonicRate(core.NewBasic(org, cfg), ts))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t
+}
+
+// Table2 reproduces "The Pseudo-Dataflow and Resource Limits for
+// Vector and Scalar Loops": §4's bounds under unlimited ("Pure") and
+// in-order-WAW ("Serial") buffering assumptions. Columns are the
+// pseudo-dataflow limit, the resource limit, and the actual limit
+// (harmonic mean of per-loop minima).
+func Table2() *Table {
+	t := &Table{
+		Number:  2,
+		Title:   "The Pseudo-Dataflow and Resource Limits for Vector and Scalar Loops",
+		Columns: []string{"Pseudo-DF", "Resource", "Actual"},
+	}
+	for _, class := range []loops.Class{loops.Scalar, loops.Vectorizable} {
+		ts := classTraces(class)
+		for _, mode := range []limits.Mode{limits.Pure, limits.Serial} {
+			for _, cfg := range core.BaseConfigs() {
+				var pdf, res, act []float64
+				for _, tr := range ts {
+					l := limits.Compute(tr, cfg.Latencies(), mode)
+					pdf = append(pdf, l.PseudoDataflow)
+					res = append(res, l.Resource)
+					act = append(act, l.Actual)
+				}
+				t.Rows = append(t.Rows, Row{
+					Label: fmt.Sprintf("%s %s %s", class, mode, cfg.Name()),
+					Rates: []float64{
+						stats.HarmonicMean(pdf),
+						stats.HarmonicMean(res),
+						stats.HarmonicMean(act),
+					},
+				})
+			}
+		}
+	}
+	return t
+}
+
+// issueStationColumns builds the N-Bus/1-Bus column pairs used by
+// Tables 3-6.
+func issueStationColumns() []string {
+	var cols []string
+	for _, cfg := range core.BaseConfigs() {
+		cols = append(cols, cfg.Name()+" N-Bus", cfg.Name()+" 1-Bus")
+	}
+	return cols
+}
+
+// multiIssueTable implements Tables 3-6: one row per issue-station
+// count 1-8, N-Bus and 1-Bus columns for each machine variation.
+func multiIssueTable(number int, title string, class loops.Class,
+	mk func(core.Config) core.Machine) *Table {
+	t := &Table{Number: number, Title: title, Columns: issueStationColumns()}
+	ts := classTraces(class)
+	for n := 1; n <= 8; n++ {
+		row := Row{Label: fmt.Sprintf("%d stations", n)}
+		for _, cfg := range core.BaseConfigs() {
+			row.Rates = append(row.Rates,
+				harmonicRate(mk(cfg.WithIssue(n, bus.BusN)), ts),
+				harmonicRate(mk(cfg.WithIssue(n, bus.Bus1)), ts))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Table3 reproduces "Multiple Issue Units, Sequential Issue of Scalar
+// Code" (§5.1).
+func Table3() *Table {
+	return multiIssueTable(3, "Multiple Issue Units, Sequential Issue of Scalar Code",
+		loops.Scalar, core.NewMultiIssue)
+}
+
+// Table4 reproduces "Multiple Issue Units, Sequential Issue for
+// Vectorizable Code" (§5.1).
+func Table4() *Table {
+	return multiIssueTable(4, "Multiple Issue Units, Sequential Issue for Vectorizable Code",
+		loops.Vectorizable, core.NewMultiIssue)
+}
+
+// Table5 reproduces "Multiple Issue Units, Out-of-Order Issue for
+// Scalar Code" (§5.2).
+func Table5() *Table {
+	return multiIssueTable(5, "Multiple Issue Units, Out-of-Order Issue for Scalar Code",
+		loops.Scalar, core.NewMultiIssueOOO)
+}
+
+// Table6 reproduces "Multiple Issue Units, Out-of-Order Issue for
+// Vectorizable Loops" (§5.2).
+func Table6() *Table {
+	return multiIssueTable(6, "Multiple Issue Units, Out-of-Order Issue for Vectorizable Loops",
+		loops.Vectorizable, core.NewMultiIssueOOO)
+}
+
+// RUUSizes are the Register Update Unit sizes of Tables 7 and 8.
+var RUUSizes = []int{10, 20, 30, 40, 50, 100}
+
+// ruuTable implements Tables 7 and 8: rows are machine variation x
+// RUU size; columns are issue-unit counts 1-4, each with N-Bus and
+// 1-Bus.
+func ruuTable(number int, title string, class loops.Class) *Table {
+	t := &Table{Number: number, Title: title}
+	for n := 1; n <= 4; n++ {
+		t.Columns = append(t.Columns,
+			fmt.Sprintf("%d N-Bus", n), fmt.Sprintf("%d 1-Bus", n))
+	}
+	ts := classTraces(class)
+	for _, cfg := range core.BaseConfigs() {
+		for _, size := range RUUSizes {
+			row := Row{Label: fmt.Sprintf("%s RUU %d", cfg.Name(), size)}
+			for n := 1; n <= 4; n++ {
+				row.Rates = append(row.Rates,
+					harmonicRate(core.NewRUU(cfg.WithIssue(n, bus.BusN).WithRUU(size)), ts),
+					harmonicRate(core.NewRUU(cfg.WithIssue(n, bus.Bus1).WithRUU(size)), ts))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t
+}
+
+// Table7 reproduces "Multiple Issue Units with Dependency Resolution;
+// Scalar Code" (§5.3).
+func Table7() *Table {
+	return ruuTable(7, "Multiple Issue Units with Dependency Resolution; Scalar Code", loops.Scalar)
+}
+
+// Table8 reproduces "Multiple Issue Units with Dependency Resolution;
+// Vectorizable Code" (§5.3).
+func Table8() *Table {
+	return ruuTable(8, "Multiple Issue Units with Dependency Resolution; Vectorizable Code", loops.Vectorizable)
+}
+
+// All regenerates every table in paper order.
+func All() []*Table {
+	return []*Table{
+		Table1(), Table2(), Table3(), Table4(),
+		Table5(), Table6(), Table7(), Table8(),
+	}
+}
+
+// Get returns table n (1-8).
+func Get(n int) (*Table, error) {
+	switch n {
+	case 1:
+		return Table1(), nil
+	case 2:
+		return Table2(), nil
+	case 3:
+		return Table3(), nil
+	case 4:
+		return Table4(), nil
+	case 5:
+		return Table5(), nil
+	case 6:
+		return Table6(), nil
+	case 7:
+		return Table7(), nil
+	case 8:
+		return Table8(), nil
+	}
+	return nil, fmt.Errorf("tables: no table %d (the paper has tables 1-8)", n)
+}
+
+// SectionThreeThree is a supplementary table (not printed in the
+// paper, but §3.3 quotes its endpoints): single-issue dependency
+// resolution schemes compared on the four machine variations. Rows
+// are loop classes x schemes; columns are the M/BR variations. The
+// schemes are the blocking CRAY-like issue, the CDC-6600 scoreboard
+// (issues past RAW, blocks WAW), Tomasulo (renames; one common data
+// bus), and the RUU with one issue unit and 50 entries (the paper's
+// §3.3 configuration, quoted as ~0.72 scalar / ~0.81 vectorizable on
+// M11BR5).
+func SectionThreeThree() *Table {
+	t := &Table{
+		Number:  0,
+		Title:   "Supplement: Single-Issue Dependency Resolution Schemes (paper section 3.3)",
+		Columns: configColumns(),
+	}
+	schemes := []struct {
+		name string
+		mk   func(core.Config) core.Machine
+	}{
+		{"CRAY-like (blocking)", func(c core.Config) core.Machine { return core.NewBasic(core.CRAYLike, c) }},
+		{"Scoreboard (CDC 6600)", core.NewScoreboard},
+		{"Tomasulo (360/91)", func(c core.Config) core.Machine { return core.NewTomasulo(c) }},
+		{"RUU 1 unit, 50 entries", func(c core.Config) core.Machine {
+			return core.NewRUU(c.WithIssue(1, bus.BusN).WithRUU(50))
+		}},
+	}
+	for _, class := range []loops.Class{loops.Scalar, loops.Vectorizable} {
+		ts := classTraces(class)
+		for _, s := range schemes {
+			row := Row{Label: fmt.Sprintf("%s %s", class, s.name)}
+			for _, cfg := range core.BaseConfigs() {
+				row.Rates = append(row.Rates, harmonicRate(s.mk(cfg), ts))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t
+}

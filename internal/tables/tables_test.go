@@ -1,0 +1,240 @@
+package tables
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func jsonUnmarshal(b []byte, v any) error { return json.Unmarshal(b, v) }
+
+// The table drivers run the full simulation sets, so each is
+// generated once and shared across assertions.
+var (
+	t1 = Table1()
+	t2 = Table2()
+	t3 = Table3()
+	t4 = Table4()
+	t7 = Table7()
+	t8 = Table8()
+)
+
+func TestTable1Shape(t *testing.T) {
+	if len(t1.Rows) != 8 { // 2 classes x 4 organizations
+		t.Fatalf("Table 1 has %d rows, want 8", len(t1.Rows))
+	}
+	if len(t1.Columns) != 4 {
+		t.Fatalf("Table 1 has %d columns, want 4", len(t1.Columns))
+	}
+	for _, r := range t1.Rows {
+		if len(r.Rates) != 4 {
+			t.Fatalf("row %q has %d rates", r.Label, len(r.Rates))
+		}
+		for i, v := range r.Rates {
+			if v <= 0 || v >= 1 {
+				t.Errorf("row %q col %s: single-issue rate %.3f outside (0,1)", r.Label, t1.Columns[i], v)
+			}
+		}
+	}
+	// Within each class, organizations improve monotonically in every
+	// column — the paper's §3 progression.
+	for class := 0; class < 2; class++ {
+		rows := t1.Rows[class*4 : class*4+4]
+		for c := 0; c < 4; c++ {
+			for i := 1; i < 4; i++ {
+				if rows[i].Rates[c] < rows[i-1].Rates[c]-1e-9 {
+					t.Errorf("Table 1 %q col %d: %f < %f (organizations out of order)",
+						rows[i].Label, c, rows[i].Rates[c], rows[i-1].Rates[c])
+				}
+			}
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	if len(t2.Rows) != 16 { // 2 classes x 2 modes x 4 configs
+		t.Fatalf("Table 2 has %d rows, want 16", len(t2.Rows))
+	}
+	for _, r := range t2.Rows {
+		pdf, res, act := r.Rates[0], r.Rates[1], r.Rates[2]
+		// The actual limit is a harmonic mean of per-loop minima: it
+		// can be below both aggregates but never above either.
+		if act > pdf+1e-9 || act > res+1e-9 {
+			t.Errorf("row %q: actual %.3f above a component (pdf %.3f, res %.3f)", r.Label, act, pdf, res)
+		}
+		if strings.Contains(r.Label, "Pure") && act <= 1 {
+			t.Errorf("row %q: pure actual limit %.3f should exceed 1 (the paper's motivation)", r.Label, act)
+		}
+		if strings.Contains(r.Label, "Serial") && act > 1.3 {
+			t.Errorf("row %q: serial limit %.3f implausibly high", r.Label, act)
+		}
+	}
+	// Pseudo-dataflow limits are insensitive to memory latency:
+	// compare M11BR5 vs M5BR5 rows within each class and mode.
+	for base := 0; base < 16; base += 4 {
+		m11, m5 := t2.Rows[base].Rates[0], t2.Rows[base+2].Rates[0]
+		if diff := m11 - m5; diff > 0.15 || diff < -0.15 {
+			t.Errorf("pseudo-dataflow memory sensitivity too large: %q %.3f vs %q %.3f",
+				t2.Rows[base].Label, m11, t2.Rows[base+2].Label, m5)
+		}
+	}
+}
+
+func TestTables3And4Shape(t *testing.T) {
+	for _, tb := range []*Table{t3, t4} {
+		if len(tb.Rows) != 8 || len(tb.Columns) != 8 {
+			t.Fatalf("Table %d: %dx%d, want 8x8", tb.Number, len(tb.Rows), len(tb.Columns))
+		}
+		// Most of the multi-issue gain arrives by 3-4 stations: the
+		// step from 4 to 8 stations is under 5%.
+		for c := range tb.Columns {
+			r4, r8 := tb.Rows[3].Rates[c], tb.Rows[7].Rates[c]
+			if r8 > 1.05*r4 {
+				t.Errorf("Table %d col %s: rate still climbing after 4 stations (%.3f -> %.3f)",
+					tb.Number, tb.Columns[c], r4, r8)
+			}
+		}
+		// N-Bus vs 1-Bus differ negligibly (columns come in pairs).
+		for c := 0; c < len(tb.Columns); c += 2 {
+			for r := range tb.Rows {
+				n, one := tb.Rows[r].Rates[c], tb.Rows[r].Rates[c+1]
+				if n < one-1e-9 {
+					t.Errorf("Table %d row %d: N-Bus (%.3f) below 1-Bus (%.3f)", tb.Number, r, n, one)
+				}
+				if n > 1.05*one {
+					t.Errorf("Table %d row %d: 1-Bus far behind N-Bus (%.3f vs %.3f)", tb.Number, r, one, n)
+				}
+			}
+		}
+	}
+}
+
+func TestTables7And8Shape(t *testing.T) {
+	for _, tb := range []*Table{t7, t8} {
+		if len(tb.Rows) != 24 || len(tb.Columns) != 8 { // 4 configs x 6 sizes; 4 widths x 2 buses
+			t.Fatalf("Table %d: %dx%d, want 24x8", tb.Number, len(tb.Rows), len(tb.Columns))
+		}
+		for _, r := range tb.Rows {
+			for _, v := range r.Rates {
+				if v <= 0 {
+					t.Errorf("Table %d row %q: nonpositive rate", tb.Number, r.Label)
+				}
+			}
+		}
+	}
+	// Dependency resolution with one issue unit already beats every
+	// Table 1 machine: compare column "1 N-Bus" at RUU 50 (row 4 of
+	// the M11BR5 block) against Table 1's CRAY-like M11BR5.
+	cray := t1.Rows[3].Rates[0] // Scalar CRAY-like, M11BR5
+	ruu1 := t7.Rows[4].Rates[0] // M11BR5 RUU 50, 1 unit, N-Bus
+	if ruu1 <= cray {
+		t.Errorf("RUU single issue (%.3f) did not beat CRAY-like (%.3f)", ruu1, cray)
+	}
+	// Vectorizable code with 4 units and a large RUU exceeds 1
+	// instruction per cycle — the paper's headline for Table 8.
+	bestVec := t8.Rows[5].Rates[6] // M11BR5 RUU 100, 4 units, N-Bus
+	if bestVec <= 1 {
+		t.Errorf("Table 8 best N-Bus rate %.3f, want > 1", bestVec)
+	}
+	// The 1-Bus organization saturates near one instruction per cycle.
+	for _, tb := range []*Table{t7, t8} {
+		for _, r := range tb.Rows {
+			for c := 1; c < len(r.Rates); c += 2 { // 1-Bus columns
+				if r.Rates[c] > 1.15 {
+					t.Errorf("Table %d row %q: 1-Bus rate %.3f far above saturation", tb.Number, r.Label, r.Rates[c])
+				}
+			}
+		}
+	}
+}
+
+func TestRenderLooksLikeATable(t *testing.T) {
+	out := t1.Render()
+	if !strings.Contains(out, "Table 1.") {
+		t.Error("missing caption")
+	}
+	if !strings.Contains(out, "M11BR5") || !strings.Contains(out, "M5BR2") {
+		t.Error("missing column headers")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2+len(t1.Rows) {
+		t.Errorf("rendered %d lines, want %d", len(lines), 2+len(t1.Rows))
+	}
+}
+
+func TestGetAndAll(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		tb, err := Get(n)
+		if err != nil {
+			t.Fatalf("Get(%d): %v", n, err)
+		}
+		if tb.Number != n {
+			t.Errorf("Get(%d) returned table %d", n, tb.Number)
+		}
+	}
+	if _, err := Get(9); err == nil {
+		t.Error("Get(9) did not fail")
+	}
+	if got := len(All()); got != 8 {
+		t.Errorf("All() returned %d tables, want 8", got)
+	}
+}
+
+func TestSectionThreeThreeShape(t *testing.T) {
+	tb := SectionThreeThree()
+	if len(tb.Rows) != 8 || len(tb.Columns) != 4 {
+		t.Fatalf("supplement table is %dx%d, want 8x4", len(tb.Rows), len(tb.Columns))
+	}
+	// Within each class, the schemes improve monotonically in every
+	// column: blocking < scoreboard < Tomasulo <= RUU (aggregate).
+	for class := 0; class < 2; class++ {
+		rows := tb.Rows[class*4 : class*4+4]
+		for c := 0; c < 4; c++ {
+			for i := 1; i < 4; i++ {
+				if rows[i].Rates[c] < rows[i-1].Rates[c]-0.02 {
+					t.Errorf("supplement %q col %d: %.3f < %.3f",
+						rows[i].Label, c, rows[i].Rates[c], rows[i-1].Rates[c])
+				}
+			}
+		}
+	}
+}
+
+func TestCSVAndJSONEncodings(t *testing.T) {
+	out := t1.CSV()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 1+len(t1.Rows) {
+		t.Fatalf("CSV has %d lines, want %d", len(lines), 1+len(t1.Rows))
+	}
+	if !strings.Contains(lines[0], "Table 1") || !strings.Contains(lines[0], "M11BR5") {
+		t.Errorf("CSV header malformed: %q", lines[0])
+	}
+	// Every data line has label + one value per column.
+	for _, l := range lines[1:] {
+		if got := strings.Count(l, ","); got != len(t1.Columns) {
+			t.Errorf("CSV line %q has %d commas, want %d", l, got, len(t1.Columns))
+		}
+	}
+
+	js, err := t1.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Number  int      `json:"number"`
+		Columns []string `json:"columns"`
+		Rows    []struct {
+			Label string    `json:"label"`
+			Rates []float64 `json:"rates"`
+		} `json:"rows"`
+	}
+	if err := jsonUnmarshal(js, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Number != 1 || len(decoded.Rows) != len(t1.Rows) || len(decoded.Columns) != 4 {
+		t.Errorf("JSON round trip lost structure: %+v", decoded)
+	}
+	if decoded.Rows[0].Rates[0] != t1.Rows[0].Rates[0] {
+		t.Error("JSON lost rate precision")
+	}
+}

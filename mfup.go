@@ -1,0 +1,188 @@
+// Package mfup is a reproduction of Pleszkun & Sohi, "The Performance
+// Potential of Multiple Functional Unit Processors" (UW-Madison CS TR
+// #752 / ISCA 1988): a trace-driven simulator suite for CRAY-like
+// single processors that measures how instruction issue rate responds
+// to pipelining, multiple functional units, multiple issue units, and
+// RUU-style dependency resolution.
+//
+// The package is a facade over the internal substrates:
+//
+//   - Machines: the paper's machine models (§3 basic organizations,
+//     §5.1 in-order multiple issue, §5.2 out-of-order issue, §5.3 RUU).
+//   - Kernels: the first 14 Lawrence Livermore Loops, hand-compiled
+//     to the CRAY-like ISA, with validated execution.
+//   - Limits: the §4 dataflow and resource bounds.
+//   - Tables: regeneration of the paper's Tables 1-8.
+//   - Assemble/TraceProgram: the custom-kernel workflow — write
+//     assembly, trace it, simulate it on any machine.
+//
+// Quick start:
+//
+//	k := mfup.MustKernel(1)                     // LFK 1, hydro fragment
+//	m := mfup.NewBasic(mfup.CRAYLike, mfup.M11BR5)
+//	r := m.Run(k.SharedTrace())
+//	fmt.Printf("%.2f instructions/cycle\n", r.IssueRate())
+package mfup
+
+import (
+	"mfup/internal/bus"
+	"mfup/internal/core"
+	"mfup/internal/limits"
+	"mfup/internal/loops"
+	"mfup/internal/trace"
+)
+
+// Re-exported core types. These aliases are the public names; see the
+// internal packages for full documentation.
+type (
+	// Config selects memory latency, branch latency, and the
+	// multiple-issue parameters of a machine.
+	Config = core.Config
+
+	// Machine is a timing model that runs traces.
+	Machine = core.Machine
+
+	// Result is one simulation outcome; IssueRate() is the paper's
+	// metric.
+	Result = core.Result
+
+	// Organization selects one of the four §3 single-issue machines.
+	Organization = core.Organization
+
+	// BusKind selects the result-bus interconnect of §5.
+	BusKind = bus.Kind
+
+	// Trace is a dynamic instruction stream.
+	Trace = trace.Trace
+
+	// Kernel is one Livermore loop benchmark.
+	Kernel = loops.Kernel
+
+	// KernelClass partitions kernels into scalar and vectorizable.
+	KernelClass = loops.Class
+
+	// LimitMode selects Pure or Serial WAW treatment in §4 bounds.
+	LimitMode = limits.Mode
+
+	// Limits carries the §4 bounds for one trace.
+	Limits = limits.Limits
+)
+
+// The paper's four machine variations (memory latency x branch
+// latency).
+var (
+	M11BR5 = core.M11BR5
+	M11BR2 = core.M11BR2
+	M5BR5  = core.M5BR5
+	M5BR2  = core.M5BR2
+)
+
+// BaseConfigs returns the four variations in table order.
+func BaseConfigs() []Config { return core.BaseConfigs() }
+
+// The §3 single-issue machine organizations.
+const (
+	Simple       = core.Simple
+	SerialMemory = core.SerialMemory
+	NonSegmented = core.NonSegmented
+	CRAYLike     = core.CRAYLike
+)
+
+// Organizations returns the §3 machines in Table 1 order.
+func Organizations() []Organization { return core.Organizations() }
+
+// Result-bus interconnects (§5.1).
+const (
+	XBar = bus.XBar
+	BusN = bus.BusN
+	Bus1 = bus.Bus1
+)
+
+// Kernel classes.
+const (
+	Scalar       = loops.Scalar
+	Vectorizable = loops.Vectorizable
+)
+
+// Limit modes (§4).
+const (
+	Pure   = limits.Pure
+	Serial = limits.Serial
+)
+
+// NewBasic builds one of the four basic single-issue machines of §3.
+func NewBasic(o Organization, cfg Config) Machine { return core.NewBasic(o, cfg) }
+
+// NewMultiIssue builds the §5.1 machine: cfg.IssueUnits stations with
+// strictly in-order issue. Use Config.WithIssue to set the width and
+// bus kind.
+func NewMultiIssue(cfg Config) Machine { return core.NewMultiIssue(cfg) }
+
+// NewMultiIssueOOO builds the §5.2 machine: out-of-order issue within
+// the instruction buffer.
+func NewMultiIssueOOO(cfg Config) Machine { return core.NewMultiIssueOOO(cfg) }
+
+// NewRUU builds the §5.3 machine: multiple issue units with RUU
+// dependency resolution. Use Config.WithIssue and Config.WithRUU.
+func NewRUU(cfg Config) Machine { return core.NewRUU(cfg) }
+
+// NewScoreboard builds the CDC-6600-style single-issue dependency-
+// resolution machine referenced in §3.3: instructions issue past RAW
+// hazards (waiting at their functional units) but WAW hazards still
+// block issue.
+func NewScoreboard(cfg Config) Machine { return core.NewScoreboard(cfg) }
+
+// NewTomasulo builds the IBM 360/91-style single-issue machine
+// referenced in §3.3: per-unit reservation stations, tag-based
+// renaming (no WAW or WAR stalls), and a single common data bus.
+// cfg.RUUSize, when positive, sets the stations per unit.
+func NewTomasulo(cfg Config) Machine { return core.NewTomasulo(cfg) }
+
+// NewVector builds the vector-extension machine: the CRAY-like
+// scalar machine plus a CRAY-1-style vector unit with chaining (§3.2
+// discusses exactly this sharing of functional units between scalar
+// and vector operations). It is the only machine that accepts vector
+// traces; the scalar machines reject them.
+func NewVector(cfg Config) Machine { return core.NewVector(cfg) }
+
+// Kernels returns all 14 Livermore loops in kernel order.
+func Kernels() []*Kernel { return loops.All() }
+
+// KernelsByClass returns the loops of one class: the paper's scalar
+// set is LFK {5, 6, 11, 13, 14}, the vectorizable set LFK {1, 2, 3,
+// 4, 7, 8, 9, 10, 12}.
+func KernelsByClass(c KernelClass) []*Kernel { return loops.ByClass(c) }
+
+// GetKernel returns Livermore kernel n (1-14).
+func GetKernel(n int) (*Kernel, error) { return loops.Get(n) }
+
+// MustKernel is GetKernel for known-valid numbers; it panics
+// otherwise.
+func MustKernel(n int) *Kernel {
+	k, err := loops.Get(n)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// VectorKernels returns the hand-vectorized codings of the
+// representative vectorizable kernels (all nine vectorizable kernels), for use with
+// NewVector.
+func VectorKernels() []*Kernel { return loops.VectorKernels() }
+
+// VectorKernel returns the vectorized coding of kernel n, if one
+// exists.
+func VectorKernel(n int) (*Kernel, error) { return loops.VectorKernel(n) }
+
+// ScaledKernel builds a fresh instance of Livermore kernel number
+// with loop length n instead of the paper default. Kernel 2 requires
+// a power-of-two length and kernel 4 a multiple of five; each kernel
+// documents a maximum tied to its memory layout.
+func ScaledKernel(number, n int) (*Kernel, error) { return loops.Scaled(number, n) }
+
+// ComputeLimits derives the §4 dataflow and resource bounds of a
+// trace under configuration cfg.
+func ComputeLimits(t *Trace, cfg Config, mode LimitMode) Limits {
+	return limits.Compute(t, cfg.Latencies(), mode)
+}
