@@ -2,6 +2,7 @@ package mfup_test
 
 import (
 	"testing"
+	"time"
 
 	"mfup"
 	"mfup/internal/core"
@@ -353,4 +354,27 @@ func BenchmarkAblationVectorVsSuperscalar(b *testing.B) {
 	}
 	b.ReportMetric(vsCray, "vector-speedup-vs-cray")
 	b.ReportMetric(vsRUU, "vector-speedup-vs-ruu")
+}
+
+// BenchmarkTablesParallel measures the worker-pool scheduler: each
+// iteration regenerates all eight tables once serially and once with
+// all cores, and reports the wall-clock ratio as "speedup". On a
+// single-core host the ratio is ~1.0 (the pool adds no overhead); it
+// approaches the core count on multicore hosts, since every
+// (machine, configuration, trace) cell is independent.
+func BenchmarkTablesParallel(b *testing.B) {
+	defer tables.SetParallel(0)
+	var serial, parallel time.Duration
+	for i := 0; i < b.N; i++ {
+		tables.SetParallel(1)
+		start := time.Now()
+		tables.All()
+		serial += time.Since(start)
+
+		tables.SetParallel(0)
+		start = time.Now()
+		tables.All()
+		parallel += time.Since(start)
+	}
+	b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup")
 }

@@ -2,29 +2,78 @@
 //
 // Usage:
 //
-//	mfutables            # all eight tables
-//	mfutables -table 7   # one table
+//	mfutables                # all eight tables
+//	mfutables -table 7       # one table
+//	mfutables -parallel 4    # four worker goroutines (default: all cores)
 //
 // Each table is produced by running the full set of simulations
 // behind it (all loops, all machine variations), so the output is the
-// reproduction of the paper's evaluation.
+// reproduction of the paper's evaluation. The simulations fan out
+// across a worker pool; the output is bit-identical at any -parallel
+// value.
+//
+// -cpuprofile and -memprofile write pprof profiles of the run, for
+// use with `go tool pprof`.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"mfup/internal/tables"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run carries the real main so that deferred profile writers fire
+// before the process exits.
+func run() int {
 	table := flag.Int("table", 0, "table number 1-8; 0 regenerates all")
 	supplement := flag.Bool("supplement", false, "also print the section 3.3 dependency-resolution supplement")
 	format := flag.String("format", "text", "output format: text | csv | json")
+	parallel := flag.Int("parallel", 0, "worker goroutines for the simulations; 0 = all cores")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 
-	emit := func(t *tables.Table) {
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "mfutables:", err)
+		return 1
+	}
+
+	tables.SetParallel(*parallel)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return fail(err)
+		}
+		defer func() {
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "mfutables:", err)
+			}
+			f.Close()
+		}()
+	}
+
+	emit := func(t *tables.Table) error {
 		switch *format {
 		case "text":
 			fmt.Println(t.Render())
@@ -33,29 +82,34 @@ func main() {
 		case "json":
 			b, err := t.MarshalJSON()
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "mfutables:", err)
-				os.Exit(1)
+				return err
 			}
 			fmt.Println(string(b))
 		default:
-			fmt.Fprintf(os.Stderr, "mfutables: unknown format %q\n", *format)
-			os.Exit(1)
+			return fmt.Errorf("unknown format %q", *format)
 		}
+		return nil
 	}
 
 	if *table == 0 {
 		for _, t := range tables.All() {
-			emit(t)
+			if err := emit(t); err != nil {
+				return fail(err)
+			}
 		}
 		if *supplement {
-			emit(tables.SectionThreeThree())
+			if err := emit(tables.SectionThreeThree()); err != nil {
+				return fail(err)
+			}
 		}
-		return
+		return 0
 	}
 	t, err := tables.Get(*table)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mfutables:", err)
-		os.Exit(1)
+		return fail(err)
 	}
-	emit(t)
+	if err := emit(t); err != nil {
+		return fail(err)
+	}
+	return 0
 }

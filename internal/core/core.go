@@ -156,6 +156,15 @@ func (r Result) String() string {
 // Machine is a timing model: it runs a trace and reports cycle
 // counts. Implementations are single-use-at-a-time but reusable:
 // Run fully resets internal state.
+//
+// Concurrency contract: machines are stateful and NOT safe for
+// concurrent use — one instance must never execute Run on two
+// goroutines at once. To run cells of an experiment grid in parallel,
+// construct a fresh machine per goroutine (internal/runner encodes
+// this by taking constructors, not instances). Traces, by contrast,
+// are shared freely: a Trace and its Prepared decode cache are
+// immutable during simulation, so any number of machines may run the
+// same trace concurrently.
 type Machine interface {
 	Name() string
 	Run(t *trace.Trace) Result

@@ -7,33 +7,38 @@ package core
 // memory model of the §4 dataflow bounds, keeping "no machine beats
 // its limit" a checkable invariant.
 //
+// Addresses are the dense per-trace ids of trace.PreparedOp.AddrID,
+// so lookup is a slice index, not a hash.
+//
 // Anti-dependences (load then store to the same address) are not
 // timing constraints in any of the models, and output dependences
 // between stores are already serialized by in-order issue in the
 // machines that use this scoreboard.
 type memScoreboard struct {
-	storeDone map[int64]int64
+	storeDone []int64 // by AddrID; 0 = no store pending
 }
 
-// Reset clears all tracked stores.
-func (m *memScoreboard) Reset() {
-	if m.storeDone == nil {
-		m.storeDone = make(map[int64]int64)
+// Reset clears all tracked stores and sizes the table for a trace
+// with numAddrs distinct addresses.
+func (m *memScoreboard) Reset(numAddrs int) {
+	if cap(m.storeDone) < numAddrs {
+		m.storeDone = make([]int64, numAddrs)
 		return
 	}
+	m.storeDone = m.storeDone[:numAddrs]
 	clear(m.storeDone)
 }
 
 // EarliestLoad returns the earliest cycle >= t at which a load of
-// addr may issue.
-func (m *memScoreboard) EarliestLoad(addr, t int64) int64 {
-	if d, ok := m.storeDone[addr]; ok && d > t {
+// address id may issue.
+func (m *memScoreboard) EarliestLoad(id int32, t int64) int64 {
+	if d := m.storeDone[id]; d > t {
 		return d
 	}
 	return t
 }
 
-// Store records a store to addr completing at cycle done.
-func (m *memScoreboard) Store(addr, done int64) {
-	m.storeDone[addr] = done
+// Store records a store to address id completing at cycle done.
+func (m *memScoreboard) Store(id int32, done int64) {
+	m.storeDone[id] = done
 }

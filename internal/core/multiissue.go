@@ -5,7 +5,6 @@ import (
 
 	"mfup/internal/bus"
 	"mfup/internal/fu"
-	"mfup/internal/isa"
 	"mfup/internal/mem"
 	"mfup/internal/regfile"
 	"mfup/internal/trace"
@@ -59,11 +58,12 @@ func (m *multiIssue) Name() string {
 func usesResultBus(op *trace.Op) bool { return op.Dst.Valid() }
 
 func (m *multiIssue) Run(t *trace.Trace) Result {
-	rejectVector(m.Name(), t)
+	p := t.Prepared()
+	rejectVector(m.Name(), p)
 	m.pool.Reset()
 	m.sb.Reset()
 	m.bt.Reset()
-	m.mem.Reset()
+	m.mem.Reset(p.NumAddrs)
 	m.banks.Reset()
 
 	w := m.cfg.IssueUnits
@@ -72,7 +72,6 @@ func (m *multiIssue) Run(t *trace.Trace) Result {
 	var (
 		nextFetch int64 // earliest issue cycle for the next buffer
 		lastDone  int64
-		srcs      [3]isa.Reg
 	)
 
 	pos := 0
@@ -80,62 +79,55 @@ func (m *multiIssue) Run(t *trace.Trace) Result {
 		// Fetch a buffer: up to w ops, ending early at a taken branch
 		// (the rest of the line is squashed and refetched from the
 		// target).
-		end := pos + w
-		if end > len(t.Ops) {
-			end = len(t.Ops)
-		}
-		for i := pos; i < end; i++ {
-			if t.Ops[i].IsBranch() && t.Ops[i].Taken {
-				end = i + 1
-				break
-			}
-		}
+		end := p.Window(pos, w)
 
 		prev := nextFetch // in-order: issue times are nondecreasing
 		for i := pos; i < end; i++ {
 			op := &t.Ops[i]
+			po := &p.Ops[i]
+			isBranch := po.Flags.Has(trace.FlagBranch)
 			station := i - pos
 
 			e := prev
-			if !(op.IsBranch() && m.cfg.PerfectBranches) {
-				e = m.sb.EarliestFor(e, op.Dst, op.Reads(srcs[:0])...)
+			if !(isBranch && m.cfg.PerfectBranches) {
+				e = m.sb.EarliestFor(e, op.Dst, po.Reads()...)
 			}
 			e = m.pool.EarliestAccept(op.Unit, e)
-			if op.Code.IsLoad() {
-				e = m.mem.EarliestLoad(op.Addr, e)
+			if po.Flags.Has(trace.FlagLoad) {
+				e = m.mem.EarliestLoad(po.AddrID, e)
 			}
-			if op.IsMemory() {
+			if po.Flags.Has(trace.FlagMemory) {
 				e = m.banks.EarliestAccept(op.Addr, e)
 			}
 			if usesResultBus(op) {
 				e = m.bt.EarliestIssue(station, e, m.pool.Latency(op.Unit))
 			}
 			var done int64
-			if op.IsBranch() && m.cfg.PerfectBranches {
+			if isBranch && m.cfg.PerfectBranches {
 				done = e + 1
 			} else {
 				done = m.pool.Accept(op.Unit, e)
 			}
-			if op.IsMemory() {
+			if po.Flags.Has(trace.FlagMemory) {
 				m.banks.Accept(op.Addr, e)
 			}
 			if usesResultBus(op) {
 				m.bt.Reserve(station, done)
 			}
-			if op.Dst.Valid() {
+			if po.Flags.Has(trace.FlagHasDst) {
 				m.sb.SetReady(op.Dst, done)
 			}
-			if op.Code.IsStore() {
-				m.mem.Store(op.Addr, done)
+			if po.Flags.Has(trace.FlagStore) {
+				m.mem.Store(po.AddrID, done)
 			}
 			if done > lastDone {
 				lastDone = done
 			}
 
-			if op.IsBranch() && m.cfg.PerfectBranches {
+			if isBranch && m.cfg.PerfectBranches {
 				prev = e
 				nextFetch = e + 1
-			} else if op.IsBranch() {
+			} else if isBranch {
 				// No speculation: nothing issues — neither the rest
 				// of this buffer nor the refill — until resolution.
 				prev = e + brLat

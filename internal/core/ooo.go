@@ -5,7 +5,6 @@ import (
 
 	"mfup/internal/bus"
 	"mfup/internal/fu"
-	"mfup/internal/isa"
 	"mfup/internal/mem"
 	"mfup/internal/regfile"
 	"mfup/internal/trace"
@@ -54,11 +53,12 @@ func (m *multiIssueOOO) Name() string {
 }
 
 func (m *multiIssueOOO) Run(t *trace.Trace) Result {
-	rejectVector(m.Name(), t)
+	p := t.Prepared()
+	rejectVector(m.Name(), p)
 	m.pool.Reset()
 	m.sb.Reset()
 	m.bt.Reset()
-	m.mem.Reset()
+	m.mem.Reset(p.NumAddrs)
 	m.banks.Reset()
 
 	w := m.cfg.IssueUnits
@@ -67,23 +67,13 @@ func (m *multiIssueOOO) Run(t *trace.Trace) Result {
 	var (
 		nextFetch int64
 		lastDone  int64
-		srcs      [3]isa.Reg
 		issuedAt  = make([]int64, w)
 		issued    = make([]bool, w)
 	)
 
 	pos := 0
 	for pos < len(t.Ops) {
-		end := pos + w
-		if end > len(t.Ops) {
-			end = len(t.Ops)
-		}
-		for i := pos; i < end; i++ {
-			if t.Ops[i].IsBranch() && t.Ops[i].Taken {
-				end = i + 1
-				break
-			}
-		}
+		end := p.Window(pos, w)
 		size := end - pos
 		for i := 0; i < size; i++ {
 			issued[i] = false
@@ -103,6 +93,9 @@ func (m *multiIssueOOO) Run(t *trace.Trace) Result {
 					continue
 				}
 				op := &t.Ops[pos+i]
+				po := &p.Ops[pos+i]
+				isBranch := po.Flags.Has(trace.FlagBranch)
+				reads := po.Reads()
 
 				if i > brGateIdx && brGate > c {
 					// Waiting on an earlier branch's resolution; so is
@@ -117,17 +110,18 @@ func (m *multiIssueOOO) Run(t *trace.Trace) Result {
 						continue
 					}
 					pj := &t.Ops[pos+j]
-					if pj.IsBranch() {
+					pf := p.Ops[pos+j].Flags
+					if pf.Has(trace.FlagBranch) {
 						// May not issue past an unissued branch.
 						blocked = true
 						break
 					}
-					if pj.Dst.Valid() {
+					if pf.Has(trace.FlagHasDst) {
 						if op.Dst == pj.Dst { // WAW
 							blocked = true
 							break
 						}
-						for _, r := range op.Reads(srcs[:0]) { // RAW
+						for _, r := range reads { // RAW
 							if r == pj.Dst {
 								blocked = true
 								break
@@ -137,7 +131,7 @@ func (m *multiIssueOOO) Run(t *trace.Trace) Result {
 							break
 						}
 					}
-					if pj.Code.IsStore() && op.IsMemory() && op.Addr == pj.Addr {
+					if pf.Has(trace.FlagStore) && po.Flags.Has(trace.FlagMemory) && op.Addr == pj.Addr {
 						// Memory RAW/WAW: neither a load nor a store
 						// may pass an unissued store to its address.
 						blocked = true
@@ -147,7 +141,7 @@ func (m *multiIssueOOO) Run(t *trace.Trace) Result {
 				if blocked {
 					continue
 				}
-				if op.IsBranch() && i > 0 {
+				if isBranch && i > 0 {
 					// A branch issues only as the oldest unissued
 					// instruction: everything before it must be gone.
 					allOlder := true
@@ -164,17 +158,17 @@ func (m *multiIssueOOO) Run(t *trace.Trace) Result {
 
 				// Resource checks: everything must be satisfiable at
 				// exactly cycle c, else the instruction waits.
-				if !(op.IsBranch() && m.cfg.PerfectBranches) &&
-					m.sb.EarliestFor(c, op.Dst, op.Reads(srcs[:0])...) > c {
+				if !(isBranch && m.cfg.PerfectBranches) &&
+					m.sb.EarliestFor(c, op.Dst, reads...) > c {
 					continue
 				}
 				if m.pool.EarliestAccept(op.Unit, c) > c {
 					continue
 				}
-				if op.Code.IsLoad() && m.mem.EarliestLoad(op.Addr, c) > c {
+				if po.Flags.Has(trace.FlagLoad) && m.mem.EarliestLoad(po.AddrID, c) > c {
 					continue
 				}
-				if op.IsMemory() && m.banks.EarliestAccept(op.Addr, c) > c {
+				if po.Flags.Has(trace.FlagMemory) && m.banks.EarliestAccept(op.Addr, c) > c {
 					continue
 				}
 				if usesResultBus(op) && !m.bt.Free(i, c+int64(m.pool.Latency(op.Unit))) {
@@ -182,22 +176,22 @@ func (m *multiIssueOOO) Run(t *trace.Trace) Result {
 				}
 
 				var done int64
-				if op.IsBranch() && m.cfg.PerfectBranches {
+				if isBranch && m.cfg.PerfectBranches {
 					done = c + 1
 				} else {
 					done = m.pool.Accept(op.Unit, c)
 				}
-				if op.IsMemory() {
+				if po.Flags.Has(trace.FlagMemory) {
 					m.banks.Accept(op.Addr, c)
 				}
 				if usesResultBus(op) {
 					m.bt.Reserve(i, done)
 				}
-				if op.Dst.Valid() {
+				if po.Flags.Has(trace.FlagHasDst) {
 					m.sb.SetReady(op.Dst, done)
 				}
-				if op.Code.IsStore() {
-					m.mem.Store(op.Addr, done)
+				if po.Flags.Has(trace.FlagStore) {
+					m.mem.Store(po.AddrID, done)
 				}
 				issued[i] = true
 				issuedAt[i] = c
@@ -208,7 +202,7 @@ func (m *multiIssueOOO) Run(t *trace.Trace) Result {
 				if done > lastDone {
 					lastDone = done
 				}
-				if op.IsBranch() && !m.cfg.PerfectBranches {
+				if isBranch && !m.cfg.PerfectBranches {
 					brGate = c + brLat
 					brGateIdx = i
 				}
@@ -218,7 +212,7 @@ func (m *multiIssueOOO) Run(t *trace.Trace) Result {
 		// Refill only once the buffer is empty; a terminating branch
 		// additionally delays the refetch until it resolves.
 		nextFetch = maxIssue + 1
-		if last := &t.Ops[end-1]; last.IsBranch() && !m.cfg.PerfectBranches {
+		if p.Ops[end-1].Flags.Has(trace.FlagBranch) && !m.cfg.PerfectBranches {
 			if g := issuedAt[size-1] + brLat; g > nextFetch {
 				nextFetch = g
 			}

@@ -40,7 +40,7 @@ func NewRUU(cfg Config) Machine {
 func (m *ruuMachine) Name() string { return m.name }
 
 func (m *ruuMachine) Run(t *trace.Trace) Result {
-	rejectVector(m.name, t)
+	rejectVector(m.name, t.Prepared())
 	cycles := m.sim.Run(t)
 	return Result{
 		Machine:      m.name,

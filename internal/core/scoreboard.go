@@ -2,7 +2,6 @@ package core
 
 import (
 	"mfup/internal/fu"
-	"mfup/internal/isa"
 	"mfup/internal/regfile"
 	"mfup/internal/trace"
 )
@@ -39,30 +38,31 @@ func NewScoreboard(cfg Config) Machine {
 func (m *scoreboard) Name() string { return "Scoreboard" }
 
 func (m *scoreboard) Run(t *trace.Trace) Result {
-	rejectVector("Scoreboard", t)
+	p := t.Prepared()
+	rejectVector("Scoreboard", p)
 	m.pool.Reset()
 	m.sb.Reset()
-	m.mem.Reset()
+	m.mem.Reset(p.NumAddrs)
 
 	var (
 		nextIssue int64
 		lastDone  int64
-		srcs      [3]isa.Reg
 	)
 	for i := range t.Ops {
 		op := &t.Ops[i]
+		po := &p.Ops[i]
 
 		// Issue: one per cycle; WAW blocks, RAW does not.
 		e := nextIssue
-		if op.Dst.Valid() {
+		if po.Flags.Has(trace.FlagHasDst) {
 			e = m.sb.EarliestFor(e, op.Dst) // destination reservation only
 		}
 
-		if op.IsBranch() {
+		if po.Flags.Has(trace.FlagBranch) {
 			// The branch reads A0 at the issue stage and blocks it
 			// until resolution.
 			s := e
-			for _, r := range op.Reads(srcs[:0]) {
+			for _, r := range po.Reads() {
 				if rdy := m.sb.ReadyAt(r); rdy > s {
 					s = rdy
 				}
@@ -77,22 +77,22 @@ func (m *scoreboard) Run(t *trace.Trace) Result {
 
 		// Execution begins at the unit once operands arrive.
 		s := e
-		for _, r := range op.Reads(srcs[:0]) {
+		for _, r := range po.Reads() {
 			if rdy := m.sb.ReadyAt(r); rdy > s {
 				s = rdy
 			}
 		}
 		s = m.pool.EarliestAccept(op.Unit, s)
-		if op.Code.IsLoad() {
-			s = m.mem.EarliestLoad(op.Addr, s)
+		if po.Flags.Has(trace.FlagLoad) {
+			s = m.mem.EarliestLoad(po.AddrID, s)
 		}
 		done := m.pool.Accept(op.Unit, s)
 
-		if op.Dst.Valid() {
+		if po.Flags.Has(trace.FlagHasDst) {
 			m.sb.SetReady(op.Dst, done)
 		}
-		if op.Code.IsStore() {
-			m.mem.Store(op.Addr, done)
+		if po.Flags.Has(trace.FlagStore) {
+			m.mem.Store(po.AddrID, done)
 		}
 		if done > lastDone {
 			lastDone = done

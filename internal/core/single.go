@@ -89,59 +89,61 @@ func NewBasic(o Organization, cfg Config) Machine {
 func (m *singleIssue) Name() string { return m.name }
 
 func (m *singleIssue) Run(t *trace.Trace) Result {
-	rejectVector(m.name, t)
+	p := t.Prepared()
+	rejectVector(m.name, p)
 	m.pool.Reset()
 	m.sb.Reset()
-	m.mem.Reset()
+	m.mem.Reset(p.NumAddrs)
 	m.banks.Reset()
 
 	var (
 		nextIssue int64 // earliest cycle the next instruction may issue
 		lastDone  int64
-		srcs      [3]isa.Reg
 	)
 	for i := range t.Ops {
 		op := &t.Ops[i]
+		po := &p.Ops[i]
+		isBranch := po.Flags.Has(trace.FlagBranch)
 
 		e := nextIssue
-		if !(op.IsBranch() && m.cfg.PerfectBranches) {
-			e = m.sb.EarliestFor(e, op.Dst, op.Reads(srcs[:0])...)
+		if !(isBranch && m.cfg.PerfectBranches) {
+			e = m.sb.EarliestFor(e, op.Dst, po.Reads()...)
 		}
 		e = m.pool.EarliestAccept(op.Unit, e)
-		if op.Code.IsLoad() {
-			e = m.mem.EarliestLoad(op.Addr, e)
+		if po.Flags.Has(trace.FlagLoad) {
+			e = m.mem.EarliestLoad(po.AddrID, e)
 		}
-		if op.IsMemory() {
+		if po.Flags.Has(trace.FlagMemory) {
 			e = m.banks.EarliestAccept(op.Addr, e)
 		}
 		var done int64
-		if op.IsBranch() && m.cfg.PerfectBranches {
+		if isBranch && m.cfg.PerfectBranches {
 			// Verification happens off the critical path; the branch
 			// is architecturally complete the cycle after issue.
 			done = e + 1
 		} else {
 			done = m.pool.Accept(op.Unit, e)
 		}
-		if op.IsMemory() {
+		if po.Flags.Has(trace.FlagMemory) {
 			m.banks.Accept(op.Addr, e)
 		}
 
-		if op.Dst.Valid() {
+		if po.Flags.Has(trace.FlagHasDst) {
 			m.sb.SetReady(op.Dst, done)
 		}
-		if op.Code.IsStore() {
-			m.mem.Store(op.Addr, done)
+		if po.Flags.Has(trace.FlagStore) {
+			m.mem.Store(po.AddrID, done)
 		}
 		if done > lastDone {
 			lastDone = done
 		}
 
 		switch {
-		case op.IsBranch() && m.cfg.PerfectBranches:
+		case isBranch && m.cfg.PerfectBranches:
 			// Ablation: perfect prediction; the branch costs only its
 			// issue slot.
 			nextIssue = e + 1
-		case op.IsBranch():
+		case isBranch:
 			// A branch blocks the issue stage for its full execution
 			// time; the next instruction (fall-through or target)
 			// issues no earlier than resolution.

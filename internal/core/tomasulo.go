@@ -35,8 +35,8 @@ type tomasulo struct {
 	inFlight [isa.NumUnits]int
 	regTag   [isa.NumRegs]*tomEntry
 	regReady [isa.NumRegs]int64
-	memTag   map[int64]*tomEntry
-	memReady map[int64]int64
+	memTag   []*tomEntry // by trace.PreparedOp.AddrID
+	memReady []int64
 
 	cdb     [64]int64 // self-invalidating per-cycle reservation ring
 	pending []*tomEntry
@@ -44,6 +44,8 @@ type tomasulo struct {
 
 type tomEntry struct {
 	op       *trace.Op
+	flags    trace.OpFlags
+	addrID   int32
 	depCount int
 	waiters  []*tomEntry
 	readyAt  int64
@@ -70,15 +72,17 @@ func (m *tomasulo) Name() string {
 	return fmt.Sprintf("Tomasulo(%d stations/unit)", m.stations)
 }
 
-func (m *tomasulo) reset() {
+func (m *tomasulo) reset(numAddrs int) {
 	m.pool.Reset()
 	m.inFlight = [isa.NumUnits]int{}
 	m.regTag = [isa.NumRegs]*tomEntry{}
 	m.regReady = [isa.NumRegs]int64{}
-	if m.memTag == nil {
-		m.memTag = make(map[int64]*tomEntry)
-		m.memReady = make(map[int64]int64)
+	if cap(m.memTag) < numAddrs {
+		m.memTag = make([]*tomEntry, numAddrs)
+		m.memReady = make([]int64, numAddrs)
 	} else {
+		m.memTag = m.memTag[:numAddrs]
+		m.memReady = m.memReady[:numAddrs]
 		clear(m.memTag)
 		clear(m.memReady)
 	}
@@ -95,14 +99,14 @@ func (m *tomasulo) cdbFree(c int64) bool { return m.cdb[c%64] != c }
 func (m *tomasulo) cdbReserve(c int64) { m.cdb[c%64] = c }
 
 func (m *tomasulo) Run(t *trace.Trace) Result {
-	rejectVector(m.Name(), t)
-	m.reset()
+	p := t.Prepared()
+	rejectVector(m.Name(), p)
+	m.reset(p.NumAddrs)
 
 	var (
 		pos       int
 		issueGate int64
 		lastEvent int64
-		srcs      [3]isa.Reg
 	)
 	bump := func(c int64) {
 		if c > lastEvent {
@@ -124,9 +128,9 @@ func (m *tomasulo) Run(t *trace.Trace) Result {
 				m.regTag[e.op.Dst] = nil
 				m.regReady[e.op.Dst] = c
 			}
-			if e.op.Code.IsStore() && m.memTag[e.op.Addr] == e {
-				delete(m.memTag, e.op.Addr)
-				m.memReady[e.op.Addr] = c
+			if e.flags.Has(trace.FlagStore) && m.memTag[e.addrID] == e {
+				m.memTag[e.addrID] = nil
+				m.memReady[e.addrID] = c
 			}
 			for _, w := range e.waiters {
 				w.depCount--
@@ -168,14 +172,15 @@ func (m *tomasulo) Run(t *trace.Trace) Result {
 		// station; stalls on a full station pool or a branch.
 		if c >= issueGate && pos < len(t.Ops) {
 			op := &t.Ops[pos]
-			if op.IsBranch() {
+			po := &p.Ops[pos]
+			if po.Flags.Has(trace.FlagBranch) {
 				if m.cfg.PerfectBranches {
 					bump(c)
 					pos++
 				} else {
 					stall := false
 					a0 := int64(0)
-					if op.Code.IsConditional() {
+					if po.Flags.Has(trace.FlagConditional) {
 						if m.regTag[isa.A0] != nil {
 							stall = true // A0 still in flight
 						} else {
@@ -190,29 +195,29 @@ func (m *tomasulo) Run(t *trace.Trace) Result {
 				}
 			} else if m.inFlight[op.Unit] < m.stations {
 				m.inFlight[op.Unit]++
-				e := &tomEntry{op: op, doneAt: math.MaxInt64, readyAt: c + 1}
+				e := &tomEntry{op: op, flags: po.Flags, addrID: po.AddrID, doneAt: math.MaxInt64, readyAt: c + 1}
 				pos++
-				for _, r := range op.Reads(srcs[:0]) {
-					if p := m.regTag[r]; p != nil {
-						p.waiters = append(p.waiters, e)
+				for _, r := range po.Reads() {
+					if prod := m.regTag[r]; prod != nil {
+						prod.waiters = append(prod.waiters, e)
 						e.depCount++
 					} else if m.regReady[r] > e.readyAt {
 						e.readyAt = m.regReady[r]
 					}
 				}
-				if op.IsMemory() {
-					if p := m.memTag[op.Addr]; p != nil {
-						p.waiters = append(p.waiters, e)
+				if po.Flags.Has(trace.FlagMemory) {
+					if prod := m.memTag[po.AddrID]; prod != nil {
+						prod.waiters = append(prod.waiters, e)
 						e.depCount++
-					} else if d := m.memReady[op.Addr]; d > e.readyAt {
+					} else if d := m.memReady[po.AddrID]; d > e.readyAt {
 						e.readyAt = d
 					}
 				}
-				if op.Dst.Valid() {
+				if po.Flags.Has(trace.FlagHasDst) {
 					m.regTag[op.Dst] = e
 				}
-				if op.Code.IsStore() {
-					m.memTag[op.Addr] = e
+				if po.Flags.Has(trace.FlagStore) {
+					m.memTag[po.AddrID] = e
 				}
 				m.pending = append(m.pending, e)
 				bump(c)

@@ -38,6 +38,7 @@ import (
 // vector traces; the scalar machines reject them.
 type vectorMachine struct {
 	cfg Config
+	lat isa.Latencies // hoisted once; Config.Latencies rebuilds the table
 
 	// Per-register timing state. For scalar registers the three
 	// times coincide at instruction completion.
@@ -54,18 +55,18 @@ type vectorMachine struct {
 // NewVector builds the vector-extension machine.
 func NewVector(cfg Config) Machine {
 	cfg.validate()
-	return &vectorMachine{cfg: cfg}
+	return &vectorMachine{cfg: cfg, lat: cfg.Latencies()}
 }
 
 func (m *vectorMachine) Name() string { return "Vector" }
 
-func (m *vectorMachine) reset() {
+func (m *vectorMachine) reset(numAddrs int) {
 	m.readyRead = [isa.NumRegs]int64{}
 	m.fullDone = [isa.NumRegs]int64{}
 	m.readersDone = [isa.NumRegs]int64{}
 	m.lastAccept = [isa.NumUnits]int64{}
 	m.busyUntil = [isa.NumUnits]int64{}
-	m.mem.Reset()
+	m.mem.Reset(numAddrs)
 	for u := range m.lastAccept {
 		m.lastAccept[u] = -1
 	}
@@ -73,16 +74,16 @@ func (m *vectorMachine) reset() {
 
 // latency returns the unit latency under the machine configuration.
 func (m *vectorMachine) latency(u isa.Unit) int64 {
-	return int64(m.cfg.Latencies().Of(u))
+	return int64(m.lat.Of(u))
 }
 
 func (m *vectorMachine) Run(t *trace.Trace) Result {
-	m.reset()
+	p := t.Prepared()
+	m.reset(p.NumAddrs)
 
 	var (
 		nextIssue int64
 		lastDone  int64
-		srcs      [4]isa.Reg
 	)
 	bump := func(c int64) {
 		if c > lastDone {
@@ -92,6 +93,7 @@ func (m *vectorMachine) Run(t *trace.Trace) Result {
 
 	for i := range t.Ops {
 		op := &t.Ops[i]
+		po := &p.Ops[i]
 		unit := op.Unit
 		lat := m.latency(unit)
 
@@ -99,7 +101,7 @@ func (m *vectorMachine) Run(t *trace.Trace) Result {
 		// readable, destination free of WAW and (for vectors) WAR;
 		// unit accepting.
 		e := nextIssue
-		for _, r := range op.Reads(srcs[:0]) {
+		for _, r := range po.Reads() {
 			if m.readyRead[r] > e {
 				e = m.readyRead[r]
 			}
@@ -118,8 +120,8 @@ func (m *vectorMachine) Run(t *trace.Trace) Result {
 		if m.lastAccept[unit] >= e {
 			e = m.lastAccept[unit] + 1
 		}
-		if op.Code.IsLoad() {
-			e = m.mem.EarliestLoad(op.Addr, e)
+		if po.Flags.Has(trace.FlagLoad) {
+			e = m.mem.EarliestLoad(po.AddrID, e)
 		}
 		if op.Code == isa.OpMoveSV {
 			// Reading an element requires the whole source vector,
@@ -143,7 +145,7 @@ func (m *vectorMachine) Run(t *trace.Trace) Result {
 				m.readyRead[d] = first + 1 // chain slot
 				m.fullDone[d] = full
 			}
-			for _, r := range op.Reads(srcs[:0]) {
+			for _, r := range po.Reads() {
 				if r.Class() == isa.ClassV {
 					if done := e + l; done > m.readersDone[r] {
 						m.readersDone[r] = done
@@ -153,7 +155,7 @@ func (m *vectorMachine) Run(t *trace.Trace) Result {
 			bump(full)
 			nextIssue = e + 1
 
-		case op.IsBranch():
+		case po.Flags.Has(trace.FlagBranch):
 			done := e + int64(m.cfg.BranchLatency)
 			if m.cfg.PerfectBranches {
 				done = e + 1
@@ -171,8 +173,8 @@ func (m *vectorMachine) Run(t *trace.Trace) Result {
 				m.fullDone[d] = done
 				m.readersDone[d] = done
 			}
-			if op.Code.IsStore() {
-				m.mem.Store(op.Addr, done)
+			if po.Flags.Has(trace.FlagStore) {
+				m.mem.Store(po.AddrID, done)
 			}
 			bump(done)
 			nextIssue = e + 1
@@ -188,11 +190,11 @@ func (m *vectorMachine) Run(t *trace.Trace) Result {
 
 // rejectVector panics when a scalar-only machine receives a vector
 // trace; mixing the models would silently produce nonsense timing.
-func rejectVector(machine string, t *trace.Trace) {
-	for i := range t.Ops {
-		if t.Ops[i].Code.IsVector() {
-			panic(fmt.Sprintf("core: %s is a scalar machine but trace %q contains vector instruction %s",
-				machine, t.Name, t.Ops[i].Code))
-		}
+// The prepared trace already knows whether (and where) a vector
+// instruction occurs, so the check is O(1) per run.
+func rejectVector(machine string, p *trace.Prepared) {
+	if i := p.FirstVector; i >= 0 {
+		panic(fmt.Sprintf("core: %s is a scalar machine but trace %q contains vector instruction %s",
+			machine, p.Trace.Name, p.Trace.Ops[i].Code))
 	}
 }

@@ -1,0 +1,105 @@
+// Package runner fans independent simulation cells out across a
+// bounded pool of worker goroutines.
+//
+// The paper's experiment grids are embarrassingly parallel: every
+// (machine, configuration, trace) cell is independent of every other
+// cell. core.Machine implementations, however, are stateful — one
+// instance must never run on two goroutines at once — so the unit of
+// work here is a *constructor*: each Task builds a fresh, private
+// machine for its own run. Traces are shared read-only across all
+// cells; their prepared decode cache initializes through sync.Once, so
+// concurrent first use is safe.
+//
+// Scheduling is dynamic (workers claim the next cell from a shared
+// counter) but the output is deterministic: results are stored by cell
+// index, so the caller sees the same slice regardless of worker count
+// or interleaving.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"mfup/internal/core"
+	"mfup/internal/trace"
+)
+
+// Task is one experiment cell: one machine configuration run over a
+// set of traces.
+type Task struct {
+	// New constructs the machine for this cell. It is called exactly
+	// once, on the worker goroutine that claims the cell, so the
+	// machine it returns is private to that goroutine. The one
+	// instance runs all of the cell's traces in order — Machine.Run
+	// fully resets state between runs — which keeps the machine's
+	// internal allocations amortized as in a serial sweep.
+	New func() core.Machine
+
+	// Traces drive the runs. A trace may be shared with any number of
+	// other tasks, concurrently.
+	Traces []*trace.Trace
+}
+
+// Workers normalizes a parallelism request: n itself when positive,
+// otherwise GOMAXPROCS (the "use all cores" default).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Each calls fn(i) for every i in [0, n), with at most
+// Workers(parallel) calls in flight. The assignment of indices to
+// goroutines is nondeterministic; callers obtain deterministic output
+// by having fn(i) write only to slot i of a preallocated result slice.
+// With one worker, fn runs on the calling goroutine in index order.
+// Each returns once every call has completed.
+func Each(parallel, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(parallel)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Run executes every task on Workers(parallel) goroutines and returns
+// the results in task order: out[i][j] is tasks[i] run on its j-th
+// trace, regardless of how the cells were scheduled.
+func Run(parallel int, tasks []Task) [][]core.Result {
+	out := make([][]core.Result, len(tasks))
+	Each(parallel, len(tasks), func(i int) {
+		m := tasks[i].New()
+		rs := make([]core.Result, len(tasks[i].Traces))
+		for j, t := range tasks[i].Traces {
+			rs[j] = m.Run(t)
+		}
+		out[i] = rs
+	})
+	return out
+}

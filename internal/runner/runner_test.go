@@ -1,0 +1,74 @@
+package runner
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"mfup/internal/core"
+	"mfup/internal/loops"
+	"mfup/internal/trace"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Errorf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got < 1 {
+		t.Errorf("Workers(0) = %d, want >= 1", got)
+	}
+	if got := Workers(-5); got != Workers(0) {
+		t.Errorf("Workers(-5) = %d, want the default %d", got, Workers(0))
+	}
+}
+
+// TestEachCoversEveryIndexOnce checks that Each visits each index in
+// [0, n) exactly once at several worker counts, including more
+// workers than work.
+func TestEachCoversEveryIndexOnce(t *testing.T) {
+	const n = 100
+	for _, workers := range []int{1, 2, 7, n + 50} {
+		var counts [n]atomic.Int64
+		Each(workers, n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Errorf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+	called := false
+	Each(4, 0, func(int) { called = true })
+	if called {
+		t.Error("Each with n=0 invoked fn")
+	}
+}
+
+// TestRunDeterministic runs a real simulation grid serially and with
+// many workers and requires identical results in identical order.
+func TestRunDeterministic(t *testing.T) {
+	var traces []*trace.Trace
+	for _, k := range loops.ByClass(loops.Scalar) {
+		traces = append(traces, k.SharedTrace())
+	}
+	var tasks []Task
+	for _, cfg := range core.BaseConfigs() {
+		tasks = append(tasks, Task{
+			New:    func() core.Machine { return core.NewBasic(core.CRAYLike, cfg) },
+			Traces: traces,
+		})
+	}
+	serial := Run(1, tasks)
+	parallel := Run(8, tasks)
+	if len(serial) != len(tasks) || len(parallel) != len(tasks) {
+		t.Fatalf("result lengths %d, %d; want %d", len(serial), len(parallel), len(tasks))
+	}
+	for i := range serial {
+		if len(serial[i]) != len(traces) || len(parallel[i]) != len(traces) {
+			t.Fatalf("task %d: cell lengths %d, %d; want %d", i, len(serial[i]), len(parallel[i]), len(traces))
+		}
+		for j := range serial[i] {
+			if serial[i][j] != parallel[i][j] {
+				t.Errorf("task %d trace %d: serial %+v != parallel %+v", i, j, serial[i][j], parallel[i][j])
+			}
+		}
+	}
+}

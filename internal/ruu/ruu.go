@@ -51,10 +51,15 @@ type Config struct {
 	PerfectBranches bool
 }
 
-// entry is one RUU slot in flight.
+// entry is one RUU slot in flight. Entries live in a fixed slab of
+// cfg.Size slots (the architectural bound on in-flight instructions)
+// and are recycled through a free list as instructions commit, so a
+// run performs no per-instruction allocation.
 type entry struct {
 	seq     int64
 	op      *trace.Op
+	flags   trace.OpFlags // decoded classification, from the prepared trace
+	addrID  int32         // dense memory-address id (-1 for non-memory ops)
 	bank    int
 	issueAt int64
 
@@ -155,11 +160,18 @@ type Simulator struct {
 	// Memory-carried dependences, renamed per address exactly like
 	// registers: loads (and stores, for per-address ordering) wait on
 	// the latest in-flight store to their address; there is no
-	// store-to-load forwarding in the base machine.
-	memProducer map[int64]*entry
-	memReadyAt  map[int64]int64
+	// store-to-load forwarding in the base machine. Indexed by the
+	// dense trace.PreparedOp.AddrID, so access is a slice index.
+	memProducer []*entry
+	memReadyAt  []int64
 
-	fifo  []*entry // in-flight entries in program order
+	slab    []entry  // all entry storage; recycled between instructions
+	freeEnt []*entry // free-list stack over slab
+
+	fifo     []*entry // ring buffer of in-flight entries in program order
+	fifoHead int
+	fifoLen  int
+
 	ready []seqHeap
 	retry []*entry
 
@@ -195,6 +207,9 @@ func New(cfg Config) *Simulator {
 		s.capacity[i%s.banks]++
 	}
 	s.free = make([]int, s.banks)
+	s.slab = make([]entry, cfg.Size)
+	s.freeEnt = make([]*entry, 0, cfg.Size)
+	s.fifo = make([]*entry, cfg.Size)
 	s.ready = make([]seqHeap, s.banks)
 	s.results = bus.NewTracker(cfg.Bus, s.banks)
 	s.commitSeen = make([]bool, s.banks)
@@ -202,20 +217,26 @@ func New(cfg Config) *Simulator {
 	return s
 }
 
-func (s *Simulator) reset() {
+func (s *Simulator) reset(numAddrs int) {
 	s.pool.Reset()
 	s.memBanks.Reset()
 	copy(s.free, s.capacity)
 	s.regProducer = [isa.NumRegs]*entry{}
 	s.regReadyAt = [isa.NumRegs]int64{}
-	if s.memProducer == nil {
-		s.memProducer = make(map[int64]*entry)
-		s.memReadyAt = make(map[int64]int64)
+	if cap(s.memProducer) < numAddrs {
+		s.memProducer = make([]*entry, numAddrs)
+		s.memReadyAt = make([]int64, numAddrs)
 	} else {
+		s.memProducer = s.memProducer[:numAddrs]
+		s.memReadyAt = s.memReadyAt[:numAddrs]
 		clear(s.memProducer)
 		clear(s.memReadyAt)
 	}
-	s.fifo = s.fifo[:0]
+	s.freeEnt = s.freeEnt[:0]
+	for i := range s.slab {
+		s.freeEnt = append(s.freeEnt, &s.slab[i])
+	}
+	s.fifoHead, s.fifoLen = 0, 0
 	for i := range s.ready {
 		s.ready[i] = s.ready[i][:0]
 	}
@@ -226,14 +247,14 @@ func (s *Simulator) reset() {
 
 // Run simulates t and returns the total cycle count.
 func (s *Simulator) Run(t *trace.Trace) int64 {
-	s.reset()
+	p := t.Prepared()
+	s.reset(p.NumAddrs)
 
 	var (
 		pos       int   // next trace op to issue
 		seq       int64 // issue sequence counter
 		issueGate int64 // no issue before this cycle (branch resolution)
 		lastEvent int64
-		srcs      [3]isa.Reg
 	)
 	bump := func(c int64) {
 		if c > lastEvent {
@@ -241,19 +262,19 @@ func (s *Simulator) Run(t *trace.Trace) int64 {
 		}
 	}
 
-	for c := int64(0); pos < len(t.Ops) || len(s.fifo) > 0; c++ {
+	for c := int64(0); pos < len(t.Ops) || s.fifoLen > 0; c++ {
 		// 1. Results returning this cycle: mark done, wake waiters.
 		for _, e := range s.broadcasts.take(c) {
 			e.done = true
 			e.doneAt = c
 			bump(c)
-			if e.op.Dst.Valid() && s.regProducer[e.op.Dst] == e {
+			if e.flags.Has(trace.FlagHasDst) && s.regProducer[e.op.Dst] == e {
 				s.regProducer[e.op.Dst] = nil
 				s.regReadyAt[e.op.Dst] = c
 			}
-			if e.op.Code.IsStore() && s.memProducer[e.op.Addr] == e {
-				delete(s.memProducer, e.op.Addr)
-				s.memReadyAt[e.op.Addr] = c
+			if e.flags.Has(trace.FlagStore) && s.memProducer[e.addrID] == e {
+				s.memProducer[e.addrID] = nil
+				s.memReadyAt[e.addrID] = c
 			}
 			for _, w := range e.waiters {
 				w.depCount--
@@ -265,7 +286,7 @@ func (s *Simulator) Run(t *trace.Trace) int64 {
 					s.schedule(w)
 				}
 			}
-			e.waiters = nil
+			e.waiters = e.waiters[:0]
 		}
 
 		// 2. Entries whose operands became available at cycle c.
@@ -282,15 +303,18 @@ func (s *Simulator) Run(t *trace.Trace) int64 {
 		for i := range s.commitSeen {
 			s.commitSeen[i] = false
 		}
-		for len(s.fifo) > 0 && commitBudget > 0 {
-			head := s.fifo[0]
+		for s.fifoLen > 0 && commitBudget > 0 {
+			head := s.fifo[s.fifoHead]
 			if !head.done || s.commitSeen[head.bank] {
 				break
 			}
 			s.commitSeen[head.bank] = true
 			commitBudget--
 			s.free[head.bank]++
-			s.fifo = s.fifo[1:]
+			s.fifo[s.fifoHead] = nil
+			s.fifoHead = (s.fifoHead + 1) % len(s.fifo)
+			s.fifoLen--
+			s.freeEnt = append(s.freeEnt, head) // recycle the slot
 			bump(c)
 		}
 
@@ -306,7 +330,8 @@ func (s *Simulator) Run(t *trace.Trace) int64 {
 		if c >= issueGate {
 			for issued := 0; issued < s.cfg.IssueUnits && pos < len(t.Ops); issued++ {
 				op := &t.Ops[pos]
-				if op.IsBranch() {
+				po := &p.Ops[pos]
+				if po.Flags.Has(trace.FlagBranch) {
 					if s.cfg.PerfectBranches {
 						// Ablation: the branch consumes this issue slot
 						// and nothing more.
@@ -316,7 +341,7 @@ func (s *Simulator) Run(t *trace.Trace) int64 {
 						continue
 					}
 					a0 := int64(0)
-					if op.Code.IsConditional() {
+					if po.Flags.Has(trace.FlagConditional) {
 						if s.regProducer[isa.A0] != nil {
 							break // A0 still in flight; retry next cycle
 						}
@@ -337,32 +362,44 @@ func (s *Simulator) Run(t *trace.Trace) int64 {
 					break // RUU (bank) full: in-order issue stalls
 				}
 				s.free[bank]--
-				e := &entry{seq: seq, op: op, bank: bank, issueAt: c, doneAt: math.MaxInt64}
+				e := s.freeEnt[len(s.freeEnt)-1]
+				s.freeEnt = s.freeEnt[:len(s.freeEnt)-1]
+				// Field-wise reinitialization (not a struct literal):
+				// the literal compiles to a full-size copy on every
+				// issued instruction, and this is the hottest store in
+				// the simulator.
+				e.seq, e.op, e.flags, e.addrID = seq, op, po.Flags, po.AddrID
+				e.bank, e.issueAt = bank, c
+				e.depCount, e.readyAt = 0, 0
+				e.waiters = e.waiters[:0] // keep the recycled capacity
+				e.dispatched, e.done = false, false
+				e.doneAt = math.MaxInt64
 				seq++
 				pos++
-				s.fifo = append(s.fifo, e)
+				s.fifo[(s.fifoHead+s.fifoLen)%len(s.fifo)] = e
+				s.fifoLen++
 
-				for _, r := range op.Reads(srcs[:0]) {
-					if p := s.regProducer[r]; p != nil {
-						p.waiters = append(p.waiters, e)
+				for _, r := range po.Reads() {
+					if prod := s.regProducer[r]; prod != nil {
+						prod.waiters = append(prod.waiters, e)
 						e.depCount++
 					} else if s.regReadyAt[r] > e.readyAt {
 						e.readyAt = s.regReadyAt[r]
 					}
 				}
-				if op.IsMemory() {
-					if p := s.memProducer[op.Addr]; p != nil {
-						p.waiters = append(p.waiters, e)
+				if po.Flags.Has(trace.FlagMemory) {
+					if prod := s.memProducer[po.AddrID]; prod != nil {
+						prod.waiters = append(prod.waiters, e)
 						e.depCount++
-					} else if d := s.memReadyAt[op.Addr]; d > e.readyAt {
+					} else if d := s.memReadyAt[po.AddrID]; d > e.readyAt {
 						e.readyAt = d
 					}
 				}
-				if op.Dst.Valid() {
+				if po.Flags.Has(trace.FlagHasDst) {
 					s.regProducer[op.Dst] = e
 				}
-				if op.Code.IsStore() {
-					s.memProducer[op.Addr] = e
+				if po.Flags.Has(trace.FlagStore) {
+					s.memProducer[po.AddrID] = e
 				}
 				if e.depCount == 0 {
 					if e.issueAt+1 > e.readyAt {
@@ -396,18 +433,19 @@ func (s *Simulator) dispatchBank(b int, c int64, lastEvent *int64) {
 			s.retry = append(s.retry, e)
 			continue
 		}
-		if e.op.IsMemory() && s.memBanks.EarliestAccept(e.op.Addr, c) > c {
+		isMem := e.flags.Has(trace.FlagMemory)
+		if isMem && s.memBanks.EarliestAccept(e.op.Addr, c) > c {
 			s.retry = append(s.retry, e)
 			continue
 		}
 		done := c + int64(s.pool.Latency(unit))
-		needsBus := e.op.Dst.Valid()
+		needsBus := e.flags.Has(trace.FlagHasDst)
 		if needsBus && !s.results.Free(b, done) {
 			s.retry = append(s.retry, e)
 			continue
 		}
 		s.pool.Accept(unit, c)
-		if e.op.IsMemory() {
+		if isMem {
 			s.memBanks.Accept(e.op.Addr, c)
 		}
 		e.dispatched = true

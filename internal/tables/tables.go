@@ -6,19 +6,39 @@
 // Issue rates are harmonic means over the loops of a class, exactly
 // as in the paper: the scalar loops are LFK {5, 6, 11, 13, 14}, the
 // vectorizable loops LFK {1, 2, 3, 4, 7, 8, 9, 10, 12}.
+//
+// Table generation is parallel: every (machine, configuration, trace)
+// cell of a table's grid is an independent simulation, so the cells
+// fan out across a worker pool (internal/runner) bounded by
+// SetParallel — GOMAXPROCS by default. Results are assembled by cell
+// index, so a table's contents are bit-identical at any worker count.
 package tables
 
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"mfup/internal/bus"
 	"mfup/internal/core"
 	"mfup/internal/limits"
 	"mfup/internal/loops"
+	"mfup/internal/runner"
 	"mfup/internal/stats"
 	"mfup/internal/trace"
 )
+
+// parallel is the configured worker count; <= 0 means GOMAXPROCS.
+var parallel atomic.Int64
+
+// SetParallel sets the worker-goroutine count used to generate
+// tables. n <= 0 restores the default (all cores). Table output is
+// independent of this setting; only wall-clock time changes.
+func SetParallel(n int) { parallel.Store(int64(n)) }
+
+// Parallel returns the configured worker count: the last SetParallel
+// value, or 0 meaning "all cores".
+func Parallel() int { return int(parallel.Load()) }
 
 // Table is a rendered experiment: a grid of issue rates.
 type Table struct {
@@ -66,6 +86,15 @@ func (t *Table) Render() string {
 	return b.String()
 }
 
+// fill populates t.Rows from cell rates produced in row-major order:
+// len(t.Columns) consecutive rates per label.
+func (t *Table) fill(labels []string, rates []float64) {
+	w := len(t.Columns)
+	for i, label := range labels {
+		t.Rows = append(t.Rows, Row{Label: label, Rates: rates[i*w : (i+1)*w : (i+1)*w]})
+	}
+}
+
 // classTraces returns the cached traces of a loop class.
 func classTraces(c loops.Class) []*trace.Trace {
 	var ts []*trace.Trace
@@ -75,14 +104,34 @@ func classTraces(c loops.Class) []*trace.Trace {
 	return ts
 }
 
-// harmonicRate runs machine m over every trace and combines the
-// per-loop issue rates with the harmonic mean.
-func harmonicRate(m core.Machine, ts []*trace.Trace) float64 {
-	rates := make([]float64, 0, len(ts))
-	for _, t := range ts {
-		rates = append(rates, m.Run(t).IssueRate())
+// batch accumulates a table's grid of cells — each a (machine
+// constructor, trace set) pair whose value is a harmonic-mean issue
+// rate — and evaluates all of their simulations in one parallel
+// fan-out. Cells resolve in the order they were added, so callers lay
+// out a table by adding cells row-major and calling rates once.
+type batch struct {
+	tasks []runner.Task
+}
+
+// cell schedules one grid cell: one machine from mk over all traces.
+func (b *batch) cell(mk func() core.Machine, ts []*trace.Trace) {
+	b.tasks = append(b.tasks, runner.Task{New: mk, Traces: ts})
+}
+
+// rates runs every scheduled simulation on the worker pool and
+// returns each cell's harmonic-mean issue rate, in add order.
+func (b *batch) rates() []float64 {
+	results := runner.Run(Parallel(), b.tasks)
+	out := make([]float64, 0, len(results))
+	rs := make([]float64, 0, 16)
+	for _, cell := range results {
+		rs = rs[:0]
+		for _, r := range cell {
+			rs = append(rs, r.IssueRate())
+		}
+		out = append(out, stats.HarmonicMean(rs))
 	}
-	return stats.HarmonicMean(rates)
+	return out
 }
 
 // configColumns returns the paper's four machine-variation headers.
@@ -103,16 +152,18 @@ func Table1() *Table {
 		Title:   "Instruction Issue Rates for Different Basic Machine Organizations",
 		Columns: configColumns(),
 	}
+	var b batch
+	var labels []string
 	for _, class := range []loops.Class{loops.Scalar, loops.Vectorizable} {
 		ts := classTraces(class)
 		for _, org := range core.Organizations() {
-			row := Row{Label: fmt.Sprintf("%s %s", class, org)}
+			labels = append(labels, fmt.Sprintf("%s %s", class, org))
 			for _, cfg := range core.BaseConfigs() {
-				row.Rates = append(row.Rates, harmonicRate(core.NewBasic(org, cfg), ts))
+				b.cell(func() core.Machine { return core.NewBasic(org, cfg) }, ts)
 			}
-			t.Rows = append(t.Rows, row)
 		}
 	}
+	t.fill(labels, b.rates())
 	return t
 }
 
@@ -120,34 +171,57 @@ func Table1() *Table {
 // Vector and Scalar Loops": §4's bounds under unlimited ("Pure") and
 // in-order-WAW ("Serial") buffering assumptions. Columns are the
 // pseudo-dataflow limit, the resource limit, and the actual limit
-// (harmonic mean of per-loop minima).
+// (harmonic mean of per-loop minima). The bounds are analytical, not
+// machine runs, so the fan-out here is over limit computations.
 func Table2() *Table {
 	t := &Table{
 		Number:  2,
 		Title:   "The Pseudo-Dataflow and Resource Limits for Vector and Scalar Loops",
 		Columns: []string{"Pseudo-DF", "Resource", "Actual"},
 	}
+	type job struct {
+		tr   *trace.Trace
+		cfg  core.Config
+		mode limits.Mode
+	}
+	var (
+		jobs   []job
+		labels []string
+		rows   [][2]int // [first, count) job range per row
+	)
 	for _, class := range []loops.Class{loops.Scalar, loops.Vectorizable} {
 		ts := classTraces(class)
 		for _, mode := range []limits.Mode{limits.Pure, limits.Serial} {
 			for _, cfg := range core.BaseConfigs() {
-				var pdf, res, act []float64
+				labels = append(labels, fmt.Sprintf("%s %s %s", class, mode, cfg.Name()))
+				rows = append(rows, [2]int{len(jobs), len(ts)})
 				for _, tr := range ts {
-					l := limits.Compute(tr, cfg.Latencies(), mode)
-					pdf = append(pdf, l.PseudoDataflow)
-					res = append(res, l.Resource)
-					act = append(act, l.Actual)
+					jobs = append(jobs, job{tr: tr, cfg: cfg, mode: mode})
 				}
-				t.Rows = append(t.Rows, Row{
-					Label: fmt.Sprintf("%s %s %s", class, mode, cfg.Name()),
-					Rates: []float64{
-						stats.HarmonicMean(pdf),
-						stats.HarmonicMean(res),
-						stats.HarmonicMean(act),
-					},
-				})
 			}
 		}
+	}
+	results := make([]limits.Limits, len(jobs))
+	runner.Each(Parallel(), len(jobs), func(i int) {
+		j := jobs[i]
+		results[i] = limits.Compute(j.tr, j.cfg.Latencies(), j.mode)
+	})
+	for i, label := range labels {
+		first, n := rows[i][0], rows[i][1]
+		var pdf, res, act []float64
+		for _, l := range results[first : first+n] {
+			pdf = append(pdf, l.PseudoDataflow)
+			res = append(res, l.Resource)
+			act = append(act, l.Actual)
+		}
+		t.Rows = append(t.Rows, Row{
+			Label: label,
+			Rates: []float64{
+				stats.HarmonicMean(pdf),
+				stats.HarmonicMean(res),
+				stats.HarmonicMean(act),
+			},
+		})
 	}
 	return t
 }
@@ -168,15 +242,17 @@ func multiIssueTable(number int, title string, class loops.Class,
 	mk func(core.Config) core.Machine) *Table {
 	t := &Table{Number: number, Title: title, Columns: issueStationColumns()}
 	ts := classTraces(class)
+	var b batch
+	var labels []string
 	for n := 1; n <= 8; n++ {
-		row := Row{Label: fmt.Sprintf("%d stations", n)}
+		labels = append(labels, fmt.Sprintf("%d stations", n))
 		for _, cfg := range core.BaseConfigs() {
-			row.Rates = append(row.Rates,
-				harmonicRate(mk(cfg.WithIssue(n, bus.BusN)), ts),
-				harmonicRate(mk(cfg.WithIssue(n, bus.Bus1)), ts))
+			nbus, onebus := cfg.WithIssue(n, bus.BusN), cfg.WithIssue(n, bus.Bus1)
+			b.cell(func() core.Machine { return mk(nbus) }, ts)
+			b.cell(func() core.Machine { return mk(onebus) }, ts)
 		}
-		t.Rows = append(t.Rows, row)
 	}
+	t.fill(labels, b.rates())
 	return t
 }
 
@@ -221,17 +297,20 @@ func ruuTable(number int, title string, class loops.Class) *Table {
 			fmt.Sprintf("%d N-Bus", n), fmt.Sprintf("%d 1-Bus", n))
 	}
 	ts := classTraces(class)
+	var b batch
+	var labels []string
 	for _, cfg := range core.BaseConfigs() {
 		for _, size := range RUUSizes {
-			row := Row{Label: fmt.Sprintf("%s RUU %d", cfg.Name(), size)}
+			labels = append(labels, fmt.Sprintf("%s RUU %d", cfg.Name(), size))
 			for n := 1; n <= 4; n++ {
-				row.Rates = append(row.Rates,
-					harmonicRate(core.NewRUU(cfg.WithIssue(n, bus.BusN).WithRUU(size)), ts),
-					harmonicRate(core.NewRUU(cfg.WithIssue(n, bus.Bus1).WithRUU(size)), ts))
+				nbus := cfg.WithIssue(n, bus.BusN).WithRUU(size)
+				onebus := cfg.WithIssue(n, bus.Bus1).WithRUU(size)
+				b.cell(func() core.Machine { return core.NewRUU(nbus) }, ts)
+				b.cell(func() core.Machine { return core.NewRUU(onebus) }, ts)
 			}
-			t.Rows = append(t.Rows, row)
 		}
 	}
+	t.fill(labels, b.rates())
 	return t
 }
 
@@ -304,15 +383,17 @@ func SectionThreeThree() *Table {
 			return core.NewRUU(c.WithIssue(1, bus.BusN).WithRUU(50))
 		}},
 	}
+	var b batch
+	var labels []string
 	for _, class := range []loops.Class{loops.Scalar, loops.Vectorizable} {
 		ts := classTraces(class)
 		for _, s := range schemes {
-			row := Row{Label: fmt.Sprintf("%s %s", class, s.name)}
+			labels = append(labels, fmt.Sprintf("%s %s", class, s.name))
 			for _, cfg := range core.BaseConfigs() {
-				row.Rates = append(row.Rates, harmonicRate(s.mk(cfg), ts))
+				b.cell(func() core.Machine { return s.mk(cfg) }, ts)
 			}
-			t.Rows = append(t.Rows, row)
 		}
 	}
+	t.fill(labels, b.rates())
 	return t
 }

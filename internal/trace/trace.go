@@ -8,6 +8,7 @@ package trace
 
 import (
 	"fmt"
+	"sync"
 
 	"mfup/internal/isa"
 )
@@ -65,13 +66,28 @@ func (o *Op) String() string {
 }
 
 // Trace is the full dynamic instruction stream of one program run.
+// The Ops slice must not be mutated after the first simulation run:
+// machines share one trace read-only, along with its prepared decode
+// cache.
 type Trace struct {
 	Name string
 	Ops  []Op
+
+	prepOnce sync.Once
+	prep     *Prepared
 }
 
 // Len returns the number of dynamic instructions.
 func (t *Trace) Len() int { return len(t.Ops) }
+
+// Prepared returns the trace's decode cache, computing it on first
+// use. The cache is shared: concurrent callers — machines running the
+// same trace on different goroutines — receive the same immutable
+// Prepared.
+func (t *Trace) Prepared() *Prepared {
+	t.prepOnce.Do(func() { t.prep = Prepare(t) })
+	return t.prep
+}
 
 // Mix summarizes a trace's instruction mix: how the dynamic stream
 // distributes over functional-unit classes. The paper's resource
