@@ -34,6 +34,7 @@ func main() {
 		run       = flag.Bool("run", false, "execute the program on the architectural emulator")
 		dumpTrace = flag.Bool("trace", false, "with -run: dump the dynamic instruction trace")
 		showStats = flag.Bool("stats", false, "with -run: print instruction-mix statistics")
+		maxSteps  = flag.Int64("maxsteps", 0, "with -run: dynamic instruction budget; 0 = the emulator default")
 	)
 	flag.Parse()
 
@@ -72,6 +73,9 @@ func main() {
 		return
 	}
 
+	if *maxSteps > 0 {
+		m.StepLimit = *maxSteps
+	}
 	t, err := m.Run(p)
 	if err != nil {
 		fail(err)

@@ -26,11 +26,12 @@ import (
 
 func main() {
 	var (
-		mem   = flag.Int("mem", 11, "memory access time in cycles")
-		br    = flag.Int("br", 5, "branch execution time in cycles")
-		mode  = flag.String("mode", "pure", "WAW treatment: pure | serial")
-		which = flag.String("loops", "all", `"all", "scalar", "vector", or comma-separated kernel numbers`)
-		file  = flag.String("file", "", "assembly file to analyze instead of the Livermore loops")
+		mem      = flag.Int("mem", 11, "memory access time in cycles")
+		br       = flag.Int("br", 5, "branch execution time in cycles")
+		mode     = flag.String("mode", "pure", "WAW treatment: pure | serial")
+		which    = flag.String("loops", "all", `"all", "scalar", "vector", or comma-separated kernel numbers`)
+		file     = flag.String("file", "", "assembly file to analyze instead of the Livermore loops")
+		maxSteps = flag.Int64("maxsteps", 0, "with -file: dynamic instruction budget for tracing; 0 = the emulator default")
 	)
 	flag.Parse()
 
@@ -56,6 +57,9 @@ func main() {
 			fail(err)
 		}
 		m := emu.New(0)
+		if *maxSteps > 0 {
+			m.StepLimit = *maxSteps
+		}
 		t, err := m.Run(p)
 		if err != nil {
 			fail(err)

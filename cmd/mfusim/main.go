@@ -7,6 +7,10 @@
 //	mfusim -machine multi -units 4 -bus nbus -loops all
 //	mfusim -machine ruu -units 3 -ruu 40 -bus 1bus -loops vector
 //	mfusim -machine ooo -units 8 -loops 1,5,13
+//
+// An invalid configuration (e.g. -units 0) or a simulation that
+// exceeds -maxcycles, -stallcycles, or -timeout produces a one-line
+// diagnostic on standard error and exit status 1.
 package main
 
 import (
@@ -14,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"mfup/internal/cli"
 	"mfup/internal/core"
@@ -23,14 +28,17 @@ import (
 
 func main() {
 	var (
-		machine  = flag.String("machine", "cray", "simple | serialmem | nonseg | cray | scoreboard | tomasulo | multi | ooo | ruu | vector")
-		mem      = flag.Int("mem", 11, "memory access time in cycles (paper: 11 or 5)")
-		br       = flag.Int("br", 5, "branch execution time in cycles (paper: 5 or 2)")
-		units    = flag.Int("units", 1, "issue units/stations (multi, ooo, ruu)")
-		busKind  = flag.String("bus", "nbus", "result-bus interconnect: nbus | 1bus | xbar")
-		ruuSize  = flag.Int("ruu", 50, "RUU entries (ruu machine)")
-		stations = flag.Int("stations", 4, "reservation stations per unit (tomasulo machine)")
-		which    = flag.String("loops", "all", `"all", "scalar", "vector", or comma-separated kernel numbers`)
+		machine     = flag.String("machine", "cray", "simple | serialmem | nonseg | cray | scoreboard | tomasulo | multi | ooo | ruu | vector")
+		mem         = flag.Int("mem", 11, "memory access time in cycles (paper: 11 or 5)")
+		br          = flag.Int("br", 5, "branch execution time in cycles (paper: 5 or 2)")
+		units       = flag.Int("units", 1, "issue units/stations (multi, ooo, ruu)")
+		busKind     = flag.String("bus", "nbus", "result-bus interconnect: nbus | 1bus | xbar")
+		ruuSize     = flag.Int("ruu", 50, "RUU entries (ruu machine)")
+		stations    = flag.Int("stations", 4, "reservation stations per unit (tomasulo machine)")
+		which       = flag.String("loops", "all", `"all", "scalar", "vector", or comma-separated kernel numbers`)
+		maxCycles   = flag.Int64("maxcycles", 0, "simulated-cycle budget per loop; 0 = unlimited")
+		stallCycles = flag.Int64("stallcycles", 0, "cycles without forward progress before the run is declared stalled; 0 = off")
+		timeout     = flag.Duration("timeout", 0, "wall-clock deadline per loop (e.g. 30s); 0 = none")
 	)
 	flag.Parse()
 
@@ -47,27 +55,30 @@ func main() {
 	var m core.Machine
 	switch strings.ToLower(*machine) {
 	case "simple":
-		m = core.NewBasic(core.Simple, cfg)
+		m, err = core.NewBasicChecked(core.Simple, cfg)
 	case "serialmem":
-		m = core.NewBasic(core.SerialMemory, cfg)
+		m, err = core.NewBasicChecked(core.SerialMemory, cfg)
 	case "nonseg":
-		m = core.NewBasic(core.NonSegmented, cfg)
+		m, err = core.NewBasicChecked(core.NonSegmented, cfg)
 	case "cray":
-		m = core.NewBasic(core.CRAYLike, cfg)
+		m, err = core.NewBasicChecked(core.CRAYLike, cfg)
 	case "scoreboard":
-		m = core.NewScoreboard(cfg)
+		m, err = core.NewScoreboardChecked(cfg)
 	case "tomasulo":
-		m = core.NewTomasulo(cfg.WithRUU(*stations))
+		m, err = core.NewTomasuloChecked(cfg.WithRUU(*stations))
 	case "multi":
-		m = core.NewMultiIssue(cfg)
+		m, err = core.NewMultiIssueChecked(cfg)
 	case "ooo":
-		m = core.NewMultiIssueOOO(cfg)
+		m, err = core.NewMultiIssueOOOChecked(cfg)
 	case "ruu":
-		m = core.NewRUU(cfg)
+		m, err = core.NewRUUChecked(cfg)
 	case "vector":
-		m = core.NewVector(cfg)
+		m, err = core.NewVectorChecked(cfg)
 	default:
 		fail(fmt.Errorf("unknown machine %q", *machine))
+	}
+	if err != nil {
+		fail(err)
 	}
 
 	if strings.ToLower(*machine) == "vector" {
@@ -89,7 +100,14 @@ func main() {
 	fmt.Printf("%s, %s\n", m.Name(), cfg.Name())
 	var rates []float64
 	for _, k := range kernels {
-		r := m.Run(k.SharedTrace())
+		lim := core.Limits{MaxCycles: *maxCycles, StallCycles: *stallCycles}
+		if *timeout > 0 {
+			lim.Deadline = time.Now().Add(*timeout)
+		}
+		r, err := m.RunChecked(k.SharedTrace(), lim)
+		if err != nil {
+			fail(err)
+		}
 		rates = append(rates, r.IssueRate())
 		fmt.Printf("  %-38s %8d instr %9d cycles  %.3f/cycle\n",
 			k.String(), r.Instructions, r.Cycles, r.IssueRate())

@@ -14,6 +14,11 @@
 //
 // -cpuprofile and -memprofile write pprof profiles of the run, for
 // use with `go tool pprof`.
+//
+// Cells that fail (a panic, an exhausted -maxcycles budget, a
+// triggered -stallcycles watchdog, or a -timeout deadline) render as
+// ERR; the rest of the table is still produced, a per-cell diagnostic
+// summary goes to standard error, and the exit status is 1.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"mfup/internal/core"
 	"mfup/internal/tables"
 )
 
@@ -37,6 +43,9 @@ func run() int {
 	supplement := flag.Bool("supplement", false, "also print the section 3.3 dependency-resolution supplement")
 	format := flag.String("format", "text", "output format: text | csv | json")
 	parallel := flag.Int("parallel", 0, "worker goroutines for the simulations; 0 = all cores")
+	maxCycles := flag.Int64("maxcycles", 0, "per-cell simulated-cycle budget; 0 = unlimited")
+	stallCycles := flag.Int64("stallcycles", 0, "cycles without forward progress before a cell is declared stalled; 0 = off")
+	timeout := flag.Duration("timeout", 0, "per-cell wall-clock deadline (e.g. 30s); 0 = none")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
@@ -47,6 +56,10 @@ func run() int {
 	}
 
 	tables.SetParallel(*parallel)
+	tables.SetLimits(core.Limits{MaxCycles: *maxCycles, StallCycles: *stallCycles})
+	if *timeout > 0 {
+		tables.SetCellTimeout(*timeout)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -73,6 +86,7 @@ func run() int {
 		}()
 	}
 
+	cellsFailed := false
 	emit := func(t *tables.Table) error {
 		switch *format {
 		case "text":
@@ -88,7 +102,18 @@ func run() int {
 		default:
 			return fmt.Errorf("unknown format %q", *format)
 		}
+		if s := t.ErrorSummary(); s != "" {
+			cellsFailed = true
+			fmt.Fprint(os.Stderr, "mfutables: ", s)
+		}
 		return nil
+	}
+	done := func() int {
+		if cellsFailed {
+			fmt.Fprintln(os.Stderr, "mfutables: some cells failed; their values render as ERR")
+			return 1
+		}
+		return 0
 	}
 
 	if *table == 0 {
@@ -102,7 +127,7 @@ func run() int {
 				return fail(err)
 			}
 		}
-		return 0
+		return done()
 	}
 	t, err := tables.Get(*table)
 	if err != nil {
@@ -111,5 +136,5 @@ func run() int {
 	if err := emit(t); err != nil {
 		return fail(err)
 	}
-	return 0
+	return done()
 }

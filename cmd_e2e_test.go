@@ -92,3 +92,109 @@ func TestCommandLineTools(t *testing.T) {
 		t.Errorf("mfuasm kernel output unexpected:\n%s", out)
 	}
 }
+
+// TestCommandLineErrorPaths exercises the failure modes of all four
+// binaries: malformed input, unknown flags, nonexistent files, and
+// over-budget simulations must each produce a diagnostic on standard
+// error and a nonzero exit status — never a panic, never a zero exit.
+func TestCommandLineErrorPaths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end CLI test skipped in -short mode")
+	}
+	bindir := t.TempDir()
+	build := func(name string) string {
+		t.Helper()
+		bin := filepath.Join(bindir, name)
+		out, err := exec.Command("go", "build", "-o", bin, "./cmd/"+name).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, out)
+		}
+		return bin
+	}
+	mfusim := build("mfusim")
+	mfutables := build("mfutables")
+	mfulimits := build("mfulimits")
+	mfuasm := build("mfuasm")
+
+	badSrc := filepath.Join(bindir, "bad.cal")
+	if err := os.WriteFile(badSrc, []byte("S1 = utter garbage !!\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	livelock, err := filepath.Abs("testdata/livelock.cal")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		bin  string
+		args []string
+		want string // substring of combined output; "" = any
+	}{
+		{"mfusim unknown flag", mfusim, []string{"-bogus"}, "flag provided but not defined"},
+		{"mfusim unknown machine", mfusim, []string{"-machine", "hal9000"}, `unknown machine "hal9000"`},
+		{"mfusim bad config", mfusim, []string{"-machine", "multi", "-units", "0"}, "mfusim:"},
+		{"mfusim bad loop list", mfusim, []string{"-loops", "banana"}, "mfusim:"},
+		{"mfusim over budget", mfusim, []string{"-machine", "tomasulo", "-loops", "5", "-maxcycles", "10"}, "cycle budget exceeded"},
+		{"mfusim expired timeout", mfusim, []string{"-machine", "cray", "-loops", "5", "-timeout", "1ns"}, "deadline exceeded"},
+
+		{"mfuasm unknown flag", mfuasm, []string{"-bogus"}, "flag provided but not defined"},
+		{"mfuasm nonexistent file", mfuasm, []string{"-file", filepath.Join(bindir, "no-such.cal")}, "mfuasm:"},
+		{"mfuasm malformed assembly", mfuasm, []string{"-file", badSrc}, "mfuasm:"},
+		{"mfuasm bad kernel", mfuasm, []string{"-kernel", "99"}, "mfuasm:"},
+		{"mfuasm over budget", mfuasm, []string{"-file", livelock, "-run", "-maxsteps", "10"}, "step limit exceeded"},
+
+		{"mfulimits unknown flag", mfulimits, []string{"-bogus"}, "flag provided but not defined"},
+		{"mfulimits nonexistent file", mfulimits, []string{"-file", filepath.Join(bindir, "no-such.cal")}, "mfulimits:"},
+		{"mfulimits bad mode", mfulimits, []string{"-mode", "chaotic"}, "mfulimits:"},
+		{"mfulimits over budget", mfulimits, []string{"-file", livelock, "-maxsteps", "10"}, "step limit exceeded"},
+
+		{"mfutables unknown flag", mfutables, []string{"-bogus"}, "flag provided but not defined"},
+		{"mfutables bad table", mfutables, []string{"-table", "99"}, "mfutables:"},
+		{"mfutables bad format", mfutables, []string{"-table", "1", "-format", "xml"}, "unknown format"},
+		{"mfutables over budget", mfutables, []string{"-table", "1", "-maxcycles", "50"}, "ERR"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			out, err := exec.Command(c.bin, c.args...).CombinedOutput()
+			if err == nil {
+				t.Fatalf("%s %v exited 0; output:\n%s", filepath.Base(c.bin), c.args, out)
+			}
+			if _, ok := err.(*exec.ExitError); !ok {
+				t.Fatalf("%s %v did not run: %v", filepath.Base(c.bin), c.args, err)
+			}
+			if !strings.Contains(string(out), c.want) {
+				t.Errorf("%s %v output missing %q:\n%s", filepath.Base(c.bin), c.args, c.want, out)
+			}
+		})
+	}
+
+	// An over-budget table run still renders every healthy value: the
+	// diagnostic summary goes to stderr and names the failed cells.
+	t.Run("mfutables degrades gracefully", func(t *testing.T) {
+		cmd := exec.Command(mfutables, "-table", "1", "-maxcycles", "50")
+		var stdout, stderr strings.Builder
+		cmd.Stdout, cmd.Stderr = &stdout, &stderr
+		if err := cmd.Run(); err == nil {
+			t.Fatal("over-budget mfutables exited 0")
+		}
+		if !strings.Contains(stdout.String(), "Table 1.") {
+			t.Errorf("table skeleton missing from stdout:\n%s", stdout.String())
+		}
+		if !strings.Contains(stderr.String(), "cell(s) failed") ||
+			!strings.Contains(stderr.String(), "some cells failed") {
+			t.Errorf("stderr missing diagnostic summary:\n%s", stderr.String())
+		}
+	})
+
+	// And a generous budget must not disturb the healthy path.
+	t.Run("mfutables healthy under budget", func(t *testing.T) {
+		out, err := exec.Command(mfutables, "-table", "1", "-maxcycles", "100000000", "-stallcycles", "1000000").CombinedOutput()
+		if err != nil {
+			t.Fatalf("healthy guarded run failed: %v\n%s", err, out)
+		}
+		if strings.Contains(string(out), "ERR") {
+			t.Errorf("healthy guarded run rendered ERR cells:\n%s", out)
+		}
+	})
+}

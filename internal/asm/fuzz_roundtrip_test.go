@@ -1,0 +1,84 @@
+package asm_test
+
+import (
+	"testing"
+
+	"mfup/internal/asm"
+	"mfup/internal/loops"
+)
+
+// kernelSources collects the disassembly of every built-in kernel
+// (scalar and vector codings) — real, full-size programs exercising
+// the whole instruction set — as fuzz seeds.
+func kernelSources() []string {
+	var srcs []string
+	for _, k := range append(loops.All(), loops.VectorKernels()...) {
+		srcs = append(srcs, k.Program().Disassemble())
+	}
+	return srcs
+}
+
+// FuzzAssembleRoundTrip: any source the assembler accepts must
+// disassemble to source that reassembles to the identical encoding.
+// This pins the assembler and disassembler as exact inverses on the
+// accepted language (the property TestRoundTrip checks on the fixed
+// kernels, extended to arbitrary accepted inputs) and doubles as a
+// no-panic harness for both directions.
+func FuzzAssembleRoundTrip(f *testing.F) {
+	for _, src := range kernelSources() {
+		f.Add(src)
+	}
+	for _, src := range []string{
+		"",
+		"A1 = 100\nS1 = [A1]\n[A1 + 1] = S1",
+		"loop:\n    A0 = A0 - A7\n    JAN loop",
+		"VL = A1\nV1 = [A2 : 5]\nV2 = V1 +F V1\n[A3 : 1] = V2",
+		"S1 = S2 +F S3 ; comment",
+		"S1 = 1 / S2\nS1 = POP S2",
+	} {
+		f.Add(src)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := asm.Assemble("fuzz", src)
+		if err != nil {
+			return // rejected input; FuzzAssemble covers no-panic on reject
+		}
+		dis := p.Disassemble()
+		p2, err := asm.Assemble("fuzz-rt", dis)
+		if err != nil {
+			t.Fatalf("disassembly does not reassemble: %v\noriginal:\n%s\ndisassembly:\n%s", err, src, dis)
+		}
+		if len(p2.Code) != len(p.Code) {
+			t.Fatalf("round trip changed code length: %d -> %d\nsource:\n%s", len(p.Code), len(p2.Code), src)
+		}
+		for i := range p.Code {
+			if p.Code[i] != p2.Code[i] {
+				t.Fatalf("round trip changed instruction %d: %+v -> %+v\nsource:\n%s", i, p.Code[i], p2.Code[i], src)
+			}
+		}
+	})
+}
+
+// TestKernelRoundTrip runs the round-trip property over every
+// built-in kernel directly (no fuzzing), so plain `go test` covers
+// the full instruction set emitted by the hand compilations.
+func TestKernelRoundTrip(t *testing.T) {
+	for _, k := range append(loops.All(), loops.VectorKernels()...) {
+		p := k.Program()
+		p2, err := asm.Assemble(p.Name, p.Disassemble())
+		if err != nil {
+			t.Errorf("%s: reassemble: %v", p.Name, err)
+			continue
+		}
+		if len(p2.Code) != len(p.Code) {
+			t.Errorf("%s: code length %d -> %d", p.Name, len(p.Code), len(p2.Code))
+			continue
+		}
+		for i := range p.Code {
+			if p.Code[i] != p2.Code[i] {
+				t.Errorf("%s: instruction %d: %+v -> %+v", p.Name, i, p.Code[i], p2.Code[i])
+				break
+			}
+		}
+	}
+}

@@ -64,16 +64,31 @@ type slot struct {
 	count int
 }
 
-// NewTracker builds a tracker for kind k with n issue stations.
+// NewTracker builds a tracker for kind k with n issue stations. It
+// panics on an invalid configuration; NewTrackerChecked is the
+// error-returning form.
 func NewTracker(k Kind, n int) *Tracker {
+	t, err := NewTrackerChecked(k, n)
+	if err != nil {
+		panic(err.Error())
+	}
+	return t
+}
+
+// NewTrackerChecked builds a tracker for kind k with n issue
+// stations, validating the configuration instead of panicking.
+func NewTrackerChecked(k Kind, n int) (*Tracker, error) {
 	if n < 1 {
-		panic(fmt.Sprintf("bus: need at least 1 station, got %d", n))
+		return nil, fmt.Errorf("bus: need at least 1 station, got %d", n)
+	}
+	if k > Bus1 {
+		return nil, fmt.Errorf("bus: unknown interconnect kind %d", uint8(k))
 	}
 	t := &Tracker{kind: k, n: n}
 	if k == BusN {
 		t.perStation = make([][window]slot, n)
 	}
-	return t
+	return t, nil
 }
 
 // Kind returns the tracker's organization.

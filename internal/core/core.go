@@ -122,11 +122,33 @@ func (c Config) WithMemBanks(banks int) Config {
 	return c
 }
 
-// validate panics on structurally impossible configurations; configs
-// are built by code, not user input, so this is an assertion.
+// Validate reports whether the configuration is structurally
+// possible. It is the error-returning form used by the checked
+// constructors; the panicking constructors assert it via validate.
+func (c Config) Validate() error {
+	if c.MemLatency <= 0 {
+		return fmt.Errorf("core: config %s: memory latency must be positive, got %d", c.Name(), c.MemLatency)
+	}
+	if c.BranchLatency <= 0 {
+		return fmt.Errorf("core: config %s: branch latency must be positive, got %d", c.Name(), c.BranchLatency)
+	}
+	if c.IssueUnits < 0 {
+		return fmt.Errorf("core: config %s: negative issue units %d", c.Name(), c.IssueUnits)
+	}
+	if c.RUUSize < 0 {
+		return fmt.Errorf("core: config %s: negative RUU size %d", c.Name(), c.RUUSize)
+	}
+	if c.MemBanks < 0 {
+		return fmt.Errorf("core: config %s: negative memory bank count %d", c.Name(), c.MemBanks)
+	}
+	return nil
+}
+
+// validate panics on structurally impossible configurations; it is
+// the compatibility wrapper the legacy constructors use.
 func (c Config) validate() {
-	if c.MemLatency <= 0 || c.BranchLatency <= 0 {
-		panic(fmt.Sprintf("core: invalid config %+v", c))
+	if err := c.Validate(); err != nil {
+		panic(err.Error())
 	}
 }
 
@@ -155,7 +177,14 @@ func (r Result) String() string {
 
 // Machine is a timing model: it runs a trace and reports cycle
 // counts. Implementations are single-use-at-a-time but reusable:
-// Run fully resets internal state.
+// Run and RunChecked fully reset internal state.
+//
+// RunChecked is the fault-tolerant entry point: the run is bounded by
+// lim (cycle budget, no-forward-progress watchdog, wall-clock
+// deadline) and every failure — including an unsimulatable trace —
+// comes back as a *SimError rather than a panic. Run is the legacy
+// unlimited form; it panics on unsimulatable traces and is kept as a
+// thin wrapper over RunChecked with zero Limits.
 //
 // Concurrency contract: machines are stateful and NOT safe for
 // concurrent use — one instance must never execute Run on two
@@ -168,4 +197,5 @@ func (r Result) String() string {
 type Machine interface {
 	Name() string
 	Run(t *trace.Trace) Result
+	RunChecked(t *trace.Trace, lim Limits) (Result, error)
 }

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"time"
+
+	"mfup/internal/simerr"
+	"mfup/internal/trace"
+)
+
+// SimError is the structured error every checked run reports; see
+// internal/simerr for the full taxonomy.
+type SimError = simerr.SimError
+
+// Limits bounds a checked simulation run (Machine.RunChecked). The
+// zero value checks nothing, which makes RunChecked with Limits{}
+// behave exactly like the legacy Run.
+//
+// (Not to be confused with internal/limits, the paper's §4
+// performance bounds — these are execution guards, not performance
+// models.)
+type Limits struct {
+	// MaxCycles aborts the run once the simulated clock passes it.
+	// 0 disables the budget.
+	MaxCycles int64
+
+	// StallCycles is the no-forward-progress watchdog: a cycle-stepped
+	// machine that issues, dispatches, completes, and commits nothing
+	// for this many consecutive cycles is declared livelocked. 0
+	// disables the watchdog. Machines whose issue times are computed
+	// directly (the single-issue models) cannot stall and ignore it.
+	StallCycles int64
+
+	// Deadline is a wall-clock bound, polled every few thousand
+	// simulated events. The zero time disables it.
+	Deadline time.Time
+}
+
+// DefaultStallCycles is the recommended watchdog window: far beyond
+// any legitimate event gap (the largest gap a healthy run can see is
+// one functional-unit latency), yet cheap to reach when a model bug
+// or pathological configuration livelocks a machine.
+const DefaultStallCycles = 1 << 20
+
+// DefaultLimits returns the production defaults: no cycle budget, no
+// deadline, the stall watchdog armed at DefaultStallCycles.
+func DefaultLimits() Limits {
+	return Limits{StallCycles: DefaultStallCycles}
+}
+
+// newGuard builds the limit enforcer for one run.
+func newGuard(machine, traceName string, lim Limits) simerr.Guard {
+	return simerr.NewGuard(machine, traceName, lim.MaxCycles, lim.StallCycles, lim.Deadline)
+}
+
+// scalarOnly reports a BadTrace error when a scalar-only machine
+// receives a vector trace; mixing the models would silently produce
+// nonsense timing. The prepared trace already knows whether (and
+// where) a vector instruction occurs, so the check is O(1) per run.
+func scalarOnly(machine string, p *trace.Prepared) error {
+	if i := p.FirstVector; i >= 0 {
+		return &simerr.SimError{
+			Kind: simerr.KindBadTrace, Machine: machine, Trace: p.Trace.Name,
+			Instr: int64(i),
+			Msg: "scalar machine given vector instruction " +
+				p.Trace.Ops[i].Code.String(),
+		}
+	}
+	return nil
+}
+
+// runUnchecked adapts RunChecked to the legacy Run contract: with no
+// limits the only possible failure is an unsimulatable trace, which
+// the legacy API reported by panicking.
+func runUnchecked(m Machine, t *trace.Trace) Result {
+	r, err := m.RunChecked(t, Limits{})
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

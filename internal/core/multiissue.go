@@ -33,20 +33,37 @@ type multiIssue struct {
 
 // NewMultiIssue builds the §5.1 machine: cfg.IssueUnits stations
 // (>= 1), cfg.Bus interconnect, CRAY-like (fully segmented) units and
-// interleaved memory.
+// interleaved memory. It panics on an invalid configuration;
+// NewMultiIssueChecked is the error-returning form.
 func NewMultiIssue(cfg Config) Machine {
-	cfg.validate()
+	m, err := NewMultiIssueChecked(cfg)
+	if err != nil {
+		panic(err.Error())
+	}
+	return m
+}
+
+// NewMultiIssueChecked builds the §5.1 machine, validating the
+// configuration instead of panicking.
+func NewMultiIssueChecked(cfg Config) (Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if cfg.IssueUnits < 1 {
-		panic(fmt.Sprintf("core: MultiIssue needs IssueUnits >= 1, got %d", cfg.IssueUnits))
+		return nil, fmt.Errorf("core: MultiIssue needs IssueUnits >= 1, got %d", cfg.IssueUnits)
+	}
+	bt, err := bus.NewTrackerChecked(cfg.Bus, cfg.IssueUnits)
+	if err != nil {
+		return nil, err
 	}
 	pool := fu.NewPool(cfg.Latencies())
 	pool.SegmentAll()
 	return &multiIssue{
 		cfg:   cfg,
 		pool:  pool,
-		bt:    bus.NewTracker(cfg.Bus, cfg.IssueUnits),
+		bt:    bt,
 		banks: mem.NewBanks(cfg.MemBanks, cfg.MemLatency),
-	}
+	}, nil
 }
 
 func (m *multiIssue) Name() string {
@@ -57,14 +74,21 @@ func (m *multiIssue) Name() string {
 // the interconnect. Branches and stores produce no register value.
 func usesResultBus(op *trace.Op) bool { return op.Dst.Valid() }
 
-func (m *multiIssue) Run(t *trace.Trace) Result {
+func (m *multiIssue) Run(t *trace.Trace) Result { return runUnchecked(m, t) }
+
+// RunChecked simulates t under the limits; issue times are computed
+// directly, so only the cycle budget and deadline apply.
+func (m *multiIssue) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 	p := t.Prepared()
-	rejectVector(m.Name(), p)
+	if err := scalarOnly(m.Name(), p); err != nil {
+		return Result{}, err
+	}
 	m.pool.Reset()
 	m.sb.Reset()
 	m.bt.Reset()
 	m.mem.Reset(p.NumAddrs)
 	m.banks.Reset()
+	g := newGuard(m.Name(), t.Name, lim)
 
 	w := m.cfg.IssueUnits
 	brLat := int64(m.cfg.BranchLatency)
@@ -123,6 +147,12 @@ func (m *multiIssue) Run(t *trace.Trace) Result {
 			if done > lastDone {
 				lastDone = done
 			}
+			if err := g.Over(lastDone, int64(i)); err != nil {
+				return Result{}, err
+			}
+			if err := g.Tick(lastDone, int64(i)); err != nil {
+				return Result{}, err
+			}
 
 			if isBranch && m.cfg.PerfectBranches {
 				prev = e
@@ -144,5 +174,5 @@ func (m *multiIssue) Run(t *trace.Trace) Result {
 		Trace:        t.Name,
 		Instructions: int64(len(t.Ops)),
 		Cycles:       lastDone,
-	}
+	}, nil
 }

@@ -32,34 +32,60 @@ type multiIssueOOO struct {
 	banks *mem.Banks
 }
 
-// NewMultiIssueOOO builds the §5.2 machine.
+// NewMultiIssueOOO builds the §5.2 machine. It panics on an invalid
+// configuration; NewMultiIssueOOOChecked is the error-returning form.
 func NewMultiIssueOOO(cfg Config) Machine {
-	cfg.validate()
+	m, err := NewMultiIssueOOOChecked(cfg)
+	if err != nil {
+		panic(err.Error())
+	}
+	return m
+}
+
+// NewMultiIssueOOOChecked builds the §5.2 machine, validating the
+// configuration instead of panicking.
+func NewMultiIssueOOOChecked(cfg Config) (Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if cfg.IssueUnits < 1 {
-		panic(fmt.Sprintf("core: MultiIssueOOO needs IssueUnits >= 1, got %d", cfg.IssueUnits))
+		return nil, fmt.Errorf("core: MultiIssueOOO needs IssueUnits >= 1, got %d", cfg.IssueUnits)
+	}
+	bt, err := bus.NewTrackerChecked(cfg.Bus, cfg.IssueUnits)
+	if err != nil {
+		return nil, err
 	}
 	pool := fu.NewPool(cfg.Latencies())
 	pool.SegmentAll()
 	return &multiIssueOOO{
 		cfg:   cfg,
 		pool:  pool,
-		bt:    bus.NewTracker(cfg.Bus, cfg.IssueUnits),
+		bt:    bt,
 		banks: mem.NewBanks(cfg.MemBanks, cfg.MemLatency),
-	}
+	}, nil
 }
 
 func (m *multiIssueOOO) Name() string {
 	return fmt.Sprintf("MultiIssueOOO(%d,%s)", m.cfg.IssueUnits, m.cfg.Bus)
 }
 
-func (m *multiIssueOOO) Run(t *trace.Trace) Result {
+func (m *multiIssueOOO) Run(t *trace.Trace) Result { return runUnchecked(m, t) }
+
+// RunChecked simulates t under the limits. The issue scan steps cycle
+// by cycle within each instruction buffer, so the stall watchdog
+// applies here: a buffer in which nothing can ever issue would
+// otherwise spin the scan forever.
+func (m *multiIssueOOO) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 	p := t.Prepared()
-	rejectVector(m.Name(), p)
+	if err := scalarOnly(m.Name(), p); err != nil {
+		return Result{}, err
+	}
 	m.pool.Reset()
 	m.sb.Reset()
 	m.bt.Reset()
 	m.mem.Reset(p.NumAddrs)
 	m.banks.Reset()
+	g := newGuard(m.Name(), t.Name, lim)
 
 	w := m.cfg.IssueUnits
 	brLat := int64(m.cfg.BranchLatency)
@@ -88,6 +114,23 @@ func (m *multiIssueOOO) Run(t *trace.Trace) Result {
 		brGateIdx := -1 // buffer index of that branch
 
 		for c := nextFetch; remaining > 0; c++ {
+			if err := g.Stalled(c, int64(pos), func(max int) []string {
+				var snap []string
+				for i := 0; i < size && len(snap) < max; i++ {
+					if !issued[i] {
+						snap = append(snap, t.Ops[pos+i].String())
+					}
+				}
+				return snap
+			}); err != nil {
+				return Result{}, err
+			}
+			if err := g.Over(c, int64(pos)); err != nil {
+				return Result{}, err
+			}
+			if err := g.Tick(c, int64(pos)); err != nil {
+				return Result{}, err
+			}
 			for i := 0; i < size; i++ {
 				if issued[i] {
 					continue
@@ -196,11 +239,15 @@ func (m *multiIssueOOO) Run(t *trace.Trace) Result {
 				issued[i] = true
 				issuedAt[i] = c
 				remaining--
+				g.Progress(c)
 				if c > maxIssue {
 					maxIssue = c
 				}
 				if done > lastDone {
 					lastDone = done
+				}
+				if err := g.Over(lastDone, int64(pos+i)); err != nil {
+					return Result{}, err
 				}
 				if isBranch && !m.cfg.PerfectBranches {
 					brGate = c + brLat
@@ -224,5 +271,5 @@ func (m *multiIssueOOO) Run(t *trace.Trace) Result {
 		Trace:        t.Name,
 		Instructions: int64(len(t.Ops)),
 		Cycles:       lastDone,
-	}
+	}, nil
 }

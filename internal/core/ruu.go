@@ -10,19 +10,31 @@ import (
 // ruuMachine adapts the Register Update Unit simulator (§5.3,
 // internal/ruu) to the Machine interface.
 type ruuMachine struct {
-	sim  *ruu.Simulator
-	name string
+	sim *ruu.Simulator
 }
 
 // NewRUU builds the §5.3 machine: cfg.IssueUnits issue units over a
 // cfg.RUUSize-entry Register Update Unit with the cfg.Bus
-// interconnect (bus.BusN or bus.Bus1).
+// interconnect (bus.BusN or bus.Bus1). It panics on an invalid
+// configuration; NewRUUChecked is the error-returning form.
 func NewRUU(cfg Config) Machine {
-	cfg.validate()
-	if cfg.IssueUnits < 1 || cfg.RUUSize < cfg.IssueUnits {
-		panic(fmt.Sprintf("core: RUU needs IssueUnits >= 1 and RUUSize >= IssueUnits, got %+v", cfg))
+	m, err := NewRUUChecked(cfg)
+	if err != nil {
+		panic(err.Error())
 	}
-	sim := ruu.New(ruu.Config{
+	return m
+}
+
+// NewRUUChecked builds the §5.3 machine, validating the configuration
+// instead of panicking.
+func NewRUUChecked(cfg Config) (Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.IssueUnits < 1 || cfg.RUUSize < cfg.IssueUnits {
+		return nil, fmt.Errorf("core: RUU needs IssueUnits >= 1 and RUUSize >= IssueUnits, got %+v", cfg)
+	}
+	sim, err := ruu.NewChecked(ruu.Config{
 		MemLatency:      cfg.MemLatency,
 		BranchLatency:   cfg.BranchLatency,
 		IssueUnits:      cfg.IssueUnits,
@@ -31,21 +43,34 @@ func NewRUU(cfg Config) Machine {
 		MemBanks:        cfg.MemBanks,
 		PerfectBranches: cfg.PerfectBranches,
 	})
-	return &ruuMachine{
-		sim:  sim,
-		name: fmt.Sprintf("RUU(%d units, %d entries, %s)", cfg.IssueUnits, cfg.RUUSize, cfg.Bus),
+	if err != nil {
+		return nil, err
 	}
+	return &ruuMachine{sim: sim}, nil
 }
 
-func (m *ruuMachine) Name() string { return m.name }
+func (m *ruuMachine) Name() string { return m.sim.Name() }
 
-func (m *ruuMachine) Run(t *trace.Trace) Result {
-	rejectVector(m.name, t.Prepared())
-	cycles := m.sim.Run(t)
+func (m *ruuMachine) Run(t *trace.Trace) Result { return runUnchecked(m, t) }
+
+// RunChecked simulates t under the limits, delegating to the RUU
+// simulator's own checked entry point.
+func (m *ruuMachine) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
+	if err := scalarOnly(m.Name(), t.Prepared()); err != nil {
+		return Result{}, err
+	}
+	cycles, err := m.sim.RunChecked(t, ruu.Limits{
+		MaxCycles:   lim.MaxCycles,
+		StallCycles: lim.StallCycles,
+		Deadline:    lim.Deadline,
+	})
+	if err != nil {
+		return Result{}, err
+	}
 	return Result{
-		Machine:      m.name,
+		Machine:      m.Name(),
 		Trace:        t.Name,
 		Instructions: int64(len(t.Ops)),
 		Cycles:       cycles,
-	}
+	}, nil
 }

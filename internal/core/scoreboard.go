@@ -27,22 +27,42 @@ type scoreboard struct {
 }
 
 // NewScoreboard builds the CDC-6600-style single-issue machine of
-// §3.3.
+// §3.3. It panics on an invalid configuration; NewScoreboardChecked
+// is the error-returning form.
 func NewScoreboard(cfg Config) Machine {
-	cfg.validate()
+	m, err := NewScoreboardChecked(cfg)
+	if err != nil {
+		panic(err.Error())
+	}
+	return m
+}
+
+// NewScoreboardChecked builds the §3.3 scoreboard machine, validating
+// the configuration instead of panicking.
+func NewScoreboardChecked(cfg Config) (Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	pool := fu.NewPool(cfg.Latencies())
 	pool.SegmentAll()
-	return &scoreboard{cfg: cfg, pool: pool}
+	return &scoreboard{cfg: cfg, pool: pool}, nil
 }
 
 func (m *scoreboard) Name() string { return "Scoreboard" }
 
-func (m *scoreboard) Run(t *trace.Trace) Result {
+func (m *scoreboard) Run(t *trace.Trace) Result { return runUnchecked(m, t) }
+
+// RunChecked simulates t under the limits; issue times are computed
+// directly, so only the cycle budget and deadline apply.
+func (m *scoreboard) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 	p := t.Prepared()
-	rejectVector("Scoreboard", p)
+	if err := scalarOnly("Scoreboard", p); err != nil {
+		return Result{}, err
+	}
 	m.pool.Reset()
 	m.sb.Reset()
 	m.mem.Reset(p.NumAddrs)
+	g := newGuard("Scoreboard", t.Name, lim)
 
 	var (
 		nextIssue int64
@@ -72,6 +92,9 @@ func (m *scoreboard) Run(t *trace.Trace) Result {
 			if done > lastDone {
 				lastDone = done
 			}
+			if err := g.Over(lastDone, int64(i)); err != nil {
+				return Result{}, err
+			}
 			continue
 		}
 
@@ -97,6 +120,12 @@ func (m *scoreboard) Run(t *trace.Trace) Result {
 		if done > lastDone {
 			lastDone = done
 		}
+		if err := g.Over(lastDone, int64(i)); err != nil {
+			return Result{}, err
+		}
+		if err := g.Tick(lastDone, int64(i)); err != nil {
+			return Result{}, err
+		}
 		nextIssue = e + 1
 	}
 	return Result{
@@ -104,5 +133,5 @@ func (m *scoreboard) Run(t *trace.Trace) Result {
 		Trace:        t.Name,
 		Instructions: int64(len(t.Ops)),
 		Cycles:       lastDone,
-	}
+	}, nil
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"mfup/internal/fu"
 	"mfup/internal/isa"
 	"mfup/internal/mem"
@@ -60,9 +62,26 @@ func Organizations() []Organization {
 	return []Organization{Simple, SerialMemory, NonSegmented, CRAYLike}
 }
 
-// NewBasic builds one of the four basic single-issue machines.
+// NewBasic builds one of the four basic single-issue machines. It
+// panics on an invalid configuration; NewBasicChecked is the
+// error-returning form.
 func NewBasic(o Organization, cfg Config) Machine {
-	cfg.validate()
+	m, err := NewBasicChecked(o, cfg)
+	if err != nil {
+		panic(err.Error())
+	}
+	return m
+}
+
+// NewBasicChecked builds one of the four basic single-issue machines,
+// validating the configuration instead of panicking.
+func NewBasicChecked(o Organization, cfg Config) (Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if o > CRAYLike {
+		return nil, fmt.Errorf("core: unknown organization %d", o)
+	}
 	pool := fu.NewPool(cfg.Latencies())
 	switch o {
 	case Simple, SerialMemory:
@@ -83,18 +102,26 @@ func NewBasic(o Organization, cfg Config) Machine {
 		exclusive: o == Simple,
 		pool:      pool,
 		banks:     mem.NewBanks(banks, cfg.MemLatency),
-	}
+	}, nil
 }
 
 func (m *singleIssue) Name() string { return m.name }
 
-func (m *singleIssue) Run(t *trace.Trace) Result {
+func (m *singleIssue) Run(t *trace.Trace) Result { return runUnchecked(m, t) }
+
+// RunChecked simulates t under the limits. Issue times are computed
+// directly (the machine cannot stall), so only the cycle budget and
+// deadline apply.
+func (m *singleIssue) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 	p := t.Prepared()
-	rejectVector(m.name, p)
+	if err := scalarOnly(m.name, p); err != nil {
+		return Result{}, err
+	}
 	m.pool.Reset()
 	m.sb.Reset()
 	m.mem.Reset(p.NumAddrs)
 	m.banks.Reset()
+	g := newGuard(m.name, t.Name, lim)
 
 	var (
 		nextIssue int64 // earliest cycle the next instruction may issue
@@ -137,6 +164,12 @@ func (m *singleIssue) Run(t *trace.Trace) Result {
 		if done > lastDone {
 			lastDone = done
 		}
+		if err := g.Over(lastDone, int64(i)); err != nil {
+			return Result{}, err
+		}
+		if err := g.Tick(lastDone, int64(i)); err != nil {
+			return Result{}, err
+		}
 
 		switch {
 		case isBranch && m.cfg.PerfectBranches:
@@ -166,5 +199,5 @@ func (m *singleIssue) Run(t *trace.Trace) Result {
 		Trace:        t.Name,
 		Instructions: int64(len(t.Ops)),
 		Cycles:       lastDone,
-	}
+	}, nil
 }

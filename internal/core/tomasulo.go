@@ -58,14 +58,26 @@ type tomEntry struct {
 // (total buffering is therefore RUUSize x the number of units);
 // otherwise DefaultStations is used.
 func NewTomasulo(cfg Config) Machine {
-	cfg.validate()
+	m, err := NewTomasuloChecked(cfg)
+	if err != nil {
+		panic(err.Error())
+	}
+	return m
+}
+
+// NewTomasuloChecked builds the §3.3 Tomasulo machine, validating the
+// configuration instead of panicking.
+func NewTomasuloChecked(cfg Config) (Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	stations := cfg.RUUSize
 	if stations <= 0 {
 		stations = DefaultStations
 	}
 	pool := fu.NewPool(cfg.Latencies())
 	pool.SegmentAll()
-	return &tomasulo{cfg: cfg, stations: stations, pool: pool}
+	return &tomasulo{cfg: cfg, stations: stations, pool: pool}, nil
 }
 
 func (m *tomasulo) Name() string {
@@ -98,10 +110,36 @@ func (m *tomasulo) cdbFree(c int64) bool { return m.cdb[c%64] != c }
 
 func (m *tomasulo) cdbReserve(c int64) { m.cdb[c%64] = c }
 
-func (m *tomasulo) Run(t *trace.Trace) Result {
+func (m *tomasulo) Run(t *trace.Trace) Result { return runUnchecked(m, t) }
+
+// snapshot formats up to max in-flight reservation-station entries
+// for a stall diagnostic.
+func (m *tomasulo) snapshot(max int) []string {
+	var out []string
+	for _, e := range m.pending {
+		if len(out) == max {
+			out = append(out, fmt.Sprintf("... and %d more", len(m.pending)-max))
+			break
+		}
+		state := "waiting"
+		if e.started {
+			state = "executing"
+		}
+		out = append(out, fmt.Sprintf("%s [%s, deps %d, ready %d]", e.op, state, e.depCount, e.readyAt))
+	}
+	return out
+}
+
+// RunChecked simulates t under the limits. The machine steps cycle by
+// cycle, so all three checks apply: cycle budget, stall watchdog, and
+// wall-clock deadline.
+func (m *tomasulo) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 	p := t.Prepared()
-	rejectVector(m.Name(), p)
+	if err := scalarOnly(m.Name(), p); err != nil {
+		return Result{}, err
+	}
 	m.reset(p.NumAddrs)
+	g := newGuard(m.Name(), t.Name, lim)
 
 	var (
 		pos       int
@@ -115,6 +153,15 @@ func (m *tomasulo) Run(t *trace.Trace) Result {
 	}
 
 	for c := int64(0); pos < len(t.Ops) || len(m.pending) > 0; c++ {
+		if err := g.Stalled(c, int64(pos), m.snapshot); err != nil {
+			return Result{}, err
+		}
+		if err := g.Over(max(c, lastEvent), int64(pos)); err != nil {
+			return Result{}, err
+		}
+		if err := g.Tick(c, int64(pos)); err != nil {
+			return Result{}, err
+		}
 		// 1. Broadcasts: entries whose results appear this cycle free
 		// their stations and wake dependents (bypass: usable at c).
 		keep := m.pending[:0]
@@ -140,6 +187,7 @@ func (m *tomasulo) Run(t *trace.Trace) Result {
 			}
 			e.waiters = nil
 			bump(c)
+			g.Progress(c)
 		}
 		m.pending = keep
 
@@ -166,6 +214,7 @@ func (m *tomasulo) Run(t *trace.Trace) Result {
 			e.started = true
 			e.doneAt = done
 			bump(done)
+			g.Progress(c)
 		}
 
 		// 3. Issue: one instruction per cycle into a reservation
@@ -176,6 +225,7 @@ func (m *tomasulo) Run(t *trace.Trace) Result {
 			if po.Flags.Has(trace.FlagBranch) {
 				if m.cfg.PerfectBranches {
 					bump(c)
+					g.Progress(c)
 					pos++
 				} else {
 					stall := false
@@ -190,6 +240,7 @@ func (m *tomasulo) Run(t *trace.Trace) Result {
 					if !stall && a0 <= c {
 						issueGate = c + int64(m.cfg.BranchLatency)
 						bump(issueGate)
+						g.Progress(c)
 						pos++
 					}
 				}
@@ -221,6 +272,7 @@ func (m *tomasulo) Run(t *trace.Trace) Result {
 				}
 				m.pending = append(m.pending, e)
 				bump(c)
+				g.Progress(c)
 			}
 		}
 	}
@@ -229,5 +281,5 @@ func (m *tomasulo) Run(t *trace.Trace) Result {
 		Trace:        t.Name,
 		Instructions: int64(len(t.Ops)),
 		Cycles:       lastEvent,
-	}
+	}, nil
 }

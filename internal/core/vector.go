@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"mfup/internal/isa"
 	"mfup/internal/trace"
 )
@@ -33,9 +31,9 @@ import (
 //     (the ideal interleaved memory of the paper).
 //
 // Scalar instructions follow the CRAY-like rules of §3, including
-// branch blocking and store-to-load dependences. The machine panics
-// if handed nothing it can check — it is the only model that accepts
-// vector traces; the scalar machines reject them.
+// branch blocking and store-to-load dependences. This is the only
+// model that accepts vector traces; the scalar machines reject them
+// with a BadTrace error.
 type vectorMachine struct {
 	cfg Config
 	lat isa.Latencies // hoisted once; Config.Latencies rebuilds the table
@@ -52,10 +50,23 @@ type vectorMachine struct {
 	mem memScoreboard // scalar store-to-load dependences
 }
 
-// NewVector builds the vector-extension machine.
+// NewVector builds the vector-extension machine. It panics on an
+// invalid configuration; NewVectorChecked is the error-returning form.
 func NewVector(cfg Config) Machine {
-	cfg.validate()
-	return &vectorMachine{cfg: cfg, lat: cfg.Latencies()}
+	m, err := NewVectorChecked(cfg)
+	if err != nil {
+		panic(err.Error())
+	}
+	return m
+}
+
+// NewVectorChecked builds the vector-extension machine, validating
+// the configuration instead of panicking.
+func NewVectorChecked(cfg Config) (Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &vectorMachine{cfg: cfg, lat: cfg.Latencies()}, nil
 }
 
 func (m *vectorMachine) Name() string { return "Vector" }
@@ -77,9 +88,14 @@ func (m *vectorMachine) latency(u isa.Unit) int64 {
 	return int64(m.lat.Of(u))
 }
 
-func (m *vectorMachine) Run(t *trace.Trace) Result {
+func (m *vectorMachine) Run(t *trace.Trace) Result { return runUnchecked(m, t) }
+
+// RunChecked simulates t under the limits; issue times are computed
+// directly, so only the cycle budget and deadline apply.
+func (m *vectorMachine) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 	p := t.Prepared()
 	m.reset(p.NumAddrs)
+	g := newGuard(m.Name(), t.Name, lim)
 
 	var (
 		nextIssue int64
@@ -179,22 +195,17 @@ func (m *vectorMachine) Run(t *trace.Trace) Result {
 			bump(done)
 			nextIssue = e + 1
 		}
+		if err := g.Over(lastDone, int64(i)); err != nil {
+			return Result{}, err
+		}
+		if err := g.Tick(lastDone, int64(i)); err != nil {
+			return Result{}, err
+		}
 	}
 	return Result{
 		Machine:      m.Name(),
 		Trace:        t.Name,
 		Instructions: int64(len(t.Ops)),
 		Cycles:       lastDone,
-	}
-}
-
-// rejectVector panics when a scalar-only machine receives a vector
-// trace; mixing the models would silently produce nonsense timing.
-// The prepared trace already knows whether (and where) a vector
-// instruction occurs, so the check is O(1) per run.
-func rejectVector(machine string, p *trace.Prepared) {
-	if i := p.FirstVector; i >= 0 {
-		panic(fmt.Sprintf("core: %s is a scalar machine but trace %q contains vector instruction %s",
-			machine, p.Trace.Name, p.Trace.Ops[i].Code))
-	}
+	}, nil
 }

@@ -175,12 +175,17 @@ func TestScalarMachinesRejectVectorTraces(t *testing.T) {
 					t.Errorf("%s accepted a vector trace", m.Name())
 					return
 				}
-				if !strings.Contains(r.(string), "scalar machine") {
+				serr, ok := r.(*SimError)
+				if !ok || !strings.Contains(serr.Error(), "scalar machine") {
 					t.Errorf("%s: unexpected panic %v", m.Name(), r)
 				}
 			}()
 			m.Run(vtr)
 		}()
+		// The checked path reports the same condition as an error.
+		if _, err := m.RunChecked(vtr, Limits{}); err == nil {
+			t.Errorf("%s: RunChecked accepted a vector trace", m.Name())
+		}
 	}
 }
 

@@ -16,6 +16,7 @@
 package loops
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -140,11 +141,26 @@ var builders = map[int]struct {
 	build    builder
 }{}
 
+// initErr accumulates kernel registration failures. Registration runs
+// during package init, where a panic would take down any importer
+// before main; failures are instead recorded here and surfaced by
+// InitErr and by Get/VectorKernel lookups of the affected kernels.
+var initErr error
+
+// InitErr reports every failure encountered while registering the
+// built-in kernels, or nil when all registered cleanly.
+func InitErr() error { return initErr }
+
+func recordInitErr(err error) { initErr = errors.Join(initErr, err) }
+
 // registerBuilder installs a kernel builder and registers the
-// default-length instance. Called from each kernel file's init.
+// default-length instance. Called from each kernel file's init; a
+// failure is recorded in InitErr rather than panicking, and the
+// kernel is simply absent from the registry.
 func registerBuilder(number, defaultN int, b builder) {
 	if _, dup := builders[number]; dup {
-		panic(fmt.Sprintf("loops: duplicate kernel %d", number))
+		recordInitErr(fmt.Errorf("loops: duplicate kernel %d", number))
+		return
 	}
 	builders[number] = struct {
 		defaultN int
@@ -152,7 +168,8 @@ func registerBuilder(number, defaultN int, b builder) {
 	}{defaultN, b}
 	k, err := buildAt(number, defaultN)
 	if err != nil {
-		panic(err)
+		recordInitErr(err)
+		return
 	}
 	registry[number] = k
 }
@@ -198,6 +215,9 @@ func checkN(n, min, max int) error {
 func Get(n int) (*Kernel, error) {
 	k, ok := registry[n]
 	if !ok {
+		if initErr != nil {
+			return nil, fmt.Errorf("loops: no kernel %d (registration failures: %w)", n, initErr)
+		}
 		return nil, fmt.Errorf("loops: no kernel %d (have 1-14)", n)
 	}
 	return k, nil

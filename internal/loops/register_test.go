@@ -1,0 +1,79 @@
+package loops
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestInitErrNilForBuiltins: the shipped kernels must all register
+// cleanly.
+func TestInitErrNilForBuiltins(t *testing.T) {
+	if err := InitErr(); err != nil {
+		t.Fatalf("InitErr() = %v, want nil", err)
+	}
+}
+
+// TestRegisterBuilderCollectsErrors exercises the init-path error
+// handling: a failing builder is recorded in InitErr instead of
+// panicking, the kernel stays out of the registry, and Get names the
+// failure. Registry state is restored afterwards.
+func TestRegisterBuilderCollectsErrors(t *testing.T) {
+	const n = 99
+	saved := initErr
+	defer func() {
+		initErr = saved
+		delete(builders, n)
+		delete(registry, n)
+	}()
+
+	boom := errors.New("boom")
+	registerBuilder(n, 10, func(int) (*Kernel, string, error) {
+		return nil, "", boom
+	})
+	if err := InitErr(); err == nil || !errors.Is(err, boom) {
+		t.Fatalf("InitErr() = %v, want wrapped %v", err, boom)
+	}
+	if _, ok := registry[n]; ok {
+		t.Error("failing kernel ended up in the registry")
+	}
+	if _, err := Get(n); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("Get(%d) = %v, want an error naming the init failure", n, err)
+	}
+
+	// A duplicate registration is also recorded, not a panic, and
+	// must not clobber the original builder.
+	registerBuilder(1, 10, func(int) (*Kernel, string, error) {
+		return nil, "", fmt.Errorf("should never run")
+	})
+	if err := InitErr(); err == nil || !strings.Contains(err.Error(), "duplicate kernel 1") {
+		t.Errorf("InitErr() after duplicate = %v, want duplicate-kernel error", err)
+	}
+	if k, err := Get(1); err != nil || k == nil {
+		t.Errorf("Get(1) broken after duplicate registration: %v", err)
+	}
+}
+
+// TestRegisterVectorCollectsErrors: a vector coding that fails to
+// assemble is recorded, and VectorKernel surfaces the failure for
+// missing kernels.
+func TestRegisterVectorCollectsErrors(t *testing.T) {
+	const n = 98
+	saved := initErr
+	defer func() {
+		initErr = saved
+		delete(vectorRegistry, n)
+	}()
+
+	registerVector(&Kernel{Number: n, Name: "bogus"}, "THIS IS NOT ASSEMBLY\n")
+	if err := InitErr(); err == nil {
+		t.Fatal("InitErr() = nil after unassemblable vector kernel")
+	}
+	if _, ok := vectorRegistry[n]; ok {
+		t.Error("unassemblable vector kernel ended up in the registry")
+	}
+	if _, err := VectorKernel(n); err == nil || !strings.Contains(err.Error(), "registration failures") {
+		t.Errorf("VectorKernel(%d) = %v, want an error naming the init failure", n, err)
+	}
+}

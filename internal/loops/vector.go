@@ -29,9 +29,15 @@ var vectorRegistry = map[int]*Kernel{}
 
 func registerVector(k *Kernel, source string) {
 	if _, dup := vectorRegistry[k.Number]; dup {
-		panic(fmt.Sprintf("loops: duplicate vector kernel %d", k.Number))
+		recordInitErr(fmt.Errorf("loops: duplicate vector kernel %d", k.Number))
+		return
 	}
-	k.prog = asm.MustAssemble(fmt.Sprintf("lfk%02dv", k.Number), source)
+	prog, err := asm.Assemble(fmt.Sprintf("lfk%02dv", k.Number), source)
+	if err != nil {
+		recordInitErr(fmt.Errorf("loops: vector kernel %d: %w", k.Number, err))
+		return
+	}
+	k.prog = prog
 	vectorRegistry[k.Number] = k
 }
 
@@ -40,6 +46,9 @@ func registerVector(k *Kernel, source string) {
 func VectorKernel(n int) (*Kernel, error) {
 	k, ok := vectorRegistry[n]
 	if !ok {
+		if err := InitErr(); err != nil {
+			return nil, fmt.Errorf("loops: no vector coding for kernel %d (registration failures: %w)", n, err)
+		}
 		return nil, fmt.Errorf("loops: no vector coding for kernel %d (the scalar loops 5, 6, 11, 13, 14 have none)", n)
 	}
 	return k, nil

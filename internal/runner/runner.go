@@ -17,9 +17,15 @@
 package runner
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mfup/internal/core"
 	"mfup/internal/trace"
@@ -90,16 +96,206 @@ func Each(parallel, n int, fn func(i int)) {
 
 // Run executes every task on Workers(parallel) goroutines and returns
 // the results in task order: out[i][j] is tasks[i] run on its j-th
-// trace, regardless of how the cells were scheduled.
+// trace, regardless of how the cells were scheduled. Any cell failure
+// (panic or simulation error) panics with the first failure; use
+// RunChecked to collect failures instead.
 func Run(parallel int, tasks []Task) [][]core.Result {
-	out := make([][]core.Result, len(tasks))
-	Each(parallel, len(tasks), func(i int) {
-		m := tasks[i].New()
-		rs := make([]core.Result, len(tasks[i].Traces))
-		for j, t := range tasks[i].Traces {
-			rs[j] = m.Run(t)
-		}
-		out[i] = rs
-	})
+	out, errs := RunChecked(context.Background(), Options{Parallel: parallel}, tasks)
+	if len(errs) > 0 {
+		panic(errs[0])
+	}
 	return out
+}
+
+// ErrSkipped marks a cell that never ran because the sweep was
+// cancelled first (fail-fast after another cell's failure, or the
+// caller's context ending).
+var ErrSkipped = errors.New("cell skipped: sweep cancelled")
+
+// CellError is one cell's failure: which task and trace, the machine
+// and trace names when known, the underlying error, and — when the
+// cell panicked — the goroutine stack at the point of the panic.
+type CellError struct {
+	Task      int    // index into the tasks slice
+	Trace     int    // index into that task's Traces; -1 for construction failures
+	Machine   string // machine name, "" if construction never succeeded
+	TraceName string // trace name, "" for construction failures
+	Err       error  // the failure; a recovered panic is wrapped
+	Stack     []byte // goroutine stack if the cell panicked, else nil
+}
+
+// Error renders a one-line diagnostic naming the cell.
+func (e *CellError) Error() string {
+	switch {
+	case e.Trace < 0 && e.Machine == "":
+		return fmt.Sprintf("task %d: constructing machine: %v", e.Task, e.Err)
+	case e.TraceName != "":
+		return fmt.Sprintf("task %d (%s) on %q: %v", e.Task, e.Machine, e.TraceName, e.Err)
+	}
+	return fmt.Sprintf("task %d (%s): %v", e.Task, e.Machine, e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *CellError) Unwrap() error { return e.Err }
+
+// Options configures a checked sweep. The zero value runs on all
+// cores with no limits, collecting every failure (keep-going).
+type Options struct {
+	// Parallel is the worker count; <= 0 means all cores.
+	Parallel int
+
+	// Limits bounds every cell's simulation (cycle budget, stall
+	// watchdog, wall-clock deadline). Zero = unbounded, matching Run.
+	Limits core.Limits
+
+	// FailFast cancels the sweep after the first cell failure:
+	// in-flight cells finish, unstarted cells are skipped and reported
+	// with ErrSkipped. The default (keep-going) runs every cell and
+	// collects all failures.
+	FailFast bool
+
+	// CellTimeout, when positive, gives each cell its own wall-clock
+	// deadline (tighter of this and Limits.Deadline).
+	CellTimeout time.Duration
+}
+
+// Safe runs fn, converting a panic into an error (with the panic
+// value's message); a panic with an error value is returned as that
+// error. It exists for one-off cells outside the Task grid — e.g.
+// table builders that call machines directly.
+func Safe(fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				err = e
+			} else {
+				err = fmt.Errorf("panic: %v", r)
+			}
+		}
+	}()
+	fn()
+	return nil
+}
+
+// RunChecked executes every task like Run, but isolates failures: a
+// cell that returns a simulation error or panics produces a CellError
+// and a zero Result in its slot, while every other cell completes
+// normally (unless opts.FailFast cancels them). Cancelling ctx stops
+// the sweep the same way. Errors are reported sorted by (Task, Trace),
+// deterministically at any worker count. len(out) == len(tasks) and
+// len(out[i]) == len(tasks[i].Traces) always hold.
+func RunChecked(ctx context.Context, opts Options, tasks []Task) ([][]core.Result, []*CellError) {
+	out := make([][]core.Result, len(tasks))
+	errsByTask := make([][]*CellError, len(tasks))
+
+	runCtx := ctx
+	var cancel context.CancelCauseFunc
+	if opts.FailFast {
+		runCtx, cancel = context.WithCancelCause(ctx)
+		defer cancel(nil)
+	}
+
+	Each(opts.Parallel, len(tasks), func(i int) {
+		task := tasks[i]
+		rs := make([]core.Result, len(task.Traces))
+		out[i] = rs
+
+		fail := func(j int, machine, traceName string, err error, stack []byte) {
+			errsByTask[i] = append(errsByTask[i], &CellError{
+				Task: i, Trace: j, Machine: machine, TraceName: traceName,
+				Err: err, Stack: stack,
+			})
+			if cancel != nil {
+				cancel(err)
+			}
+		}
+
+		if runCtx.Err() != nil {
+			for j := range task.Traces {
+				fail(j, "", task.Traces[j].Name, ErrSkipped, nil)
+			}
+			return
+		}
+
+		var m core.Machine
+		if err := safeCall(func() { m = task.New() }); err != nil {
+			fail(-1, "", "", err, stackOf(err))
+			return
+		}
+
+		for j, t := range task.Traces {
+			if runCtx.Err() != nil {
+				fail(j, m.Name(), t.Name, ErrSkipped, nil)
+				continue
+			}
+			lim := opts.Limits
+			if opts.CellTimeout > 0 {
+				d := time.Now().Add(opts.CellTimeout)
+				if lim.Deadline.IsZero() || d.Before(lim.Deadline) {
+					lim.Deadline = d
+				}
+			}
+			var r core.Result
+			var runErr error
+			if err := safeCall(func() { r, runErr = m.RunChecked(t, lim) }); err != nil {
+				fail(j, m.Name(), t.Name, err, stackOf(err))
+				continue
+			}
+			if runErr != nil {
+				fail(j, m.Name(), t.Name, runErr, nil)
+				continue
+			}
+			rs[j] = r
+		}
+	})
+
+	var errs []*CellError
+	for _, es := range errsByTask {
+		errs = append(errs, es...)
+	}
+	sort.Slice(errs, func(a, b int) bool {
+		if errs[a].Task != errs[b].Task {
+			return errs[a].Task < errs[b].Task
+		}
+		return errs[a].Trace < errs[b].Trace
+	})
+	return out, errs
+}
+
+// panicError carries a recovered panic value together with the stack
+// captured at the recovery point.
+type panicError struct {
+	value any
+	stack []byte
+}
+
+func (e *panicError) Error() string { return fmt.Sprintf("panic: %v", e.value) }
+
+// Unwrap exposes a panic with an error value (e.g. core.Run panicking
+// with a *core.SimError) to errors.Is/As.
+func (e *panicError) Unwrap() error {
+	if err, ok := e.value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// safeCall runs fn, converting a panic into a *panicError.
+func safeCall(fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &panicError{value: r, stack: debug.Stack()}
+		}
+	}()
+	fn()
+	return nil
+}
+
+// stackOf extracts the captured stack from a recovered-panic error.
+func stackOf(err error) []byte {
+	var pe *panicError
+	if errors.As(err, &pe) {
+		return pe.stack
+	}
+	return nil
 }

@@ -1,11 +1,16 @@
 package runner
 
 import (
+	"context"
+	"errors"
+	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"mfup/internal/core"
 	"mfup/internal/loops"
+	"mfup/internal/simerr"
 	"mfup/internal/trace"
 )
 
@@ -70,5 +75,175 @@ func TestRunDeterministic(t *testing.T) {
 				t.Errorf("task %d trace %d: serial %+v != parallel %+v", i, j, serial[i][j], parallel[i][j])
 			}
 		}
+	}
+}
+
+// panicMachine explodes either at construction or on a chosen trace.
+type panicMachine struct {
+	inner  core.Machine
+	blowOn string // trace name that panics; "" = never
+	errOn  string // trace name that returns an error; "" = never
+}
+
+func (p *panicMachine) Name() string { return "PanicMachine" }
+
+func (p *panicMachine) Run(t *trace.Trace) core.Result { return p.inner.Run(t) }
+
+func (p *panicMachine) RunChecked(t *trace.Trace, lim core.Limits) (core.Result, error) {
+	if t.Name == p.blowOn {
+		panic("injected cell panic")
+	}
+	if t.Name == p.errOn {
+		return core.Result{}, errors.New("injected cell error")
+	}
+	return p.inner.RunChecked(t, lim)
+}
+
+// TestRunCheckedIsolatesPanics: a panicking cell yields a CellError
+// with a stack while every other cell completes with correct values.
+func TestRunCheckedIsolatesPanics(t *testing.T) {
+	var traces []*trace.Trace
+	for _, k := range loops.ByClass(loops.Scalar) {
+		traces = append(traces, k.SharedTrace())
+	}
+	bad := traces[1].Name
+	mk := func() core.Machine {
+		return &panicMachine{inner: core.NewBasic(core.CRAYLike, core.M11BR5), blowOn: bad}
+	}
+	healthy := func() core.Machine { return core.NewBasic(core.CRAYLike, core.M11BR5) }
+
+	tasks := []Task{
+		{New: mk, Traces: traces},
+		{New: healthy, Traces: traces},
+	}
+	want := Run(1, []Task{{New: healthy, Traces: traces}})[0]
+
+	for _, workers := range []int{1, 4} {
+		out, errs := RunChecked(context.Background(), Options{Parallel: workers}, tasks)
+		if len(errs) != 1 {
+			t.Fatalf("workers=%d: %d errors, want 1: %v", workers, len(errs), errs)
+		}
+		e := errs[0]
+		if e.Task != 0 || e.Trace != 1 || e.TraceName != bad {
+			t.Errorf("workers=%d: error cell (%d,%d,%q), want (0,1,%q)", workers, e.Task, e.Trace, e.TraceName, bad)
+		}
+		if len(e.Stack) == 0 {
+			t.Errorf("workers=%d: panic CellError carries no stack", workers)
+		}
+		if !strings.Contains(e.Error(), "injected cell panic") {
+			t.Errorf("workers=%d: error %q does not name the panic", workers, e)
+		}
+		// Healthy cells of the failing task still computed.
+		for j := range traces {
+			if j == 1 {
+				continue
+			}
+			if out[0][j] != want[j] {
+				t.Errorf("workers=%d: task 0 trace %d corrupted: %+v != %+v", workers, j, out[0][j], want[j])
+			}
+		}
+		// The healthy task is untouched.
+		for j := range traces {
+			if out[1][j] != want[j] {
+				t.Errorf("workers=%d: task 1 trace %d corrupted: %+v != %+v", workers, j, out[1][j], want[j])
+			}
+		}
+	}
+}
+
+// TestRunCheckedConstructionFailure: a constructor panic is reported
+// as Trace == -1 and the whole task's results stay zero.
+func TestRunCheckedConstructionFailure(t *testing.T) {
+	traces := []*trace.Trace{loops.ByClass(loops.Scalar)[0].SharedTrace()}
+	tasks := []Task{{New: func() core.Machine { panic("bad constructor") }, Traces: traces}}
+	out, errs := RunChecked(context.Background(), Options{}, tasks)
+	if len(errs) != 1 || errs[0].Trace != -1 {
+		t.Fatalf("errs = %v, want one construction error with Trace -1", errs)
+	}
+	if len(out[0]) != 1 || out[0][0] != (core.Result{}) {
+		t.Errorf("construction-failed task has non-zero results: %+v", out[0])
+	}
+}
+
+// TestRunCheckedFailFast: with FailFast, cells scheduled after the
+// failure are skipped and marked ErrSkipped; keep-going mode runs
+// everything.
+func TestRunCheckedFailFast(t *testing.T) {
+	traces := []*trace.Trace{loops.ByClass(loops.Scalar)[0].SharedTrace()}
+	bad := traces[0].Name
+	var tasks []Task
+	tasks = append(tasks, Task{
+		New: func() core.Machine {
+			return &panicMachine{inner: core.NewBasic(core.CRAYLike, core.M11BR5), errOn: bad}
+		},
+		Traces: traces,
+	})
+	for i := 0; i < 16; i++ {
+		tasks = append(tasks, Task{
+			New:    func() core.Machine { return core.NewBasic(core.CRAYLike, core.M11BR5) },
+			Traces: traces,
+		})
+	}
+
+	// Keep-going (default): exactly the one injected failure.
+	_, errs := RunChecked(context.Background(), Options{Parallel: 1}, tasks)
+	if len(errs) != 1 {
+		t.Fatalf("keep-going: %d errors, want 1: %v", len(errs), errs)
+	}
+
+	// Fail-fast with one worker: everything after task 0 is skipped.
+	_, errs = RunChecked(context.Background(), Options{Parallel: 1, FailFast: true}, tasks)
+	if len(errs) != len(tasks) {
+		t.Fatalf("fail-fast: %d errors, want %d", len(errs), len(tasks))
+	}
+	if !strings.Contains(errs[0].Error(), "injected cell error") {
+		t.Errorf("fail-fast: first error %q is not the injected failure", errs[0])
+	}
+	for _, e := range errs[1:] {
+		if !errors.Is(e, ErrSkipped) {
+			t.Errorf("fail-fast: task %d error %v, want ErrSkipped", e.Task, e.Err)
+		}
+	}
+}
+
+// TestRunCheckedCancelledContext: a pre-cancelled context skips every
+// cell.
+func TestRunCheckedCancelledContext(t *testing.T) {
+	traces := []*trace.Trace{loops.ByClass(loops.Scalar)[0].SharedTrace()}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tasks := []Task{{New: func() core.Machine { return core.NewBasic(core.CRAYLike, core.M11BR5) }, Traces: traces}}
+	_, errs := RunChecked(ctx, Options{}, tasks)
+	if len(errs) != 1 || !errors.Is(errs[0], ErrSkipped) {
+		t.Fatalf("errs = %v, want one ErrSkipped", errs)
+	}
+}
+
+// TestRunCheckedCellTimeout: an effectively-zero cell timeout fires
+// the per-cell deadline on a real machine run.
+func TestRunCheckedCellTimeout(t *testing.T) {
+	traces := []*trace.Trace{loops.ByClass(loops.Scalar)[0].SharedTrace()}
+	tasks := []Task{{New: func() core.Machine { return core.NewBasic(core.CRAYLike, core.M11BR5) }, Traces: traces}}
+	_, errs := RunChecked(context.Background(), Options{CellTimeout: time.Nanosecond}, tasks)
+	if len(errs) != 1 {
+		t.Fatalf("errs = %v, want one deadline error", errs)
+	}
+	var serr *core.SimError
+	if !errors.As(errs[0], &serr) || serr.Kind != simerr.KindDeadline {
+		t.Errorf("error = %v, want KindDeadline *SimError", errs[0])
+	}
+}
+
+// TestSafe converts panics to errors and passes errors through.
+func TestSafe(t *testing.T) {
+	if err := Safe(func() {}); err != nil {
+		t.Errorf("Safe(no-op) = %v", err)
+	}
+	if err := Safe(func() { panic("boom") }); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("Safe(panic) = %v", err)
+	}
+	sentinel := errors.New("typed")
+	if err := Safe(func() { panic(sentinel) }); !errors.Is(err, sentinel) {
+		t.Errorf("Safe(panic(error)) = %v, want the error value", err)
 	}
 }

@@ -28,11 +28,13 @@ package ruu
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"mfup/internal/bus"
 	"mfup/internal/fu"
 	"mfup/internal/isa"
 	"mfup/internal/mem"
+	"mfup/internal/simerr"
 	"mfup/internal/trace"
 )
 
@@ -49,6 +51,33 @@ type Config struct {
 	// a branch costs one issue slot and nothing else. Ablation only;
 	// the paper models no prediction.
 	PerfectBranches bool
+}
+
+// Validate reports whether the configuration is structurally
+// possible; it is what New asserts and NewChecked returns.
+func (cfg Config) Validate() error {
+	if cfg.MemLatency <= 0 || cfg.BranchLatency <= 0 {
+		return fmt.Errorf("ruu: non-positive latency in config %+v", cfg)
+	}
+	if cfg.IssueUnits < 1 || cfg.Size < cfg.IssueUnits {
+		return fmt.Errorf("ruu: bad config %+v (need IssueUnits >= 1 and Size >= IssueUnits)", cfg)
+	}
+	if cfg.Bus != bus.BusN && cfg.Bus != bus.Bus1 {
+		return fmt.Errorf("ruu: unsupported interconnect %s", cfg.Bus)
+	}
+	if cfg.MemBanks < 0 {
+		return fmt.Errorf("ruu: negative memory bank count %d", cfg.MemBanks)
+	}
+	return nil
+}
+
+// Limits bounds a checked run; it mirrors core.Limits (this package
+// cannot import core, which wraps it). Zero fields disable the
+// corresponding checks.
+type Limits struct {
+	MaxCycles   int64     // cycle budget; 0 = unlimited
+	StallCycles int64     // no-forward-progress watchdog; 0 = off
+	Deadline    time.Time // wall-clock bound; zero = none
 }
 
 // entry is one RUU slot in flight. Entries live in a fixed slab of
@@ -182,14 +211,21 @@ type Simulator struct {
 	memBanks    *mem.Banks
 }
 
-// New builds a simulator; it panics on nonsensical configuration
-// (these are built by code, not parsed input).
+// New builds a simulator; it panics on nonsensical configuration.
+// NewChecked is the error-returning form.
 func New(cfg Config) *Simulator {
-	if cfg.IssueUnits < 1 || cfg.Size < cfg.IssueUnits {
-		panic(fmt.Sprintf("ruu: bad config %+v", cfg))
+	s, err := NewChecked(cfg)
+	if err != nil {
+		panic(err.Error())
 	}
-	if cfg.Bus != bus.BusN && cfg.Bus != bus.Bus1 {
-		panic(fmt.Sprintf("ruu: unsupported interconnect %s", cfg.Bus))
+	return s
+}
+
+// NewChecked builds a simulator, validating the configuration instead
+// of panicking.
+func NewChecked(cfg Config) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	s := &Simulator{
 		cfg:  cfg,
@@ -214,7 +250,7 @@ func New(cfg Config) *Simulator {
 	s.results = bus.NewTracker(cfg.Bus, s.banks)
 	s.commitSeen = make([]bool, s.banks)
 	s.memBanks = mem.NewBanks(cfg.MemBanks, cfg.MemLatency)
-	return s
+	return s, nil
 }
 
 func (s *Simulator) reset(numAddrs int) {
@@ -245,10 +281,51 @@ func (s *Simulator) reset(numAddrs int) {
 	s.results.Reset()
 }
 
-// Run simulates t and returns the total cycle count.
+// Name identifies the simulator configuration in diagnostics.
+func (s *Simulator) Name() string {
+	return fmt.Sprintf("RUU(%d units, %d entries, %s)", s.cfg.IssueUnits, s.cfg.Size, s.cfg.Bus)
+}
+
+// snapshot formats up to max in-flight RUU entries, oldest first, for
+// a stall diagnostic.
+func (s *Simulator) snapshot(max int) []string {
+	var out []string
+	for i := 0; i < s.fifoLen; i++ {
+		if len(out) == max {
+			out = append(out, fmt.Sprintf("... and %d more", s.fifoLen-max))
+			break
+		}
+		e := s.fifo[(s.fifoHead+i)%len(s.fifo)]
+		state := "waiting"
+		switch {
+		case e.done:
+			state = "done"
+		case e.dispatched:
+			state = "executing"
+		}
+		out = append(out, fmt.Sprintf("#%d %s [%s, deps %d, ready %d]", e.seq, e.op, state, e.depCount, e.readyAt))
+	}
+	return out
+}
+
+// Run simulates t and returns the total cycle count. It panics with a
+// *simerr.SimError if the trace cannot be simulated; RunChecked is
+// the error-returning, bounded form.
 func (s *Simulator) Run(t *trace.Trace) int64 {
+	cycles, err := s.RunChecked(t, Limits{})
+	if err != nil {
+		panic(err)
+	}
+	return cycles
+}
+
+// RunChecked simulates t under the limits and returns the total cycle
+// count. The machine steps cycle by cycle, so all three checks apply:
+// cycle budget, no-forward-progress watchdog, and wall-clock deadline.
+func (s *Simulator) RunChecked(t *trace.Trace, lim Limits) (int64, error) {
 	p := t.Prepared()
 	s.reset(p.NumAddrs)
+	g := simerr.NewGuard(s.Name(), t.Name, lim.MaxCycles, lim.StallCycles, lim.Deadline)
 
 	var (
 		pos       int   // next trace op to issue
@@ -263,11 +340,21 @@ func (s *Simulator) Run(t *trace.Trace) int64 {
 	}
 
 	for c := int64(0); pos < len(t.Ops) || s.fifoLen > 0; c++ {
+		if err := g.Stalled(c, int64(pos), s.snapshot); err != nil {
+			return 0, err
+		}
+		if err := g.Over(max(c, lastEvent), int64(pos)); err != nil {
+			return 0, err
+		}
+		if err := g.Tick(c, int64(pos)); err != nil {
+			return 0, err
+		}
 		// 1. Results returning this cycle: mark done, wake waiters.
 		for _, e := range s.broadcasts.take(c) {
 			e.done = true
 			e.doneAt = c
 			bump(c)
+			g.Progress(c)
 			if e.flags.Has(trace.FlagHasDst) && s.regProducer[e.op.Dst] == e {
 				s.regProducer[e.op.Dst] = nil
 				s.regReadyAt[e.op.Dst] = c
@@ -316,13 +403,16 @@ func (s *Simulator) Run(t *trace.Trace) int64 {
 			s.fifoLen--
 			s.freeEnt = append(s.freeEnt, head) // recycle the slot
 			bump(c)
+			g.Progress(c)
 		}
 
 		// 4. Dispatch ready entries, oldest first, one per dispatch-
 		// bus domain per cycle, subject to functional-unit acceptance
 		// and a free result slot at completion.
 		for b := 0; b < s.banks; b++ {
-			s.dispatchBank(b, c, &lastEvent)
+			if s.dispatchBank(b, c, &lastEvent) {
+				g.Progress(c)
+			}
 		}
 
 		// 5. Issue up to N instructions into the RUU, in program
@@ -336,6 +426,7 @@ func (s *Simulator) Run(t *trace.Trace) int64 {
 						// Ablation: the branch consumes this issue slot
 						// and nothing more.
 						bump(c)
+						g.Progress(c)
 						pos++
 						seq++
 						continue
@@ -352,6 +443,7 @@ func (s *Simulator) Run(t *trace.Trace) int64 {
 					}
 					issueGate = c + int64(s.cfg.BranchLatency)
 					bump(issueGate)
+					g.Progress(c)
 					pos++
 					seq++
 					break // nothing issues past an unresolved branch
@@ -408,10 +500,11 @@ func (s *Simulator) Run(t *trace.Trace) int64 {
 					s.schedule(e)
 				}
 				bump(c)
+				g.Progress(c)
 			}
 		}
 	}
-	return lastEvent
+	return lastEvent, nil
 }
 
 // schedule queues e for dispatch at e.readyAt.
@@ -420,9 +513,10 @@ func (s *Simulator) schedule(e *entry) {
 }
 
 // dispatchBank sends at most one ready entry from bank b to the
-// functional units at cycle c. Entries that fail a structural check
-// (unit busy, result slot taken) stay queued.
-func (s *Simulator) dispatchBank(b int, c int64, lastEvent *int64) {
+// functional units at cycle c and reports whether it dispatched one.
+// Entries that fail a structural check (unit busy, result slot taken)
+// stay queued.
+func (s *Simulator) dispatchBank(b int, c int64, lastEvent *int64) bool {
 	h := &s.ready[b]
 	s.retry = s.retry[:0]
 	dispatched := false
@@ -465,4 +559,5 @@ func (s *Simulator) dispatchBank(b int, c int64, lastEvent *int64) {
 	for _, e := range s.retry {
 		h.push(e)
 	}
+	return dispatched
 }

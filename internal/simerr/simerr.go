@@ -1,0 +1,197 @@
+// Package simerr defines the structured error produced by checked
+// simulation runs, and the Guard that enforces run limits.
+//
+// Every machine model offers a RunChecked entry point that bounds a
+// run three ways: a cycle budget (the simulated clock may not pass
+// MaxCycles), a no-forward-progress watchdog (a cycle-stepped machine
+// that neither issues, dispatches, completes, nor commits anything
+// for StallCycles consecutive cycles is livelocked), and a wall-clock
+// deadline (polled periodically, for sweeps with per-cell timeouts).
+// All three failures surface as a *SimError naming the machine, the
+// trace, and the cycle at which the run was cut off, plus — for
+// stalls — a snapshot of the stalled in-flight instructions.
+//
+// The type lives in its own leaf package so that both internal/core
+// and internal/ruu (which core wraps, and therefore cannot import
+// core) report failures with the same error value.
+package simerr
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Kind classifies a simulation failure.
+type Kind uint8
+
+// The failure classes.
+const (
+	// KindCycleBudget: the simulated clock passed Limits.MaxCycles.
+	KindCycleBudget Kind = iota
+	// KindStall: the no-forward-progress watchdog fired — nothing
+	// issued, dispatched, completed, or committed for StallCycles
+	// consecutive cycles while instructions were still in flight.
+	KindStall
+	// KindDeadline: the wall-clock deadline passed mid-run.
+	KindDeadline
+	// KindBadTrace: the machine cannot simulate the trace at all
+	// (for example, a vector trace handed to a scalar machine).
+	KindBadTrace
+)
+
+// String names the kind for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case KindCycleBudget:
+		return "cycle budget exceeded"
+	case KindStall:
+		return "no forward progress"
+	case KindDeadline:
+		return "deadline exceeded"
+	case KindBadTrace:
+		return "unsimulatable trace"
+	}
+	return fmt.Sprintf("simerr.Kind(%d)", uint8(k))
+}
+
+// SimError is a structured simulation failure.
+type SimError struct {
+	Kind    Kind
+	Machine string // machine model name
+	Trace   string // trace name
+	Cycle   int64  // simulated cycle at which the run was cut off
+	Instr   int64  // trace position reached, -1 when not meaningful
+	Msg     string // optional kind-specific detail
+
+	// InFlight is a snapshot of the stalled in-flight instructions
+	// (stall errors only), newest-committed first, possibly truncated.
+	InFlight []string
+}
+
+// Error renders the failure as a single line, the form the CLIs print.
+func (e *SimError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim: %s on %q: %s at cycle %d", e.Machine, e.Trace, e.Kind, e.Cycle)
+	if e.Instr >= 0 {
+		fmt.Fprintf(&b, " (instr %d)", e.Instr)
+	}
+	if e.Msg != "" {
+		fmt.Fprintf(&b, ": %s", e.Msg)
+	}
+	if n := len(e.InFlight); n > 0 {
+		fmt.Fprintf(&b, " [%d in flight]", n)
+	}
+	return b.String()
+}
+
+// Detail renders the failure with the in-flight snapshot, one
+// instruction per line, for verbose diagnostics.
+func (e *SimError) Detail() string {
+	if len(e.InFlight) == 0 {
+		return e.Error()
+	}
+	var b strings.Builder
+	b.WriteString(e.Error())
+	for _, s := range e.InFlight {
+		b.WriteString("\n  in flight: ")
+		b.WriteString(s)
+	}
+	return b.String()
+}
+
+// pollStride is how many Tick calls pass between wall-clock reads:
+// deadline checks must not put a syscall on the simulation hot path.
+const pollStride = 4096
+
+// Guard enforces run limits for one simulation run. The zero value
+// (all limits zero) checks nothing; construct one per run with
+// NewGuard and drive it from the machine's main loop.
+type Guard struct {
+	Machine string
+	Trace   string
+
+	maxCycles   int64
+	stallCycles int64
+	deadline    time.Time
+	timed       bool
+
+	lastProgress int64
+	poll         int
+}
+
+// NewGuard builds a guard for one run of machine over trace. Zero
+// maxCycles or stallCycles disable the respective check; a zero
+// deadline disables wall-clock polling.
+func NewGuard(machine, trace string, maxCycles, stallCycles int64, deadline time.Time) Guard {
+	return Guard{
+		Machine:     machine,
+		Trace:       trace,
+		maxCycles:   maxCycles,
+		stallCycles: stallCycles,
+		deadline:    deadline,
+		timed:       !deadline.IsZero(),
+		// Poll on the first Tick, then every pollStride: a short run
+		// must still notice an already-expired deadline.
+		poll: 1,
+	}
+}
+
+// fail builds a SimError for this run.
+func (g *Guard) fail(kind Kind, cycle, instr int64) *SimError {
+	return &SimError{Kind: kind, Machine: g.Machine, Trace: g.Trace, Cycle: cycle, Instr: instr}
+}
+
+// Over checks the cycle budget against the latest event time (which
+// must be nondecreasing across calls for the earliest-abort property).
+func (g *Guard) Over(cycle, instr int64) *SimError {
+	if g.maxCycles > 0 && cycle > g.maxCycles {
+		e := g.fail(KindCycleBudget, cycle, instr)
+		e.Msg = fmt.Sprintf("budget %d cycles", g.maxCycles)
+		return e
+	}
+	return nil
+}
+
+// Progress records that the machine did something at cycle c — issued,
+// dispatched, completed, or committed an instruction.
+func (g *Guard) Progress(c int64) {
+	if c > g.lastProgress {
+		g.lastProgress = c
+	}
+}
+
+// Stalled checks the no-forward-progress watchdog at cycle c.
+// snapshot, when non-nil, is called only on failure to capture up to
+// max in-flight instructions for the error.
+func (g *Guard) Stalled(c, instr int64, snapshot func(max int) []string) *SimError {
+	if g.stallCycles <= 0 || c-g.lastProgress <= g.stallCycles {
+		return nil
+	}
+	e := g.fail(KindStall, c, instr)
+	e.Msg = fmt.Sprintf("nothing issued or completed for %d cycles (last progress at cycle %d)",
+		g.stallCycles, g.lastProgress)
+	if snapshot != nil {
+		e.InFlight = snapshot(16)
+	}
+	return e
+}
+
+// Tick polls the wall-clock deadline. It reads the clock only once
+// every pollStride calls, so it is cheap enough for per-cycle or
+// per-instruction use.
+func (g *Guard) Tick(cycle, instr int64) *SimError {
+	if !g.timed {
+		return nil
+	}
+	if g.poll--; g.poll > 0 {
+		return nil
+	}
+	g.poll = pollStride
+	if time.Now().After(g.deadline) {
+		e := g.fail(KindDeadline, cycle, instr)
+		e.Msg = "wall-clock deadline passed"
+		return e
+	}
+	return nil
+}

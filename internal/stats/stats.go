@@ -38,11 +38,12 @@ func Mean(xs []float64) float64 {
 	return sum / float64(len(xs))
 }
 
-// Min returns the smallest element of xs; it panics on an empty
-// slice, which is a caller bug.
-func Min(xs []float64) float64 {
+// Min returns the smallest element of xs and whether xs was
+// non-empty; the zero value with ok == false replaces the old
+// empty-slice panic.
+func Min(xs []float64) (min float64, ok bool) {
 	if len(xs) == 0 {
-		panic("stats: Min of empty slice")
+		return 0, false
 	}
 	m := xs[0]
 	for _, x := range xs[1:] {
@@ -50,7 +51,7 @@ func Min(xs []float64) float64 {
 			m = x
 		}
 	}
-	return m
+	return m, true
 }
 
 // Rate2 formats an issue rate with the paper's two-decimal precision.

@@ -29,18 +29,18 @@ func TestMeanAndMin(t *testing.T) {
 	if got := Mean(nil); got != 0 {
 		t.Errorf("Mean(nil) = %v, want 0", got)
 	}
-	if got := Min([]float64{3, 1, 2}); got != 1 {
-		t.Errorf("Min = %v, want 1", got)
+	if got, ok := Min([]float64{3, 1, 2}); !ok || got != 1 {
+		t.Errorf("Min = %v, %v; want 1, true", got, ok)
 	}
 }
 
-func TestMinPanicsOnEmpty(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("Min(nil) did not panic")
-		}
-	}()
-	Min(nil)
+func TestMinOfEmptyReportsNotOK(t *testing.T) {
+	if got, ok := Min(nil); ok || got != 0 {
+		t.Errorf("Min(nil) = %v, %v; want 0, false", got, ok)
+	}
+	if got, ok := Min([]float64{}); ok || got != 0 {
+		t.Errorf("Min([]) = %v, %v; want 0, false", got, ok)
+	}
 }
 
 func TestRate2(t *testing.T) {
@@ -62,8 +62,9 @@ func TestHarmonicMeanProperties(t *testing.T) {
 			xs[i] = 0.05 + float64(r)/64 // positive rates
 		}
 		hm := HarmonicMean(xs)
+		mn, ok := Min(xs)
 		const eps = 1e-9
-		return hm >= Min(xs)-eps && hm <= Mean(xs)+eps
+		return ok && hm >= mn-eps && hm <= Mean(xs)+eps
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)

@@ -4,25 +4,47 @@ import (
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
 
+// jsonRate encodes a rate cell, mapping a failed cell's NaN — which
+// encoding/json rejects outright — to null.
+type jsonRate float64
+
+func (r jsonRate) MarshalJSON() ([]byte, error) {
+	if math.IsNaN(float64(r)) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(float64(r))
+}
+
 // MarshalJSON renders the table as a JSON object with its caption,
-// column headers, and rows, for downstream analysis tooling.
+// column headers, and rows, for downstream analysis tooling. Failed
+// cells encode as null; any cell failures are summarized in an
+// "errors" array.
 func (t *Table) MarshalJSON() ([]byte, error) {
 	type row struct {
-		Label string    `json:"label"`
-		Rates []float64 `json:"rates"`
+		Label string     `json:"label"`
+		Rates []jsonRate `json:"rates"`
 	}
 	out := struct {
 		Number  int      `json:"number"`
 		Title   string   `json:"title"`
 		Columns []string `json:"columns"`
 		Rows    []row    `json:"rows"`
+		Errors  []string `json:"errors,omitempty"`
 	}{Number: t.Number, Title: t.Title, Columns: t.Columns}
 	for _, r := range t.Rows {
-		out.Rows = append(out.Rows, row{Label: r.Label, Rates: r.Rates})
+		jr := make([]jsonRate, len(r.Rates))
+		for i, v := range r.Rates {
+			jr[i] = jsonRate(v)
+		}
+		out.Rows = append(out.Rows, row{Label: r.Label, Rates: jr})
+	}
+	for _, e := range t.Errors {
+		out.Errors = append(out.Errors, e.Error())
 	}
 	return json.Marshal(out)
 }
@@ -30,7 +52,8 @@ func (t *Table) MarshalJSON() ([]byte, error) {
 // CSV renders the table as comma-separated values: a header row with
 // the caption in the first cell, then one line per row with full
 // float precision (the text renderer rounds to the paper's two
-// decimals; analysis wants the exact values).
+// decimals; analysis wants the exact values). Failed cells render as
+// ERR.
 func (t *Table) CSV() string {
 	var b strings.Builder
 	w := csv.NewWriter(&b)
@@ -40,7 +63,11 @@ func (t *Table) CSV() string {
 		rec := make([]string, 0, 1+len(r.Rates))
 		rec = append(rec, r.Label)
 		for _, v := range r.Rates {
-			rec = append(rec, strconv.FormatFloat(v, 'g', -1, 64))
+			if math.IsNaN(v) {
+				rec = append(rec, "ERR")
+			} else {
+				rec = append(rec, strconv.FormatFloat(v, 'g', -1, 64))
+			}
 		}
 		_ = w.Write(rec)
 	}

@@ -15,9 +15,13 @@
 package tables
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"strings"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"mfup/internal/bus"
 	"mfup/internal/core"
@@ -40,12 +44,69 @@ func SetParallel(n int) { parallel.Store(int64(n)) }
 // value, or 0 meaning "all cores".
 func Parallel() int { return int(parallel.Load()) }
 
+// guardCfg holds the per-cell execution bounds applied during table
+// generation; the zero value (no bounds) reproduces the tables with
+// no guard overhead on the healthy path.
+var guardCfg struct {
+	sync.Mutex
+	lim         core.Limits
+	cellTimeout time.Duration
+}
+
+// SetLimits bounds every simulation cell run during table generation
+// (cycle budget, stall watchdog, deadline). The zero Limits restores
+// unbounded execution.
+func SetLimits(lim core.Limits) {
+	guardCfg.Lock()
+	defer guardCfg.Unlock()
+	guardCfg.lim = lim
+}
+
+// SetCellTimeout gives each simulation cell its own wall-clock
+// deadline during table generation; d <= 0 disables it.
+func SetCellTimeout(d time.Duration) {
+	guardCfg.Lock()
+	defer guardCfg.Unlock()
+	guardCfg.cellTimeout = d
+}
+
+// runnerOptions snapshots the configured worker count and bounds.
+func runnerOptions() runner.Options {
+	guardCfg.Lock()
+	defer guardCfg.Unlock()
+	return runner.Options{
+		Parallel:    Parallel(),
+		Limits:      guardCfg.lim,
+		CellTimeout: guardCfg.cellTimeout,
+	}
+}
+
 // Table is a rendered experiment: a grid of issue rates.
 type Table struct {
 	Number  int
 	Title   string
 	Columns []string // value column headers
 	Rows    []Row
+
+	// Errors collects the failures of cells that could not be
+	// simulated (panic, watchdog, bad configuration). A failed cell's
+	// rate is NaN and renders as ERR; every healthy cell still holds
+	// its correct value.
+	Errors []*runner.CellError
+}
+
+// ErrorSummary renders one line per failed cell, or "" when the whole
+// table generated cleanly.
+func (t *Table) ErrorSummary() string {
+	if len(t.Errors) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "table %d: %d cell(s) failed:\n", t.Number, len(t.Errors))
+	for _, e := range t.Errors {
+		fmt.Fprintf(&b, "  %v\n", e)
+	}
+	return b.String()
 }
 
 // Row is one table line.
@@ -79,7 +140,11 @@ func (t *Table) Render() string {
 	for _, r := range t.Rows {
 		fmt.Fprintf(&b, "%-*s", label, r.Label)
 		for _, v := range r.Rates {
-			fmt.Fprintf(&b, "%*s", width, stats.Rate2(v))
+			if math.IsNaN(v) {
+				fmt.Fprintf(&b, "%*s", width, "ERR")
+			} else {
+				fmt.Fprintf(&b, "%*s", width, stats.Rate2(v))
+			}
 		}
 		b.WriteByte('\n')
 	}
@@ -119,19 +184,29 @@ func (b *batch) cell(mk func() core.Machine, ts []*trace.Trace) {
 }
 
 // rates runs every scheduled simulation on the worker pool and
-// returns each cell's harmonic-mean issue rate, in add order.
-func (b *batch) rates() []float64 {
-	results := runner.Run(Parallel(), b.tasks)
+// returns each cell's harmonic-mean issue rate, in add order, plus
+// the failures of any cells that could not be simulated. A failed
+// cell's rate is NaN; healthy cells are unaffected.
+func (b *batch) rates() ([]float64, []*runner.CellError) {
+	results, errs := runner.RunChecked(context.Background(), runnerOptions(), b.tasks)
+	failed := make(map[int]bool, len(errs))
+	for _, e := range errs {
+		failed[e.Task] = true
+	}
 	out := make([]float64, 0, len(results))
 	rs := make([]float64, 0, 16)
-	for _, cell := range results {
+	for i, cell := range results {
+		if failed[i] {
+			out = append(out, math.NaN())
+			continue
+		}
 		rs = rs[:0]
 		for _, r := range cell {
 			rs = append(rs, r.IssueRate())
 		}
 		out = append(out, stats.HarmonicMean(rs))
 	}
-	return out
+	return out, errs
 }
 
 // configColumns returns the paper's four machine-variation headers.
@@ -163,7 +238,9 @@ func Table1() *Table {
 			}
 		}
 	}
-	t.fill(labels, b.rates())
+	rates, errs := b.rates()
+	t.fill(labels, rates)
+	t.Errors = errs
 	return t
 }
 
@@ -202,10 +279,25 @@ func Table2() *Table {
 		}
 	}
 	results := make([]limits.Limits, len(jobs))
+	jobErrs := make([]error, len(jobs))
 	runner.Each(Parallel(), len(jobs), func(i int) {
 		j := jobs[i]
-		results[i] = limits.Compute(j.tr, j.cfg.Latencies(), j.mode)
+		jobErrs[i] = runner.Safe(func() {
+			results[i] = limits.Compute(j.tr, j.cfg.Latencies(), j.mode)
+		})
+		if jobErrs[i] != nil {
+			nan := math.NaN()
+			results[i] = limits.Limits{PseudoDataflow: nan, Resource: nan, Actual: nan}
+		}
 	})
+	for i, err := range jobErrs {
+		if err != nil {
+			t.Errors = append(t.Errors, &runner.CellError{
+				Task: i, Trace: -1, Machine: "limit computation",
+				TraceName: jobs[i].tr.Name, Err: err,
+			})
+		}
+	}
 	for i, label := range labels {
 		first, n := rows[i][0], rows[i][1]
 		var pdf, res, act []float64
@@ -252,7 +344,9 @@ func multiIssueTable(number int, title string, class loops.Class,
 			b.cell(func() core.Machine { return mk(onebus) }, ts)
 		}
 	}
-	t.fill(labels, b.rates())
+	rates, errs := b.rates()
+	t.fill(labels, rates)
+	t.Errors = errs
 	return t
 }
 
@@ -310,7 +404,9 @@ func ruuTable(number int, title string, class loops.Class) *Table {
 			}
 		}
 	}
-	t.fill(labels, b.rates())
+	rates, errs := b.rates()
+	t.fill(labels, rates)
+	t.Errors = errs
 	return t
 }
 
@@ -394,6 +490,8 @@ func SectionThreeThree() *Table {
 			}
 		}
 	}
-	t.fill(labels, b.rates())
+	rates, errs := b.rates()
+	t.fill(labels, rates)
+	t.Errors = errs
 	return t
 }

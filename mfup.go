@@ -66,7 +66,23 @@ type (
 
 	// Limits carries the §4 bounds for one trace.
 	Limits = limits.Limits
+
+	// SimLimits bounds a checked simulation run: a simulated-cycle
+	// budget, a no-forward-progress watchdog, and a wall-clock
+	// deadline. The zero value checks nothing; DefaultSimLimits
+	// returns production-safe bounds.
+	SimLimits = core.Limits
+
+	// SimError is the structured failure a checked run returns: it
+	// names the machine, the trace, the failure kind, and the cycle at
+	// which the run was cut off, plus — for stalls — a snapshot of the
+	// stuck in-flight instructions.
+	SimError = core.SimError
 )
+
+// DefaultSimLimits returns the production-safe run bounds: a large
+// cycle budget and the stall watchdog, no wall-clock deadline.
+func DefaultSimLimits() SimLimits { return core.DefaultLimits() }
 
 // The paper's four machine variations (memory latency x branch
 // latency).
@@ -144,6 +160,36 @@ func NewTomasulo(cfg Config) Machine { return core.NewTomasulo(cfg) }
 // and vector operations). It is the only machine that accepts vector
 // traces; the scalar machines reject them.
 func NewVector(cfg Config) Machine { return core.NewVector(cfg) }
+
+// Checked constructors: each validates its configuration and returns
+// an error instead of panicking. The unchecked constructors above are
+// thin wrappers that panic on the same errors. Machines from either
+// family offer both Run (panics on failure) and RunChecked (returns a
+// *SimError and honors SimLimits).
+
+// NewBasicChecked is NewBasic with configuration validation.
+func NewBasicChecked(o Organization, cfg Config) (Machine, error) {
+	return core.NewBasicChecked(o, cfg)
+}
+
+// NewMultiIssueChecked is NewMultiIssue with configuration validation.
+func NewMultiIssueChecked(cfg Config) (Machine, error) { return core.NewMultiIssueChecked(cfg) }
+
+// NewMultiIssueOOOChecked is NewMultiIssueOOO with configuration
+// validation.
+func NewMultiIssueOOOChecked(cfg Config) (Machine, error) { return core.NewMultiIssueOOOChecked(cfg) }
+
+// NewRUUChecked is NewRUU with configuration validation.
+func NewRUUChecked(cfg Config) (Machine, error) { return core.NewRUUChecked(cfg) }
+
+// NewScoreboardChecked is NewScoreboard with configuration validation.
+func NewScoreboardChecked(cfg Config) (Machine, error) { return core.NewScoreboardChecked(cfg) }
+
+// NewTomasuloChecked is NewTomasulo with configuration validation.
+func NewTomasuloChecked(cfg Config) (Machine, error) { return core.NewTomasuloChecked(cfg) }
+
+// NewVectorChecked is NewVector with configuration validation.
+func NewVectorChecked(cfg Config) (Machine, error) { return core.NewVectorChecked(cfg) }
 
 // Kernels returns all 14 Livermore loops in kernel order.
 func Kernels() []*Kernel { return loops.All() }
