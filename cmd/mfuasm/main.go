@@ -38,6 +38,21 @@ func main() {
 	)
 	flag.Parse()
 
+	switch {
+	case *file != "" && *kernel != 0:
+		fail(fmt.Errorf("-file conflicts with -kernel: give one program source"))
+	case *vector && *kernel == 0:
+		fail(fmt.Errorf("-vector only applies with -kernel (files carry their own coding)"))
+	case *dumpTrace && !*run:
+		fail(fmt.Errorf("-trace requires -run (the trace is the dynamic execution)"))
+	case *showStats && !*run:
+		fail(fmt.Errorf("-stats requires -run (statistics come from the dynamic trace)"))
+	case *maxSteps != 0 && !*run:
+		fail(fmt.Errorf("-maxsteps requires -run"))
+	case *maxSteps < 0:
+		fail(fmt.Errorf("-maxsteps %d is negative (0 = the emulator default)", *maxSteps))
+	}
+
 	var (
 		p *isa.Program
 		m = emu.New(0)

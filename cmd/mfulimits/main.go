@@ -35,6 +35,21 @@ func main() {
 	)
 	flag.Parse()
 
+	loopsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "loops" {
+			loopsSet = true
+		}
+	})
+	switch {
+	case *file != "" && loopsSet:
+		fail(fmt.Errorf("-file conflicts with -loops: a file is analyzed instead of the Livermore loops"))
+	case *maxSteps != 0 && *file == "":
+		fail(fmt.Errorf("-maxsteps only applies with -file (built-in loops trace under the emulator default)"))
+	case *maxSteps < 0:
+		fail(fmt.Errorf("-maxsteps %d is negative (0 = the emulator default)", *maxSteps))
+	}
+
 	cfg := core.Config{MemLatency: *mem, BranchLatency: *br}
 	var lm limits.Mode
 	switch strings.ToLower(*mode) {

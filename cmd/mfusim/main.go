@@ -7,6 +7,14 @@
 //	mfusim -machine multi -units 4 -bus nbus -loops all
 //	mfusim -machine ruu -units 3 -ruu 40 -bus 1bus -loops vector
 //	mfusim -machine ooo -units 8 -loops 1,5,13
+//	mfusim -machine cray -loops scalar -stats
+//
+// -stats attaches a stall-attribution probe and, after the rates,
+// prints a per-loop breakdown of where the machine's issue slots
+// went: one column per stall reason (RAW, WAW, structural, result
+// bus, memory bank, branch, buffer, issue width, drain). The probe
+// observes without perturbing — rates are identical with and without
+// it.
 //
 // An invalid configuration (e.g. -units 0) or a simulation that
 // exceeds -maxcycles, -stallcycles, or -timeout produces a one-line
@@ -23,6 +31,7 @@ import (
 	"mfup/internal/cli"
 	"mfup/internal/core"
 	"mfup/internal/loops"
+	"mfup/internal/probe"
 	"mfup/internal/stats"
 )
 
@@ -36,11 +45,23 @@ func main() {
 		ruuSize     = flag.Int("ruu", 50, "RUU entries (ruu machine)")
 		stations    = flag.Int("stations", 4, "reservation stations per unit (tomasulo machine)")
 		which       = flag.String("loops", "all", `"all", "scalar", "vector", or comma-separated kernel numbers`)
+		showStats   = flag.Bool("stats", false, "print a per-loop stall-reason breakdown after the rates")
 		maxCycles   = flag.Int64("maxcycles", 0, "simulated-cycle budget per loop; 0 = unlimited")
 		stallCycles = flag.Int64("stallcycles", 0, "cycles without forward progress before the run is declared stalled; 0 = off")
 		timeout     = flag.Duration("timeout", 0, "wall-clock deadline per loop (e.g. 30s); 0 = none")
 	)
 	flag.Parse()
+
+	switch {
+	case *maxCycles < 0:
+		fail(fmt.Errorf("-maxcycles %d is negative (0 = unlimited)", *maxCycles))
+	case *stallCycles < 0:
+		fail(fmt.Errorf("-stallcycles %d is negative (0 = off)", *stallCycles))
+	case *timeout < 0:
+		fail(fmt.Errorf("-timeout %v is negative (0 = none)", *timeout))
+	case strings.ToLower(*machine) == "tomasulo" && *stations < 1:
+		fail(fmt.Errorf("-stations %d: the Tomasulo machine needs at least one reservation station per unit", *stations))
+	}
 
 	kernels, err := cli.SelectLoops(*which)
 	if err != nil {
@@ -99,20 +120,61 @@ func main() {
 
 	fmt.Printf("%s, %s\n", m.Name(), cfg.Name())
 	var rates []float64
+	var breakdowns []*probe.Counters
 	for _, k := range kernels {
 		lim := core.Limits{MaxCycles: *maxCycles, StallCycles: *stallCycles}
 		if *timeout > 0 {
 			lim.Deadline = time.Now().Add(*timeout)
 		}
+		var c *probe.Counters
+		if *showStats {
+			c = new(probe.Counters)
+			m.SetProbe(c)
+		}
 		r, err := m.RunChecked(k.SharedTrace(), lim)
+		if c != nil {
+			m.SetProbe(nil)
+		}
 		if err != nil {
 			fail(err)
 		}
+		if rate := r.IssueRate(); !(rate > 0) {
+			// A non-positive rate would poison the harmonic mean (NaN);
+			// report it as the failure it is rather than printing NaN.
+			fail(fmt.Errorf("%s: non-positive issue rate %g (%d instructions in %d cycles)",
+				k.String(), rate, r.Instructions, r.Cycles))
+		}
 		rates = append(rates, r.IssueRate())
+		breakdowns = append(breakdowns, c)
 		fmt.Printf("  %-38s %8d instr %9d cycles  %.3f/cycle\n",
 			k.String(), r.Instructions, r.Cycles, r.IssueRate())
 	}
 	fmt.Printf("harmonic mean issue rate: %.3f instructions/cycle\n", stats.HarmonicMean(rates))
+
+	if *showStats {
+		fmt.Printf("\nstall-reason breakdown (issue slots):\n")
+		fmt.Printf("  %-12s %9s %9s", "loop", "issued", "slots")
+		for _, r := range probe.Reasons() {
+			fmt.Printf(" %*s", colWidth(r), r)
+		}
+		fmt.Println()
+		for i, k := range kernels {
+			c := breakdowns[i]
+			fmt.Printf("  %-12s %9d %9d", k.SharedTrace().Name, c.Issued, c.Slots)
+			for _, r := range probe.Reasons() {
+				fmt.Printf(" %*d", colWidth(r), c.Stalls[r])
+			}
+			fmt.Println()
+		}
+	}
+}
+
+// colWidth sizes a breakdown column to its reason-name header.
+func colWidth(r probe.Reason) int {
+	if n := len(r.String()); n > 7 {
+		return n
+	}
+	return 7
 }
 
 func fail(err error) {

@@ -2,9 +2,10 @@
 //
 // Usage:
 //
-//	mfutables                # all eight tables
-//	mfutables -table 7       # one table
-//	mfutables -parallel 4    # four worker goroutines (default: all cores)
+//	mfutables                      # all eight tables
+//	mfutables -table 7             # one table
+//	mfutables -parallel 4          # four worker goroutines (default: all cores)
+//	mfutables -metrics stalls.json # also write per-cell stall breakdowns
 //
 // Each table is produced by running the full set of simulations
 // behind it (all loops, all machine variations), so the output is the
@@ -14,6 +15,12 @@
 //
 // -cpuprofile and -memprofile write pprof profiles of the run, for
 // use with `go tool pprof`.
+//
+// -metrics FILE attaches a stall-attribution probe to every simulated
+// cell and writes each cell's per-reason stall breakdown to FILE —
+// JSON by default, CSV when FILE ends in ".csv". The probe observes
+// without perturbing: table values are identical with and without it.
+// The analytic Table 2 runs no machines and contributes no metrics.
 //
 // Cells that fail (a panic, an exhausted -maxcycles budget, a
 // triggered -stallcycles watchdog, or a -timeout deadline) render as
@@ -27,6 +34,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"mfup/internal/core"
 	"mfup/internal/tables"
@@ -48,6 +56,7 @@ func run() int {
 	timeout := flag.Duration("timeout", 0, "per-cell wall-clock deadline (e.g. 30s); 0 = none")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
+	metrics := flag.String("metrics", "", "write per-cell stall breakdowns to this file (JSON, or CSV with a .csv suffix)")
 	flag.Parse()
 
 	fail := func(err error) int {
@@ -55,7 +64,28 @@ func run() int {
 		return 1
 	}
 
+	// Validate the flag set before any simulation runs, so a bad
+	// combination fails immediately instead of after minutes of work
+	// (or, for -format, after half the output is already printed).
+	switch {
+	case *format != "text" && *format != "csv" && *format != "json":
+		return fail(fmt.Errorf("unknown format %q (want text, csv, or json)", *format))
+	case *table < 0 || *table > 8:
+		return fail(fmt.Errorf("-table %d out of range (the paper has tables 1-8; 0 = all)", *table))
+	case *supplement && *table != 0:
+		return fail(fmt.Errorf("-supplement conflicts with -table %d: the supplement only prints with the full set (-table 0)", *table))
+	case *parallel < 0:
+		return fail(fmt.Errorf("-parallel %d is negative (0 = all cores)", *parallel))
+	case *maxCycles < 0:
+		return fail(fmt.Errorf("-maxcycles %d is negative (0 = unlimited)", *maxCycles))
+	case *stallCycles < 0:
+		return fail(fmt.Errorf("-stallcycles %d is negative (0 = off)", *stallCycles))
+	case *timeout < 0:
+		return fail(fmt.Errorf("-timeout %v is negative (0 = none)", *timeout))
+	}
+
 	tables.SetParallel(*parallel)
+	tables.SetCollectMetrics(*metrics != "")
 	tables.SetLimits(core.Limits{MaxCycles: *maxCycles, StallCycles: *stallCycles})
 	if *timeout > 0 {
 		tables.SetCellTimeout(*timeout)
@@ -87,7 +117,9 @@ func run() int {
 	}
 
 	cellsFailed := false
+	var emitted []*tables.Table
 	emit := func(t *tables.Table) error {
+		emitted = append(emitted, t)
 		switch *format {
 		case "text":
 			fmt.Println(t.Render())
@@ -99,8 +131,6 @@ func run() int {
 				return err
 			}
 			fmt.Println(string(b))
-		default:
-			return fmt.Errorf("unknown format %q", *format)
 		}
 		if s := t.ErrorSummary(); s != "" {
 			cellsFailed = true
@@ -109,6 +139,11 @@ func run() int {
 		return nil
 	}
 	done := func() int {
+		if *metrics != "" {
+			if err := writeMetrics(*metrics, emitted); err != nil {
+				return fail(err)
+			}
+		}
 		if cellsFailed {
 			fmt.Fprintln(os.Stderr, "mfutables: some cells failed; their values render as ERR")
 			return 1
@@ -137,4 +172,20 @@ func run() int {
 		return fail(err)
 	}
 	return done()
+}
+
+// writeMetrics encodes the stall breakdowns of every emitted table to
+// path: CSV when the filename says so, JSON otherwise.
+func writeMetrics(path string, ts []*tables.Table) error {
+	var data []byte
+	if strings.HasSuffix(strings.ToLower(path), ".csv") {
+		data = []byte(tables.MetricsCSV(ts))
+	} else {
+		b, err := tables.MetricsJSON(ts)
+		if err != nil {
+			return err
+		}
+		data = append(b, '\n')
+	}
+	return os.WriteFile(path, data, 0o644)
 }

@@ -1,6 +1,7 @@
 package mfup_test
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -47,6 +48,16 @@ func TestCommandLineTools(t *testing.T) {
 	if !strings.Contains(out, "Vector, M11BR5") {
 		t.Errorf("mfusim vector output unexpected:\n%s", out)
 	}
+	out = runBin(mfusim, "-machine", "cray", "-loops", "5", "-stats")
+	if !strings.Contains(out, "stall-reason breakdown") ||
+		!strings.Contains(out, "result-bus") || !strings.Contains(out, "drain") {
+		t.Errorf("mfusim -stats breakdown missing:\n%s", out)
+	}
+	// Attaching the probe must not change the simulated rate.
+	plain := runBin(mfusim, "-machine", "cray", "-loops", "5")
+	if !strings.Contains(out, strings.TrimSpace(strings.Split(plain, "\n")[1])) {
+		t.Errorf("mfusim -stats changed the per-loop line:\nwith: %s\nwithout: %s", out, plain)
+	}
 
 	mfutables := build("mfutables")
 	out = runBin(mfutables, "-table", "1")
@@ -60,6 +71,45 @@ func TestCommandLineTools(t *testing.T) {
 	out = runBin(mfutables, "-table", "2", "-format", "json")
 	if !strings.Contains(out, `"number":2`) {
 		t.Errorf("mfutables json output unexpected:\n%s", out)
+	}
+	// -metrics writes a stall-breakdown sidecar without disturbing the
+	// table itself.
+	metricsFile := filepath.Join(bindir, "stalls.json")
+	out = runBin(mfutables, "-table", "3", "-metrics", metricsFile)
+	if out != runBin(mfutables, "-table", "3") {
+		t.Error("mfutables -metrics changed the rendered table")
+	}
+	raw, err := os.ReadFile(metricsFile)
+	if err != nil {
+		t.Fatalf("reading -metrics output: %v", err)
+	}
+	var cells []struct {
+		Table  int              `json:"table"`
+		Slots  int64            `json:"slots"`
+		Issued int64            `json:"issued"`
+		Stalls map[string]int64 `json:"stalls"`
+	}
+	if err := json.Unmarshal(raw, &cells); err != nil {
+		t.Fatalf("decoding -metrics JSON: %v", err)
+	}
+	if len(cells) != 64 { // 8 station counts x 4 variations x 2 interconnects
+		t.Errorf("metrics file has %d cells, want 64", len(cells))
+	}
+	for _, c := range cells {
+		var stalls int64
+		for _, n := range c.Stalls {
+			stalls += n
+		}
+		if c.Table != 3 || c.Issued+stalls != c.Slots {
+			t.Errorf("metrics cell ledger broken: %+v (issued+stalls = %d, slots = %d)",
+				c, c.Issued+stalls, c.Slots)
+		}
+	}
+	// CSV form, selected by suffix.
+	metricsCSV := filepath.Join(bindir, "stalls.csv")
+	runBin(mfutables, "-table", "1", "-metrics", metricsCSV)
+	if b, err := os.ReadFile(metricsCSV); err != nil || !strings.HasPrefix(string(b), "table,row,column,machine,") {
+		t.Errorf("metrics CSV missing or malformed (err %v):\n%.200s", err, b)
 	}
 
 	mfulimits := build("mfulimits")
@@ -135,10 +185,19 @@ func TestCommandLineErrorPaths(t *testing.T) {
 		{"mfusim unknown machine", mfusim, []string{"-machine", "hal9000"}, `unknown machine "hal9000"`},
 		{"mfusim bad config", mfusim, []string{"-machine", "multi", "-units", "0"}, "mfusim:"},
 		{"mfusim bad loop list", mfusim, []string{"-loops", "banana"}, "mfusim:"},
+		{"mfusim empty loop segment", mfusim, []string{"-loops", "1,,2"}, "empty segment"},
+		{"mfusim empty loop spec", mfusim, []string{"-loops", ""}, "empty loop spec"},
+		{"mfusim negative budget", mfusim, []string{"-maxcycles", "-1"}, "negative"},
+		{"mfusim negative stations", mfusim, []string{"-machine", "tomasulo", "-stations", "0"}, "reservation station"},
 		{"mfusim over budget", mfusim, []string{"-machine", "tomasulo", "-loops", "5", "-maxcycles", "10"}, "cycle budget exceeded"},
 		{"mfusim expired timeout", mfusim, []string{"-machine", "cray", "-loops", "5", "-timeout", "1ns"}, "deadline exceeded"},
 
 		{"mfuasm unknown flag", mfuasm, []string{"-bogus"}, "flag provided but not defined"},
+		{"mfuasm file and kernel", mfuasm, []string{"-file", "x.cal", "-kernel", "5"}, "conflicts"},
+		{"mfuasm vector without kernel", mfuasm, []string{"-file", "x.cal", "-vector"}, "-vector only applies with -kernel"},
+		{"mfuasm stats without run", mfuasm, []string{"-kernel", "5", "-stats"}, "-stats requires -run"},
+		{"mfuasm trace without run", mfuasm, []string{"-kernel", "5", "-trace"}, "-trace requires -run"},
+		{"mfuasm maxsteps without run", mfuasm, []string{"-kernel", "5", "-maxsteps", "10"}, "-maxsteps requires -run"},
 		{"mfuasm nonexistent file", mfuasm, []string{"-file", filepath.Join(bindir, "no-such.cal")}, "mfuasm:"},
 		{"mfuasm malformed assembly", mfuasm, []string{"-file", badSrc}, "mfuasm:"},
 		{"mfuasm bad kernel", mfuasm, []string{"-kernel", "99"}, "mfuasm:"},
@@ -147,11 +206,15 @@ func TestCommandLineErrorPaths(t *testing.T) {
 		{"mfulimits unknown flag", mfulimits, []string{"-bogus"}, "flag provided but not defined"},
 		{"mfulimits nonexistent file", mfulimits, []string{"-file", filepath.Join(bindir, "no-such.cal")}, "mfulimits:"},
 		{"mfulimits bad mode", mfulimits, []string{"-mode", "chaotic"}, "mfulimits:"},
+		{"mfulimits file and loops", mfulimits, []string{"-file", livelock, "-loops", "5"}, "conflicts"},
+		{"mfulimits maxsteps without file", mfulimits, []string{"-maxsteps", "10"}, "-maxsteps only applies with -file"},
 		{"mfulimits over budget", mfulimits, []string{"-file", livelock, "-maxsteps", "10"}, "step limit exceeded"},
 
 		{"mfutables unknown flag", mfutables, []string{"-bogus"}, "flag provided but not defined"},
-		{"mfutables bad table", mfutables, []string{"-table", "99"}, "mfutables:"},
+		{"mfutables bad table", mfutables, []string{"-table", "99"}, "out of range"},
 		{"mfutables bad format", mfutables, []string{"-table", "1", "-format", "xml"}, "unknown format"},
+		{"mfutables negative parallel", mfutables, []string{"-parallel", "-2"}, "negative"},
+		{"mfutables supplement with table", mfutables, []string{"-table", "3", "-supplement"}, "conflicts"},
 		{"mfutables over budget", mfutables, []string{"-table", "1", "-maxcycles", "50"}, "ERR"},
 	}
 	for _, c := range cases {

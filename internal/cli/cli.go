@@ -13,9 +13,14 @@ import (
 
 // SelectLoops resolves a -loops flag value: "all", "scalar", "vector"
 // (the vectorizable class), or a comma-separated list of kernel
-// numbers.
+// numbers. An explicit list keeps its order but drops repeats — a
+// duplicated kernel would double-count that loop in any harmonic mean
+// computed over the selection — and rejects empty specs and empty
+// segments ("1,,2") outright.
 func SelectLoops(spec string) ([]*loops.Kernel, error) {
 	switch strings.ToLower(strings.TrimSpace(spec)) {
+	case "":
+		return nil, fmt.Errorf(`empty loop spec (want "all", "scalar", "vector", or kernel numbers like "1,5,13")`)
 	case "all":
 		return loops.All(), nil
 	case "scalar":
@@ -24,8 +29,13 @@ func SelectLoops(spec string) ([]*loops.Kernel, error) {
 		return loops.ByClass(loops.Vectorizable), nil
 	}
 	var ks []*loops.Kernel
+	seen := make(map[int]bool)
 	for _, f := range strings.Split(spec, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(f))
+		f = strings.TrimSpace(f)
+		if f == "" {
+			return nil, fmt.Errorf("empty segment in loop spec %q (want comma-separated kernel numbers like \"1,5,13\")", spec)
+		}
+		n, err := strconv.Atoi(f)
 		if err != nil {
 			return nil, fmt.Errorf("bad loop spec %q", f)
 		}
@@ -33,6 +43,10 @@ func SelectLoops(spec string) ([]*loops.Kernel, error) {
 		if err != nil {
 			return nil, err
 		}
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
 		ks = append(ks, k)
 	}
 	return ks, nil

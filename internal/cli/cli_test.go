@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"strings"
 	"testing"
 
 	"mfup/internal/bus"
@@ -19,10 +20,15 @@ func TestSelectLoops(t *testing.T) {
 		{"Vector", 9, true},
 		{"1,5,13", 3, true},
 		{" 2 , 3 ", 2, true},
+		{"1,1,2", 2, true}, // duplicates collapse: no double-counting
+		{"5,3,5,3,5", 2, true},
 		{"0", 0, false},
 		{"15", 0, false},
 		{"banana", 0, false},
 		{"1,,2", 0, false},
+		{"", 0, false},
+		{"   ", 0, false},
+		{",", 0, false},
 	}
 	for _, c := range cases {
 		ks, err := SelectLoops(c.spec)
@@ -43,6 +49,33 @@ func TestSelectLoopsOrder(t *testing.T) {
 	}
 	if ks[0].Number != 13 || ks[1].Number != 1 || ks[2].Number != 5 {
 		t.Error("explicit list order not preserved")
+	}
+	// Dedup keeps first-occurrence order.
+	ks, err = SelectLoops("13,1,13,5,1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) != 3 || ks[0].Number != 13 || ks[1].Number != 1 || ks[2].Number != 5 {
+		t.Errorf("deduped list = %v, want kernels 13, 1, 5", ks)
+	}
+}
+
+func TestSelectLoopsErrorMessages(t *testing.T) {
+	for spec, want := range map[string]string{
+		"":     "empty loop spec",
+		"  ":   "empty loop spec",
+		"1,,2": "empty segment",
+		"3,":   "empty segment",
+	} {
+		_, err := SelectLoops(spec)
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("SelectLoops(%q) error = %v, want mention of %q", spec, err, want)
+		}
+	}
+	// A bad number inside an otherwise-valid list names the segment,
+	// not some later parse state.
+	if _, err := SelectLoops("1,zap,2"); err == nil || !strings.Contains(err.Error(), `"zap"`) {
+		t.Errorf("SelectLoops(1,zap,2) error = %v, want the bad segment named", err)
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 
 	"mfup/internal/bus"
 	"mfup/internal/isa"
+	"mfup/internal/probe"
 	"mfup/internal/trace"
 )
 
@@ -194,8 +195,17 @@ func (r Result) String() string {
 // are shared freely: a Trace and its Prepared decode cache are
 // immutable during simulation, so any number of machines may run the
 // same trace concurrently.
+// Observability contract: SetProbe attaches a probe (internal/probe)
+// that the machine notifies of issues, attributed stalls, writebacks,
+// and branch resolutions during subsequent runs; SetProbe(nil)
+// detaches it. A probe never changes timing — simulated cycle counts
+// are identical probed and unprobed — and the nil-probe default costs
+// only a predicted-not-taken branch per event. Like the machine
+// itself, an attached probe is driven from the running goroutine and
+// must not be shared across concurrently running machines.
 type Machine interface {
 	Name() string
 	Run(t *trace.Trace) Result
 	RunChecked(t *trace.Trace, lim Limits) (Result, error)
+	SetProbe(p probe.Probe)
 }

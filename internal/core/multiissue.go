@@ -6,7 +6,9 @@ import (
 	"mfup/internal/bus"
 	"mfup/internal/fu"
 	"mfup/internal/mem"
+	"mfup/internal/probe"
 	"mfup/internal/regfile"
+	"mfup/internal/simerr"
 	"mfup/internal/trace"
 )
 
@@ -29,6 +31,7 @@ type multiIssue struct {
 	bt    *bus.Tracker
 	mem   memScoreboard
 	banks *mem.Banks
+	probe probe.Probe
 }
 
 // NewMultiIssue builds the §5.1 machine: cfg.IssueUnits stations
@@ -76,6 +79,8 @@ func usesResultBus(op *trace.Op) bool { return op.Dst.Valid() }
 
 func (m *multiIssue) Run(t *trace.Trace) Result { return runUnchecked(m, t) }
 
+func (m *multiIssue) SetProbe(p probe.Probe) { m.probe = p }
+
 // RunChecked simulates t under the limits; issue times are computed
 // directly, so only the cycle budget and deadline apply.
 func (m *multiIssue) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
@@ -89,6 +94,12 @@ func (m *multiIssue) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 	m.mem.Reset(p.NumAddrs)
 	m.banks.Reset()
 	g := newGuard(m.Name(), t.Name, lim)
+
+	if m.probe != nil {
+		// The probed copy of the run lives in its own method so this
+		// loop carries no attribution bookkeeping.
+		return m.runCheckedProbed(t, p, &g)
+	}
 
 	w := m.cfg.IssueUnits
 	brLat := int64(m.cfg.BranchLatency)
@@ -175,4 +186,162 @@ func (m *multiIssue) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 		Instructions: int64(len(t.Ops)),
 		Cycles:       lastDone,
 	}, nil
+}
+
+// runCheckedProbed is the probed copy of the RunChecked loop, filing
+// every issue with the attached probe. The duplication is deliberate —
+// the unprobed loop stays the seed computation with no attribution
+// bookkeeping, which is what keeps the nil-probe path at seed speed.
+// Any timing change must be made to both copies; the probe invariant
+// tests compare their cycle counts across all machines and loops.
+func (m *multiIssue) runCheckedProbed(t *trace.Trace, p *trace.Prepared, g *simerr.Guard) (Result, error) {
+	w := m.cfg.IssueUnits
+	brLat := int64(m.cfg.BranchLatency)
+
+	m.probe.Begin(m.Name(), t.Name, w, w)
+	acct := probe.NewAccount(m.probe, w)
+
+	var (
+		nextFetch int64 // earliest issue cycle for the next buffer
+		lastDone  int64
+	)
+
+	pos := 0
+	for pos < len(t.Ops) {
+		// Fetch a buffer: up to w ops, ending early at a taken branch
+		// (the rest of the line is squashed and refetched from the
+		// target).
+		end := p.Window(pos, w)
+
+		prev := nextFetch // in-order: issue times are nondecreasing
+		for i := pos; i < end; i++ {
+			op := &t.Ops[i]
+			po := &p.Ops[i]
+			isBranch := po.Flags.Has(trace.FlagBranch)
+			station := i - pos
+
+			e := prev
+			if !(isBranch && m.cfg.PerfectBranches) {
+				e = m.sb.EarliestFor(e, op.Dst, po.Reads()...)
+			}
+			e = m.pool.EarliestAccept(op.Unit, e)
+			if po.Flags.Has(trace.FlagLoad) {
+				e = m.mem.EarliestLoad(po.AddrID, e)
+			}
+			if po.Flags.Has(trace.FlagMemory) {
+				e = m.banks.EarliestAccept(op.Addr, e)
+			}
+			if usesResultBus(op) {
+				e = m.bt.EarliestIssue(station, e, m.pool.Latency(op.Unit))
+			}
+			// Replayed before any resource is claimed below, so the
+			// classification sees the same state the chain above did.
+			reason := m.issueReason(op, po, isBranch, station, prev)
+			var done int64
+			if isBranch && m.cfg.PerfectBranches {
+				done = e + 1
+			} else {
+				done = m.pool.Accept(op.Unit, e)
+			}
+			if po.Flags.Has(trace.FlagMemory) {
+				m.banks.Accept(op.Addr, e)
+			}
+			if usesResultBus(op) {
+				m.bt.Reserve(station, done)
+			}
+			if po.Flags.Has(trace.FlagHasDst) {
+				m.sb.SetReady(op.Dst, done)
+			}
+			if po.Flags.Has(trace.FlagStore) {
+				m.mem.Store(po.AddrID, done)
+			}
+			acct.Issue(e, reason)
+			m.probe.Writeback(done, op.Unit, done-e)
+			if done > lastDone {
+				lastDone = done
+			}
+			if err := g.Over(lastDone, int64(i)); err != nil {
+				return Result{}, err
+			}
+			if err := g.Tick(lastDone, int64(i)); err != nil {
+				return Result{}, err
+			}
+
+			if isBranch && m.cfg.PerfectBranches {
+				prev = e
+				nextFetch = e + 1
+				m.probe.BranchResolve(done)
+			} else if isBranch {
+				// No speculation: nothing issues — neither the rest
+				// of this buffer nor the refill — until resolution.
+				prev = e + brLat
+				nextFetch = e + brLat
+				acct.Advance(prev, probe.ReasonBranch)
+				m.probe.BranchResolve(prev)
+			} else {
+				prev = e
+				nextFetch = e + 1
+			}
+		}
+		pos = end
+		if pos < len(t.Ops) {
+			// The buffer refills only once drained: the stations left
+			// idle until the refill arrives are width-limit slots, not
+			// hazard stalls. (After the final buffer the remainder is
+			// the drain, which Counters derives itself.)
+			acct.Advance(nextFetch, probe.ReasonIssueWidth)
+		}
+	}
+	m.probe.End(lastDone)
+	return Result{
+		Machine:      m.Name(),
+		Trace:        t.Name,
+		Instructions: int64(len(t.Ops)),
+		Cycles:       lastDone,
+	}, nil
+}
+
+// issueReason replays the issue-constraint chain from e to name the
+// binding constraint — the last one to strictly raise the issue
+// cycle. Term for term it is the max-form the Earliest* helpers
+// compute, called before any resource is claimed, so it reproduces
+// the hot path's result exactly. Classification lives here, on the
+// probed path only, so the hot path stays the seed computation.
+func (m *multiIssue) issueReason(op *trace.Op, po *trace.PreparedOp, isBranch bool, station int, e int64) probe.Reason {
+	reason := probe.ReasonIssueWidth
+	if !(isBranch && m.cfg.PerfectBranches) {
+		for _, r := range po.Reads() {
+			if r.Valid() {
+				if rdy := m.sb.ReadyAt(r); rdy > e {
+					e, reason = rdy, probe.ReasonRAW
+				}
+			}
+		}
+		if op.Dst.Valid() {
+			if rdy := m.sb.ReadyAt(op.Dst); rdy > e {
+				e, reason = rdy, probe.ReasonWAW
+			}
+		}
+	}
+	if fe := m.pool.EarliestAccept(op.Unit, e); fe > e {
+		e, reason = fe, probe.ReasonStructFU
+	}
+	if po.Flags.Has(trace.FlagLoad) {
+		if me := m.mem.EarliestLoad(po.AddrID, e); me > e {
+			// Memory-carried true dependence: the load waits on the
+			// store producing its word.
+			e, reason = me, probe.ReasonRAW
+		}
+	}
+	if po.Flags.Has(trace.FlagMemory) {
+		if be := m.banks.EarliestAccept(op.Addr, e); be > e {
+			e, reason = be, probe.ReasonMemBank
+		}
+	}
+	if usesResultBus(op) {
+		if be := m.bt.EarliestIssue(station, e, m.pool.Latency(op.Unit)); be > e {
+			reason = probe.ReasonResultBus
+		}
+	}
+	return reason
 }

@@ -6,7 +6,9 @@ import (
 	"mfup/internal/bus"
 	"mfup/internal/fu"
 	"mfup/internal/mem"
+	"mfup/internal/probe"
 	"mfup/internal/regfile"
+	"mfup/internal/simerr"
 	"mfup/internal/trace"
 )
 
@@ -30,6 +32,7 @@ type multiIssueOOO struct {
 	bt    *bus.Tracker
 	mem   memScoreboard
 	banks *mem.Banks
+	probe probe.Probe
 }
 
 // NewMultiIssueOOO builds the §5.2 machine. It panics on an invalid
@@ -71,6 +74,8 @@ func (m *multiIssueOOO) Name() string {
 
 func (m *multiIssueOOO) Run(t *trace.Trace) Result { return runUnchecked(m, t) }
 
+func (m *multiIssueOOO) SetProbe(p probe.Probe) { m.probe = p }
+
 // RunChecked simulates t under the limits. The issue scan steps cycle
 // by cycle within each instruction buffer, so the stall watchdog
 // applies here: a buffer in which nothing can ever issue would
@@ -97,6 +102,16 @@ func (m *multiIssueOOO) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 		issued    = make([]bool, w)
 	)
 
+	// reasons[i] is the stall reason recorded for the i-th buffer entry
+	// during the current scan cycle; nil when unprobed. The machine is
+	// cycle-stepped, so stalls are reported directly per cycle rather
+	// than through a probe.Account.
+	var reasons []probe.Reason
+	if m.probe != nil {
+		m.probe.Begin(m.Name(), t.Name, w, w)
+		reasons = make([]probe.Reason, w)
+	}
+
 	pos := 0
 	for pos < len(t.Ops) {
 		end := p.Window(pos, w)
@@ -105,153 +120,164 @@ func (m *multiIssueOOO) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 			issued[i] = false
 		}
 
-		remaining := size
-		maxIssue := nextFetch
-		// brGate is the resolution time of the latest issued branch in
-		// this buffer; instructions younger than that branch may not
-		// issue earlier (no speculation).
-		var brGate int64
-		brGateIdx := -1 // buffer index of that branch
+		var maxIssue int64
+		if reasons != nil {
+			// The probed copy of the buffer scan lives in its own
+			// method so this loop carries no attribution bookkeeping.
+			mi, ld, err := m.scanBufferProbed(t, p, &g, pos, size, nextFetch, issued, issuedAt, reasons, lastDone)
+			if err != nil {
+				return Result{}, err
+			}
+			maxIssue, lastDone = mi, ld
+		} else {
+			remaining := size
+			maxIssue = nextFetch
+			// brGate is the resolution time of the latest issued branch in
+			// this buffer; instructions younger than that branch may not
+			// issue earlier (no speculation).
+			var brGate int64
+			brGateIdx := -1 // buffer index of that branch
 
-		for c := nextFetch; remaining > 0; c++ {
-			if err := g.Stalled(c, int64(pos), func(max int) []string {
-				var snap []string
-				for i := 0; i < size && len(snap) < max; i++ {
-					if !issued[i] {
-						snap = append(snap, t.Ops[pos+i].String())
+			for c := nextFetch; remaining > 0; c++ {
+				if err := g.Stalled(c, int64(pos), func(max int) []string {
+					var snap []string
+					for i := 0; i < size && len(snap) < max; i++ {
+						if !issued[i] {
+							snap = append(snap, t.Ops[pos+i].String())
+						}
 					}
+					return snap
+				}); err != nil {
+					return Result{}, err
 				}
-				return snap
-			}); err != nil {
-				return Result{}, err
-			}
-			if err := g.Over(c, int64(pos)); err != nil {
-				return Result{}, err
-			}
-			if err := g.Tick(c, int64(pos)); err != nil {
-				return Result{}, err
-			}
-			for i := 0; i < size; i++ {
-				if issued[i] {
-					continue
+				if err := g.Over(c, int64(pos)); err != nil {
+					return Result{}, err
 				}
-				op := &t.Ops[pos+i]
-				po := &p.Ops[pos+i]
-				isBranch := po.Flags.Has(trace.FlagBranch)
-				reads := po.Reads()
-
-				if i > brGateIdx && brGate > c {
-					// Waiting on an earlier branch's resolution; so is
-					// everything younger.
-					break
+				if err := g.Tick(c, int64(pos)); err != nil {
+					return Result{}, err
 				}
-
-				// Hazards against earlier unissued buffer entries.
-				blocked := false
-				for j := 0; j < i; j++ {
-					if issued[j] {
+				for i := 0; i < size; i++ {
+					if issued[i] {
 						continue
 					}
-					pj := &t.Ops[pos+j]
-					pf := p.Ops[pos+j].Flags
-					if pf.Has(trace.FlagBranch) {
-						// May not issue past an unissued branch.
-						blocked = true
+					op := &t.Ops[pos+i]
+					po := &p.Ops[pos+i]
+					isBranch := po.Flags.Has(trace.FlagBranch)
+					reads := po.Reads()
+
+					if i > brGateIdx && brGate > c {
+						// Waiting on an earlier branch's resolution; so is
+						// everything younger.
 						break
 					}
-					if pf.Has(trace.FlagHasDst) {
-						if op.Dst == pj.Dst { // WAW
+
+					// Hazards against earlier unissued buffer entries.
+					blocked := false
+					for j := 0; j < i; j++ {
+						if issued[j] {
+							continue
+						}
+						pj := &t.Ops[pos+j]
+						pf := p.Ops[pos+j].Flags
+						if pf.Has(trace.FlagBranch) {
+							// May not issue past an unissued branch.
 							blocked = true
 							break
 						}
-						for _, r := range reads { // RAW
-							if r == pj.Dst {
+						if pf.Has(trace.FlagHasDst) {
+							if op.Dst == pj.Dst { // WAW
 								blocked = true
 								break
 							}
+							for _, r := range reads { // RAW
+								if r == pj.Dst {
+									blocked = true
+									break
+								}
+							}
+							if blocked {
+								break
+							}
 						}
-						if blocked {
+						if pf.Has(trace.FlagStore) && po.Flags.Has(trace.FlagMemory) && op.Addr == pj.Addr {
+							// Memory RAW/WAW: neither a load nor a store
+							// may pass an unissued store to its address.
+							blocked = true
 							break
 						}
 					}
-					if pf.Has(trace.FlagStore) && po.Flags.Has(trace.FlagMemory) && op.Addr == pj.Addr {
-						// Memory RAW/WAW: neither a load nor a store
-						// may pass an unissued store to its address.
-						blocked = true
-						break
-					}
-				}
-				if blocked {
-					continue
-				}
-				if isBranch && i > 0 {
-					// A branch issues only as the oldest unissued
-					// instruction: everything before it must be gone.
-					allOlder := true
-					for j := 0; j < i; j++ {
-						if !issued[j] {
-							allOlder = false
-							break
-						}
-					}
-					if !allOlder {
+					if blocked {
 						continue
 					}
-				}
+					if isBranch && i > 0 {
+						// A branch issues only as the oldest unissued
+						// instruction: everything before it must be gone.
+						allOlder := true
+						for j := 0; j < i; j++ {
+							if !issued[j] {
+								allOlder = false
+								break
+							}
+						}
+						if !allOlder {
+							continue
+						}
+					}
 
-				// Resource checks: everything must be satisfiable at
-				// exactly cycle c, else the instruction waits.
-				if !(isBranch && m.cfg.PerfectBranches) &&
-					m.sb.EarliestFor(c, op.Dst, reads...) > c {
-					continue
-				}
-				if m.pool.EarliestAccept(op.Unit, c) > c {
-					continue
-				}
-				if po.Flags.Has(trace.FlagLoad) && m.mem.EarliestLoad(po.AddrID, c) > c {
-					continue
-				}
-				if po.Flags.Has(trace.FlagMemory) && m.banks.EarliestAccept(op.Addr, c) > c {
-					continue
-				}
-				if usesResultBus(op) && !m.bt.Free(i, c+int64(m.pool.Latency(op.Unit))) {
-					continue
-				}
+					// Resource checks: everything must be satisfiable at
+					// exactly cycle c, else the instruction waits.
+					if !(isBranch && m.cfg.PerfectBranches) &&
+						m.sb.EarliestFor(c, op.Dst, reads...) > c {
+						continue
+					}
+					if m.pool.EarliestAccept(op.Unit, c) > c {
+						continue
+					}
+					if po.Flags.Has(trace.FlagLoad) && m.mem.EarliestLoad(po.AddrID, c) > c {
+						continue
+					}
+					if po.Flags.Has(trace.FlagMemory) && m.banks.EarliestAccept(op.Addr, c) > c {
+						continue
+					}
+					if usesResultBus(op) && !m.bt.Free(i, c+int64(m.pool.Latency(op.Unit))) {
+						continue
+					}
 
-				var done int64
-				if isBranch && m.cfg.PerfectBranches {
-					done = c + 1
-				} else {
-					done = m.pool.Accept(op.Unit, c)
-				}
-				if po.Flags.Has(trace.FlagMemory) {
-					m.banks.Accept(op.Addr, c)
-				}
-				if usesResultBus(op) {
-					m.bt.Reserve(i, done)
-				}
-				if po.Flags.Has(trace.FlagHasDst) {
-					m.sb.SetReady(op.Dst, done)
-				}
-				if po.Flags.Has(trace.FlagStore) {
-					m.mem.Store(po.AddrID, done)
-				}
-				issued[i] = true
-				issuedAt[i] = c
-				remaining--
-				g.Progress(c)
-				if c > maxIssue {
-					maxIssue = c
-				}
-				if done > lastDone {
-					lastDone = done
-				}
-				if err := g.Over(lastDone, int64(pos+i)); err != nil {
-					return Result{}, err
-				}
-				if isBranch && !m.cfg.PerfectBranches {
-					brGate = c + brLat
-					brGateIdx = i
+					var done int64
+					if isBranch && m.cfg.PerfectBranches {
+						done = c + 1
+					} else {
+						done = m.pool.Accept(op.Unit, c)
+					}
+					if po.Flags.Has(trace.FlagMemory) {
+						m.banks.Accept(op.Addr, c)
+					}
+					if usesResultBus(op) {
+						m.bt.Reserve(i, done)
+					}
+					if po.Flags.Has(trace.FlagHasDst) {
+						m.sb.SetReady(op.Dst, done)
+					}
+					if po.Flags.Has(trace.FlagStore) {
+						m.mem.Store(po.AddrID, done)
+					}
+					issued[i] = true
+					issuedAt[i] = c
+					remaining--
+					g.Progress(c)
+					if c > maxIssue {
+						maxIssue = c
+					}
+					if done > lastDone {
+						lastDone = done
+					}
+					if err := g.Over(lastDone, int64(pos+i)); err != nil {
+						return Result{}, err
+					}
+					if isBranch && !m.cfg.PerfectBranches {
+						brGate = c + brLat
+						brGateIdx = i
+					}
 				}
 			}
 		}
@@ -264,7 +290,17 @@ func (m *multiIssueOOO) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 				nextFetch = g
 			}
 		}
+		if reasons != nil && end < len(t.Ops) && nextFetch > maxIssue+1 {
+			// The terminating branch's shadow delays the refetch past
+			// the empty-buffer point: whole cycles with no buffer to
+			// scan, all of them the branch's fault. (After the final
+			// buffer the remainder is drain, derived by Counters.)
+			m.probe.Stall(maxIssue+1, probe.ReasonBranch, (nextFetch-maxIssue-1)*int64(w))
+		}
 		pos = end
+	}
+	if m.probe != nil {
+		m.probe.End(lastDone)
 	}
 	return Result{
 		Machine:      m.Name(),
@@ -272,4 +308,251 @@ func (m *multiIssueOOO) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 		Instructions: int64(len(t.Ops)),
 		Cycles:       lastDone,
 	}, nil
+}
+
+// scanBufferProbed is the probed copy of the buffer scan in
+// RunChecked, issuing entries cycle by cycle while filing every issue
+// slot with the probe: an Issue, exactly one attributed Stall, or an
+// idle station. The duplication is deliberate — the unprobed loop in
+// RunChecked stays the seed computation with no attribution
+// bookkeeping, which is what keeps the nil-probe path at seed speed.
+// Any timing change must be made to both copies; the probe invariant
+// tests compare their cycle counts across all machines and loops.
+func (m *multiIssueOOO) scanBufferProbed(t *trace.Trace, p *trace.Prepared, g *simerr.Guard, pos, size int, nextFetch int64, issued []bool, issuedAt []int64, reasons []probe.Reason, lastDone int64) (int64, int64, error) {
+	w := m.cfg.IssueUnits
+	brLat := int64(m.cfg.BranchLatency)
+
+	remaining := size
+	maxIssue := nextFetch
+	// brGate is the resolution time of the latest issued branch in
+	// this buffer; instructions younger than that branch may not
+	// issue earlier (no speculation).
+	var brGate int64
+	brGateIdx := -1 // buffer index of that branch
+
+	for c := nextFetch; remaining > 0; c++ {
+		if err := g.Stalled(c, int64(pos), func(max int) []string {
+			var snap []string
+			for i := 0; i < size && len(snap) < max; i++ {
+				if !issued[i] {
+					snap = append(snap, t.Ops[pos+i].String())
+				}
+			}
+			return snap
+		}); err != nil {
+			return 0, 0, err
+		}
+		if err := g.Over(c, int64(pos)); err != nil {
+			return 0, 0, err
+		}
+		if err := g.Tick(c, int64(pos)); err != nil {
+			return 0, 0, err
+		}
+		remStart := remaining
+		m.probe.Occupancy(remaining, 1)
+		// Default every unissued entry to a branch stall: the brGate
+		// break below skips entries without visiting them, and those
+		// wait on the issued branch.
+		for i := 0; i < size; i++ {
+			if !issued[i] {
+				reasons[i] = probe.ReasonBranch
+			}
+		}
+		for i := 0; i < size; i++ {
+			if issued[i] {
+				continue
+			}
+			op := &t.Ops[pos+i]
+			po := &p.Ops[pos+i]
+			isBranch := po.Flags.Has(trace.FlagBranch)
+			reads := po.Reads()
+
+			if i > brGateIdx && brGate > c {
+				// Waiting on an earlier branch's resolution; so is
+				// everything younger.
+				break
+			}
+
+			// Hazards against earlier unissued buffer entries.
+			blocked := false
+			for j := 0; j < i; j++ {
+				if issued[j] {
+					continue
+				}
+				pj := &t.Ops[pos+j]
+				pf := p.Ops[pos+j].Flags
+				if pf.Has(trace.FlagBranch) {
+					// May not issue past an unissued branch.
+					blocked = true
+					break
+				}
+				if pf.Has(trace.FlagHasDst) {
+					if op.Dst == pj.Dst { // WAW
+						blocked = true
+						break
+					}
+					for _, r := range reads { // RAW
+						if r == pj.Dst {
+							blocked = true
+							break
+						}
+					}
+					if blocked {
+						break
+					}
+				}
+				if pf.Has(trace.FlagStore) && po.Flags.Has(trace.FlagMemory) && op.Addr == pj.Addr {
+					// Memory RAW/WAW: neither a load nor a store
+					// may pass an unissued store to its address.
+					blocked = true
+					break
+				}
+			}
+			if blocked {
+				reasons[i] = m.hazardReason(t, p, pos, i, issued)
+				continue
+			}
+			if isBranch && i > 0 {
+				// A branch issues only as the oldest unissued
+				// instruction: everything before it must be gone.
+				allOlder := true
+				for j := 0; j < i; j++ {
+					if !issued[j] {
+						allOlder = false
+						break
+					}
+				}
+				if !allOlder {
+					reasons[i] = probe.ReasonBranch
+					continue
+				}
+			}
+
+			// Resource checks: everything must be satisfiable at
+			// exactly cycle c, else the instruction waits.
+			if !(isBranch && m.cfg.PerfectBranches) &&
+				m.sb.EarliestFor(c, op.Dst, reads...) > c {
+				// A waiting source is a RAW stall; otherwise the
+				// reserved destination (WAW) held it back.
+				reasons[i] = probe.ReasonWAW
+				for _, r := range reads {
+					if r.Valid() && m.sb.ReadyAt(r) > c {
+						reasons[i] = probe.ReasonRAW
+						break
+					}
+				}
+				continue
+			}
+			if m.pool.EarliestAccept(op.Unit, c) > c {
+				reasons[i] = probe.ReasonStructFU
+				continue
+			}
+			if po.Flags.Has(trace.FlagLoad) && m.mem.EarliestLoad(po.AddrID, c) > c {
+				reasons[i] = probe.ReasonRAW
+				continue
+			}
+			if po.Flags.Has(trace.FlagMemory) && m.banks.EarliestAccept(op.Addr, c) > c {
+				reasons[i] = probe.ReasonMemBank
+				continue
+			}
+			if usesResultBus(op) && !m.bt.Free(i, c+int64(m.pool.Latency(op.Unit))) {
+				reasons[i] = probe.ReasonResultBus
+				continue
+			}
+
+			var done int64
+			if isBranch && m.cfg.PerfectBranches {
+				done = c + 1
+			} else {
+				done = m.pool.Accept(op.Unit, c)
+			}
+			if po.Flags.Has(trace.FlagMemory) {
+				m.banks.Accept(op.Addr, c)
+			}
+			if usesResultBus(op) {
+				m.bt.Reserve(i, done)
+			}
+			if po.Flags.Has(trace.FlagHasDst) {
+				m.sb.SetReady(op.Dst, done)
+			}
+			if po.Flags.Has(trace.FlagStore) {
+				m.mem.Store(po.AddrID, done)
+			}
+			issued[i] = true
+			issuedAt[i] = c
+			remaining--
+			m.probe.Writeback(done, op.Unit, done-c)
+			if isBranch {
+				if m.cfg.PerfectBranches {
+					m.probe.BranchResolve(done)
+				} else {
+					m.probe.BranchResolve(c + brLat)
+				}
+			}
+			g.Progress(c)
+			if c > maxIssue {
+				maxIssue = c
+			}
+			if done > lastDone {
+				lastDone = done
+			}
+			if err := g.Over(lastDone, int64(pos+i)); err != nil {
+				return 0, 0, err
+			}
+			if isBranch && !m.cfg.PerfectBranches {
+				brGate = c + brLat
+				brGateIdx = i
+			}
+		}
+		// Close the cycle's slot ledger: issues, one stall per
+		// still-unissued entry, and the stations the short buffer
+		// leaves empty.
+		issuedNow := remStart - remaining
+		if issuedNow > 0 {
+			m.probe.Issue(c, int64(issuedNow))
+		}
+		for i := 0; i < size; i++ {
+			if !issued[i] {
+				m.probe.Stall(c, reasons[i], 1)
+			}
+		}
+		if idle := int64(w-issuedNow) - int64(remaining); idle > 0 {
+			m.probe.Stall(c, probe.ReasonIssueWidth, idle)
+		}
+	}
+	return maxIssue, lastDone, nil
+}
+
+// hazardReason reruns entry i's buffer-hazard scan to name the first
+// blocking dependence, mirroring the scan in scanBufferProbed term
+// for term. Classification lives here so the scan itself carries no
+// per-entry attribution state.
+func (m *multiIssueOOO) hazardReason(t *trace.Trace, p *trace.Prepared, pos, i int, issued []bool) probe.Reason {
+	op := &t.Ops[pos+i]
+	po := &p.Ops[pos+i]
+	reads := po.Reads()
+	for j := 0; j < i; j++ {
+		if issued[j] {
+			continue
+		}
+		pj := &t.Ops[pos+j]
+		pf := p.Ops[pos+j].Flags
+		if pf.Has(trace.FlagBranch) {
+			return probe.ReasonBranch
+		}
+		if pf.Has(trace.FlagHasDst) {
+			if op.Dst == pj.Dst {
+				return probe.ReasonWAW
+			}
+			for _, r := range reads {
+				if r == pj.Dst {
+					return probe.ReasonRAW
+				}
+			}
+		}
+		if pf.Has(trace.FlagStore) && po.Flags.Has(trace.FlagMemory) && op.Addr == pj.Addr {
+			return probe.ReasonRAW
+		}
+	}
+	return probe.ReasonRAW
 }

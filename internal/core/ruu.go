@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"mfup/internal/probe"
 	"mfup/internal/ruu"
 	"mfup/internal/trace"
 )
@@ -50,6 +51,8 @@ func NewRUUChecked(cfg Config) (Machine, error) {
 }
 
 func (m *ruuMachine) Name() string { return m.sim.Name() }
+
+func (m *ruuMachine) SetProbe(p probe.Probe) { m.sim.SetProbe(p) }
 
 func (m *ruuMachine) Run(t *trace.Trace) Result { return runUnchecked(m, t) }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"mfup/internal/fu"
+	"mfup/internal/probe"
 	"mfup/internal/regfile"
 	"mfup/internal/trace"
 )
@@ -20,10 +21,11 @@ import (
 // stage blocks for the branch execution time, and a conditional
 // branch additionally waits for A0.
 type scoreboard struct {
-	cfg  Config
-	pool *fu.Pool
-	sb   regfile.Scoreboard
-	mem  memScoreboard
+	cfg   Config
+	pool  *fu.Pool
+	sb    regfile.Scoreboard
+	mem   memScoreboard
+	probe probe.Probe
 }
 
 // NewScoreboard builds the CDC-6600-style single-issue machine of
@@ -50,6 +52,8 @@ func NewScoreboardChecked(cfg Config) (Machine, error) {
 
 func (m *scoreboard) Name() string { return "Scoreboard" }
 
+func (m *scoreboard) SetProbe(p probe.Probe) { m.probe = p }
+
 func (m *scoreboard) Run(t *trace.Trace) Result { return runUnchecked(m, t) }
 
 // RunChecked simulates t under the limits; issue times are computed
@@ -64,6 +68,12 @@ func (m *scoreboard) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 	m.mem.Reset(p.NumAddrs)
 	g := newGuard("Scoreboard", t.Name, lim)
 
+	var acct *probe.Account
+	if m.probe != nil {
+		m.probe.Begin("Scoreboard", t.Name, 1, 0)
+		acct = probe.NewAccount(m.probe, 1)
+	}
+
 	var (
 		nextIssue int64
 		lastDone  int64
@@ -72,7 +82,9 @@ func (m *scoreboard) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 		op := &t.Ops[i]
 		po := &p.Ops[i]
 
-		// Issue: one per cycle; WAW blocks, RAW does not.
+		// Issue: one per cycle; WAW blocks, RAW does not. Any gap the
+		// destination check opens is by construction a WAW stall — the
+		// only hazard this issue discipline has left.
 		e := nextIssue
 		if po.Flags.Has(trace.FlagHasDst) {
 			e = m.sb.EarliestFor(e, op.Dst) // destination reservation only
@@ -89,6 +101,13 @@ func (m *scoreboard) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 			}
 			done := s + int64(m.cfg.BranchLatency)
 			nextIssue = done
+			if acct != nil {
+				acct.Issue(e, probe.ReasonWAW)
+				// The A0 wait and the shadow both hold the issue stage
+				// on the branch's behalf.
+				acct.Advance(done, probe.ReasonBranch)
+				m.probe.BranchResolve(done)
+			}
 			if done > lastDone {
 				lastDone = done
 			}
@@ -117,6 +136,10 @@ func (m *scoreboard) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 		if po.Flags.Has(trace.FlagStore) {
 			m.mem.Store(po.AddrID, done)
 		}
+		if acct != nil {
+			acct.Issue(e, probe.ReasonWAW)
+			m.probe.Writeback(done, op.Unit, done-s)
+		}
 		if done > lastDone {
 			lastDone = done
 		}
@@ -127,6 +150,9 @@ func (m *scoreboard) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 			return Result{}, err
 		}
 		nextIssue = e + 1
+	}
+	if m.probe != nil {
+		m.probe.End(lastDone)
 	}
 	return Result{
 		Machine:      m.Name(),

@@ -6,6 +6,7 @@ import (
 	"mfup/internal/fu"
 	"mfup/internal/isa"
 	"mfup/internal/mem"
+	"mfup/internal/probe"
 	"mfup/internal/regfile"
 	"mfup/internal/trace"
 )
@@ -28,6 +29,7 @@ type singleIssue struct {
 	sb    regfile.Scoreboard
 	mem   memScoreboard
 	banks *mem.Banks
+	probe probe.Probe
 }
 
 // Organization selects one of the four basic machines of §3, in
@@ -107,6 +109,8 @@ func NewBasicChecked(o Organization, cfg Config) (Machine, error) {
 
 func (m *singleIssue) Name() string { return m.name }
 
+func (m *singleIssue) SetProbe(p probe.Probe) { m.probe = p }
+
 func (m *singleIssue) Run(t *trace.Trace) Result { return runUnchecked(m, t) }
 
 // RunChecked simulates t under the limits. Issue times are computed
@@ -122,6 +126,12 @@ func (m *singleIssue) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 	m.mem.Reset(p.NumAddrs)
 	m.banks.Reset()
 	g := newGuard(m.name, t.Name, lim)
+
+	var acct *probe.Account
+	if m.probe != nil {
+		m.probe.Begin(m.name, t.Name, 1, 0)
+		acct = probe.NewAccount(m.probe, 1)
+	}
 
 	var (
 		nextIssue int64 // earliest cycle the next instruction may issue
@@ -143,6 +153,12 @@ func (m *singleIssue) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 		if po.Flags.Has(trace.FlagMemory) {
 			e = m.banks.EarliestAccept(op.Addr, e)
 		}
+		var reason probe.Reason
+		if acct != nil {
+			// Replayed before any resource is claimed below, so the
+			// classification sees the same state the chain above did.
+			reason = m.issueReason(op, po, isBranch, nextIssue)
+		}
 		var done int64
 		if isBranch && m.cfg.PerfectBranches {
 			// Verification happens off the critical path; the branch
@@ -161,6 +177,10 @@ func (m *singleIssue) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 		if po.Flags.Has(trace.FlagStore) {
 			m.mem.Store(po.AddrID, done)
 		}
+		if acct != nil {
+			acct.Issue(e, reason)
+			m.probe.Writeback(done, op.Unit, done-e)
+		}
 		if done > lastDone {
 			lastDone = done
 		}
@@ -176,15 +196,25 @@ func (m *singleIssue) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 			// Ablation: perfect prediction; the branch costs only its
 			// issue slot.
 			nextIssue = e + 1
+			if acct != nil {
+				m.probe.BranchResolve(done)
+			}
 		case isBranch:
 			// A branch blocks the issue stage for its full execution
 			// time; the next instruction (fall-through or target)
 			// issues no earlier than resolution.
 			nextIssue = e + int64(m.cfg.BranchLatency)
+			if acct != nil {
+				acct.Advance(nextIssue, probe.ReasonBranch)
+				m.probe.BranchResolve(nextIssue)
+			}
 		case m.exclusive:
 			// Simple machine: the next instruction sits in decode
 			// until the execution stage drains.
 			nextIssue = done
+			if acct != nil {
+				acct.Advance(done, probe.ReasonStructFU)
+			}
 		default:
 			// One instruction per cycle. Unlike the real CRAY-1S, the
 			// paper's base architecture issues every instruction —
@@ -194,10 +224,54 @@ func (m *singleIssue) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 			nextIssue = e + 1
 		}
 	}
+	if m.probe != nil {
+		m.probe.End(lastDone)
+	}
 	return Result{
 		Machine:      m.name,
 		Trace:        t.Name,
 		Instructions: int64(len(t.Ops)),
 		Cycles:       lastDone,
 	}, nil
+}
+
+// issueReason replays the issue-constraint chain from e to name the
+// binding constraint — the last one to strictly raise the issue
+// cycle. Term for term it is the max-form that regfile.EarliestFor
+// and the Earliest* helpers compute, called before any resource is
+// claimed, so it reproduces the hot path's result exactly.
+// Classification lives here, on the probed path only, so the hot
+// path stays the seed computation.
+func (m *singleIssue) issueReason(op *trace.Op, po *trace.PreparedOp, isBranch bool, e int64) probe.Reason {
+	reason := probe.ReasonIssueWidth
+	if !(isBranch && m.cfg.PerfectBranches) {
+		for _, r := range po.Reads() {
+			if r.Valid() {
+				if rdy := m.sb.ReadyAt(r); rdy > e {
+					e, reason = rdy, probe.ReasonRAW
+				}
+			}
+		}
+		if op.Dst.Valid() {
+			if rdy := m.sb.ReadyAt(op.Dst); rdy > e {
+				e, reason = rdy, probe.ReasonWAW
+			}
+		}
+	}
+	if fe := m.pool.EarliestAccept(op.Unit, e); fe > e {
+		e, reason = fe, probe.ReasonStructFU
+	}
+	if po.Flags.Has(trace.FlagLoad) {
+		if me := m.mem.EarliestLoad(po.AddrID, e); me > e {
+			// Memory-carried true dependence: the load waits on the
+			// store producing its word.
+			e, reason = me, probe.ReasonRAW
+		}
+	}
+	if po.Flags.Has(trace.FlagMemory) {
+		if be := m.banks.EarliestAccept(op.Addr, e); be > e {
+			reason = probe.ReasonMemBank
+		}
+	}
+	return reason
 }

@@ -6,6 +6,7 @@ import (
 
 	"mfup/internal/fu"
 	"mfup/internal/isa"
+	"mfup/internal/probe"
 	"mfup/internal/trace"
 )
 
@@ -40,6 +41,7 @@ type tomasulo struct {
 
 	cdb     [64]int64 // self-invalidating per-cycle reservation ring
 	pending []*tomEntry
+	probe   probe.Probe
 }
 
 type tomEntry struct {
@@ -112,6 +114,8 @@ func (m *tomasulo) cdbReserve(c int64) { m.cdb[c%64] = c }
 
 func (m *tomasulo) Run(t *trace.Trace) Result { return runUnchecked(m, t) }
 
+func (m *tomasulo) SetProbe(p probe.Probe) { m.probe = p }
+
 // snapshot formats up to max in-flight reservation-station entries
 // for a stall diagnostic.
 func (m *tomasulo) snapshot(max int) []string {
@@ -151,6 +155,11 @@ func (m *tomasulo) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 			lastEvent = c
 		}
 	}
+	if m.probe != nil {
+		// One issue slot per cycle; occupancy levels range over the
+		// whole reservation-station pool.
+		m.probe.Begin(m.Name(), t.Name, 1, m.stations*int(isa.NumUnits))
+	}
 
 	for c := int64(0); pos < len(t.Ops) || len(m.pending) > 0; c++ {
 		if err := g.Stalled(c, int64(pos), m.snapshot); err != nil {
@@ -162,6 +171,9 @@ func (m *tomasulo) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 		if err := g.Tick(c, int64(pos)); err != nil {
 			return Result{}, err
 		}
+		if m.probe != nil {
+			m.probe.Occupancy(len(m.pending), 1)
+		}
 		// 1. Broadcasts: entries whose results appear this cycle free
 		// their stations and wake dependents (bypass: usable at c).
 		keep := m.pending[:0]
@@ -169,6 +181,9 @@ func (m *tomasulo) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 			if !e.started || e.doneAt != c {
 				keep = append(keep, e)
 				continue
+			}
+			if m.probe != nil {
+				m.probe.Writeback(c, e.op.Unit, int64(m.pool.Latency(e.op.Unit)))
 			}
 			m.inFlight[e.op.Unit]--
 			if e.op.Dst.Valid() && m.regTag[e.op.Dst] == e {
@@ -218,12 +233,24 @@ func (m *tomasulo) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 		}
 
 		// 3. Issue: one instruction per cycle into a reservation
-		// station; stalls on a full station pool or a branch.
+		// station; stalls on a full station pool or a branch. When
+		// probed, every cycle with instructions left to issue files its
+		// slot: an Issue or exactly one attributed Stall. (Cycles after
+		// the last issue are the drain, derived by the probe itself.)
+		if pos < len(t.Ops) && c < issueGate {
+			if m.probe != nil {
+				m.probe.Stall(c, probe.ReasonBranch, 1)
+			}
+		}
 		if c >= issueGate && pos < len(t.Ops) {
 			op := &t.Ops[pos]
 			po := &p.Ops[pos]
 			if po.Flags.Has(trace.FlagBranch) {
 				if m.cfg.PerfectBranches {
+					if m.probe != nil {
+						m.probe.Issue(c, 1)
+						m.probe.BranchResolve(c)
+					}
 					bump(c)
 					g.Progress(c)
 					pos++
@@ -239,12 +266,23 @@ func (m *tomasulo) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 					}
 					if !stall && a0 <= c {
 						issueGate = c + int64(m.cfg.BranchLatency)
+						if m.probe != nil {
+							m.probe.Issue(c, 1)
+							m.probe.BranchResolve(issueGate)
+						}
 						bump(issueGate)
 						g.Progress(c)
 						pos++
+					} else if m.probe != nil {
+						// The branch owns the issue stage while its A0
+						// condition is in flight.
+						m.probe.Stall(c, probe.ReasonBranch, 1)
 					}
 				}
 			} else if m.inFlight[op.Unit] < m.stations {
+				if m.probe != nil {
+					m.probe.Issue(c, 1)
+				}
 				m.inFlight[op.Unit]++
 				e := &tomEntry{op: op, flags: po.Flags, addrID: po.AddrID, doneAt: math.MaxInt64, readyAt: c + 1}
 				pos++
@@ -273,8 +311,14 @@ func (m *tomasulo) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 				m.pending = append(m.pending, e)
 				bump(c)
 				g.Progress(c)
+			} else if m.probe != nil {
+				// No free reservation station on the needed unit.
+				m.probe.Stall(c, probe.ReasonBufferFull, 1)
 			}
 		}
+	}
+	if m.probe != nil {
+		m.probe.End(lastEvent)
 	}
 	return Result{
 		Machine:      m.Name(),

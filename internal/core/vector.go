@@ -2,6 +2,7 @@ package core
 
 import (
 	"mfup/internal/isa"
+	"mfup/internal/probe"
 	"mfup/internal/trace"
 )
 
@@ -48,6 +49,8 @@ type vectorMachine struct {
 	busyUntil  [isa.NumUnits]int64 // exclusive vector reservations
 
 	mem memScoreboard // scalar store-to-load dependences
+
+	probe probe.Probe
 }
 
 // NewVector builds the vector-extension machine. It panics on an
@@ -70,6 +73,8 @@ func NewVectorChecked(cfg Config) (Machine, error) {
 }
 
 func (m *vectorMachine) Name() string { return "Vector" }
+
+func (m *vectorMachine) SetProbe(p probe.Probe) { m.probe = p }
 
 func (m *vectorMachine) reset(numAddrs int) {
 	m.readyRead = [isa.NumRegs]int64{}
@@ -96,6 +101,12 @@ func (m *vectorMachine) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 	p := t.Prepared()
 	m.reset(p.NumAddrs)
 	g := newGuard(m.Name(), t.Name, lim)
+
+	var acct *probe.Account
+	if m.probe != nil {
+		m.probe.Begin(m.Name(), t.Name, 1, 0)
+		acct = probe.NewAccount(m.probe, 1)
+	}
 
 	var (
 		nextIssue int64
@@ -146,6 +157,12 @@ func (m *vectorMachine) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 				e = fd
 			}
 		}
+		var reason probe.Reason
+		if acct != nil {
+			// Replayed before any state updates below, so the
+			// classification sees the same state the chain above did.
+			reason = m.issueReason(op, po, unit, nextIssue)
+		}
 
 		switch {
 		case op.Code.IsVector() && op.Code != isa.OpVLSet && op.Code != isa.OpMoveSV:
@@ -168,6 +185,10 @@ func (m *vectorMachine) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 					}
 				}
 			}
+			if acct != nil {
+				acct.Issue(e, reason)
+				m.probe.Writeback(full, unit, full-e)
+			}
 			bump(full)
 			nextIssue = e + 1
 
@@ -175,6 +196,11 @@ func (m *vectorMachine) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 			done := e + int64(m.cfg.BranchLatency)
 			if m.cfg.PerfectBranches {
 				done = e + 1
+			}
+			if acct != nil {
+				acct.Issue(e, reason)
+				acct.Advance(done, probe.ReasonBranch)
+				m.probe.BranchResolve(done)
 			}
 			bump(done)
 			nextIssue = done
@@ -192,6 +218,10 @@ func (m *vectorMachine) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 			if po.Flags.Has(trace.FlagStore) {
 				m.mem.Store(po.AddrID, done)
 			}
+			if acct != nil {
+				acct.Issue(e, reason)
+				m.probe.Writeback(done, unit, done-e)
+			}
 			bump(done)
 			nextIssue = e + 1
 		}
@@ -202,10 +232,55 @@ func (m *vectorMachine) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 			return Result{}, err
 		}
 	}
+	if m.probe != nil {
+		m.probe.End(lastDone)
+	}
 	return Result{
 		Machine:      m.Name(),
 		Trace:        t.Name,
 		Instructions: int64(len(t.Ops)),
 		Cycles:       lastDone,
 	}, nil
+}
+
+// issueReason replays the issue-condition chain from e to name the
+// binding constraint — the last one to strictly raise the issue
+// cycle. Term for term it is the chain the hot path computes, called
+// before any state is updated, so it reproduces the hot path's result
+// exactly. Classification lives here, on the probed path only, so the
+// hot path stays the seed computation. The WAR wait on in-flight
+// readers is filed under WAW: both are the one-instance-per-register
+// serialization the paper's register model imposes.
+func (m *vectorMachine) issueReason(op *trace.Op, po *trace.PreparedOp, unit isa.Unit, e int64) probe.Reason {
+	reason := probe.ReasonIssueWidth
+	for _, r := range po.Reads() {
+		if m.readyRead[r] > e {
+			e, reason = m.readyRead[r], probe.ReasonRAW
+		}
+	}
+	if d := op.Dst; d.Valid() {
+		if m.fullDone[d] > e {
+			e, reason = m.fullDone[d], probe.ReasonWAW
+		}
+		if m.readersDone[d] > e {
+			e, reason = m.readersDone[d], probe.ReasonWAW
+		}
+	}
+	if m.busyUntil[unit] > e {
+		e, reason = m.busyUntil[unit], probe.ReasonStructFU
+	}
+	if m.lastAccept[unit] >= e {
+		e, reason = m.lastAccept[unit]+1, probe.ReasonStructFU
+	}
+	if po.Flags.Has(trace.FlagLoad) {
+		if me := m.mem.EarliestLoad(po.AddrID, e); me > e {
+			e, reason = me, probe.ReasonRAW
+		}
+	}
+	if op.Code == isa.OpMoveSV {
+		if fd := m.fullDone[op.Src1]; fd > e {
+			reason = probe.ReasonRAW
+		}
+	}
+	return reason
 }

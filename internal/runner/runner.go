@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"mfup/internal/core"
+	"mfup/internal/probe"
 	"mfup/internal/trace"
 )
 
@@ -45,6 +46,13 @@ type Task struct {
 	// Traces drive the runs. A trace may be shared with any number of
 	// other tasks, concurrently.
 	Traces []*trace.Trace
+
+	// Probe, when non-nil, is attached to the cell's machine before any
+	// trace runs, so it observes every run of the cell in order. A task
+	// runs entirely on the one goroutine that claims it, so an
+	// unsynchronized accumulator (e.g. *probe.Counters) is safe here as
+	// long as it is private to this task.
+	Probe probe.Probe
 }
 
 // Workers normalizes a parallelism request: n itself when positive,
@@ -221,6 +229,9 @@ func RunChecked(ctx context.Context, opts Options, tasks []Task) ([][]core.Resul
 		if err := safeCall(func() { m = task.New() }); err != nil {
 			fail(-1, "", "", err, stackOf(err))
 			return
+		}
+		if task.Probe != nil {
+			m.SetProbe(task.Probe)
 		}
 
 		for j, t := range task.Traces {

@@ -10,6 +10,7 @@ import (
 
 	"mfup/internal/core"
 	"mfup/internal/loops"
+	"mfup/internal/probe"
 	"mfup/internal/simerr"
 	"mfup/internal/trace"
 )
@@ -88,6 +89,8 @@ type panicMachine struct {
 func (p *panicMachine) Name() string { return "PanicMachine" }
 
 func (p *panicMachine) Run(t *trace.Trace) core.Result { return p.inner.Run(t) }
+
+func (p *panicMachine) SetProbe(pr probe.Probe) { p.inner.SetProbe(pr) }
 
 func (p *panicMachine) RunChecked(t *trace.Trace, lim core.Limits) (core.Result, error) {
 	if t.Name == p.blowOn {

@@ -34,6 +34,7 @@ import (
 	"mfup/internal/fu"
 	"mfup/internal/isa"
 	"mfup/internal/mem"
+	"mfup/internal/probe"
 	"mfup/internal/simerr"
 	"mfup/internal/trace"
 )
@@ -209,6 +210,8 @@ type Simulator struct {
 	results     *bus.Tracker // FU -> RUU result bus slots
 	commitSeen  []bool       // per-bank commit-bus use, reset each cycle
 	memBanks    *mem.Banks
+
+	probe probe.Probe
 }
 
 // New builds a simulator; it panics on nonsensical configuration.
@@ -281,6 +284,12 @@ func (s *Simulator) reset(numAddrs int) {
 	s.results.Reset()
 }
 
+// SetProbe attaches a probe (internal/probe) observing subsequent
+// runs, or detaches it with nil. This mirrors core.Machine's SetProbe
+// — the package cannot import core, which wraps it. A probe never
+// changes timing; the nil default costs one branch per event.
+func (s *Simulator) SetProbe(p probe.Probe) { s.probe = p }
+
 // Name identifies the simulator configuration in diagnostics.
 func (s *Simulator) Name() string {
 	return fmt.Sprintf("RUU(%d units, %d entries, %s)", s.cfg.IssueUnits, s.cfg.Size, s.cfg.Bus)
@@ -326,6 +335,9 @@ func (s *Simulator) RunChecked(t *trace.Trace, lim Limits) (int64, error) {
 	p := t.Prepared()
 	s.reset(p.NumAddrs)
 	g := simerr.NewGuard(s.Name(), t.Name, lim.MaxCycles, lim.StallCycles, lim.Deadline)
+	if s.probe != nil {
+		s.probe.Begin(s.Name(), t.Name, s.cfg.IssueUnits, s.cfg.Size)
+	}
 
 	var (
 		pos       int   // next trace op to issue
@@ -349,10 +361,16 @@ func (s *Simulator) RunChecked(t *trace.Trace, lim Limits) (int64, error) {
 		if err := g.Tick(c, int64(pos)); err != nil {
 			return 0, err
 		}
+		if s.probe != nil {
+			s.probe.Occupancy(s.fifoLen, 1)
+		}
 		// 1. Results returning this cycle: mark done, wake waiters.
 		for _, e := range s.broadcasts.take(c) {
 			e.done = true
 			e.doneAt = c
+			if s.probe != nil {
+				s.probe.Writeback(c, e.op.Unit, int64(s.pool.Latency(e.op.Unit)))
+			}
 			bump(c)
 			g.Progress(c)
 			if e.flags.Has(trace.FlagHasDst) && s.regProducer[e.op.Dst] == e {
@@ -416,7 +434,15 @@ func (s *Simulator) RunChecked(t *trace.Trace, lim Limits) (int64, error) {
 		}
 
 		// 5. Issue up to N instructions into the RUU, in program
-		// order, stopping at a branch or a full bank.
+		// order, stopping at a branch or a full bank. When probed, the
+		// cycle's unfilled issue slots are blamed on whatever stopped
+		// the loop; slots with no instructions left are the drain,
+		// which the probe derives itself.
+		issuedNow := int64(0)
+		stallReason := probe.ReasonDrain // sentinel: nothing blocked
+		if c < issueGate && pos < len(t.Ops) {
+			stallReason = probe.ReasonBranch
+		}
 		if c >= issueGate {
 			for issued := 0; issued < s.cfg.IssueUnits && pos < len(t.Ops); issued++ {
 				op := &t.Ops[pos]
@@ -425,6 +451,10 @@ func (s *Simulator) RunChecked(t *trace.Trace, lim Limits) (int64, error) {
 					if s.cfg.PerfectBranches {
 						// Ablation: the branch consumes this issue slot
 						// and nothing more.
+						issuedNow++
+						if s.probe != nil {
+							s.probe.BranchResolve(c)
+						}
 						bump(c)
 						g.Progress(c)
 						pos++
@@ -434,14 +464,21 @@ func (s *Simulator) RunChecked(t *trace.Trace, lim Limits) (int64, error) {
 					a0 := int64(0)
 					if po.Flags.Has(trace.FlagConditional) {
 						if s.regProducer[isa.A0] != nil {
+							stallReason = probe.ReasonBranch
 							break // A0 still in flight; retry next cycle
 						}
 						a0 = s.regReadyAt[isa.A0]
 					}
 					if a0 > c {
+						stallReason = probe.ReasonBranch
 						break // retry once A0 is readable
 					}
 					issueGate = c + int64(s.cfg.BranchLatency)
+					issuedNow++
+					stallReason = probe.ReasonBranch
+					if s.probe != nil {
+						s.probe.BranchResolve(issueGate)
+					}
 					bump(issueGate)
 					g.Progress(c)
 					pos++
@@ -451,8 +488,10 @@ func (s *Simulator) RunChecked(t *trace.Trace, lim Limits) (int64, error) {
 
 				bank := int(seq) % s.banks
 				if s.free[bank] == 0 {
+					stallReason = probe.ReasonBufferFull
 					break // RUU (bank) full: in-order issue stalls
 				}
+				issuedNow++
 				s.free[bank]--
 				e := s.freeEnt[len(s.freeEnt)-1]
 				s.freeEnt = s.freeEnt[:len(s.freeEnt)-1]
@@ -503,6 +542,19 @@ func (s *Simulator) RunChecked(t *trace.Trace, lim Limits) (int64, error) {
 				g.Progress(c)
 			}
 		}
+		if s.probe != nil {
+			if issuedNow > 0 {
+				s.probe.Issue(c, issuedNow)
+			}
+			if stallReason != probe.ReasonDrain && pos < len(t.Ops) {
+				if lost := int64(s.cfg.IssueUnits) - issuedNow; lost > 0 {
+					s.probe.Stall(c, stallReason, lost)
+				}
+			}
+		}
+	}
+	if s.probe != nil {
+		s.probe.End(lastEvent)
 	}
 	return lastEvent, nil
 }

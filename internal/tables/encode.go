@@ -7,6 +7,8 @@ import (
 	"math"
 	"strconv"
 	"strings"
+
+	"mfup/internal/probe"
 )
 
 // jsonRate encodes a rate cell, mapping a failed cell's NaN — which
@@ -47,6 +49,82 @@ func (t *Table) MarshalJSON() ([]byte, error) {
 		out.Errors = append(out.Errors, e.Error())
 	}
 	return json.Marshal(out)
+}
+
+// metricsRecord is one cell's stall breakdown in encoding form,
+// shared by the JSON and CSV emitters.
+type metricsRecord struct {
+	Table   int              `json:"table"`
+	Row     string           `json:"row"`
+	Column  string           `json:"column"`
+	Machine string           `json:"machine"`
+	Width   int              `json:"width"`
+	Runs    int              `json:"runs"`
+	Cycles  int64            `json:"cycles"`
+	Slots   int64            `json:"slots"`
+	Issued  int64            `json:"issued"`
+	Stalls  map[string]int64 `json:"stalls"`
+}
+
+// metricsRecords flattens the Metrics of every table, in table order
+// then row-major cell order.
+func metricsRecords(ts []*Table) []metricsRecord {
+	var recs []metricsRecord
+	for _, t := range ts {
+		for _, m := range t.Metrics {
+			c := m.Counters
+			stalls := make(map[string]int64, probe.NumReasons)
+			for _, r := range probe.Reasons() {
+				stalls[r.String()] = c.Stalls[r]
+			}
+			recs = append(recs, metricsRecord{
+				Table: t.Number, Row: m.Row, Column: m.Column,
+				Machine: c.Machine, Width: c.Width, Runs: c.Runs,
+				Cycles: c.Cycles, Slots: c.Slots, Issued: c.Issued,
+				Stalls: stalls,
+			})
+		}
+	}
+	return recs
+}
+
+// MetricsJSON encodes every cell's stall breakdown across the given
+// tables as a JSON array, one object per cell. Tables generated
+// without SetCollectMetrics (or the analytic Table 2) contribute
+// nothing.
+func MetricsJSON(ts []*Table) ([]byte, error) {
+	recs := metricsRecords(ts)
+	if recs == nil {
+		recs = []metricsRecord{}
+	}
+	return json.MarshalIndent(recs, "", "  ")
+}
+
+// MetricsCSV encodes the same breakdown as CSV: one line per cell, a
+// column per stall reason.
+func MetricsCSV(ts []*Table) string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	header := []string{"table", "row", "column", "machine", "width", "runs", "cycles", "slots", "issued"}
+	for _, r := range probe.Reasons() {
+		header = append(header, r.String())
+	}
+	_ = w.Write(header)
+	for _, rec := range metricsRecords(ts) {
+		line := []string{
+			strconv.Itoa(rec.Table), rec.Row, rec.Column, rec.Machine,
+			strconv.Itoa(rec.Width), strconv.Itoa(rec.Runs),
+			strconv.FormatInt(rec.Cycles, 10),
+			strconv.FormatInt(rec.Slots, 10),
+			strconv.FormatInt(rec.Issued, 10),
+		}
+		for _, r := range probe.Reasons() {
+			line = append(line, strconv.FormatInt(rec.Stalls[r.String()], 10))
+		}
+		_ = w.Write(line)
+	}
+	w.Flush()
+	return b.String()
 }
 
 // CSV renders the table as comma-separated values: a header row with

@@ -10,6 +10,7 @@ import (
 
 	"mfup/internal/core"
 	"mfup/internal/loops"
+	"mfup/internal/probe"
 	"mfup/internal/runner"
 	"mfup/internal/trace"
 )
@@ -19,6 +20,7 @@ type explodingMachine struct{ inner core.Machine }
 
 func (m *explodingMachine) Name() string                   { return "Exploding" }
 func (m *explodingMachine) Run(t *trace.Trace) core.Result { panic("injected table-cell panic") }
+func (m *explodingMachine) SetProbe(p probe.Probe)         {}
 func (m *explodingMachine) RunChecked(t *trace.Trace, lim core.Limits) (core.Result, error) {
 	panic("injected table-cell panic")
 }

@@ -18,6 +18,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -27,6 +28,7 @@ import (
 	"mfup/internal/core"
 	"mfup/internal/limits"
 	"mfup/internal/loops"
+	"mfup/internal/probe"
 	"mfup/internal/runner"
 	"mfup/internal/stats"
 	"mfup/internal/trace"
@@ -43,6 +45,29 @@ func SetParallel(n int) { parallel.Store(int64(n)) }
 // Parallel returns the configured worker count: the last SetParallel
 // value, or 0 meaning "all cores".
 func Parallel() int { return int(parallel.Load()) }
+
+// collectMetrics toggles per-cell stall-breakdown collection.
+var collectMetrics atomic.Bool
+
+// SetCollectMetrics enables stall-reason metrics collection during
+// table generation: every simulated cell gets a probe.Counters
+// accumulator, exposed afterward as Table.Metrics. The default (off)
+// runs every machine with a nil probe, so table values and timing are
+// unaffected; collection never changes the rates either — the probe
+// layer is observation-only.
+func SetCollectMetrics(on bool) { collectMetrics.Store(on) }
+
+// CollectMetrics reports whether metrics collection is enabled.
+func CollectMetrics() bool { return collectMetrics.Load() }
+
+// CellMetrics is one grid cell's measured stall breakdown: which row
+// and column of the table it belongs to, and the accumulated counters
+// over all of the cell's loop runs.
+type CellMetrics struct {
+	Row      string
+	Column   string
+	Counters *probe.Counters
+}
 
 // guardCfg holds the per-cell execution bounds applied during table
 // generation; the zero value (no bounds) reproduces the tables with
@@ -93,6 +118,12 @@ type Table struct {
 	// rate is NaN and renders as ERR; every healthy cell still holds
 	// its correct value.
 	Errors []*runner.CellError
+
+	// Metrics holds each simulated cell's stall breakdown, row-major in
+	// the grid's layout, when SetCollectMetrics(true) was in effect.
+	// Nil otherwise, and always nil for the analytic Table 2, which
+	// runs no machines.
+	Metrics []CellMetrics
 }
 
 // ErrorSummary renders one line per failed cell, or "" when the whole
@@ -160,6 +191,21 @@ func (t *Table) fill(labels []string, rates []float64) {
 	}
 }
 
+// attachMetrics records each cell's counters with its grid position,
+// in the same row-major order as fill. A no-op when collection was
+// off (every probe entry is nil).
+func (t *Table) attachMetrics(labels []string, probes []*probe.Counters) {
+	w := len(t.Columns)
+	for i, c := range probes {
+		if c == nil {
+			return
+		}
+		t.Metrics = append(t.Metrics, CellMetrics{
+			Row: labels[i/w], Column: t.Columns[i%w], Counters: c,
+		})
+	}
+}
+
 // classTraces returns the cached traces of a loop class.
 func classTraces(c loops.Class) []*trace.Trace {
 	var ts []*trace.Trace
@@ -175,18 +221,30 @@ func classTraces(c loops.Class) []*trace.Trace {
 // fan-out. Cells resolve in the order they were added, so callers lay
 // out a table by adding cells row-major and calling rates once.
 type batch struct {
-	tasks []runner.Task
+	tasks  []runner.Task
+	probes []*probe.Counters // per cell; nil entries when collection is off
 }
 
 // cell schedules one grid cell: one machine from mk over all traces.
 func (b *batch) cell(mk func() core.Machine, ts []*trace.Trace) {
-	b.tasks = append(b.tasks, runner.Task{New: mk, Traces: ts})
+	t := runner.Task{New: mk, Traces: ts}
+	var c *probe.Counters
+	if CollectMetrics() {
+		c = new(probe.Counters)
+		t.Probe = c
+	}
+	b.tasks = append(b.tasks, t)
+	b.probes = append(b.probes, c)
 }
 
 // rates runs every scheduled simulation on the worker pool and
 // returns each cell's harmonic-mean issue rate, in add order, plus
 // the failures of any cells that could not be simulated. A failed
-// cell's rate is NaN; healthy cells are unaffected.
+// cell's rate is NaN; healthy cells are unaffected. A run that
+// completes but reports a non-positive issue rate is a failure too:
+// the harmonic mean is undefined there (stats.HarmonicMean returns
+// NaN), so the cell is marked ERR with a diagnostic naming the loop
+// instead of leaking NaN into the rendered table.
 func (b *batch) rates() ([]float64, []*runner.CellError) {
 	results, errs := runner.RunChecked(context.Background(), runnerOptions(), b.tasks)
 	failed := make(map[int]bool, len(errs))
@@ -201,11 +259,32 @@ func (b *batch) rates() ([]float64, []*runner.CellError) {
 			continue
 		}
 		rs = rs[:0]
-		for _, r := range cell {
-			rs = append(rs, r.IssueRate())
+		bad := false
+		for j, r := range cell {
+			rate := r.IssueRate()
+			if !(rate > 0) {
+				errs = append(errs, &runner.CellError{
+					Task: i, Trace: j, Machine: r.Machine, TraceName: r.Trace,
+					Err: fmt.Errorf("non-positive issue rate %g (%d instructions in %d cycles)",
+						rate, r.Instructions, r.Cycles),
+				})
+				bad = true
+				continue
+			}
+			rs = append(rs, rate)
+		}
+		if bad {
+			out = append(out, math.NaN())
+			continue
 		}
 		out = append(out, stats.HarmonicMean(rs))
 	}
+	sort.Slice(errs, func(a, b int) bool {
+		if errs[a].Task != errs[b].Task {
+			return errs[a].Task < errs[b].Task
+		}
+		return errs[a].Trace < errs[b].Trace
+	})
 	return out, errs
 }
 
@@ -240,6 +319,7 @@ func Table1() *Table {
 	}
 	rates, errs := b.rates()
 	t.fill(labels, rates)
+	t.attachMetrics(labels, b.probes)
 	t.Errors = errs
 	return t
 }
@@ -296,6 +376,19 @@ func Table2() *Table {
 				Task: i, Trace: -1, Machine: "limit computation",
 				TraceName: jobs[i].tr.Name, Err: err,
 			})
+			continue
+		}
+		// A bound that is not strictly positive poisons its row's
+		// harmonic mean (NaN); report it like any other failed cell so
+		// the ERR rendering comes with a diagnostic and exit status 1.
+		l := results[i]
+		if !(l.PseudoDataflow > 0) || !(l.Resource > 0) || !(l.Actual > 0) {
+			t.Errors = append(t.Errors, &runner.CellError{
+				Task: i, Trace: -1, Machine: "limit computation",
+				TraceName: jobs[i].tr.Name,
+				Err: fmt.Errorf("non-positive limit (pseudo-dataflow %g, resource %g, actual %g)",
+					l.PseudoDataflow, l.Resource, l.Actual),
+			})
 		}
 	}
 	for i, label := range labels {
@@ -346,6 +439,7 @@ func multiIssueTable(number int, title string, class loops.Class,
 	}
 	rates, errs := b.rates()
 	t.fill(labels, rates)
+	t.attachMetrics(labels, b.probes)
 	t.Errors = errs
 	return t
 }
@@ -406,6 +500,7 @@ func ruuTable(number int, title string, class loops.Class) *Table {
 	}
 	rates, errs := b.rates()
 	t.fill(labels, rates)
+	t.attachMetrics(labels, b.probes)
 	t.Errors = errs
 	return t
 }
@@ -492,6 +587,7 @@ func SectionThreeThree() *Table {
 	}
 	rates, errs := b.rates()
 	t.fill(labels, rates)
+	t.attachMetrics(labels, b.probes)
 	t.Errors = errs
 	return t
 }
