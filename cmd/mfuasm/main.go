@@ -21,10 +21,14 @@ import (
 	"os"
 
 	"mfup/internal/asm"
+	"mfup/internal/cli"
 	"mfup/internal/emu"
 	"mfup/internal/isa"
 	"mfup/internal/loops"
 )
+
+// log is the shared tool logger; main wires it up before first use.
+var log = cli.NewLogger("mfuasm", false)
 
 func main() {
 	var (
@@ -35,8 +39,10 @@ func main() {
 		dumpTrace = flag.Bool("trace", false, "with -run: dump the dynamic instruction trace")
 		showStats = flag.Bool("stats", false, "with -run: print instruction-mix statistics")
 		maxSteps  = flag.Int64("maxsteps", 0, "with -run: dynamic instruction budget; 0 = the emulator default")
+		verbose   = flag.Bool("v", false, "verbose logging (debug level) on standard error")
 	)
 	flag.Parse()
+	log = cli.NewLogger("mfuasm", *verbose)
 
 	switch {
 	case *file != "" && *kernel != 0:
@@ -123,7 +129,8 @@ func main() {
 	}
 }
 
+// fail reports err through the shared logger and exits nonzero.
 func fail(err error) {
-	fmt.Fprintln(os.Stderr, "mfuasm:", err)
+	log.Error(err.Error())
 	os.Exit(1)
 }

@@ -24,6 +24,9 @@ import (
 	"mfup/internal/trace"
 )
 
+// log is the shared tool logger; main wires it up before first use.
+var log = cli.NewLogger("mfulimits", false)
+
 func main() {
 	var (
 		mem      = flag.Int("mem", 11, "memory access time in cycles")
@@ -32,8 +35,10 @@ func main() {
 		which    = flag.String("loops", "all", `"all", "scalar", "vector", or comma-separated kernel numbers`)
 		file     = flag.String("file", "", "assembly file to analyze instead of the Livermore loops")
 		maxSteps = flag.Int64("maxsteps", 0, "with -file: dynamic instruction budget for tracing; 0 = the emulator default")
+		verbose  = flag.Bool("v", false, "verbose logging (debug level) on standard error")
 	)
 	flag.Parse()
+	log = cli.NewLogger("mfulimits", *verbose)
 
 	loopsSet := false
 	flag.Visit(func(f *flag.Flag) {
@@ -106,7 +111,8 @@ func main() {
 	}
 }
 
+// fail reports err through the shared logger and exits nonzero.
 func fail(err error) {
-	fmt.Fprintln(os.Stderr, "mfulimits:", err)
+	log.Error(err.Error())
 	os.Exit(1)
 }

@@ -16,9 +16,23 @@
 // observes without perturbing — rates are identical with and without
 // it.
 //
+// -trace FILE records every instruction's pipeline lifecycle — fetch,
+// issue, functional-unit occupancy, result-bus acquisition,
+// writeback, branch resolution, commit — and writes the runs as
+// Chrome trace-event JSON, loadable directly in ui.perfetto.dev or
+// chrome://tracing. -timeline prints the same record as a plain-text
+// Gantt chart per loop. -trace-events caps the events kept per loop
+// (the overflow is counted and reported, never accumulated);
+// -timeline-window widens the timeline's cycle window. Like the
+// probe, the recorder observes without perturbing: rates are
+// identical with and without it.
+//
 // An invalid configuration (e.g. -units 0) or a simulation that
 // exceeds -maxcycles, -stallcycles, or -timeout produces a one-line
 // diagnostic on standard error and exit status 1.
+//
+// Diagnostics go through a shared logger: -v lowers its level to
+// debug, and MFU_LOG (debug | info | warn | error) overrides it.
 package main
 
 import (
@@ -30,10 +44,14 @@ import (
 
 	"mfup/internal/cli"
 	"mfup/internal/core"
+	"mfup/internal/events"
 	"mfup/internal/loops"
 	"mfup/internal/probe"
 	"mfup/internal/stats"
 )
+
+// log is the shared tool logger; main wires it up before first use.
+var log = cli.NewLogger("mfusim", false)
 
 func main() {
 	var (
@@ -49,9 +67,17 @@ func main() {
 		maxCycles   = flag.Int64("maxcycles", 0, "simulated-cycle budget per loop; 0 = unlimited")
 		stallCycles = flag.Int64("stallcycles", 0, "cycles without forward progress before the run is declared stalled; 0 = off")
 		timeout     = flag.Duration("timeout", 0, "wall-clock deadline per loop (e.g. 30s); 0 = none")
+
+		traceFile      = flag.String("trace", "", "write per-instruction pipeline events to this file as Chrome trace-event JSON (Perfetto)")
+		timeline       = flag.Bool("timeline", false, "print a per-loop plain-text pipeline timeline after the rates")
+		timelineWindow = flag.Int("timeline-window", 0, "cycle columns in the -timeline rendering; 0 = 120")
+		traceEvents    = flag.Int("trace-events", 0, "events kept per loop for -trace/-timeline; 0 = 65536, overflow is dropped and counted")
+		verbose        = flag.Bool("v", false, "verbose logging (debug level) on standard error")
 	)
 	flag.Parse()
+	log = cli.NewLogger("mfusim", *verbose)
 
+	tracing := *traceFile != "" || *timeline
 	switch {
 	case *maxCycles < 0:
 		fail(fmt.Errorf("-maxcycles %d is negative (0 = unlimited)", *maxCycles))
@@ -61,6 +87,14 @@ func main() {
 		fail(fmt.Errorf("-timeout %v is negative (0 = none)", *timeout))
 	case strings.ToLower(*machine) == "tomasulo" && *stations < 1:
 		fail(fmt.Errorf("-stations %d: the Tomasulo machine needs at least one reservation station per unit", *stations))
+	case *traceEvents < 0:
+		fail(fmt.Errorf("-trace-events %d is negative (0 = default cap)", *traceEvents))
+	case *traceEvents > 0 && !tracing:
+		fail(fmt.Errorf("-trace-events needs -trace or -timeline"))
+	case *timelineWindow < 0:
+		fail(fmt.Errorf("-timeline-window %d is negative (0 = default width)", *timelineWindow))
+	case *timelineWindow > 0 && !*timeline:
+		fail(fmt.Errorf("-timeline-window needs -timeline"))
 	}
 
 	kernels, err := cli.SelectLoops(*which)
@@ -118,6 +152,12 @@ func main() {
 		kernels = vks
 	}
 
+	var rec *events.Recorder
+	if tracing {
+		rec = events.NewRecorder(*traceEvents)
+		m.SetRecorder(rec)
+	}
+
 	fmt.Printf("%s, %s\n", m.Name(), cfg.Name())
 	var rates []float64
 	var breakdowns []*probe.Counters
@@ -150,6 +190,25 @@ func main() {
 			k.String(), r.Instructions, r.Cycles, r.IssueRate())
 	}
 	fmt.Printf("harmonic mean issue rate: %.3f instructions/cycle\n", stats.HarmonicMean(rates))
+	if rec != nil {
+		fmt.Printf("trace: %d events recorded, %d dropped at the %d-event cap\n",
+			rec.Events(), rec.Dropped(), cap0(*traceEvents))
+	}
+
+	if *timeline {
+		opt := events.TimelineOptions{MaxCycles: *timelineWindow}
+		for i := range rec.Runs() {
+			fmt.Println()
+			fmt.Print(events.Timeline(&rec.Runs()[i], opt))
+		}
+	}
+
+	if *traceFile != "" {
+		if err := writeTrace(*traceFile, rec); err != nil {
+			fail(err)
+		}
+		log.Debug("trace written", "file", *traceFile, "events", rec.Events())
+	}
 
 	if *showStats {
 		fmt.Printf("\nstall-reason breakdown (issue slots):\n")
@@ -169,6 +228,27 @@ func main() {
 	}
 }
 
+// cap0 maps the -trace-events zero default to the effective cap.
+func cap0(n int) int {
+	if n <= 0 {
+		return events.DefaultCap
+	}
+	return n
+}
+
+// writeTrace writes the recorded runs as Chrome trace-event JSON.
+func writeTrace(path string, rec *events.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := events.WriteChrome(f, rec)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
 // colWidth sizes a breakdown column to its reason-name header.
 func colWidth(r probe.Reason) int {
 	if n := len(r.String()); n > 7 {
@@ -177,7 +257,8 @@ func colWidth(r probe.Reason) int {
 	return 7
 }
 
+// fail reports err through the shared logger and exits nonzero.
 func fail(err error) {
-	fmt.Fprintln(os.Stderr, "mfusim:", err)
+	log.Error(err.Error())
 	os.Exit(1)
 }

@@ -22,20 +22,36 @@
 // without perturbing: table values are identical with and without it.
 // The analytic Table 2 runs no machines and contributes no metrics.
 //
+// -trace-dir DIR attaches a per-instruction event recorder to every
+// simulated cell and writes one Chrome trace-event JSON file per cell
+// into DIR (created if absent), named table<N>_<row>_<column>.json —
+// loadable directly in ui.perfetto.dev. Traces are written and
+// released table by table, so peak memory stays bounded;
+// -trace-events caps the events kept per loop run (default 4096,
+// overflow counted, surfaced in -metrics as events_dropped). Like the
+// probe, the recorder observes without perturbing.
+//
 // Cells that fail (a panic, an exhausted -maxcycles budget, a
 // triggered -stallcycles watchdog, or a -timeout deadline) render as
 // ERR; the rest of the table is still produced, a per-cell diagnostic
 // summary goes to standard error, and the exit status is 1.
+//
+// Diagnostics go through a shared logger: -v lowers its level to
+// debug (per-table wall-clock timings, trace-export notes), and
+// MFU_LOG (debug | info | warn | error) overrides it.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
+	"mfup/internal/cli"
 	"mfup/internal/core"
 	"mfup/internal/tables"
 )
@@ -57,10 +73,14 @@ func run() int {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	metrics := flag.String("metrics", "", "write per-cell stall breakdowns to this file (JSON, or CSV with a .csv suffix)")
+	traceDir := flag.String("trace-dir", "", "write one Chrome trace-event JSON file per cell into this directory")
+	traceEvents := flag.Int("trace-events", 0, "events kept per loop run for -trace-dir; 0 = 4096, overflow is dropped and counted")
+	verbose := flag.Bool("v", false, "verbose logging (debug level) on standard error")
 	flag.Parse()
+	log := cli.NewLogger("mfutables", *verbose)
 
 	fail := func(err error) int {
-		fmt.Fprintln(os.Stderr, "mfutables:", err)
+		log.Error(err.Error())
 		return 1
 	}
 
@@ -82,13 +102,33 @@ func run() int {
 		return fail(fmt.Errorf("-stallcycles %d is negative (0 = off)", *stallCycles))
 	case *timeout < 0:
 		return fail(fmt.Errorf("-timeout %v is negative (0 = none)", *timeout))
+	case *traceEvents < 0:
+		return fail(fmt.Errorf("-trace-events %d is negative (0 = default cap)", *traceEvents))
+	case *traceEvents > 0 && *traceDir == "":
+		return fail(fmt.Errorf("-trace-events needs -trace-dir"))
 	}
 
 	tables.SetParallel(*parallel)
 	tables.SetCollectMetrics(*metrics != "")
+	tables.SetCollectTraces(*traceDir != "")
+	tables.SetTraceEventCap(*traceEvents)
 	tables.SetLimits(core.Limits{MaxCycles: *maxCycles, StallCycles: *stallCycles})
 	if *timeout > 0 {
 		tables.SetCellTimeout(*timeout)
+	}
+
+	if *traceDir != "" {
+		// Probe the directory for writability up front: a sweep takes
+		// minutes, and discovering an unwritable destination only at
+		// export time would waste all of it.
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			return fail(err)
+		}
+		probeFile := filepath.Join(*traceDir, ".mfutables-write-check")
+		if err := os.WriteFile(probeFile, nil, 0o644); err != nil {
+			return fail(fmt.Errorf("trace dir %s is not writable: %w", *traceDir, err))
+		}
+		os.Remove(probeFile)
 	}
 
 	if *cpuprofile != "" {
@@ -120,6 +160,16 @@ func run() int {
 	var emitted []*tables.Table
 	emit := func(t *tables.Table) error {
 		emitted = append(emitted, t)
+		if *traceDir != "" {
+			// Export and release per table, so a full sweep never holds
+			// more than one table's event storage at once.
+			n, err := tables.WriteTraces(*traceDir, t)
+			if err != nil {
+				return err
+			}
+			tables.ReleaseTraces(t)
+			log.Debug("traces written", "table", t.Number, "files", n)
+		}
 		switch *format {
 		case "text":
 			fmt.Println(t.Render())
@@ -138,6 +188,15 @@ func run() int {
 		}
 		return nil
 	}
+	generate := func(get func() (*tables.Table, error)) error {
+		start := time.Now()
+		t, err := get()
+		if err != nil {
+			return err
+		}
+		log.Debug("table generated", "table", t.Number, "wall", time.Since(start).Round(time.Millisecond))
+		return emit(t)
+	}
 	done := func() int {
 		if *metrics != "" {
 			if err := writeMetrics(*metrics, emitted); err != nil {
@@ -145,30 +204,27 @@ func run() int {
 			}
 		}
 		if cellsFailed {
-			fmt.Fprintln(os.Stderr, "mfutables: some cells failed; their values render as ERR")
+			log.Warn("some cells failed; their values render as ERR")
 			return 1
 		}
 		return 0
 	}
 
 	if *table == 0 {
-		for _, t := range tables.All() {
-			if err := emit(t); err != nil {
+		for n := 1; n <= 8; n++ {
+			n := n
+			if err := generate(func() (*tables.Table, error) { return tables.Get(n) }); err != nil {
 				return fail(err)
 			}
 		}
 		if *supplement {
-			if err := emit(tables.SectionThreeThree()); err != nil {
+			if err := generate(func() (*tables.Table, error) { return tables.SectionThreeThree(), nil }); err != nil {
 				return fail(err)
 			}
 		}
 		return done()
 	}
-	t, err := tables.Get(*table)
-	if err != nil {
-		return fail(err)
-	}
-	if err := emit(t); err != nil {
+	if err := generate(func() (*tables.Table, error) { return tables.Get(*table) }); err != nil {
 		return fail(err)
 	}
 	return done()

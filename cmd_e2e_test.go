@@ -143,6 +143,135 @@ func TestCommandLineTools(t *testing.T) {
 	}
 }
 
+// TestTraceExportE2E exercises the pipeline-event observability
+// surface end to end: mfusim -trace/-timeline and mfutables
+// -trace-dir, including the unwritable-destination error paths.
+func TestTraceExportE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end CLI test skipped in -short mode")
+	}
+	bindir := t.TempDir()
+	build := func(name string) string {
+		t.Helper()
+		bin := filepath.Join(bindir, name)
+		out, err := exec.Command("go", "build", "-o", bin, "./cmd/"+name).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, out)
+		}
+		return bin
+	}
+	runBin := func(bin string, args ...string) string {
+		t.Helper()
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+		}
+		return string(out)
+	}
+	mfusim := build("mfusim")
+	mfutables := build("mfutables")
+
+	// chromeDoc is the trace-event envelope every export must decode as.
+	type chromeDoc struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+			PID   int64  `json:"pid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	decode := func(path string) chromeDoc {
+		t.Helper()
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc chromeDoc
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			t.Fatalf("%s is not valid Chrome trace-event JSON: %v", path, err)
+		}
+		if doc.DisplayTimeUnit != "ms" || len(doc.TraceEvents) == 0 {
+			t.Fatalf("%s malformed: unit %q, %d events", path, doc.DisplayTimeUnit, len(doc.TraceEvents))
+		}
+		return doc
+	}
+
+	// mfusim -trace: one process per loop, identical rates to a bare run.
+	traceFile := filepath.Join(bindir, "cray.json")
+	traced := runBin(mfusim, "-machine", "cray", "-loops", "5,12", "-trace", traceFile)
+	plain := runBin(mfusim, "-machine", "cray", "-loops", "5,12")
+	if !strings.Contains(traced, strings.TrimSpace(strings.Split(plain, "\n")[1])) {
+		t.Errorf("-trace changed the per-loop line:\nwith: %s\nwithout: %s", traced, plain)
+	}
+	if !strings.Contains(traced, "trace:") || !strings.Contains(traced, "events recorded") {
+		t.Errorf("-trace run missing the event census line:\n%s", traced)
+	}
+	doc := decode(traceFile)
+	pids := map[int64]bool{}
+	for _, ev := range doc.TraceEvents {
+		pids[ev.PID] = true
+	}
+	if len(pids) != 2 {
+		t.Errorf("trace file has %d processes, want 2 (one per loop)", len(pids))
+	}
+
+	// mfusim -timeline: a Gantt excerpt with ruler, lanes, and legend.
+	out := runBin(mfusim, "-machine", "cray", "-loops", "3", "-timeline", "-timeline-window", "60", "-trace-events", "500")
+	for _, want := range []string{"cycle", "legend:", "=", "W", "dropped at the 500-event cap"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-timeline output missing %q:\n%s", want, out)
+		}
+	}
+
+	// The recorder also composes with -stats (probe + recorder at once).
+	out = runBin(mfusim, "-machine", "ooo", "-units", "4", "-loops", "5", "-stats", "-timeline")
+	if !strings.Contains(out, "stall-reason breakdown") || !strings.Contains(out, "legend:") {
+		t.Errorf("-stats with -timeline lost a section:\n%s", out)
+	}
+
+	// mfutables -trace-dir: one well-formed file per cell, values intact.
+	traceDir := filepath.Join(bindir, "traces")
+	withTraces := runBin(mfutables, "-table", "1", "-trace-dir", traceDir, "-trace-events", "256")
+	if withTraces != runBin(mfutables, "-table", "1") {
+		t.Error("mfutables -trace-dir changed the rendered table")
+	}
+	files, err := filepath.Glob(filepath.Join(traceDir, "table1_*.json"))
+	if err != nil || len(files) != 32 {
+		t.Fatalf("trace dir holds %d table1 files (err %v), want 32 (8 rows x 4 columns)", len(files), err)
+	}
+	decode(files[0])
+
+	// -metrics alongside -trace-dir surfaces the drop telemetry.
+	metricsCSV := filepath.Join(bindir, "cells.csv")
+	runBin(mfutables, "-table", "1", "-trace-dir", traceDir, "-trace-events", "64", "-metrics", metricsCSV)
+	raw, err := os.ReadFile(metricsCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := strings.SplitN(string(raw), "\n", 2)[0]
+	if !strings.HasPrefix(head, "table,row,column,machine,") || !strings.Contains(head, "events_dropped") {
+		t.Errorf("metrics CSV header missing telemetry columns: %q", head)
+	}
+
+	// Error paths: unwritable destinations fail fast with a diagnostic.
+	roDir := filepath.Join(bindir, "ro")
+	if err := os.Mkdir(roDir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	if os.Getuid() != 0 { // root ignores mode bits; skip the unwritable cases
+		out, err := exec.Command(mfusim, "-machine", "cray", "-loops", "5",
+			"-trace", filepath.Join(roDir, "t.json")).CombinedOutput()
+		if err == nil || !strings.Contains(string(out), "mfusim:") {
+			t.Errorf("unwritable -trace exited %v:\n%s", err, out)
+		}
+		out, err = exec.Command(mfutables, "-table", "1",
+			"-trace-dir", filepath.Join(roDir, "sub")).CombinedOutput()
+		if err == nil || !strings.Contains(string(out), "mfutables:") {
+			t.Errorf("unwritable -trace-dir exited %v:\n%s", err, out)
+		}
+	}
+}
+
 // TestCommandLineErrorPaths exercises the failure modes of all four
 // binaries: malformed input, unknown flags, nonexistent files, and
 // over-budget simulations must each produce a diagnostic on standard
@@ -216,6 +345,12 @@ func TestCommandLineErrorPaths(t *testing.T) {
 		{"mfutables negative parallel", mfutables, []string{"-parallel", "-2"}, "negative"},
 		{"mfutables supplement with table", mfutables, []string{"-table", "3", "-supplement"}, "conflicts"},
 		{"mfutables over budget", mfutables, []string{"-table", "1", "-maxcycles", "50"}, "ERR"},
+
+		{"mfusim timeline-window without timeline", mfusim, []string{"-timeline-window", "40"}, "-timeline-window needs -timeline"},
+		{"mfusim trace-events without trace", mfusim, []string{"-trace-events", "100"}, "-trace-events needs -trace or -timeline"},
+		{"mfusim negative trace-events", mfusim, []string{"-trace", "x.json", "-trace-events", "-1"}, "negative"},
+		{"mfutables trace-events without trace-dir", mfutables, []string{"-trace-events", "100"}, "-trace-events needs -trace-dir"},
+		{"mfutables negative trace-events", mfutables, []string{"-trace-dir", "d", "-trace-events", "-1"}, "negative"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

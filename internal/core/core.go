@@ -29,6 +29,7 @@ import (
 	"fmt"
 
 	"mfup/internal/bus"
+	"mfup/internal/events"
 	"mfup/internal/isa"
 	"mfup/internal/probe"
 	"mfup/internal/trace"
@@ -198,14 +199,22 @@ func (r Result) String() string {
 // Observability contract: SetProbe attaches a probe (internal/probe)
 // that the machine notifies of issues, attributed stalls, writebacks,
 // and branch resolutions during subsequent runs; SetProbe(nil)
-// detaches it. A probe never changes timing — simulated cycle counts
-// are identical probed and unprobed — and the nil-probe default costs
-// only a predicted-not-taken branch per event. Like the machine
-// itself, an attached probe is driven from the running goroutine and
+// detaches it. SetRecorder likewise attaches an event recorder
+// (internal/events) capturing each instruction's lifecycle — fetch,
+// buffer allocation, issue, functional-unit occupancy, result-bus
+// acquisition, writeback, branch resolution, commit — with cycle
+// timestamps; SetRecorder(nil) detaches it. Probe and recorder are
+// independent: either, both, or neither may be attached. Neither ever
+// changes timing — simulated cycle counts are identical observed and
+// unobserved — and each nil default costs only a predicted-not-taken
+// branch per event site (machines that duplicate their hot loop for
+// observation fork once per run instead). Like the machine itself, an
+// attached probe or recorder is driven from the running goroutine and
 // must not be shared across concurrently running machines.
 type Machine interface {
 	Name() string
 	Run(t *trace.Trace) Result
 	RunChecked(t *trace.Trace, lim Limits) (Result, error)
 	SetProbe(p probe.Probe)
+	SetRecorder(r *events.Recorder)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mfup/internal/bus"
+	"mfup/internal/events"
 	"mfup/internal/fu"
 	"mfup/internal/mem"
 	"mfup/internal/probe"
@@ -32,6 +33,7 @@ type multiIssue struct {
 	mem   memScoreboard
 	banks *mem.Banks
 	probe probe.Probe
+	rec   *events.Recorder
 }
 
 // NewMultiIssue builds the §5.1 machine: cfg.IssueUnits stations
@@ -81,6 +83,8 @@ func (m *multiIssue) Run(t *trace.Trace) Result { return runUnchecked(m, t) }
 
 func (m *multiIssue) SetProbe(p probe.Probe) { m.probe = p }
 
+func (m *multiIssue) SetRecorder(r *events.Recorder) { m.rec = r }
+
 // RunChecked simulates t under the limits; issue times are computed
 // directly, so only the cycle budget and deadline apply.
 func (m *multiIssue) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
@@ -95,10 +99,10 @@ func (m *multiIssue) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 	m.banks.Reset()
 	g := newGuard(m.Name(), t.Name, lim)
 
-	if m.probe != nil {
-		// The probed copy of the run lives in its own method so this
-		// loop carries no attribution bookkeeping.
-		return m.runCheckedProbed(t, p, &g)
+	if m.probe != nil || m.rec != nil {
+		// The observed copy of the run lives in its own method so this
+		// loop carries no attribution or event bookkeeping.
+		return m.runCheckedObserved(t, p, &g)
 	}
 
 	w := m.cfg.IssueUnits
@@ -188,18 +192,26 @@ func (m *multiIssue) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 	}, nil
 }
 
-// runCheckedProbed is the probed copy of the RunChecked loop, filing
-// every issue with the attached probe. The duplication is deliberate —
-// the unprobed loop stays the seed computation with no attribution
-// bookkeeping, which is what keeps the nil-probe path at seed speed.
-// Any timing change must be made to both copies; the probe invariant
-// tests compare their cycle counts across all machines and loops.
-func (m *multiIssue) runCheckedProbed(t *trace.Trace, p *trace.Prepared, g *simerr.Guard) (Result, error) {
+// runCheckedObserved is the observed copy of the RunChecked loop,
+// filing every issue with the attached probe and/or event recorder
+// (either may be nil, not both). The duplication is deliberate — the
+// unobserved loop stays the seed computation with no attribution or
+// event bookkeeping, which is what keeps the nil path at seed speed.
+// Any timing change must be made to both copies; the probe and trace
+// invariant tests compare their cycle counts across all machines and
+// loops.
+func (m *multiIssue) runCheckedObserved(t *trace.Trace, p *trace.Prepared, g *simerr.Guard) (Result, error) {
 	w := m.cfg.IssueUnits
 	brLat := int64(m.cfg.BranchLatency)
 
-	m.probe.Begin(m.Name(), t.Name, w, w)
-	acct := probe.NewAccount(m.probe, w)
+	var acct *probe.Account
+	if m.probe != nil {
+		m.probe.Begin(m.Name(), t.Name, w, w)
+		acct = probe.NewAccount(m.probe, w)
+	}
+	if m.rec != nil {
+		m.rec.Begin(m.Name(), t.Name, w)
+	}
 
 	var (
 		nextFetch int64 // earliest issue cycle for the next buffer
@@ -212,6 +224,12 @@ func (m *multiIssue) runCheckedProbed(t *trace.Trace, p *trace.Prepared, g *sime
 		// (the rest of the line is squashed and refetched from the
 		// target).
 		end := p.Window(pos, w)
+		if m.rec != nil {
+			// The whole buffer arrives together, at the refill cycle.
+			for i := pos; i < end; i++ {
+				m.rec.RecordFetch(t.Ops[i].Seq, nextFetch, i-pos)
+			}
+		}
 
 		prev := nextFetch // in-order: issue times are nondecreasing
 		for i := pos; i < end; i++ {
@@ -234,9 +252,12 @@ func (m *multiIssue) runCheckedProbed(t *trace.Trace, p *trace.Prepared, g *sime
 			if usesResultBus(op) {
 				e = m.bt.EarliestIssue(station, e, m.pool.Latency(op.Unit))
 			}
-			// Replayed before any resource is claimed below, so the
-			// classification sees the same state the chain above did.
-			reason := m.issueReason(op, po, isBranch, station, prev)
+			var reason probe.Reason
+			if acct != nil {
+				// Replayed before any resource is claimed below, so the
+				// classification sees the same state the chain above did.
+				reason = m.issueReason(op, po, isBranch, station, prev)
+			}
 			var done int64
 			if isBranch && m.cfg.PerfectBranches {
 				done = e + 1
@@ -255,8 +276,18 @@ func (m *multiIssue) runCheckedProbed(t *trace.Trace, p *trace.Prepared, g *sime
 			if po.Flags.Has(trace.FlagStore) {
 				m.mem.Store(po.AddrID, done)
 			}
-			acct.Issue(e, reason)
-			m.probe.Writeback(done, op.Unit, done-e)
+			if acct != nil {
+				acct.Issue(e, reason)
+				m.probe.Writeback(done, op.Unit, done-e)
+			}
+			if m.rec != nil {
+				m.rec.RecordIssue(op.Seq, e)
+				m.rec.RecordExec(op.Seq, e, op.Unit, done-e)
+				if usesResultBus(op) {
+					m.rec.RecordResultBus(op.Seq, done, station)
+				}
+				m.rec.RecordWriteback(op.Seq, done, op.Unit)
+			}
 			if done > lastDone {
 				lastDone = done
 			}
@@ -270,21 +301,31 @@ func (m *multiIssue) runCheckedProbed(t *trace.Trace, p *trace.Prepared, g *sime
 			if isBranch && m.cfg.PerfectBranches {
 				prev = e
 				nextFetch = e + 1
-				m.probe.BranchResolve(done)
+				if m.probe != nil {
+					m.probe.BranchResolve(done)
+				}
+				if m.rec != nil {
+					m.rec.RecordBranchResolve(op.Seq, done)
+				}
 			} else if isBranch {
 				// No speculation: nothing issues — neither the rest
 				// of this buffer nor the refill — until resolution.
 				prev = e + brLat
 				nextFetch = e + brLat
-				acct.Advance(prev, probe.ReasonBranch)
-				m.probe.BranchResolve(prev)
+				if acct != nil {
+					acct.Advance(prev, probe.ReasonBranch)
+					m.probe.BranchResolve(prev)
+				}
+				if m.rec != nil {
+					m.rec.RecordBranchResolve(op.Seq, prev)
+				}
 			} else {
 				prev = e
 				nextFetch = e + 1
 			}
 		}
 		pos = end
-		if pos < len(t.Ops) {
+		if acct != nil && pos < len(t.Ops) {
 			// The buffer refills only once drained: the stations left
 			// idle until the refill arrives are width-limit slots, not
 			// hazard stalls. (After the final buffer the remainder is
@@ -292,7 +333,12 @@ func (m *multiIssue) runCheckedProbed(t *trace.Trace, p *trace.Prepared, g *sime
 			acct.Advance(nextFetch, probe.ReasonIssueWidth)
 		}
 	}
-	m.probe.End(lastDone)
+	if m.probe != nil {
+		m.probe.End(lastDone)
+	}
+	if m.rec != nil {
+		m.rec.End(lastDone)
+	}
 	return Result{
 		Machine:      m.Name(),
 		Trace:        t.Name,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mfup/internal/bus"
+	"mfup/internal/events"
 	"mfup/internal/fu"
 	"mfup/internal/mem"
 	"mfup/internal/probe"
@@ -33,6 +34,7 @@ type multiIssueOOO struct {
 	mem   memScoreboard
 	banks *mem.Banks
 	probe probe.Probe
+	rec   *events.Recorder
 }
 
 // NewMultiIssueOOO builds the §5.2 machine. It panics on an invalid
@@ -76,6 +78,8 @@ func (m *multiIssueOOO) Run(t *trace.Trace) Result { return runUnchecked(m, t) }
 
 func (m *multiIssueOOO) SetProbe(p probe.Probe) { m.probe = p }
 
+func (m *multiIssueOOO) SetRecorder(r *events.Recorder) { m.rec = r }
+
 // RunChecked simulates t under the limits. The issue scan steps cycle
 // by cycle within each instruction buffer, so the stall watchdog
 // applies here: a buffer in which nothing can ever issue would
@@ -111,6 +115,9 @@ func (m *multiIssueOOO) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 		m.probe.Begin(m.Name(), t.Name, w, w)
 		reasons = make([]probe.Reason, w)
 	}
+	if m.rec != nil {
+		m.rec.Begin(m.Name(), t.Name, w)
+	}
 
 	pos := 0
 	for pos < len(t.Ops) {
@@ -121,10 +128,11 @@ func (m *multiIssueOOO) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 		}
 
 		var maxIssue int64
-		if reasons != nil {
-			// The probed copy of the buffer scan lives in its own
-			// method so this loop carries no attribution bookkeeping.
-			mi, ld, err := m.scanBufferProbed(t, p, &g, pos, size, nextFetch, issued, issuedAt, reasons, lastDone)
+		if m.probe != nil || m.rec != nil {
+			// The observed copy of the buffer scan lives in its own
+			// method so this loop carries no attribution or event
+			// bookkeeping.
+			mi, ld, err := m.scanBufferObserved(t, p, &g, pos, size, nextFetch, issued, issuedAt, reasons, lastDone)
 			if err != nil {
 				return Result{}, err
 			}
@@ -290,7 +298,7 @@ func (m *multiIssueOOO) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 				nextFetch = g
 			}
 		}
-		if reasons != nil && end < len(t.Ops) && nextFetch > maxIssue+1 {
+		if m.probe != nil && end < len(t.Ops) && nextFetch > maxIssue+1 {
 			// The terminating branch's shadow delays the refetch past
 			// the empty-buffer point: whole cycles with no buffer to
 			// scan, all of them the branch's fault. (After the final
@@ -302,6 +310,9 @@ func (m *multiIssueOOO) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 	if m.probe != nil {
 		m.probe.End(lastDone)
 	}
+	if m.rec != nil {
+		m.rec.End(lastDone)
+	}
 	return Result{
 		Machine:      m.Name(),
 		Trace:        t.Name,
@@ -310,17 +321,27 @@ func (m *multiIssueOOO) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 	}, nil
 }
 
-// scanBufferProbed is the probed copy of the buffer scan in
+// scanBufferObserved is the observed copy of the buffer scan in
 // RunChecked, issuing entries cycle by cycle while filing every issue
-// slot with the probe: an Issue, exactly one attributed Stall, or an
-// idle station. The duplication is deliberate — the unprobed loop in
-// RunChecked stays the seed computation with no attribution
-// bookkeeping, which is what keeps the nil-probe path at seed speed.
-// Any timing change must be made to both copies; the probe invariant
-// tests compare their cycle counts across all machines and loops.
-func (m *multiIssueOOO) scanBufferProbed(t *trace.Trace, p *trace.Prepared, g *simerr.Guard, pos, size int, nextFetch int64, issued []bool, issuedAt []int64, reasons []probe.Reason, lastDone int64) (int64, int64, error) {
+// slot with the probe (an Issue, exactly one attributed Stall, or an
+// idle station) and every lifecycle event with the recorder; either
+// observer may be nil, not both — reasons is non-nil exactly when the
+// probe is. The duplication is deliberate — the unobserved loop in
+// RunChecked stays the seed computation with no attribution or event
+// bookkeeping, which is what keeps the nil path at seed speed. Any
+// timing change must be made to both copies; the probe and trace
+// invariant tests compare their cycle counts across all machines and
+// loops.
+func (m *multiIssueOOO) scanBufferObserved(t *trace.Trace, p *trace.Prepared, g *simerr.Guard, pos, size int, nextFetch int64, issued []bool, issuedAt []int64, reasons []probe.Reason, lastDone int64) (int64, int64, error) {
 	w := m.cfg.IssueUnits
 	brLat := int64(m.cfg.BranchLatency)
+
+	if m.rec != nil {
+		// The whole buffer arrives together, at the refill cycle.
+		for i := 0; i < size; i++ {
+			m.rec.RecordFetch(t.Ops[pos+i].Seq, nextFetch, i)
+		}
+	}
 
 	remaining := size
 	maxIssue := nextFetch
@@ -349,13 +370,15 @@ func (m *multiIssueOOO) scanBufferProbed(t *trace.Trace, p *trace.Prepared, g *s
 			return 0, 0, err
 		}
 		remStart := remaining
-		m.probe.Occupancy(remaining, 1)
-		// Default every unissued entry to a branch stall: the brGate
-		// break below skips entries without visiting them, and those
-		// wait on the issued branch.
-		for i := 0; i < size; i++ {
-			if !issued[i] {
-				reasons[i] = probe.ReasonBranch
+		if m.probe != nil {
+			m.probe.Occupancy(remaining, 1)
+			// Default every unissued entry to a branch stall: the brGate
+			// break below skips entries without visiting them, and those
+			// wait on the issued branch.
+			for i := 0; i < size; i++ {
+				if !issued[i] {
+					reasons[i] = probe.ReasonBranch
+				}
 			}
 		}
 		for i := 0; i < size; i++ {
@@ -409,7 +432,9 @@ func (m *multiIssueOOO) scanBufferProbed(t *trace.Trace, p *trace.Prepared, g *s
 				}
 			}
 			if blocked {
-				reasons[i] = m.hazardReason(t, p, pos, i, issued)
+				if reasons != nil {
+					reasons[i] = m.hazardReason(t, p, pos, i, issued)
+				}
 				continue
 			}
 			if isBranch && i > 0 {
@@ -423,7 +448,9 @@ func (m *multiIssueOOO) scanBufferProbed(t *trace.Trace, p *trace.Prepared, g *s
 					}
 				}
 				if !allOlder {
-					reasons[i] = probe.ReasonBranch
+					if reasons != nil {
+						reasons[i] = probe.ReasonBranch
+					}
 					continue
 				}
 			}
@@ -434,29 +461,39 @@ func (m *multiIssueOOO) scanBufferProbed(t *trace.Trace, p *trace.Prepared, g *s
 				m.sb.EarliestFor(c, op.Dst, reads...) > c {
 				// A waiting source is a RAW stall; otherwise the
 				// reserved destination (WAW) held it back.
-				reasons[i] = probe.ReasonWAW
-				for _, r := range reads {
-					if r.Valid() && m.sb.ReadyAt(r) > c {
-						reasons[i] = probe.ReasonRAW
-						break
+				if reasons != nil {
+					reasons[i] = probe.ReasonWAW
+					for _, r := range reads {
+						if r.Valid() && m.sb.ReadyAt(r) > c {
+							reasons[i] = probe.ReasonRAW
+							break
+						}
 					}
 				}
 				continue
 			}
 			if m.pool.EarliestAccept(op.Unit, c) > c {
-				reasons[i] = probe.ReasonStructFU
+				if reasons != nil {
+					reasons[i] = probe.ReasonStructFU
+				}
 				continue
 			}
 			if po.Flags.Has(trace.FlagLoad) && m.mem.EarliestLoad(po.AddrID, c) > c {
-				reasons[i] = probe.ReasonRAW
+				if reasons != nil {
+					reasons[i] = probe.ReasonRAW
+				}
 				continue
 			}
 			if po.Flags.Has(trace.FlagMemory) && m.banks.EarliestAccept(op.Addr, c) > c {
-				reasons[i] = probe.ReasonMemBank
+				if reasons != nil {
+					reasons[i] = probe.ReasonMemBank
+				}
 				continue
 			}
 			if usesResultBus(op) && !m.bt.Free(i, c+int64(m.pool.Latency(op.Unit))) {
-				reasons[i] = probe.ReasonResultBus
+				if reasons != nil {
+					reasons[i] = probe.ReasonResultBus
+				}
 				continue
 			}
 
@@ -481,12 +518,29 @@ func (m *multiIssueOOO) scanBufferProbed(t *trace.Trace, p *trace.Prepared, g *s
 			issued[i] = true
 			issuedAt[i] = c
 			remaining--
-			m.probe.Writeback(done, op.Unit, done-c)
-			if isBranch {
-				if m.cfg.PerfectBranches {
-					m.probe.BranchResolve(done)
-				} else {
-					m.probe.BranchResolve(c + brLat)
+			if m.probe != nil {
+				m.probe.Writeback(done, op.Unit, done-c)
+				if isBranch {
+					if m.cfg.PerfectBranches {
+						m.probe.BranchResolve(done)
+					} else {
+						m.probe.BranchResolve(c + brLat)
+					}
+				}
+			}
+			if m.rec != nil {
+				m.rec.RecordIssue(op.Seq, c)
+				m.rec.RecordExec(op.Seq, c, op.Unit, done-c)
+				if usesResultBus(op) {
+					m.rec.RecordResultBus(op.Seq, done, i)
+				}
+				m.rec.RecordWriteback(op.Seq, done, op.Unit)
+				if isBranch {
+					if m.cfg.PerfectBranches {
+						m.rec.RecordBranchResolve(op.Seq, done)
+					} else {
+						m.rec.RecordBranchResolve(op.Seq, c+brLat)
+					}
 				}
 			}
 			g.Progress(c)
@@ -507,17 +561,19 @@ func (m *multiIssueOOO) scanBufferProbed(t *trace.Trace, p *trace.Prepared, g *s
 		// Close the cycle's slot ledger: issues, one stall per
 		// still-unissued entry, and the stations the short buffer
 		// leaves empty.
-		issuedNow := remStart - remaining
-		if issuedNow > 0 {
-			m.probe.Issue(c, int64(issuedNow))
-		}
-		for i := 0; i < size; i++ {
-			if !issued[i] {
-				m.probe.Stall(c, reasons[i], 1)
+		if m.probe != nil {
+			issuedNow := remStart - remaining
+			if issuedNow > 0 {
+				m.probe.Issue(c, int64(issuedNow))
 			}
-		}
-		if idle := int64(w-issuedNow) - int64(remaining); idle > 0 {
-			m.probe.Stall(c, probe.ReasonIssueWidth, idle)
+			for i := 0; i < size; i++ {
+				if !issued[i] {
+					m.probe.Stall(c, reasons[i], 1)
+				}
+			}
+			if idle := int64(w-issuedNow) - int64(remaining); idle > 0 {
+				m.probe.Stall(c, probe.ReasonIssueWidth, idle)
+			}
 		}
 	}
 	return maxIssue, lastDone, nil

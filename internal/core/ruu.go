@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"mfup/internal/events"
 	"mfup/internal/probe"
 	"mfup/internal/ruu"
 	"mfup/internal/trace"
@@ -53,6 +54,8 @@ func NewRUUChecked(cfg Config) (Machine, error) {
 func (m *ruuMachine) Name() string { return m.sim.Name() }
 
 func (m *ruuMachine) SetProbe(p probe.Probe) { m.sim.SetProbe(p) }
+
+func (m *ruuMachine) SetRecorder(r *events.Recorder) { m.sim.SetRecorder(r) }
 
 func (m *ruuMachine) Run(t *trace.Trace) Result { return runUnchecked(m, t) }
 

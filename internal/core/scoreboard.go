@@ -1,6 +1,7 @@
 package core
 
 import (
+	"mfup/internal/events"
 	"mfup/internal/fu"
 	"mfup/internal/probe"
 	"mfup/internal/regfile"
@@ -26,6 +27,7 @@ type scoreboard struct {
 	sb    regfile.Scoreboard
 	mem   memScoreboard
 	probe probe.Probe
+	rec   *events.Recorder
 }
 
 // NewScoreboard builds the CDC-6600-style single-issue machine of
@@ -54,6 +56,8 @@ func (m *scoreboard) Name() string { return "Scoreboard" }
 
 func (m *scoreboard) SetProbe(p probe.Probe) { m.probe = p }
 
+func (m *scoreboard) SetRecorder(r *events.Recorder) { m.rec = r }
+
 func (m *scoreboard) Run(t *trace.Trace) Result { return runUnchecked(m, t) }
 
 // RunChecked simulates t under the limits; issue times are computed
@@ -72,6 +76,9 @@ func (m *scoreboard) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 	if m.probe != nil {
 		m.probe.Begin("Scoreboard", t.Name, 1, 0)
 		acct = probe.NewAccount(m.probe, 1)
+	}
+	if m.rec != nil {
+		m.rec.Begin("Scoreboard", t.Name, 1)
 	}
 
 	var (
@@ -108,6 +115,10 @@ func (m *scoreboard) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 				acct.Advance(done, probe.ReasonBranch)
 				m.probe.BranchResolve(done)
 			}
+			if m.rec != nil {
+				m.rec.RecordIssue(op.Seq, e)
+				m.rec.RecordBranchResolve(op.Seq, done)
+			}
 			if done > lastDone {
 				lastDone = done
 			}
@@ -140,6 +151,13 @@ func (m *scoreboard) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 			acct.Issue(e, probe.ReasonWAW)
 			m.probe.Writeback(done, op.Unit, done-s)
 		}
+		if m.rec != nil {
+			// The 6600 discipline: issue at e, execution from operand
+			// arrival s, writeback at completion.
+			m.rec.RecordIssue(op.Seq, e)
+			m.rec.RecordExec(op.Seq, s, op.Unit, done-s)
+			m.rec.RecordWriteback(op.Seq, done, op.Unit)
+		}
 		if done > lastDone {
 			lastDone = done
 		}
@@ -153,6 +171,9 @@ func (m *scoreboard) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 	}
 	if m.probe != nil {
 		m.probe.End(lastDone)
+	}
+	if m.rec != nil {
+		m.rec.End(lastDone)
 	}
 	return Result{
 		Machine:      m.Name(),

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"mfup/internal/events"
 	"mfup/internal/fu"
 	"mfup/internal/isa"
 	"mfup/internal/mem"
@@ -30,6 +31,7 @@ type singleIssue struct {
 	mem   memScoreboard
 	banks *mem.Banks
 	probe probe.Probe
+	rec   *events.Recorder
 }
 
 // Organization selects one of the four basic machines of §3, in
@@ -111,6 +113,8 @@ func (m *singleIssue) Name() string { return m.name }
 
 func (m *singleIssue) SetProbe(p probe.Probe) { m.probe = p }
 
+func (m *singleIssue) SetRecorder(r *events.Recorder) { m.rec = r }
+
 func (m *singleIssue) Run(t *trace.Trace) Result { return runUnchecked(m, t) }
 
 // RunChecked simulates t under the limits. Issue times are computed
@@ -131,6 +135,9 @@ func (m *singleIssue) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 	if m.probe != nil {
 		m.probe.Begin(m.name, t.Name, 1, 0)
 		acct = probe.NewAccount(m.probe, 1)
+	}
+	if m.rec != nil {
+		m.rec.Begin(m.name, t.Name, 1)
 	}
 
 	var (
@@ -181,6 +188,11 @@ func (m *singleIssue) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 			acct.Issue(e, reason)
 			m.probe.Writeback(done, op.Unit, done-e)
 		}
+		if m.rec != nil {
+			m.rec.RecordIssue(op.Seq, e)
+			m.rec.RecordExec(op.Seq, e, op.Unit, done-e)
+			m.rec.RecordWriteback(op.Seq, done, op.Unit)
+		}
 		if done > lastDone {
 			lastDone = done
 		}
@@ -199,6 +211,9 @@ func (m *singleIssue) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 			if acct != nil {
 				m.probe.BranchResolve(done)
 			}
+			if m.rec != nil {
+				m.rec.RecordBranchResolve(op.Seq, done)
+			}
 		case isBranch:
 			// A branch blocks the issue stage for its full execution
 			// time; the next instruction (fall-through or target)
@@ -207,6 +222,9 @@ func (m *singleIssue) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 			if acct != nil {
 				acct.Advance(nextIssue, probe.ReasonBranch)
 				m.probe.BranchResolve(nextIssue)
+			}
+			if m.rec != nil {
+				m.rec.RecordBranchResolve(op.Seq, nextIssue)
 			}
 		case m.exclusive:
 			// Simple machine: the next instruction sits in decode
@@ -226,6 +244,9 @@ func (m *singleIssue) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 	}
 	if m.probe != nil {
 		m.probe.End(lastDone)
+	}
+	if m.rec != nil {
+		m.rec.End(lastDone)
 	}
 	return Result{
 		Machine:      m.name,

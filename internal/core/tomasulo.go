@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"mfup/internal/events"
 	"mfup/internal/fu"
 	"mfup/internal/isa"
 	"mfup/internal/probe"
@@ -42,6 +43,7 @@ type tomasulo struct {
 	cdb     [64]int64 // self-invalidating per-cycle reservation ring
 	pending []*tomEntry
 	probe   probe.Probe
+	rec     *events.Recorder
 }
 
 type tomEntry struct {
@@ -116,6 +118,8 @@ func (m *tomasulo) Run(t *trace.Trace) Result { return runUnchecked(m, t) }
 
 func (m *tomasulo) SetProbe(p probe.Probe) { m.probe = p }
 
+func (m *tomasulo) SetRecorder(r *events.Recorder) { m.rec = r }
+
 // snapshot formats up to max in-flight reservation-station entries
 // for a stall diagnostic.
 func (m *tomasulo) snapshot(max int) []string {
@@ -160,6 +164,9 @@ func (m *tomasulo) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 		// whole reservation-station pool.
 		m.probe.Begin(m.Name(), t.Name, 1, m.stations*int(isa.NumUnits))
 	}
+	if m.rec != nil {
+		m.rec.Begin(m.Name(), t.Name, 1)
+	}
 
 	for c := int64(0); pos < len(t.Ops) || len(m.pending) > 0; c++ {
 		if err := g.Stalled(c, int64(pos), m.snapshot); err != nil {
@@ -184,6 +191,13 @@ func (m *tomasulo) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 			}
 			if m.probe != nil {
 				m.probe.Writeback(c, e.op.Unit, int64(m.pool.Latency(e.op.Unit)))
+			}
+			if m.rec != nil {
+				// The broadcast both writes the result back and frees
+				// the reservation station (the 360/91 has no in-order
+				// commit; the release is the commit here).
+				m.rec.RecordWriteback(e.op.Seq, c, e.op.Unit)
+				m.rec.RecordCommit(e.op.Seq, c)
 			}
 			m.inFlight[e.op.Unit]--
 			if e.op.Dst.Valid() && m.regTag[e.op.Dst] == e {
@@ -226,6 +240,12 @@ func (m *tomasulo) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 			if usesCDB {
 				m.cdbReserve(done)
 			}
+			if m.rec != nil {
+				m.rec.RecordExec(e.op.Seq, c, unit, done-c)
+				if usesCDB {
+					m.rec.RecordResultBus(e.op.Seq, done, 0)
+				}
+			}
 			e.started = true
 			e.doneAt = done
 			bump(done)
@@ -251,6 +271,10 @@ func (m *tomasulo) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 						m.probe.Issue(c, 1)
 						m.probe.BranchResolve(c)
 					}
+					if m.rec != nil {
+						m.rec.RecordIssue(op.Seq, c)
+						m.rec.RecordBranchResolve(op.Seq, c)
+					}
 					bump(c)
 					g.Progress(c)
 					pos++
@@ -270,6 +294,10 @@ func (m *tomasulo) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 							m.probe.Issue(c, 1)
 							m.probe.BranchResolve(issueGate)
 						}
+						if m.rec != nil {
+							m.rec.RecordIssue(op.Seq, c)
+							m.rec.RecordBranchResolve(op.Seq, issueGate)
+						}
 						bump(issueGate)
 						g.Progress(c)
 						pos++
@@ -282,6 +310,10 @@ func (m *tomasulo) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 			} else if m.inFlight[op.Unit] < m.stations {
 				if m.probe != nil {
 					m.probe.Issue(c, 1)
+				}
+				if m.rec != nil {
+					m.rec.RecordAlloc(op.Seq, c)
+					m.rec.RecordIssue(op.Seq, c)
 				}
 				m.inFlight[op.Unit]++
 				e := &tomEntry{op: op, flags: po.Flags, addrID: po.AddrID, doneAt: math.MaxInt64, readyAt: c + 1}
@@ -319,6 +351,9 @@ func (m *tomasulo) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 	}
 	if m.probe != nil {
 		m.probe.End(lastEvent)
+	}
+	if m.rec != nil {
+		m.rec.End(lastEvent)
 	}
 	return Result{
 		Machine:      m.Name(),

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"mfup/internal/events"
 	"mfup/internal/isa"
 	"mfup/internal/probe"
 	"mfup/internal/trace"
@@ -51,6 +52,7 @@ type vectorMachine struct {
 	mem memScoreboard // scalar store-to-load dependences
 
 	probe probe.Probe
+	rec   *events.Recorder
 }
 
 // NewVector builds the vector-extension machine. It panics on an
@@ -75,6 +77,8 @@ func NewVectorChecked(cfg Config) (Machine, error) {
 func (m *vectorMachine) Name() string { return "Vector" }
 
 func (m *vectorMachine) SetProbe(p probe.Probe) { m.probe = p }
+
+func (m *vectorMachine) SetRecorder(r *events.Recorder) { m.rec = r }
 
 func (m *vectorMachine) reset(numAddrs int) {
 	m.readyRead = [isa.NumRegs]int64{}
@@ -106,6 +110,9 @@ func (m *vectorMachine) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 	if m.probe != nil {
 		m.probe.Begin(m.Name(), t.Name, 1, 0)
 		acct = probe.NewAccount(m.probe, 1)
+	}
+	if m.rec != nil {
+		m.rec.Begin(m.Name(), t.Name, 1)
 	}
 
 	var (
@@ -189,6 +196,13 @@ func (m *vectorMachine) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 				acct.Issue(e, reason)
 				m.probe.Writeback(full, unit, full-e)
 			}
+			if m.rec != nil {
+				// A vector op streams through its unit until the last
+				// element is written.
+				m.rec.RecordIssue(op.Seq, e)
+				m.rec.RecordExec(op.Seq, e, unit, full-e)
+				m.rec.RecordWriteback(op.Seq, full, unit)
+			}
 			bump(full)
 			nextIssue = e + 1
 
@@ -201,6 +215,10 @@ func (m *vectorMachine) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 				acct.Issue(e, reason)
 				acct.Advance(done, probe.ReasonBranch)
 				m.probe.BranchResolve(done)
+			}
+			if m.rec != nil {
+				m.rec.RecordIssue(op.Seq, e)
+				m.rec.RecordBranchResolve(op.Seq, done)
 			}
 			bump(done)
 			nextIssue = done
@@ -222,6 +240,11 @@ func (m *vectorMachine) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 				acct.Issue(e, reason)
 				m.probe.Writeback(done, unit, done-e)
 			}
+			if m.rec != nil {
+				m.rec.RecordIssue(op.Seq, e)
+				m.rec.RecordExec(op.Seq, e, unit, done-e)
+				m.rec.RecordWriteback(op.Seq, done, unit)
+			}
 			bump(done)
 			nextIssue = e + 1
 		}
@@ -234,6 +257,9 @@ func (m *vectorMachine) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 	}
 	if m.probe != nil {
 		m.probe.End(lastDone)
+	}
+	if m.rec != nil {
+		m.rec.End(lastDone)
 	}
 	return Result{
 		Machine:      m.Name(),

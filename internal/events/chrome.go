@@ -1,0 +1,177 @@
+package events
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"mfup/internal/isa"
+)
+
+// Track layout inside one run's process: fixed thread ids so the
+// Perfetto UI groups events the same way for every machine.
+const (
+	tidIssue     = 1 // issue-stage slices
+	tidBuffer    = 2 // fetch / alloc / commit instants
+	tidBranch    = 3 // branch-resolution instants
+	tidUnitBase  = 10
+	tidBusBase   = tidUnitBase + int64(isa.NumUnits)
+	chromeBusCap = 64 // result-bus tracks clamp here; Slot is int16
+)
+
+// chromeEvent is one Chrome trace-event object. Field order is the
+// struct order, so the output is deterministic and golden-testable.
+type chromeEvent struct {
+	Name  string          `json:"name"`
+	Phase string          `json:"ph"`
+	TS    int64           `json:"ts"`
+	Dur   int64           `json:"dur,omitempty"`
+	PID   int64           `json:"pid"`
+	TID   int64           `json:"tid"`
+	Scope string          `json:"s,omitempty"`    // instants: thread scope
+	Args  json.RawMessage `json:"args,omitempty"` // metadata payload
+}
+
+// chromeTrack maps an event to its thread id within the run.
+func chromeTrack(ev Event) int64 {
+	switch ev.Kind {
+	case Issue:
+		return tidIssue
+	case Fetch, Alloc, Commit:
+		return tidBuffer
+	case BranchResolve:
+		return tidBranch
+	case Exec, Writeback:
+		return tidUnitBase + int64(ev.Unit)
+	case ResultBus:
+		slot := int64(ev.Slot)
+		if slot < 0 {
+			slot = 0
+		}
+		if slot >= chromeBusCap {
+			slot = chromeBusCap - 1
+		}
+		return tidBusBase + slot
+	}
+	return tidBuffer
+}
+
+// chromeTrackName names a thread id for the track-name metadata.
+func chromeTrackName(tid int64) string {
+	switch {
+	case tid == tidIssue:
+		return "issue"
+	case tid == tidBuffer:
+		return "buffer"
+	case tid == tidBranch:
+		return "branch"
+	case tid >= tidUnitBase && tid < tidBusBase:
+		return "FU " + isa.Unit(tid-tidUnitBase).String()
+	default:
+		return fmt.Sprintf("result bus %d", tid-tidBusBase)
+	}
+}
+
+// chromeName labels one event slice/instant.
+func chromeName(ev Event) string {
+	switch ev.Kind {
+	case Exec:
+		return fmt.Sprintf("#%d %s", ev.Seq, ev.Unit)
+	case ResultBus, Issue:
+		return fmt.Sprintf("#%d", ev.Seq)
+	default:
+		return fmt.Sprintf("#%d %s", ev.Seq, ev.Kind)
+	}
+}
+
+// runEvents converts one run (process pid) to Chrome events: metadata
+// naming the process and each used track, then the recorded events in
+// order. Exec and the one-cycle issue/bus reservations become
+// complete ("X") slices; the rest become thread-scoped instants.
+func runEvents(pid int64, run *Run) []chromeEvent {
+	out := make([]chromeEvent, 0, len(run.Events)+8)
+
+	name, _ := json.Marshal(struct {
+		Name string `json:"name"`
+	}{fmt.Sprintf("%s on %s", run.Machine, run.Trace)})
+	out = append(out, chromeEvent{
+		Name: "process_name", Phase: "M", PID: pid, Args: name,
+	})
+
+	used := map[int64]bool{}
+	for i := range run.Events {
+		used[chromeTrack(run.Events[i])] = true
+	}
+	tids := make([]int64, 0, len(used))
+	for tid := range used {
+		tids = append(tids, tid)
+	}
+	sort.Slice(tids, func(a, b int) bool { return tids[a] < tids[b] })
+	for _, tid := range tids {
+		tname, _ := json.Marshal(struct {
+			Name string `json:"name"`
+		}{chromeTrackName(tid)})
+		out = append(out, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: pid, TID: tid, Args: tname,
+		})
+	}
+
+	for i := range run.Events {
+		ev := &run.Events[i]
+		ce := chromeEvent{
+			Name: chromeName(*ev),
+			TS:   ev.Cycle,
+			PID:  pid,
+			TID:  chromeTrack(*ev),
+		}
+		switch ev.Kind {
+		case Exec:
+			ce.Phase = "X"
+			ce.Dur = ev.Dur
+			if ce.Dur < 1 {
+				ce.Dur = 1
+			}
+		case Issue, ResultBus:
+			ce.Phase = "X"
+			ce.Dur = 1
+		default:
+			ce.Phase = "i"
+			ce.Scope = "t"
+		}
+		out = append(out, ce)
+	}
+	return out
+}
+
+// WriteChrome writes every recorded run as Chrome trace-event JSON —
+// the format ui.perfetto.dev and chrome://tracing load directly. Each
+// run becomes one process with a track per functional unit, plus
+// issue, buffer, branch, and result-bus tracks; the time unit is one
+// cycle per microsecond, so cycle numbers read directly off the
+// Perfetto ruler. One event per line keeps the output diffable.
+func WriteChrome(w io.Writer, r *Recorder) error {
+	if _, err := io.WriteString(w, "{\"traceEvents\": [\n"); err != nil {
+		return err
+	}
+	first := true
+	runs := r.Runs()
+	for i := range runs {
+		for _, ce := range runEvents(int64(i+1), &runs[i]) {
+			b, err := json.Marshal(ce)
+			if err != nil {
+				return err
+			}
+			sep := ",\n"
+			if first {
+				sep = ""
+				first = false
+			}
+			if _, err := fmt.Fprintf(w, "%s%s", sep, b); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := io.WriteString(w, "\n], \"displayTimeUnit\": \"ms\"}\n")
+	return err
+}

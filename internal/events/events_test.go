@@ -1,0 +1,280 @@
+package events
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"mfup/internal/isa"
+)
+
+func TestRecorderCapDropsAndCounts(t *testing.T) {
+	r := NewRecorder(3)
+	r.Begin("m", "t", 1)
+	for i := int64(0); i < 10; i++ {
+		r.RecordIssue(i, i)
+	}
+	r.End(10)
+	runs := r.Runs()
+	if len(runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(runs))
+	}
+	if len(runs[0].Events) != 3 || runs[0].Dropped != 7 {
+		t.Fatalf("kept %d dropped %d, want 3/7", len(runs[0].Events), runs[0].Dropped)
+	}
+	if r.Events() != 3 || r.Dropped() != 7 {
+		t.Fatalf("totals %d/%d, want 3/7", r.Events(), r.Dropped())
+	}
+	if runs[0].Cycles != 10 {
+		t.Fatalf("cycles %d, want 10", runs[0].Cycles)
+	}
+}
+
+func TestRecorderCapIsPerRun(t *testing.T) {
+	r := NewRecorder(2)
+	for run := 0; run < 3; run++ {
+		r.Begin("m", "t", 1)
+		for i := int64(0); i < 5; i++ {
+			r.RecordIssue(i, i)
+		}
+		r.End(5)
+	}
+	if r.Events() != 6 || r.Dropped() != 9 {
+		t.Fatalf("totals %d/%d, want 6 kept and 9 dropped over 3 runs", r.Events(), r.Dropped())
+	}
+}
+
+func TestRecorderDefaultCap(t *testing.T) {
+	for _, n := range []int{0, -5} {
+		if r := NewRecorder(n); r.perRun != DefaultCap {
+			t.Errorf("NewRecorder(%d).perRun = %d, want DefaultCap %d", n, r.perRun, DefaultCap)
+		}
+	}
+}
+
+func TestRecorderAnonymousRun(t *testing.T) {
+	r := NewRecorder(0)
+	r.RecordIssue(7, 3) // no Begin: must open an anonymous run, not vanish
+	runs := r.Runs()
+	if len(runs) != 1 || len(runs[0].Events) != 1 {
+		t.Fatalf("anonymous run not recorded: %+v", runs)
+	}
+	if runs[0].Machine != "?" || runs[0].Trace != "?" {
+		t.Fatalf("anonymous run labeled %q/%q, want ?/?", runs[0].Machine, runs[0].Trace)
+	}
+}
+
+func TestRecorderReset(t *testing.T) {
+	r := NewRecorder(0)
+	r.Begin("m", "t", 1)
+	r.RecordIssue(0, 0)
+	r.End(1)
+	r.Reset()
+	if len(r.Runs()) != 0 || r.Events() != 0 || r.Dropped() != 0 {
+		t.Fatal("Reset left state behind")
+	}
+	r.Begin("m", "t", 1)
+	r.RecordIssue(0, 0)
+	r.End(1)
+	if r.Events() != 1 {
+		t.Fatal("recorder unusable after Reset")
+	}
+}
+
+func TestRecordExecClampsNegativeBusy(t *testing.T) {
+	r := NewRecorder(0)
+	r.Begin("m", "t", 1)
+	r.RecordExec(0, 5, isa.FloatAdd, -3)
+	if d := r.Runs()[0].Events[0].Dur; d != 0 {
+		t.Fatalf("negative busy recorded as %d, want 0", d)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := Kind(0); int(k) < NumKinds; k++ {
+		if s := k.String(); s == "" || strings.Contains(s, "?") {
+			t.Errorf("Kind(%d).String() = %q", k, s)
+		}
+	}
+	if Kind(200).String() != "Kind(?)" {
+		t.Error("out-of-range kind not flagged")
+	}
+}
+
+// chromeDoc mirrors the trace-event JSON envelope for decoding.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Name  string          `json:"name"`
+		Phase string          `json:"ph"`
+		TS    *int64          `json:"ts"`
+		Dur   int64           `json:"dur"`
+		PID   int64           `json:"pid"`
+		TID   int64           `json:"tid"`
+		Scope string          `json:"s"`
+		Args  json.RawMessage `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func TestWriteChromeStructure(t *testing.T) {
+	r := NewRecorder(0)
+	r.Begin("CRAY-like", "lfk01", 1)
+	r.RecordIssue(0, 0)
+	r.RecordExec(0, 0, isa.FloatAdd, 6)
+	r.RecordResultBus(0, 6, 2)
+	r.RecordWriteback(0, 6, isa.FloatAdd)
+	r.RecordBranchResolve(1, 9)
+	r.End(10)
+	r.Begin("CRAY-like", "lfk02", 1)
+	r.RecordFetch(0, 0, 1)
+	r.End(4)
+
+	var b strings.Builder
+	if err := WriteChrome(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, b.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit %q, want ms", doc.DisplayTimeUnit)
+	}
+
+	pids := map[int64]bool{}
+	var processNames, threadNames, slices, instants int
+	for _, ev := range doc.TraceEvents {
+		pids[ev.PID] = true
+		switch ev.Phase {
+		case "M":
+			if ev.Name == "process_name" {
+				processNames++
+			} else if ev.Name == "thread_name" {
+				threadNames++
+			} else {
+				t.Errorf("unknown metadata record %q", ev.Name)
+			}
+			if len(ev.Args) == 0 {
+				t.Errorf("metadata %q has no args", ev.Name)
+			}
+		case "X":
+			slices++
+			if ev.TS == nil || ev.Dur < 1 {
+				t.Errorf("slice %q missing ts or zero dur", ev.Name)
+			}
+		case "i":
+			instants++
+			if ev.Scope != "t" {
+				t.Errorf("instant %q scope %q, want t", ev.Name, ev.Scope)
+			}
+		default:
+			t.Errorf("unexpected phase %q", ev.Phase)
+		}
+	}
+	if len(pids) != 2 || processNames != 2 {
+		t.Errorf("got %d pids / %d process_name records, want 2/2 (one per run)", len(pids), processNames)
+	}
+	// Run 1: issue+exec+bus are slices; writeback+branch are instants.
+	if slices != 3 || instants != 3 {
+		t.Errorf("got %d slices / %d instants, want 3/3", slices, instants)
+	}
+	if threadNames == 0 {
+		t.Error("no thread_name metadata emitted")
+	}
+}
+
+func TestChromeTrackLayout(t *testing.T) {
+	cases := []struct {
+		ev   Event
+		want int64
+	}{
+		{Event{Kind: Issue}, tidIssue},
+		{Event{Kind: Fetch}, tidBuffer},
+		{Event{Kind: Alloc}, tidBuffer},
+		{Event{Kind: Commit}, tidBuffer},
+		{Event{Kind: BranchResolve}, tidBranch},
+		{Event{Kind: Exec, Unit: isa.FloatAdd}, tidUnitBase + int64(isa.FloatAdd)},
+		{Event{Kind: Writeback, Unit: isa.Memory}, tidUnitBase + int64(isa.Memory)},
+		{Event{Kind: ResultBus, Slot: 3}, tidBusBase + 3},
+		{Event{Kind: ResultBus, Slot: -1}, tidBusBase},                     // clamped low
+		{Event{Kind: ResultBus, Slot: 999}, tidBusBase + chromeBusCap - 1}, // clamped high
+	}
+	for _, c := range cases {
+		if got := chromeTrack(c.ev); got != c.want {
+			t.Errorf("chromeTrack(%+v) = %d, want %d", c.ev, got, c.want)
+		}
+	}
+	// Every track must have a non-empty, distinct-enough name.
+	seen := map[string]bool{}
+	for _, tid := range []int64{tidIssue, tidBuffer, tidBranch, tidUnitBase, tidBusBase, tidBusBase + 1} {
+		name := chromeTrackName(tid)
+		if name == "" || seen[name] {
+			t.Errorf("track %d name %q empty or duplicated", tid, name)
+		}
+		seen[name] = true
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	run := &Run{Machine: "CRAY-like", Trace: "micro", Cycles: 13}
+	// #0: issue 0, exec 0..6, writeback 6. #1: issue 7, branch resolve 12.
+	run.Events = []Event{
+		{Seq: 0, Cycle: 0, Kind: Issue},
+		{Seq: 0, Cycle: 0, Dur: 6, Kind: Exec, Unit: isa.FloatAdd},
+		{Seq: 0, Cycle: 6, Kind: Writeback, Unit: isa.FloatAdd},
+		{Seq: 1, Cycle: 7, Kind: Issue},
+		{Seq: 1, Cycle: 12, Kind: BranchResolve},
+	}
+	out := Timeline(run, TimelineOptions{})
+	for _, want := range []string{
+		"CRAY-like on micro: 13 cycles, 2 instructions traced",
+		"#0 FloatAdd",
+		"#1",
+		"legend:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	// Lane 0 paints the exec span and the writeback on top of its end.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "#0") {
+			if !strings.Contains(line, "======W") {
+				t.Errorf("lane #0 lacks exec span + writeback: %q", line)
+			}
+		}
+		if strings.HasPrefix(line, "#1") {
+			if !strings.Contains(line, "I") || !strings.Contains(line, "B") {
+				t.Errorf("lane #1 lacks issue/branch glyphs: %q", line)
+			}
+		}
+	}
+}
+
+func TestTimelineWindowAndClip(t *testing.T) {
+	run := &Run{Machine: "m", Trace: "t", Cycles: 1000}
+	for i := int64(0); i < 50; i++ {
+		run.Events = append(run.Events,
+			Event{Seq: i, Cycle: i * 10, Kind: Issue},
+			Event{Seq: i, Cycle: i * 10, Dur: 5, Kind: Exec, Unit: isa.FloatAdd})
+	}
+	out := Timeline(run, TimelineOptions{First: 10, Count: 5, MaxCycles: 40})
+	if !strings.Contains(out, "(instructions 10-14 of 50)") {
+		t.Errorf("window note missing:\n%s", out)
+	}
+	if !strings.Contains(out, "(clipped to 40 of") {
+		t.Errorf("clip note missing:\n%s", out)
+	}
+	if strings.Contains(out, "#9 ") || strings.Contains(out, "#15 ") {
+		t.Errorf("instructions outside the window rendered:\n%s", out)
+	}
+	// Dropped-events note.
+	run.Dropped = 3
+	if out := Timeline(run, TimelineOptions{}); !strings.Contains(out, "(3 events dropped at the cap)") {
+		t.Errorf("dropped note missing:\n%s", out)
+	}
+	// Empty window degrades gracefully.
+	if out := Timeline(&Run{Machine: "m", Trace: "t"}, TimelineOptions{}); !strings.Contains(out, "no events") {
+		t.Errorf("empty run not handled:\n%s", out)
+	}
+}

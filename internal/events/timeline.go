@@ -1,0 +1,192 @@
+package events
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TimelineOptions bounds the text rendering: a window of instructions
+// (by first-event order) and a maximum cycle width, so a long trace
+// renders a readable excerpt instead of a wall of text.
+type TimelineOptions struct {
+	First     int // skip this many instructions; default 0
+	Count     int // instructions shown; <= 0 selects 24
+	MaxCycles int // cycle columns shown; <= 0 selects 120
+}
+
+// timeline glyphs, one per event kind, in paint order: the Exec span
+// is laid down first and the point events overwrite it, so an issue
+// or writeback landing on a busy cycle stays visible.
+var timelineGlyph = [NumKinds]byte{
+	Fetch:         'f',
+	Alloc:         'a',
+	Issue:         'I',
+	Exec:          '=',
+	ResultBus:     'R',
+	Writeback:     'W',
+	BranchResolve: 'B',
+	Commit:        'C',
+}
+
+// timelineRow is one instruction's lane under construction.
+type timelineRow struct {
+	seq    int64
+	label  string
+	events []Event
+}
+
+// Timeline renders one run as a plain-text Gantt chart: one row per
+// instruction in the window, one column per cycle, glyphs marking the
+// lifecycle (f fetch, a alloc, I issue, = executing, R result bus,
+// W writeback, B branch resolve, C commit). It is the terminal
+// counterpart of WriteChrome for a quick look without Perfetto.
+func Timeline(run *Run, opt TimelineOptions) string {
+	if opt.Count <= 0 {
+		opt.Count = 24
+	}
+	if opt.MaxCycles <= 0 {
+		opt.MaxCycles = 120
+	}
+
+	// Group events by instruction, in order of first appearance —
+	// issue order, which for every machine here is program order.
+	index := map[int64]int{}
+	var rows []*timelineRow
+	for _, ev := range run.Events {
+		i, ok := index[ev.Seq]
+		if !ok {
+			i = len(rows)
+			index[ev.Seq] = i
+			rows = append(rows, &timelineRow{seq: ev.Seq})
+		}
+		r := rows[i]
+		r.events = append(r.events, ev)
+		if r.label == "" && (ev.Kind == Exec || ev.Kind == Writeback) {
+			r.label = ev.Unit.String()
+		}
+	}
+	total := len(rows)
+	if opt.First < 0 {
+		opt.First = 0
+	}
+	if opt.First > total {
+		opt.First = total
+	}
+	end := opt.First + opt.Count
+	if end > total {
+		end = total
+	}
+	rows = rows[opt.First:end]
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s on %s: %d cycles, %d instructions traced",
+		run.Machine, run.Trace, run.Cycles, total)
+	if run.Dropped > 0 {
+		fmt.Fprintf(&b, " (%d events dropped at the cap)", run.Dropped)
+	}
+	b.WriteByte('\n')
+	if len(rows) == 0 {
+		b.WriteString("(no events in the selected window)\n")
+		return b.String()
+	}
+
+	// The cycle range of the window, clipped to MaxCycles columns.
+	lo, hi := rows[0].events[0].Cycle, int64(0)
+	for _, r := range rows {
+		for _, ev := range r.events {
+			if ev.Cycle < lo {
+				lo = ev.Cycle
+			}
+			last := ev.Cycle + ev.Dur
+			if ev.Kind != Exec {
+				last = ev.Cycle
+			}
+			if last > hi {
+				hi = last
+			}
+		}
+	}
+	width := int(hi-lo) + 1
+	clipped := false
+	if width > opt.MaxCycles {
+		width = opt.MaxCycles
+		clipped = true
+	}
+
+	labelW := len("instruction")
+	for _, r := range rows {
+		l := len(fmt.Sprintf("#%d %s", r.seq, r.label))
+		if l > labelW {
+			labelW = l
+		}
+	}
+
+	// Ruler: absolute cycle numbers every 10 columns.
+	fmt.Fprintf(&b, "%-*s ", labelW, "cycle")
+	ruler := make([]byte, width)
+	for i := range ruler {
+		switch {
+		case (int64(i)+lo)%10 == 0:
+			ruler[i] = '|'
+		case (int64(i)+lo)%5 == 0:
+			ruler[i] = ':'
+		default:
+			ruler[i] = '.'
+		}
+	}
+	b.Write(ruler)
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-*s ", labelW, "")
+	marks := make([]byte, width)
+	for i := range marks {
+		marks[i] = ' '
+	}
+	for i := 0; i < width; i++ {
+		if c := int64(i) + lo; c%10 == 0 {
+			s := fmt.Sprintf("%d", c)
+			if i+len(s) <= width {
+				copy(marks[i:], s)
+			}
+		}
+	}
+	b.Write(marks)
+	b.WriteByte('\n')
+
+	for _, r := range rows {
+		lane := make([]byte, width)
+		for i := range lane {
+			lane[i] = ' '
+		}
+		paint := func(c int64, g byte) {
+			if i := c - lo; i >= 0 && i < int64(width) {
+				lane[i] = g
+			}
+		}
+		for _, ev := range r.events { // spans first
+			if ev.Kind == Exec {
+				for c := ev.Cycle; c <= ev.Cycle+ev.Dur; c++ {
+					paint(c, timelineGlyph[Exec])
+				}
+			}
+		}
+		for _, ev := range r.events { // then the point events on top
+			if ev.Kind != Exec {
+				paint(ev.Cycle, timelineGlyph[ev.Kind])
+			} else {
+				paint(ev.Cycle, timelineGlyph[Exec])
+			}
+		}
+		fmt.Fprintf(&b, "%-*s ", labelW, fmt.Sprintf("#%d %s", r.seq, r.label))
+		b.Write(lane)
+		b.WriteByte('\n')
+	}
+	if clipped {
+		fmt.Fprintf(&b, "(clipped to %d of %d cycles; raise -timeline-window or read the Perfetto export)\n",
+			width, hi-lo+1)
+	}
+	if end < total || opt.First > 0 {
+		fmt.Fprintf(&b, "(instructions %d-%d of %d)\n", opt.First, end-1, total)
+	}
+	b.WriteString("legend: f fetch  a alloc  I issue  = executing  R result bus  W writeback  B branch resolve  C commit\n")
+	return b.String()
+}

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"mfup/internal/core"
+	"mfup/internal/events"
 	"mfup/internal/probe"
 	"mfup/internal/trace"
 )
@@ -53,6 +54,23 @@ type Task struct {
 	// unsynchronized accumulator (e.g. *probe.Counters) is safe here as
 	// long as it is private to this task.
 	Probe probe.Probe
+
+	// Recorder, when non-nil, is attached to the cell's machine before
+	// any trace runs, capturing per-instruction lifecycle events
+	// (internal/events) for every run of the cell. The same ownership
+	// rule as Probe applies: the recorder must be private to this task.
+	Recorder *events.Recorder
+}
+
+// TaskStat is one task's execution telemetry, filled by
+// RunCheckedStats: how long the cell took on the wall clock, how many
+// simulated cycles its runs covered, and — when a Recorder was
+// attached — how many events it kept and dropped.
+type TaskStat struct {
+	Wall          time.Duration // wall-clock time over the cell's runs
+	Cycles        int64         // simulated cycles summed over the cell's runs
+	Events        int64         // events recorded (0 without a Recorder)
+	EventsDropped int64         // events dropped at the recorder's cap
 }
 
 // Workers normalizes a parallelism request: n itself when positive,
@@ -193,7 +211,18 @@ func Safe(fn func()) (err error) {
 // deterministically at any worker count. len(out) == len(tasks) and
 // len(out[i]) == len(tasks[i].Traces) always hold.
 func RunChecked(ctx context.Context, opts Options, tasks []Task) ([][]core.Result, []*CellError) {
+	out, _, errs := RunCheckedStats(ctx, opts, tasks)
+	return out, errs
+}
+
+// RunCheckedStats is RunChecked with per-task telemetry: the third
+// return value, indexed like tasks, reports each cell's wall-clock
+// time, simulated cycle total, and recorder event counts. The
+// telemetry is observational — results and errors are identical to
+// RunChecked's.
+func RunCheckedStats(ctx context.Context, opts Options, tasks []Task) ([][]core.Result, []TaskStat, []*CellError) {
 	out := make([][]core.Result, len(tasks))
+	stats := make([]TaskStat, len(tasks))
 	errsByTask := make([][]*CellError, len(tasks))
 
 	runCtx := ctx
@@ -233,7 +262,11 @@ func RunChecked(ctx context.Context, opts Options, tasks []Task) ([][]core.Resul
 		if task.Probe != nil {
 			m.SetProbe(task.Probe)
 		}
+		if task.Recorder != nil {
+			m.SetRecorder(task.Recorder)
+		}
 
+		start := time.Now()
 		for j, t := range task.Traces {
 			if runCtx.Err() != nil {
 				fail(j, m.Name(), t.Name, ErrSkipped, nil)
@@ -257,6 +290,12 @@ func RunChecked(ctx context.Context, opts Options, tasks []Task) ([][]core.Resul
 				continue
 			}
 			rs[j] = r
+			stats[i].Cycles += r.Cycles
+		}
+		stats[i].Wall = time.Since(start)
+		if task.Recorder != nil {
+			stats[i].Events = task.Recorder.Events()
+			stats[i].EventsDropped = task.Recorder.Dropped()
 		}
 	})
 
@@ -270,7 +309,7 @@ func RunChecked(ctx context.Context, opts Options, tasks []Task) ([][]core.Resul
 		}
 		return errs[a].Trace < errs[b].Trace
 	})
-	return out, errs
+	return out, stats, errs
 }
 
 // panicError carries a recovered panic value together with the stack

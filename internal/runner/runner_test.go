@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"mfup/internal/core"
+	"mfup/internal/events"
 	"mfup/internal/loops"
 	"mfup/internal/probe"
 	"mfup/internal/simerr"
@@ -91,6 +92,8 @@ func (p *panicMachine) Name() string { return "PanicMachine" }
 func (p *panicMachine) Run(t *trace.Trace) core.Result { return p.inner.Run(t) }
 
 func (p *panicMachine) SetProbe(pr probe.Probe) { p.inner.SetProbe(pr) }
+
+func (p *panicMachine) SetRecorder(r *events.Recorder) { p.inner.SetRecorder(r) }
 
 func (p *panicMachine) RunChecked(t *trace.Trace, lim core.Limits) (core.Result, error) {
 	if t.Name == p.blowOn {
@@ -248,5 +251,69 @@ func TestSafe(t *testing.T) {
 	sentinel := errors.New("typed")
 	if err := Safe(func() { panic(sentinel) }); !errors.Is(err, sentinel) {
 		t.Errorf("Safe(panic(error)) = %v, want the error value", err)
+	}
+}
+
+// TestRunCheckedStatsTelemetry: RunCheckedStats fills per-task
+// wall-clock, cycle, and event telemetry, attaches recorders to the
+// machines, and leaves the results identical to RunChecked's.
+func TestRunCheckedStatsTelemetry(t *testing.T) {
+	var traces []*trace.Trace
+	for _, k := range loops.ByClass(loops.Scalar) {
+		traces = append(traces, k.SharedTrace())
+	}
+	rec := events.NewRecorder(100)
+	tasks := []Task{
+		{New: func() core.Machine { return core.NewBasic(core.CRAYLike, core.M11BR5) }, Traces: traces, Recorder: rec},
+		{New: func() core.Machine { return core.NewBasic(core.Simple, core.M11BR5) }, Traces: traces},
+	}
+	out, stats, errs := RunCheckedStats(context.Background(), Options{Parallel: 1}, tasks)
+	if len(errs) != 0 {
+		t.Fatalf("unexpected cell errors: %v", errs)
+	}
+	if len(stats) != len(tasks) {
+		t.Fatalf("got %d stats, want %d", len(stats), len(tasks))
+	}
+	for i := range tasks {
+		var cycles int64
+		for _, r := range out[i] {
+			cycles += r.Cycles
+		}
+		if stats[i].Cycles != cycles {
+			t.Errorf("task %d: stat cycles %d, results sum to %d", i, stats[i].Cycles, cycles)
+		}
+		if stats[i].Wall < 0 {
+			t.Errorf("task %d: negative wall time %v", i, stats[i].Wall)
+		}
+	}
+	// The recorder task captured its runs, honored the 100-event cap,
+	// and its drop count surfaced in the stats.
+	if len(rec.Runs()) != len(traces) {
+		t.Errorf("recorder holds %d runs, want %d", len(rec.Runs()), len(traces))
+	}
+	if stats[0].Events != rec.Events() || stats[0].EventsDropped != rec.Dropped() {
+		t.Errorf("stat events %d/%d, recorder says %d/%d",
+			stats[0].Events, stats[0].EventsDropped, rec.Events(), rec.Dropped())
+	}
+	if stats[0].Events == 0 || stats[0].EventsDropped == 0 {
+		t.Errorf("expected events and drops under a 100-event cap, got %d/%d",
+			stats[0].Events, stats[0].EventsDropped)
+	}
+	// The recorder-less task reports no event telemetry.
+	if stats[1].Events != 0 || stats[1].EventsDropped != 0 {
+		t.Errorf("bare task reports event telemetry %d/%d", stats[1].Events, stats[1].EventsDropped)
+	}
+
+	// RunChecked's delegation returns the same results.
+	plain, perrs := RunChecked(context.Background(), Options{Parallel: 1}, []Task{
+		{New: func() core.Machine { return core.NewBasic(core.CRAYLike, core.M11BR5) }, Traces: traces},
+	})
+	if len(perrs) != 0 {
+		t.Fatalf("unexpected cell errors: %v", perrs)
+	}
+	for j := range plain[0] {
+		if plain[0][j] != out[0][j] {
+			t.Errorf("trace %d: RunChecked %+v != RunCheckedStats %+v", j, plain[0][j], out[0][j])
+		}
 	}
 }

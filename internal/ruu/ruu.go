@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"mfup/internal/bus"
+	"mfup/internal/events"
 	"mfup/internal/fu"
 	"mfup/internal/isa"
 	"mfup/internal/mem"
@@ -212,6 +213,7 @@ type Simulator struct {
 	memBanks    *mem.Banks
 
 	probe probe.Probe
+	rec   *events.Recorder
 }
 
 // New builds a simulator; it panics on nonsensical configuration.
@@ -290,6 +292,13 @@ func (s *Simulator) reset(numAddrs int) {
 // changes timing; the nil default costs one branch per event.
 func (s *Simulator) SetProbe(p probe.Probe) { s.probe = p }
 
+// SetRecorder attaches an event recorder (internal/events) capturing
+// per-instruction lifecycle events during subsequent runs, or
+// detaches it with nil. Like SetProbe, it mirrors core.Machine's
+// contract: recording never changes timing and the nil default costs
+// one branch per event site.
+func (s *Simulator) SetRecorder(r *events.Recorder) { s.rec = r }
+
 // Name identifies the simulator configuration in diagnostics.
 func (s *Simulator) Name() string {
 	return fmt.Sprintf("RUU(%d units, %d entries, %s)", s.cfg.IssueUnits, s.cfg.Size, s.cfg.Bus)
@@ -338,6 +347,9 @@ func (s *Simulator) RunChecked(t *trace.Trace, lim Limits) (int64, error) {
 	if s.probe != nil {
 		s.probe.Begin(s.Name(), t.Name, s.cfg.IssueUnits, s.cfg.Size)
 	}
+	if s.rec != nil {
+		s.rec.Begin(s.Name(), t.Name, s.cfg.IssueUnits)
+	}
 
 	var (
 		pos       int   // next trace op to issue
@@ -370,6 +382,9 @@ func (s *Simulator) RunChecked(t *trace.Trace, lim Limits) (int64, error) {
 			e.doneAt = c
 			if s.probe != nil {
 				s.probe.Writeback(c, e.op.Unit, int64(s.pool.Latency(e.op.Unit)))
+			}
+			if s.rec != nil {
+				s.rec.RecordWriteback(e.op.Seq, c, e.op.Unit)
 			}
 			bump(c)
 			g.Progress(c)
@@ -415,6 +430,9 @@ func (s *Simulator) RunChecked(t *trace.Trace, lim Limits) (int64, error) {
 			}
 			s.commitSeen[head.bank] = true
 			commitBudget--
+			if s.rec != nil {
+				s.rec.RecordCommit(head.op.Seq, c)
+			}
 			s.free[head.bank]++
 			s.fifo[s.fifoHead] = nil
 			s.fifoHead = (s.fifoHead + 1) % len(s.fifo)
@@ -455,6 +473,10 @@ func (s *Simulator) RunChecked(t *trace.Trace, lim Limits) (int64, error) {
 						if s.probe != nil {
 							s.probe.BranchResolve(c)
 						}
+						if s.rec != nil {
+							s.rec.RecordIssue(op.Seq, c)
+							s.rec.RecordBranchResolve(op.Seq, c)
+						}
 						bump(c)
 						g.Progress(c)
 						pos++
@@ -479,6 +501,10 @@ func (s *Simulator) RunChecked(t *trace.Trace, lim Limits) (int64, error) {
 					if s.probe != nil {
 						s.probe.BranchResolve(issueGate)
 					}
+					if s.rec != nil {
+						s.rec.RecordIssue(op.Seq, c)
+						s.rec.RecordBranchResolve(op.Seq, issueGate)
+					}
 					bump(issueGate)
 					g.Progress(c)
 					pos++
@@ -501,6 +527,10 @@ func (s *Simulator) RunChecked(t *trace.Trace, lim Limits) (int64, error) {
 				// the simulator.
 				e.seq, e.op, e.flags, e.addrID = seq, op, po.Flags, po.AddrID
 				e.bank, e.issueAt = bank, c
+				if s.rec != nil {
+					s.rec.RecordAlloc(op.Seq, c)
+					s.rec.RecordIssue(op.Seq, c)
+				}
 				e.depCount, e.readyAt = 0, 0
 				e.waiters = e.waiters[:0] // keep the recycled capacity
 				e.dispatched, e.done = false, false
@@ -556,6 +586,9 @@ func (s *Simulator) RunChecked(t *trace.Trace, lim Limits) (int64, error) {
 	if s.probe != nil {
 		s.probe.End(lastEvent)
 	}
+	if s.rec != nil {
+		s.rec.End(lastEvent)
+	}
 	return lastEvent, nil
 }
 
@@ -595,7 +628,13 @@ func (s *Simulator) dispatchBank(b int, c int64, lastEvent *int64) bool {
 			s.memBanks.Accept(e.op.Addr, c)
 		}
 		e.dispatched = true
+		if s.rec != nil {
+			s.rec.RecordExec(e.op.Seq, c, unit, done-c)
+		}
 		if needsBus {
+			if s.rec != nil {
+				s.rec.RecordResultBus(e.op.Seq, done, b)
+			}
 			s.results.Reserve(b, done)
 			s.broadcasts.add(done, e)
 		} else {

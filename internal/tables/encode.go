@@ -7,6 +7,7 @@ import (
 	"math"
 	"strconv"
 	"strings"
+	"time"
 
 	"mfup/internal/probe"
 )
@@ -64,6 +65,12 @@ type metricsRecord struct {
 	Slots   int64            `json:"slots"`
 	Issued  int64            `json:"issued"`
 	Stalls  map[string]int64 `json:"stalls"`
+
+	// Execution telemetry (PR 4): wall-clock per cell, plus the cell's
+	// event-recorder volume when trace collection was on.
+	WallMS        float64 `json:"wall_ms"`
+	Events        int64   `json:"events"`
+	EventsDropped int64   `json:"events_dropped"`
 }
 
 // metricsRecords flattens the Metrics of every table, in table order
@@ -73,6 +80,11 @@ func metricsRecords(ts []*Table) []metricsRecord {
 	for _, t := range ts {
 		for _, m := range t.Metrics {
 			c := m.Counters
+			if c == nil {
+				// Trace collection without metrics collection: the cell
+				// has a recorder but no stall ledger to flatten.
+				continue
+			}
 			stalls := make(map[string]int64, probe.NumReasons)
 			for _, r := range probe.Reasons() {
 				stalls[r.String()] = c.Stalls[r]
@@ -82,6 +94,8 @@ func metricsRecords(ts []*Table) []metricsRecord {
 				Machine: c.Machine, Width: c.Width, Runs: c.Runs,
 				Cycles: c.Cycles, Slots: c.Slots, Issued: c.Issued,
 				Stalls: stalls,
+				WallMS: float64(m.Wall) / float64(time.Millisecond),
+				Events: m.Events, EventsDropped: m.EventsDropped,
 			})
 		}
 	}
@@ -109,6 +123,7 @@ func MetricsCSV(ts []*Table) string {
 	for _, r := range probe.Reasons() {
 		header = append(header, r.String())
 	}
+	header = append(header, "wall_ms", "events", "events_dropped")
 	_ = w.Write(header)
 	for _, rec := range metricsRecords(ts) {
 		line := []string{
@@ -121,6 +136,10 @@ func MetricsCSV(ts []*Table) string {
 		for _, r := range probe.Reasons() {
 			line = append(line, strconv.FormatInt(rec.Stalls[r.String()], 10))
 		}
+		line = append(line,
+			strconv.FormatFloat(rec.WallMS, 'g', -1, 64),
+			strconv.FormatInt(rec.Events, 10),
+			strconv.FormatInt(rec.EventsDropped, 10))
 		_ = w.Write(line)
 	}
 	w.Flush()

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"mfup/internal/core"
+	"mfup/internal/events"
 	"mfup/internal/loops"
 	"mfup/internal/probe"
 	"mfup/internal/runner"
@@ -21,6 +22,7 @@ type explodingMachine struct{ inner core.Machine }
 func (m *explodingMachine) Name() string                   { return "Exploding" }
 func (m *explodingMachine) Run(t *trace.Trace) core.Result { panic("injected table-cell panic") }
 func (m *explodingMachine) SetProbe(p probe.Probe)         {}
+func (m *explodingMachine) SetRecorder(r *events.Recorder) {}
 func (m *explodingMachine) RunChecked(t *trace.Trace, lim core.Limits) (core.Result, error) {
 	panic("injected table-cell panic")
 }

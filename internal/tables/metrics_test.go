@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"mfup/internal/core"
+	"mfup/internal/events"
 	"mfup/internal/loops"
 	"mfup/internal/probe"
 	"mfup/internal/trace"
@@ -154,6 +155,7 @@ type zeroRateMachine struct{}
 
 func (zeroRateMachine) Name() string                   { return "ZeroRate" }
 func (zeroRateMachine) SetProbe(p probe.Probe)         {}
+func (zeroRateMachine) SetRecorder(r *events.Recorder) {}
 func (zeroRateMachine) Run(t *trace.Trace) core.Result { return core.Result{Trace: t.Name} }
 func (zeroRateMachine) RunChecked(t *trace.Trace, lim core.Limits) (core.Result, error) {
 	return core.Result{Machine: "ZeroRate", Trace: t.Name}, nil

@@ -26,6 +26,7 @@ import (
 
 	"mfup/internal/bus"
 	"mfup/internal/core"
+	"mfup/internal/events"
 	"mfup/internal/limits"
 	"mfup/internal/loops"
 	"mfup/internal/probe"
@@ -60,13 +61,64 @@ func SetCollectMetrics(on bool) { collectMetrics.Store(on) }
 // CollectMetrics reports whether metrics collection is enabled.
 func CollectMetrics() bool { return collectMetrics.Load() }
 
-// CellMetrics is one grid cell's measured stall breakdown: which row
-// and column of the table it belongs to, and the accumulated counters
-// over all of the cell's loop runs.
+// collectTraces toggles per-cell lifecycle-event recording.
+var collectTraces atomic.Bool
+
+// traceEventCap is the per-run event cap for cell recorders; 0 means
+// DefaultTraceEventCap.
+var traceEventCap atomic.Int64
+
+// DefaultTraceEventCap is the per-run event cap used for table cells
+// when SetTraceEventCap has not chosen one. Tables run hundreds of
+// cells over fourteen loops each, so the per-run bound here is much
+// tighter than events.DefaultCap; drops are counted and surfaced in
+// the metrics rather than growing without limit.
+const DefaultTraceEventCap = 4096
+
+// SetCollectTraces enables per-cell event recording during table
+// generation: every simulated cell gets an events.Recorder, exposed
+// afterward as the Recorder field of Table.Metrics and exportable
+// with Table.WriteTraces. Like the probe layer, recording is
+// observation-only: table values are identical with and without it.
+func SetCollectTraces(on bool) { collectTraces.Store(on) }
+
+// CollectTraces reports whether event recording is enabled.
+func CollectTraces() bool { return collectTraces.Load() }
+
+// SetTraceEventCap bounds each cell run's recorded events; n <= 0
+// restores DefaultTraceEventCap. Events beyond the cap are dropped
+// and counted, never accumulated.
+func SetTraceEventCap(n int) {
+	if n < 0 {
+		n = 0
+	}
+	traceEventCap.Store(int64(n))
+}
+
+// TraceEventCap returns the effective per-run event cap.
+func TraceEventCap() int {
+	if n := int(traceEventCap.Load()); n > 0 {
+		return n
+	}
+	return DefaultTraceEventCap
+}
+
+// CellMetrics is one grid cell's observability record: which row and
+// column of the table it belongs to, the accumulated stall counters
+// over all of the cell's loop runs (nil unless SetCollectMetrics was
+// on), the cell's event recorder (nil unless SetCollectTraces was
+// on), and the cell's execution telemetry — wall-clock time,
+// simulated cycles, and recorder drop counts.
 type CellMetrics struct {
 	Row      string
 	Column   string
 	Counters *probe.Counters
+	Recorder *events.Recorder
+
+	Wall          time.Duration // wall-clock time over the cell's runs
+	Cycles        int64         // simulated cycles summed over the cell's runs
+	Events        int64         // lifecycle events recorded
+	EventsDropped int64         // events dropped at the recorder's cap
 }
 
 // guardCfg holds the per-cell execution bounds applied during table
@@ -191,18 +243,26 @@ func (t *Table) fill(labels []string, rates []float64) {
 	}
 }
 
-// attachMetrics records each cell's counters with its grid position,
-// in the same row-major order as fill. A no-op when collection was
-// off (every probe entry is nil).
-func (t *Table) attachMetrics(labels []string, probes []*probe.Counters) {
+// attachMetrics records each cell's observability record — counters,
+// recorder, telemetry — with its grid position, in the same row-major
+// order as fill. A no-op when neither metrics nor trace collection
+// was on for the batch.
+func (t *Table) attachMetrics(labels []string, b *batch) {
+	if !b.observed {
+		return
+	}
 	w := len(t.Columns)
-	for i, c := range probes {
-		if c == nil {
-			return
+	for i := range b.tasks {
+		m := CellMetrics{
+			Row: labels[i/w], Column: t.Columns[i%w],
+			Counters: b.probes[i], Recorder: b.recorders[i],
 		}
-		t.Metrics = append(t.Metrics, CellMetrics{
-			Row: labels[i/w], Column: t.Columns[i%w], Counters: c,
-		})
+		if b.stats != nil {
+			st := b.stats[i]
+			m.Wall, m.Cycles = st.Wall, st.Cycles
+			m.Events, m.EventsDropped = st.Events, st.EventsDropped
+		}
+		t.Metrics = append(t.Metrics, m)
 	}
 }
 
@@ -221,8 +281,11 @@ func classTraces(c loops.Class) []*trace.Trace {
 // fan-out. Cells resolve in the order they were added, so callers lay
 // out a table by adding cells row-major and calling rates once.
 type batch struct {
-	tasks  []runner.Task
-	probes []*probe.Counters // per cell; nil entries when collection is off
+	tasks     []runner.Task
+	probes    []*probe.Counters  // per cell; nil entries when collection is off
+	recorders []*events.Recorder // per cell; nil entries when tracing is off
+	stats     []runner.TaskStat  // per cell, filled by rates
+	observed  bool               // any cell carries a probe or recorder
 }
 
 // cell schedules one grid cell: one machine from mk over all traces.
@@ -232,9 +295,17 @@ func (b *batch) cell(mk func() core.Machine, ts []*trace.Trace) {
 	if CollectMetrics() {
 		c = new(probe.Counters)
 		t.Probe = c
+		b.observed = true
+	}
+	var r *events.Recorder
+	if CollectTraces() {
+		r = events.NewRecorder(TraceEventCap())
+		t.Recorder = r
+		b.observed = true
 	}
 	b.tasks = append(b.tasks, t)
 	b.probes = append(b.probes, c)
+	b.recorders = append(b.recorders, r)
 }
 
 // rates runs every scheduled simulation on the worker pool and
@@ -246,7 +317,8 @@ func (b *batch) cell(mk func() core.Machine, ts []*trace.Trace) {
 // NaN), so the cell is marked ERR with a diagnostic naming the loop
 // instead of leaking NaN into the rendered table.
 func (b *batch) rates() ([]float64, []*runner.CellError) {
-	results, errs := runner.RunChecked(context.Background(), runnerOptions(), b.tasks)
+	results, taskStats, errs := runner.RunCheckedStats(context.Background(), runnerOptions(), b.tasks)
+	b.stats = taskStats
 	failed := make(map[int]bool, len(errs))
 	for _, e := range errs {
 		failed[e.Task] = true
@@ -319,7 +391,7 @@ func Table1() *Table {
 	}
 	rates, errs := b.rates()
 	t.fill(labels, rates)
-	t.attachMetrics(labels, b.probes)
+	t.attachMetrics(labels, &b)
 	t.Errors = errs
 	return t
 }
@@ -439,7 +511,7 @@ func multiIssueTable(number int, title string, class loops.Class,
 	}
 	rates, errs := b.rates()
 	t.fill(labels, rates)
-	t.attachMetrics(labels, b.probes)
+	t.attachMetrics(labels, &b)
 	t.Errors = errs
 	return t
 }
@@ -500,7 +572,7 @@ func ruuTable(number int, title string, class loops.Class) *Table {
 	}
 	rates, errs := b.rates()
 	t.fill(labels, rates)
-	t.attachMetrics(labels, b.probes)
+	t.attachMetrics(labels, &b)
 	t.Errors = errs
 	return t
 }
@@ -587,7 +659,7 @@ func SectionThreeThree() *Table {
 	}
 	rates, errs := b.rates()
 	t.fill(labels, rates)
-	t.attachMetrics(labels, b.probes)
+	t.attachMetrics(labels, &b)
 	t.Errors = errs
 	return t
 }

@@ -1,0 +1,82 @@
+package tables
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mfup/internal/events"
+)
+
+// traceFileName builds the per-cell trace filename:
+// table<N>_<row>_<column>.json with grid labels sanitized to a
+// filesystem-safe alphabet.
+func traceFileName(number int, row, column string) string {
+	return fmt.Sprintf("table%d_%s_%s.json",
+		number, sanitizeLabel(row), sanitizeLabel(column))
+}
+
+// sanitizeLabel maps a grid label to a filename component: runs of
+// anything outside [A-Za-z0-9._-] collapse to a single dash.
+func sanitizeLabel(s string) string {
+	var b strings.Builder
+	dash := false
+	for _, r := range s {
+		ok := r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' ||
+			r >= '0' && r <= '9' || r == '.' || r == '_' || r == '-'
+		if ok {
+			b.WriteRune(r)
+			dash = false
+		} else if !dash {
+			b.WriteByte('-')
+			dash = true
+		}
+	}
+	return strings.Trim(b.String(), "-")
+}
+
+// WriteTraces writes one Chrome trace-event JSON file per traced cell
+// of the table into dir (created if absent), named
+// table<N>_<row>_<column>.json. Cells without a recorder — trace
+// collection off, or the analytic Table 2 — are skipped. Call
+// ReleaseTraces afterward to drop the event storage; a full table
+// sweep holds hundreds of cells, so exporting and releasing per table
+// bounds peak memory.
+func WriteTraces(dir string, t *Table) (int, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, fmt.Errorf("tables: create trace dir: %w", err)
+	}
+	written := 0
+	for i := range t.Metrics {
+		m := &t.Metrics[i]
+		if m.Recorder == nil || len(m.Recorder.Runs()) == 0 {
+			continue
+		}
+		path := filepath.Join(dir, traceFileName(t.Number, m.Row, m.Column))
+		f, err := os.Create(path)
+		if err != nil {
+			return written, fmt.Errorf("tables: trace export: %w", err)
+		}
+		werr := events.WriteChrome(f, m.Recorder)
+		cerr := f.Close()
+		if werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return written, fmt.Errorf("tables: trace export %s: %w", path, werr)
+		}
+		written++
+	}
+	return written, nil
+}
+
+// ReleaseTraces drops every cell recorder's event storage, keeping
+// the Events/EventsDropped telemetry already copied into the metrics.
+func ReleaseTraces(t *Table) {
+	for i := range t.Metrics {
+		if r := t.Metrics[i].Recorder; r != nil {
+			r.Reset()
+		}
+	}
+}

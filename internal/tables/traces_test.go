@@ -1,0 +1,166 @@
+package tables
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSanitizeLabel(t *testing.T) {
+	cases := map[string]string{
+		"Scalar CRAY-like": "Scalar-CRAY-like",
+		"M11BR5 N-Bus":     "M11BR5-N-Bus",
+		"a  b!!c":          "a-b-c",
+		"  edges  ":        "edges",
+		"plain":            "plain",
+	}
+	for in, want := range cases {
+		if got := sanitizeLabel(in); got != want {
+			t.Errorf("sanitizeLabel(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTraceEventCap(t *testing.T) {
+	if got := TraceEventCap(); got != DefaultTraceEventCap {
+		t.Errorf("default cap %d, want %d", got, DefaultTraceEventCap)
+	}
+	SetTraceEventCap(128)
+	defer SetTraceEventCap(0)
+	if got := TraceEventCap(); got != 128 {
+		t.Errorf("cap %d after SetTraceEventCap(128)", got)
+	}
+	SetTraceEventCap(-1)
+	if got := TraceEventCap(); got != DefaultTraceEventCap {
+		t.Errorf("negative cap maps to %d, want default %d", got, DefaultTraceEventCap)
+	}
+}
+
+// TestCollectTracesTable generates Table 1 with tracing on and checks
+// the full path: values undisturbed, per-cell recorders and telemetry
+// attached, trace files written and well-formed, storage releasable.
+func TestCollectTracesTable(t *testing.T) {
+	bare := Table1()
+
+	SetCollectTraces(true)
+	SetTraceEventCap(64)
+	defer func() {
+		SetCollectTraces(false)
+		SetTraceEventCap(0)
+	}()
+	traced := Table1()
+
+	if bare.Render() != traced.Render() {
+		t.Error("trace collection changed the rendered table")
+	}
+	cells := len(traced.Columns) * len(traced.Rows)
+	if len(traced.Metrics) != cells {
+		t.Fatalf("got %d metrics cells, want %d", len(traced.Metrics), cells)
+	}
+	for _, m := range traced.Metrics {
+		if m.Recorder == nil {
+			t.Fatalf("cell %s/%s has no recorder", m.Row, m.Column)
+		}
+		if m.Counters != nil {
+			t.Errorf("cell %s/%s has counters without SetCollectMetrics", m.Row, m.Column)
+		}
+		if m.Cycles <= 0 || m.Events <= 0 {
+			t.Errorf("cell %s/%s telemetry empty: cycles %d events %d", m.Row, m.Column, m.Cycles, m.Events)
+		}
+		if m.Events != m.Recorder.Events() || m.EventsDropped != m.Recorder.Dropped() {
+			t.Errorf("cell %s/%s telemetry %d/%d disagrees with recorder %d/%d",
+				m.Row, m.Column, m.Events, m.EventsDropped, m.Recorder.Events(), m.Recorder.Dropped())
+		}
+		if m.EventsDropped == 0 {
+			t.Errorf("cell %s/%s dropped nothing under a 64-event cap", m.Row, m.Column)
+		}
+	}
+
+	dir := t.TempDir()
+	n, err := WriteTraces(dir, traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != cells {
+		t.Errorf("wrote %d trace files, want %d", n, cells)
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "table1_*.json"))
+	if err != nil || len(names) != cells {
+		t.Fatalf("found %d table1_*.json files (err %v), want %d", len(names), err, cells)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	raw, err := os.ReadFile(names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("%s is not valid trace-event JSON: %v", names[0], err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Errorf("%s has no trace events", names[0])
+	}
+
+	ReleaseTraces(traced)
+	for _, m := range traced.Metrics {
+		if m.Recorder.Events() != 0 {
+			t.Fatal("ReleaseTraces left event storage behind")
+		}
+		if m.Events == 0 {
+			t.Fatal("ReleaseTraces wiped the copied telemetry")
+		}
+	}
+
+	// Released tables export nothing further.
+	if n, err := WriteTraces(t.TempDir(), traced); err != nil || n != 0 {
+		t.Errorf("released table wrote %d files (err %v), want 0", n, err)
+	}
+}
+
+// TestMetricsEncodersCarryTelemetry: with both metrics and traces on,
+// the JSON and CSV sidecars carry the wall/events telemetry columns.
+func TestMetricsEncodersCarryTelemetry(t *testing.T) {
+	SetCollectMetrics(true)
+	SetCollectTraces(true)
+	SetTraceEventCap(64)
+	defer func() {
+		SetCollectMetrics(false)
+		SetCollectTraces(false)
+		SetTraceEventCap(0)
+	}()
+	tb := Table1()
+
+	csv := MetricsCSV([]*Table{tb})
+	header := strings.SplitN(csv, "\n", 2)[0]
+	if !strings.HasPrefix(header, "table,row,column,machine,") {
+		t.Errorf("CSV header prefix changed: %q", header)
+	}
+	for _, col := range []string{"wall_ms", "events", "events_dropped"} {
+		if !strings.Contains(header, col) {
+			t.Errorf("CSV header missing %q: %q", col, header)
+		}
+	}
+
+	raw, err := MetricsJSON([]*Table{tb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cells []struct {
+		Events        int64 `json:"events"`
+		EventsDropped int64 `json:"events_dropped"`
+	}
+	if err := json.Unmarshal(raw, &cells); err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) == 0 {
+		t.Fatal("no metrics cells encoded")
+	}
+	for _, c := range cells {
+		if c.Events == 0 || c.EventsDropped == 0 {
+			t.Errorf("cell telemetry missing from JSON: %+v", c)
+		}
+	}
+}
