@@ -9,6 +9,7 @@
 //	mfuasm -file prog.cal -run -trace    # execute; dump the dynamic trace
 //	mfuasm -kernel 5                     # disassemble Livermore kernel 5
 //	mfuasm -kernel 7 -vector             # its vectorized coding
+//	mfuasm -kernel 7 -run -traceout k7.mfutrace  # export the binary trace
 //
 // Programs loaded from files start with zeroed registers and memory;
 // they lay out their own constants with immediates and stores.
@@ -16,15 +17,19 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 
 	"mfup/internal/asm"
+	"mfup/internal/atomicio"
 	"mfup/internal/cli"
 	"mfup/internal/emu"
+	"mfup/internal/faultinject"
 	"mfup/internal/isa"
 	"mfup/internal/loops"
+	"mfup/internal/trace"
 )
 
 // log is the shared tool logger; main wires it up before first use.
@@ -39,10 +44,19 @@ func main() {
 		dumpTrace = flag.Bool("trace", false, "with -run: dump the dynamic instruction trace")
 		showStats = flag.Bool("stats", false, "with -run: print instruction-mix statistics")
 		maxSteps  = flag.Int64("maxsteps", 0, "with -run: dynamic instruction budget; 0 = the emulator default")
+		traceOut  = flag.String("traceout", "", "with -run: write the dynamic trace to this file in binary .mfutrace form")
+		faults    = flag.String("faults", "", "fault-injection plan, e.g. 'write.tracebin:werr' (chaos testing)")
+		faultSeed = flag.Int64("fault-seed", 1, "seed for fault placement")
 		verbose   = flag.Bool("v", false, "verbose logging (debug level) on standard error")
 	)
 	flag.Parse()
 	log = cli.NewLogger("mfuasm", *verbose)
+	seedSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "fault-seed" {
+			seedSet = true
+		}
+	})
 
 	switch {
 	case *file != "" && *kernel != 0:
@@ -57,6 +71,20 @@ func main() {
 		fail(fmt.Errorf("-maxsteps requires -run"))
 	case *maxSteps < 0:
 		fail(fmt.Errorf("-maxsteps %d is negative (0 = the emulator default)", *maxSteps))
+	case *traceOut != "" && !*run:
+		fail(fmt.Errorf("-traceout requires -run (the trace is the dynamic execution)"))
+	case seedSet && *faults == "":
+		fail(fmt.Errorf("-fault-seed needs -faults"))
+	}
+
+	if *faults != "" {
+		plan, err := faultinject.ParsePlan(*faults, *faultSeed)
+		if err != nil {
+			fail(err)
+		}
+		faultinject.Activate(faultinject.New(plan))
+		defer faultinject.Deactivate()
+		log.Warn("fault injection active; failures below may be deliberate", "plan", *faults, "seed", *faultSeed)
 	}
 
 	var (
@@ -102,6 +130,12 @@ func main() {
 		fail(err)
 	}
 	fmt.Printf("\nexecuted %d dynamic instructions\n", t.Len())
+	if *traceOut != "" {
+		if err := writeTraceFile(*traceOut, t); err != nil {
+			fail(err)
+		}
+		log.Debug("binary trace written", "file", *traceOut, "ops", t.Len())
+	}
 	fmt.Println("final A registers:")
 	for i, v := range m.A {
 		fmt.Printf("  A%d = %d\n", i, v)
@@ -127,6 +161,24 @@ func main() {
 			fmt.Printf("  %s\n", &t.Ops[i])
 		}
 	}
+}
+
+// writeTraceFile encodes t in the binary .mfutrace form, atomically:
+// a crash or injected write fault mid-export never leaves a torn file.
+func writeTraceFile(path string, t *trace.Trace) error {
+	f, err := atomicio.Create("write.tracebin", path)
+	if err != nil {
+		return err
+	}
+	defer f.Abort()
+	w := bufio.NewWriter(f)
+	if err := trace.WriteBinary(w, t); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return f.Commit()
 }
 
 // fail reports err through the shared logger and exits nonzero.

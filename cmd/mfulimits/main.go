@@ -7,9 +7,15 @@
 //	mfulimits -mem 11 -br 5 -loops scalar
 //	mfulimits -mode serial -loops all
 //	mfulimits -file kernel.cal
+//	mfulimits -file k7.mfutrace          # a binary trace (mfuasm -traceout)
+//
+// A -file ending in .mfutrace is decoded as a binary trace instead of
+// assembled; -faults PLAN arms the fault-injection layer
+// (internal/faultinject), with placement seeded by -fault-seed.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +25,7 @@ import (
 	"mfup/internal/cli"
 	"mfup/internal/core"
 	"mfup/internal/emu"
+	"mfup/internal/faultinject"
 	"mfup/internal/limits"
 	"mfup/internal/stats"
 	"mfup/internal/trace"
@@ -29,30 +36,50 @@ var log = cli.NewLogger("mfulimits", false)
 
 func main() {
 	var (
-		mem      = flag.Int("mem", 11, "memory access time in cycles")
-		br       = flag.Int("br", 5, "branch execution time in cycles")
-		mode     = flag.String("mode", "pure", "WAW treatment: pure | serial")
-		which    = flag.String("loops", "all", `"all", "scalar", "vector", or comma-separated kernel numbers`)
-		file     = flag.String("file", "", "assembly file to analyze instead of the Livermore loops")
-		maxSteps = flag.Int64("maxsteps", 0, "with -file: dynamic instruction budget for tracing; 0 = the emulator default")
-		verbose  = flag.Bool("v", false, "verbose logging (debug level) on standard error")
+		mem       = flag.Int("mem", 11, "memory access time in cycles")
+		br        = flag.Int("br", 5, "branch execution time in cycles")
+		mode      = flag.String("mode", "pure", "WAW treatment: pure | serial")
+		which     = flag.String("loops", "all", `"all", "scalar", "vector", or comma-separated kernel numbers`)
+		file      = flag.String("file", "", "assembly file to analyze instead of the Livermore loops")
+		maxSteps  = flag.Int64("maxsteps", 0, "with -file: dynamic instruction budget for tracing; 0 = the emulator default")
+		faults    = flag.String("faults", "", "fault-injection plan (chaos testing)")
+		faultSeed = flag.Int64("fault-seed", 1, "seed for fault placement")
+		verbose   = flag.Bool("v", false, "verbose logging (debug level) on standard error")
 	)
 	flag.Parse()
 	log = cli.NewLogger("mfulimits", *verbose)
 
-	loopsSet := false
+	loopsSet, seedSet := false, false
 	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "loops" {
+		switch f.Name {
+		case "loops":
 			loopsSet = true
+		case "fault-seed":
+			seedSet = true
 		}
 	})
+	binaryIn := strings.HasSuffix(strings.ToLower(*file), ".mfutrace")
 	switch {
 	case *file != "" && loopsSet:
 		fail(fmt.Errorf("-file conflicts with -loops: a file is analyzed instead of the Livermore loops"))
 	case *maxSteps != 0 && *file == "":
 		fail(fmt.Errorf("-maxsteps only applies with -file (built-in loops trace under the emulator default)"))
+	case *maxSteps != 0 && binaryIn:
+		fail(fmt.Errorf("-maxsteps only applies to assembly sources (a .mfutrace file is already traced)"))
 	case *maxSteps < 0:
 		fail(fmt.Errorf("-maxsteps %d is negative (0 = the emulator default)", *maxSteps))
+	case seedSet && *faults == "":
+		fail(fmt.Errorf("-fault-seed needs -faults"))
+	}
+
+	if *faults != "" {
+		plan, err := faultinject.ParsePlan(*faults, *faultSeed)
+		if err != nil {
+			fail(err)
+		}
+		faultinject.Activate(faultinject.New(plan))
+		defer faultinject.Deactivate()
+		log.Warn("fault injection active; failures below may be deliberate", "plan", *faults, "seed", *faultSeed)
 	}
 
 	cfg := core.Config{MemLatency: *mem, BranchLatency: *br}
@@ -67,7 +94,21 @@ func main() {
 	}
 
 	var traces []*trace.Trace
-	if *file != "" {
+	switch {
+	case binaryIn:
+		// A pre-traced binary workload: decode and validate; corrupted
+		// files come back as structured diagnostics, never panics.
+		f, err := os.Open(*file)
+		if err != nil {
+			fail(err)
+		}
+		t, err := trace.ReadBinary(bufio.NewReader(f))
+		f.Close()
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", *file, err))
+		}
+		traces = append(traces, t)
+	case *file != "":
 		src, err := os.ReadFile(*file)
 		if err != nil {
 			fail(err)
@@ -85,7 +126,7 @@ func main() {
 			fail(err)
 		}
 		traces = append(traces, t)
-	} else {
+	default:
 		ks, err := cli.SelectLoops(*which)
 		if err != nil {
 			fail(err)

@@ -27,6 +27,11 @@
 // probe, the recorder observes without perturbing: rates are
 // identical with and without it.
 //
+// -tracein FILE runs a binary .mfutrace file (produced by mfuasm
+// -traceout) instead of the built-in loops; -faults PLAN arms the
+// deterministic fault-injection layer (internal/faultinject), with
+// placement seeded by -fault-seed.
+//
 // An invalid configuration (e.g. -units 0) or a simulation that
 // exceeds -maxcycles, -stallcycles, or -timeout produces a one-line
 // diagnostic on standard error and exit status 1.
@@ -36,18 +41,22 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"mfup/internal/atomicio"
 	"mfup/internal/cli"
 	"mfup/internal/core"
 	"mfup/internal/events"
+	"mfup/internal/faultinject"
 	"mfup/internal/loops"
 	"mfup/internal/probe"
 	"mfup/internal/stats"
+	"mfup/internal/trace"
 )
 
 // log is the shared tool logger; main wires it up before first use.
@@ -72,10 +81,22 @@ func main() {
 		timeline       = flag.Bool("timeline", false, "print a per-loop plain-text pipeline timeline after the rates")
 		timelineWindow = flag.Int("timeline-window", 0, "cycle columns in the -timeline rendering; 0 = 120")
 		traceEvents    = flag.Int("trace-events", 0, "events kept per loop for -trace/-timeline; 0 = 65536, overflow is dropped and counted")
+		traceIn        = flag.String("tracein", "", "run a binary .mfutrace file (see mfuasm -traceout) instead of built-in loops")
+		faults         = flag.String("faults", "", "fault-injection plan, e.g. 'sim:panic:at=1000' (chaos testing)")
+		faultSeed      = flag.Int64("fault-seed", 1, "seed for fault placement")
 		verbose        = flag.Bool("v", false, "verbose logging (debug level) on standard error")
 	)
 	flag.Parse()
 	log = cli.NewLogger("mfusim", *verbose)
+	loopsSet, seedSet := false, false
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "loops":
+			loopsSet = true
+		case "fault-seed":
+			seedSet = true
+		}
+	})
 
 	tracing := *traceFile != "" || *timeline
 	switch {
@@ -95,6 +116,20 @@ func main() {
 		fail(fmt.Errorf("-timeline-window %d is negative (0 = default width)", *timelineWindow))
 	case *timelineWindow > 0 && !*timeline:
 		fail(fmt.Errorf("-timeline-window needs -timeline"))
+	case *traceIn != "" && loopsSet:
+		fail(fmt.Errorf("-tracein conflicts with -loops: the trace file is the workload"))
+	case seedSet && *faults == "":
+		fail(fmt.Errorf("-fault-seed needs -faults"))
+	}
+
+	if *faults != "" {
+		plan, err := faultinject.ParsePlan(*faults, *faultSeed)
+		if err != nil {
+			fail(err)
+		}
+		faultinject.Activate(faultinject.New(plan))
+		defer faultinject.Deactivate()
+		log.Warn("fault injection active; failures below may be deliberate", "plan", *faults, "seed", *faultSeed)
 	}
 
 	kernels, err := cli.SelectLoops(*which)
@@ -136,7 +171,7 @@ func main() {
 		fail(err)
 	}
 
-	if strings.ToLower(*machine) == "vector" {
+	if strings.ToLower(*machine) == "vector" && *traceIn == "" {
 		// The vector machine runs the vectorized codings.
 		var vks []*loops.Kernel
 		for _, k := range kernels {
@@ -152,6 +187,25 @@ func main() {
 		kernels = vks
 	}
 
+	// The workload: the built-in loops, or one externally assembled
+	// binary trace.
+	type workItem struct {
+		label string
+		tr    *trace.Trace
+	}
+	var work []workItem
+	if *traceIn != "" {
+		tr, err := readTraceFile(*traceIn)
+		if err != nil {
+			fail(err)
+		}
+		work = append(work, workItem{label: fmt.Sprintf("%s (%s)", tr.Name, *traceIn), tr: tr})
+	} else {
+		for _, k := range kernels {
+			work = append(work, workItem{label: k.String(), tr: k.SharedTrace()})
+		}
+	}
+
 	var rec *events.Recorder
 	if tracing {
 		rec = events.NewRecorder(*traceEvents)
@@ -161,7 +215,7 @@ func main() {
 	fmt.Printf("%s, %s\n", m.Name(), cfg.Name())
 	var rates []float64
 	var breakdowns []*probe.Counters
-	for _, k := range kernels {
+	for _, w := range work {
 		lim := core.Limits{MaxCycles: *maxCycles, StallCycles: *stallCycles}
 		if *timeout > 0 {
 			lim.Deadline = time.Now().Add(*timeout)
@@ -171,7 +225,7 @@ func main() {
 			c = new(probe.Counters)
 			m.SetProbe(c)
 		}
-		r, err := m.RunChecked(k.SharedTrace(), lim)
+		r, err := m.RunChecked(w.tr, lim)
 		if c != nil {
 			m.SetProbe(nil)
 		}
@@ -182,12 +236,12 @@ func main() {
 			// A non-positive rate would poison the harmonic mean (NaN);
 			// report it as the failure it is rather than printing NaN.
 			fail(fmt.Errorf("%s: non-positive issue rate %g (%d instructions in %d cycles)",
-				k.String(), rate, r.Instructions, r.Cycles))
+				w.label, rate, r.Instructions, r.Cycles))
 		}
 		rates = append(rates, r.IssueRate())
 		breakdowns = append(breakdowns, c)
 		fmt.Printf("  %-38s %8d instr %9d cycles  %.3f/cycle\n",
-			k.String(), r.Instructions, r.Cycles, r.IssueRate())
+			w.label, r.Instructions, r.Cycles, r.IssueRate())
 	}
 	fmt.Printf("harmonic mean issue rate: %.3f instructions/cycle\n", stats.HarmonicMean(rates))
 	if rec != nil {
@@ -217,9 +271,9 @@ func main() {
 			fmt.Printf(" %*s", colWidth(r), r)
 		}
 		fmt.Println()
-		for i, k := range kernels {
+		for i, w := range work {
 			c := breakdowns[i]
-			fmt.Printf("  %-12s %9d %9d", k.SharedTrace().Name, c.Issued, c.Slots)
+			fmt.Printf("  %-12s %9d %9d", w.tr.Name, c.Issued, c.Slots)
 			for _, r := range probe.Reasons() {
 				fmt.Printf(" %*d", colWidth(r), c.Stalls[r])
 			}
@@ -236,17 +290,36 @@ func cap0(n int) int {
 	return n
 }
 
-// writeTrace writes the recorded runs as Chrome trace-event JSON.
+// writeTrace writes the recorded runs as Chrome trace-event JSON. The
+// write is atomic (temp+rename): a crash or injected fault mid-export
+// never leaves a torn file at path.
 func writeTrace(path string, rec *events.Recorder) error {
-	f, err := os.Create(path)
+	f, err := atomicio.Create("write.trace", path)
 	if err != nil {
 		return err
 	}
-	werr := events.WriteChrome(f, rec)
-	if cerr := f.Close(); werr == nil {
-		werr = cerr
+	defer f.Abort()
+	if err := events.WriteChrome(f, rec); err != nil {
+		return err
 	}
-	return werr
+	return f.Commit()
+}
+
+// readTraceFile decodes one binary .mfutrace file. Decode errors —
+// truncation, corruption, out-of-range fields — come back as
+// structured diagnostics, never panics; the mutation fuzzer holds the
+// decoder to that.
+func readTraceFile(path string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tr, err := trace.ReadBinary(bufio.NewReader(f))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return tr, nil
 }
 
 // colWidth sizes a breakdown column to its reason-name header.

@@ -36,23 +36,45 @@
 // ERR; the rest of the table is still produced, a per-cell diagnostic
 // summary goes to standard error, and the exit status is 1.
 //
+// -retries N re-attempts cells that fail transiently (a -timeout
+// deadline, or an injected transient fault) up to N times, with
+// exponential backoff from -retry-backoff (default 100ms) and
+// deterministic jitter seeded by -fault-seed.
+//
+// -checkpoint FILE journals every completed cell to FILE (JSONL,
+// append-only, crash-safe); a rerun against the same journal serves
+// journaled cells without simulation, so an interrupted sweep resumes
+// where it stopped and still renders byte-identical tables. SIGINT or
+// SIGTERM cancels cleanly: in-flight cells finish, the journal is
+// flushed, and a fault summary is printed (a second signal kills).
+//
+// -faults PLAN arms the deterministic fault-injection layer
+// (internal/faultinject) for chaos testing: injected panics, stalls,
+// transient errors, and export-write failures, placed by -fault-seed.
+//
 // Diagnostics go through a shared logger: -v lowers its level to
 // debug (per-table wall-clock timings, trace-export notes), and
 // MFU_LOG (debug | info | warn | error) overrides it.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
+	"mfup/internal/atomicio"
 	"mfup/internal/cli"
 	"mfup/internal/core"
+	"mfup/internal/faultinject"
 	"mfup/internal/tables"
 )
 
@@ -75,9 +97,20 @@ func run() int {
 	metrics := flag.String("metrics", "", "write per-cell stall breakdowns to this file (JSON, or CSV with a .csv suffix)")
 	traceDir := flag.String("trace-dir", "", "write one Chrome trace-event JSON file per cell into this directory")
 	traceEvents := flag.Int("trace-events", 0, "events kept per loop run for -trace-dir; 0 = 4096, overflow is dropped and counted")
+	retries := flag.Int("retries", 0, "per-cell retries of transient failures (deadline, injected-transient); 0 = off")
+	retryBackoff := flag.Duration("retry-backoff", 0, "base retry backoff, doubled per attempt with deterministic jitter; 0 = 100ms")
+	checkpointPath := flag.String("checkpoint", "", "JSONL journal of completed cells; an interrupted run resumes from it without recomputation")
+	faults := flag.String("faults", "", "fault-injection plan, e.g. 'sim:panic:at=1000,write.metrics:werr' (chaos testing)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for fault placement and retry jitter")
 	verbose := flag.Bool("v", false, "verbose logging (debug level) on standard error")
 	flag.Parse()
 	log := cli.NewLogger("mfutables", *verbose)
+	seedSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "fault-seed" {
+			seedSet = true
+		}
+	})
 
 	fail := func(err error) int {
 		log.Error(err.Error())
@@ -106,6 +139,30 @@ func run() int {
 		return fail(fmt.Errorf("-trace-events %d is negative (0 = default cap)", *traceEvents))
 	case *traceEvents > 0 && *traceDir == "":
 		return fail(fmt.Errorf("-trace-events needs -trace-dir"))
+	case *retries < 0:
+		return fail(fmt.Errorf("-retries %d is negative (0 = off)", *retries))
+	case *retryBackoff < 0:
+		return fail(fmt.Errorf("-retry-backoff %v is negative", *retryBackoff))
+	case *retryBackoff != 0 && *retries == 0:
+		return fail(fmt.Errorf("-retry-backoff needs -retries"))
+	case *checkpointPath != "" && *metrics != "":
+		return fail(fmt.Errorf("-checkpoint conflicts with -metrics: cells served from the journal are not re-simulated and would hole the metrics"))
+	case *checkpointPath != "" && *traceDir != "":
+		return fail(fmt.Errorf("-checkpoint conflicts with -trace-dir: cells served from the journal are not re-simulated and record no events"))
+	case seedSet && *faults == "":
+		return fail(fmt.Errorf("-fault-seed needs -faults"))
+	}
+
+	var injector *faultinject.Injector
+	if *faults != "" {
+		plan, err := faultinject.ParsePlan(*faults, *faultSeed)
+		if err != nil {
+			return fail(err)
+		}
+		injector = faultinject.New(plan)
+		faultinject.Activate(injector)
+		defer faultinject.Deactivate()
+		log.Warn("fault injection active; failures below may be deliberate", "plan", *faults, "seed", *faultSeed)
 	}
 
 	tables.SetParallel(*parallel)
@@ -115,6 +172,42 @@ func run() int {
 	tables.SetLimits(core.Limits{MaxCycles: *maxCycles, StallCycles: *stallCycles})
 	if *timeout > 0 {
 		tables.SetCellTimeout(*timeout)
+	}
+	tables.SetRetry(*retries, *retryBackoff, *faultSeed)
+
+	// SIGINT/SIGTERM cancels the generation context: in-flight cells
+	// finish, unstarted cells are skipped, completed cells are already
+	// journaled, and the run exits with a resume hint. A second signal
+	// gets the default kill behavior (signal.Stop re-arms it).
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var interrupted atomic.Bool
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		s, ok := <-sigc
+		if !ok {
+			return
+		}
+		interrupted.Store(true)
+		log.Warn("interrupted; finishing in-flight cells and flushing the checkpoint (signal again to kill)", "signal", s.String())
+		signal.Stop(sigc)
+		cancel()
+	}()
+	tables.SetContext(ctx)
+
+	var ckpt *tables.Checkpoint
+	if *checkpointPath != "" {
+		var err error
+		ckpt, err = tables.OpenCheckpoint(*checkpointPath)
+		if err != nil {
+			return fail(err)
+		}
+		tables.SetCheckpoint(ckpt)
+		if n := ckpt.Loaded(); n > 0 {
+			log.Info("resuming from checkpoint", "path", *checkpointPath, "cells", n)
+		}
 	}
 
 	if *traceDir != "" {
@@ -132,27 +225,40 @@ func run() int {
 	}
 
 	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
+		// The CPU profile streams for the whole run; the atomic file
+		// publishes it (rename into place) only after StopCPUProfile
+		// has flushed, so an interrupted run leaves no torn profile.
+		f, err := atomicio.Create("write.profile", *cpuprofile)
 		if err != nil {
 			return fail(err)
 		}
-		defer f.Close()
+		defer f.Abort()
 		if err := pprof.StartCPUProfile(f); err != nil {
 			return fail(err)
 		}
-		defer pprof.StopCPUProfile()
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Commit(); err != nil {
+				fmt.Fprintln(os.Stderr, "mfutables:", err)
+			}
+		}()
 	}
 	if *memprofile != "" {
-		f, err := os.Create(*memprofile)
+		f, err := atomicio.Create("write.profile", *memprofile)
 		if err != nil {
 			return fail(err)
 		}
 		defer func() {
 			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
+			err := pprof.WriteHeapProfile(f)
+			if err == nil {
+				err = f.Commit()
+			} else {
+				f.Abort()
+			}
+			if err != nil {
 				fmt.Fprintln(os.Stderr, "mfutables:", err)
 			}
-			f.Close()
 		}()
 	}
 
@@ -198,16 +304,46 @@ func run() int {
 		return emit(t)
 	}
 	done := func() int {
+		code := 0
 		if *metrics != "" {
 			if err := writeMetrics(*metrics, emitted); err != nil {
 				return fail(err)
 			}
 		}
+		// End-of-run fault summary: what the injector did, what the
+		// retry layer absorbed, what the journal holds.
+		var totalRetries int64
+		for _, t := range emitted {
+			totalRetries += t.Retries
+		}
+		if totalRetries > 0 {
+			log.Info("transient failures retried", "retries", totalRetries)
+		}
+		if injector != nil {
+			for _, line := range injector.Summary() {
+				fmt.Fprintln(os.Stderr, "mfutables: faultinject:", line)
+			}
+		}
+		if ckpt != nil {
+			log.Info("checkpoint", "loaded", ckpt.Loaded(), "saved", ckpt.Saved())
+			if err := ckpt.Close(); err != nil {
+				log.Error(err.Error())
+				code = 1
+			}
+		}
+		if interrupted.Load() {
+			if *checkpointPath != "" {
+				log.Warn("run interrupted; rerun with the same -checkpoint to resume without recomputation")
+			} else {
+				log.Warn("run interrupted; completed work is lost without -checkpoint")
+			}
+			code = 1
+		}
 		if cellsFailed {
 			log.Warn("some cells failed; their values render as ERR")
-			return 1
+			code = 1
 		}
-		return 0
+		return code
 	}
 
 	if *table == 0 {
@@ -215,6 +351,9 @@ func run() int {
 			n := n
 			if err := generate(func() (*tables.Table, error) { return tables.Get(n) }); err != nil {
 				return fail(err)
+			}
+			if ctx.Err() != nil {
+				return done() // interrupted: stop generating, summarize
 			}
 		}
 		if *supplement {
@@ -243,5 +382,5 @@ func writeMetrics(path string, ts []*tables.Table) error {
 		}
 		data = append(b, '\n')
 	}
-	return os.WriteFile(path, data, 0o644)
+	return atomicio.WriteFile("write.metrics", path, data)
 }

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestCommandLineTools builds and exercises the four binaries end to
@@ -272,6 +273,95 @@ func TestTraceExportE2E(t *testing.T) {
 	}
 }
 
+// TestKillAndResumeE2E is the robustness acceptance test for the
+// checkpoint journal: a full mfutables sweep is killed mid-run with
+// SIGINT, then rerun against the same -checkpoint journal, and the
+// resumed stdout must reproduce the uninterrupted run's stdout byte
+// for byte.
+func TestKillAndResumeE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end CLI test skipped in -short mode")
+	}
+	bindir := t.TempDir()
+	bin := filepath.Join(bindir, "mfutables")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/mfutables").CombinedOutput(); err != nil {
+		t.Fatalf("building mfutables: %v\n%s", err, out)
+	}
+
+	// The uninterrupted reference, at a different worker count so the
+	// comparison also reasserts worker-count independence.
+	ref, err := exec.Command(bin, "-parallel", "2").Output()
+	if err != nil {
+		t.Fatalf("baseline run failed: %v", err)
+	}
+
+	ck := filepath.Join(bindir, "ck.jsonl")
+	args := []string{"-parallel", "1", "-checkpoint", ck}
+
+	// Land a SIGINT mid-sweep. If a machine is so fast the run finishes
+	// before the signal, shrink the delay and try again with a fresh
+	// journal (a completed journal would make the resume vacuous).
+	interrupted := false
+	delay := 300 * time.Millisecond
+	for attempt := 0; attempt < 6 && !interrupted; attempt++ {
+		os.Remove(ck)
+		cmd := exec.Command(bin, args...)
+		var stderr strings.Builder
+		cmd.Stderr = &stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(delay)
+		if err := cmd.Process.Signal(os.Interrupt); err != nil {
+			t.Fatal(err)
+		}
+		err := cmd.Wait()
+		if err == nil {
+			delay /= 2 // finished before the signal landed; aim earlier
+			continue
+		}
+		interrupted = true
+		if ee, ok := err.(*exec.ExitError); ok && ee.ExitCode() == 1 {
+			// The handler caught the signal (rather than the default
+			// action killing the process before it was installed): the
+			// summary must carry the resume hint.
+			if !strings.Contains(stderr.String(), "resume") {
+				t.Errorf("interrupted run's stderr lacks the resume hint:\n%s", stderr.String())
+			}
+		}
+	}
+	if !interrupted {
+		t.Skip("could not interrupt mfutables mid-run (machine too fast)")
+	}
+
+	// Resume against the journal: stdout must be byte-identical to the
+	// uninterrupted reference.
+	cmd := exec.Command(bin, append(args, "-v")...)
+	var stdout, stderr strings.Builder
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("resumed run failed: %v\n%s", err, stderr.String())
+	}
+	if stdout.String() != string(ref) {
+		t.Errorf("resumed output differs from the uninterrupted run (%d vs %d bytes)",
+			stdout.Len(), len(ref))
+	}
+	if info, err := os.Stat(ck); err == nil && info.Size() > 0 &&
+		!strings.Contains(stderr.String(), "resuming from checkpoint") {
+		t.Errorf("resume did not report the loaded journal:\n%s", stderr.String())
+	}
+
+	// A third run serves every cell from the journal and must still
+	// render the same bytes.
+	out, err := exec.Command(bin, args...).Output()
+	if err != nil {
+		t.Fatalf("fully-cached run failed: %v", err)
+	}
+	if string(out) != string(ref) {
+		t.Error("fully-cached output differs from the uninterrupted run")
+	}
+}
+
 // TestCommandLineErrorPaths exercises the failure modes of all four
 // binaries: malformed input, unknown flags, nonexistent files, and
 // over-budget simulations must each produce a diagnostic on standard
@@ -300,6 +390,14 @@ func TestCommandLineErrorPaths(t *testing.T) {
 		t.Fatal(err)
 	}
 	livelock, err := filepath.Abs("testdata/livelock.cal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptTrace, err := filepath.Abs("testdata/corrupt_opcode.mfutrace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	truncatedTrace, err := filepath.Abs("testdata/corrupt_truncated.mfutrace")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -345,6 +443,28 @@ func TestCommandLineErrorPaths(t *testing.T) {
 		{"mfutables negative parallel", mfutables, []string{"-parallel", "-2"}, "negative"},
 		{"mfutables supplement with table", mfutables, []string{"-table", "3", "-supplement"}, "conflicts"},
 		{"mfutables over budget", mfutables, []string{"-table", "1", "-maxcycles", "50"}, "ERR"},
+
+		{"mfusim tracein nonexistent", mfusim, []string{"-tracein", filepath.Join(bindir, "no-such.mfutrace")}, "mfusim:"},
+		{"mfusim tracein corrupt opcode", mfusim, []string{"-tracein", corruptTrace}, "undefined opcode"},
+		{"mfusim tracein truncated", mfusim, []string{"-tracein", truncatedTrace}, "mfusim:"},
+		{"mfusim tracein with loops", mfusim, []string{"-tracein", corruptTrace, "-loops", "5"}, "conflicts"},
+		{"mfusim fault-seed without faults", mfusim, []string{"-fault-seed", "7"}, "-fault-seed needs -faults"},
+		{"mfusim bad fault plan", mfusim, []string{"-faults", "sim:frobnicate"}, "unknown fault kind"},
+		{"mfusim injected error", mfusim, []string{"-machine", "cray", "-loops", "5", "-faults", "sim:err:at=3"}, "injected fault"},
+
+		{"mfuasm traceout without run", mfuasm, []string{"-kernel", "5", "-traceout", "x.mfutrace"}, "-traceout requires -run"},
+		{"mfuasm bad fault plan", mfuasm, []string{"-kernel", "5", "-faults", "nowhere:panic"}, "unknown site"},
+
+		{"mfulimits corrupt trace file", mfulimits, []string{"-file", corruptTrace}, "undefined opcode"},
+		{"mfulimits maxsteps with binary trace", mfulimits, []string{"-file", corruptTrace, "-maxsteps", "10"}, "already traced"},
+
+		{"mfutables retry-backoff without retries", mfutables, []string{"-retry-backoff", "1s"}, "-retry-backoff needs -retries"},
+		{"mfutables negative retries", mfutables, []string{"-retries", "-1"}, "negative"},
+		{"mfutables checkpoint with metrics", mfutables, []string{"-checkpoint", "c.jsonl", "-metrics", "m.json"}, "conflicts"},
+		{"mfutables checkpoint with trace-dir", mfutables, []string{"-checkpoint", "c.jsonl", "-trace-dir", "d"}, "conflicts"},
+		{"mfutables fault-seed without faults", mfutables, []string{"-fault-seed", "7"}, "-fault-seed needs -faults"},
+		{"mfutables bad fault plan", mfutables, []string{"-faults", "sim:err:at=zero"}, "positive count"},
+		{"mfutables injected write fault", mfutables, []string{"-table", "2", "-format", "csv", "-metrics", filepath.Join(bindir, "m2.json"), "-faults", "write.metrics:werr"}, "injected permanent failure"},
 
 		{"mfusim timeline-window without timeline", mfusim, []string{"-timeline-window", "40"}, "-timeline-window needs -timeline"},
 		{"mfusim trace-events without trace", mfusim, []string{"-trace-events", "100"}, "-trace-events needs -trace or -timeline"},

@@ -1,0 +1,124 @@
+// Package atomicio is the one way the simulator suite writes files.
+// Every export — tables, metrics, traces, profiles, checkpoints —
+// goes through a temp+rename+fsync writer, so a killed process (or an
+// injected write fault) never leaves a torn half-written file at the
+// destination: the file either appears complete or not at all.
+//
+// Each opened file names its fault-injection site ("write.metrics",
+// "write.trace", ...), the hook point at which internal/faultinject
+// wraps the data path with failing or short-write io.Writers during
+// chaos runs. With injection off the wrapper is the file itself.
+package atomicio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"mfup/internal/faultinject"
+)
+
+// File is an in-progress atomic write. Data accumulates in a
+// temporary file next to the destination; Commit syncs, closes, and
+// renames it into place, Abort discards it. Exactly one of the two
+// must be called; both are safe to call again after the first (so
+// Abort can sit in a defer).
+type File struct {
+	site string
+	path string
+	tmp  *os.File
+	w    io.Writer // tmp, possibly fault-wrapped
+	done bool
+}
+
+// Create opens an atomic write to path for the named fault-injection
+// site. The temporary lives in path's directory (rename must not
+// cross filesystems) under a name derived from it.
+func Create(site, path string) (*File, error) {
+	tmp, err := os.Create(path + ".tmp")
+	if err != nil {
+		return nil, err
+	}
+	return &File{
+		site: site,
+		path: path,
+		tmp:  tmp,
+		w:    faultinject.WrapWriter(site, tmp),
+	}, nil
+}
+
+// Write appends to the in-progress file.
+func (f *File) Write(p []byte) (int, error) {
+	if f.done {
+		return 0, fmt.Errorf("atomicio: write to %s after commit/abort", f.path)
+	}
+	n, err := f.w.Write(p)
+	if err != nil {
+		return n, fmt.Errorf("atomicio: writing %s: %w", f.path, err)
+	}
+	if n < len(p) {
+		return n, fmt.Errorf("atomicio: writing %s: %w", f.path, io.ErrShortWrite)
+	}
+	return n, nil
+}
+
+// Commit makes the write durable and visible: fsync the temporary,
+// close it, rename it over the destination, and fsync the directory
+// so the rename itself survives a crash. On any failure the
+// temporary is removed and the destination is untouched.
+func (f *File) Commit() error {
+	if f.done {
+		return nil
+	}
+	f.done = true
+	if err := f.tmp.Sync(); err != nil {
+		f.discard()
+		return fmt.Errorf("atomicio: syncing %s: %w", f.path, err)
+	}
+	if err := f.tmp.Close(); err != nil {
+		os.Remove(f.tmp.Name())
+		return fmt.Errorf("atomicio: closing %s: %w", f.path, err)
+	}
+	if err := os.Rename(f.tmp.Name(), f.path); err != nil {
+		os.Remove(f.tmp.Name())
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	// Best effort: a directory that cannot be opened or synced does
+	// not un-write the file, and not every filesystem supports it.
+	if dir, err := os.Open(filepath.Dir(f.path)); err == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	return nil
+}
+
+// Abort discards the in-progress write, leaving the destination as it
+// was. Safe after Commit (it does nothing then), so callers can
+// `defer f.Abort()` right after Create.
+func (f *File) Abort() {
+	if f.done {
+		return
+	}
+	f.done = true
+	f.discard()
+}
+
+func (f *File) discard() {
+	f.tmp.Close()
+	os.Remove(f.tmp.Name())
+}
+
+// WriteFile atomically writes data to path: the convenience form for
+// exports that have the whole payload in memory.
+func WriteFile(site, path string, data []byte) error {
+	f, err := Create(site, path)
+	if err != nil {
+		return err
+	}
+	defer f.Abort()
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	return f.Commit()
+}

@@ -1,0 +1,113 @@
+package atomicio
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mfup/internal/faultinject"
+)
+
+func TestWriteFileAtomic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := WriteFile("write.test", path, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Error("temporary survived a commit")
+	}
+}
+
+func TestCommitReplacesExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile("write.test", path, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "new" {
+		t.Errorf("destination = %q, want %q", got, "new")
+	}
+}
+
+func TestAbortLeavesDestination(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Create("write.test", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("half-written garbage")); err != nil {
+		t.Fatal(err)
+	}
+	f.Abort()
+	if got, _ := os.ReadFile(path); string(got) != "old" {
+		t.Errorf("destination = %q after abort, want %q", got, "old")
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil || len(ents) != 1 {
+		t.Errorf("directory has %d entries after abort, want 1", len(ents))
+	}
+	// A second Abort and a post-abort Commit are both inert.
+	f.Abort()
+	if err := f.Commit(); err != nil {
+		t.Errorf("Commit after Abort = %v, want nil", err)
+	}
+	if _, err := f.Write([]byte("x")); err == nil {
+		t.Error("Write after Abort succeeded")
+	}
+}
+
+func TestInjectedWriteFaultLeavesNoFile(t *testing.T) {
+	plan, err := faultinject.ParsePlan("write.test:werr", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Activate(faultinject.New(plan))
+	defer faultinject.Deactivate()
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	err = WriteFile("write.test", path, []byte("doomed"))
+	var ferr *faultinject.Error
+	if !errors.As(err, &ferr) {
+		t.Fatalf("err = %v, want an injected *faultinject.Error", err)
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 0 {
+		t.Errorf("injected write fault left %d files behind", len(ents))
+	}
+
+	// Other sites are unaffected while the plan is active.
+	clean := filepath.Join(dir, "clean.json")
+	if err := WriteFile("write.other", clean, []byte("fine")); err != nil {
+		t.Errorf("unfaulted site failed: %v", err)
+	}
+}
+
+func TestInjectedShortWriteSurfaces(t *testing.T) {
+	plan, err := faultinject.ParsePlan("write.test:short", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Activate(faultinject.New(plan))
+	defer faultinject.Deactivate()
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFile("write.test", path, []byte("truncated payload")); err == nil {
+		t.Fatal("short write did not surface as an error")
+	}
+	if ents, _ := os.ReadDir(dir); len(ents) != 0 {
+		t.Errorf("short write left %d files behind", len(ents))
+	}
+}

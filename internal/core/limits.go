@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"mfup/internal/faultinject"
 	"mfup/internal/simerr"
 	"mfup/internal/trace"
 )
@@ -47,16 +48,45 @@ func DefaultLimits() Limits {
 	return Limits{StallCycles: DefaultStallCycles}
 }
 
-// newGuard builds the limit enforcer for one run.
+// newGuard builds the limit enforcer for one run and, when fault
+// injection is active, installs the run's injected-fault schedule.
+// With injection off (the production default) the extra cost is one
+// atomic pointer load per run.
 func newGuard(machine, traceName string, lim Limits) simerr.Guard {
-	return simerr.NewGuard(machine, traceName, lim.MaxCycles, lim.StallCycles, lim.Deadline)
+	g := simerr.NewGuard(machine, traceName, lim.MaxCycles, lim.StallCycles, lim.Deadline)
+	if in := faultinject.Active(); in != nil {
+		if panicAt, stallAt, errAt, transient, armed := in.SimFault(machine, traceName); armed {
+			g.Inject(simerr.InjectedFault{
+				PanicAt: panicAt, StallAt: stallAt, ErrAt: errAt, Transient: transient,
+			})
+		}
+	}
+	return g
 }
 
-// scalarOnly reports a BadTrace error when a scalar-only machine
-// receives a vector trace; mixing the models would silently produce
-// nonsense timing. The prepared trace already knows whether (and
-// where) a vector instruction occurs, so the check is O(1) per run.
+// badTrace reports a BadTrace error when the trace failed decode
+// validation — corrupted streams must be rejected before a timing
+// model indexes out of its dense arrays. O(1) per run: validation
+// happened once, in Prepare.
+func badTrace(machine string, p *trace.Prepared) error {
+	if p.Err == nil {
+		return nil
+	}
+	return &simerr.SimError{
+		Kind: simerr.KindBadTrace, Machine: machine, Trace: p.Trace.Name,
+		Instr: int64(p.ErrIndex), Msg: p.Err.Error(),
+	}
+}
+
+// scalarOnly reports a BadTrace error when the trace failed decode
+// validation or when a scalar-only machine receives a vector trace;
+// mixing the models would silently produce nonsense timing. The
+// prepared trace already knows whether (and where) a vector
+// instruction occurs, so the check is O(1) per run.
 func scalarOnly(machine string, p *trace.Prepared) error {
+	if err := badTrace(machine, p); err != nil {
+		return err
+	}
 	if i := p.FirstVector; i >= 0 {
 		return &simerr.SimError{
 			Kind: simerr.KindBadTrace, Machine: machine, Trace: p.Trace.Name,

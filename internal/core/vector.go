@@ -103,6 +103,9 @@ func (m *vectorMachine) Run(t *trace.Trace) Result { return runUnchecked(m, t) }
 // directly, so only the cycle budget and deadline apply.
 func (m *vectorMachine) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 	p := t.Prepared()
+	if err := badTrace(m.Name(), p); err != nil {
+		return Result{}, err
+	}
 	m.reset(p.NumAddrs)
 	g := newGuard(m.Name(), t.Name, lim)
 

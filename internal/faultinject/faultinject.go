@@ -1,0 +1,404 @@
+// Package faultinject is the deterministic, seedable fault-injection
+// layer of the simulator suite: the mechanism by which the chaos
+// tests — and a user running the CLIs with -faults — exercise the
+// failure paths that production runs must survive.
+//
+// A fault Plan names hook points ("sites") threaded through the
+// stack and the deliberate failures armed at each:
+//
+//   - "sim": the per-run guard of every machine model
+//     (internal/simerr.Guard). Faults here fire at a chosen guard
+//     tick of a run — a panic (exercising the runner's per-cell
+//     recover), an injected structured error (optionally transient,
+//     exercising retry), or a progress stall (tripping the
+//     no-forward-progress watchdog for real).
+//   - "write.<name>": the export sites — every file the tools write
+//     (metrics, traces, profiles, checkpoints, binary traces) goes
+//     through internal/atomicio, which wraps the destination in a
+//     failing or short-writing io.Writer when a fault is armed.
+//
+// Injection is disabled by default and compiles down to one atomic
+// pointer load at each hook: Active returns nil unless a plan has
+// been activated, and the simulation hot path consults the injector
+// only once per run (at guard construction), never per cycle.
+//
+// Determinism: which hits of a site fire is decided by per-site
+// counters keyed by (site, machine, trace), so a fault lands on the
+// same run of the same cell at any worker count. The plan's seed
+// feeds the trace-mutation helpers (see mutate.go) and is recorded so
+// chaos runs can be replayed exactly.
+package faultinject
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind enumerates the deliberate failures a fault can arm.
+type Kind uint8
+
+// The fault kinds.
+const (
+	// KindPanic panics at the chosen guard tick of a simulation run.
+	KindPanic Kind = iota + 1
+	// KindError returns an injected structured simulation error at the
+	// chosen guard tick; with Transient set it is retryable.
+	KindError
+	// KindStall suppresses the guard's forward-progress recording from
+	// the chosen tick on, so an armed watchdog (Limits.StallCycles)
+	// fires exactly as it would for a genuine livelock.
+	KindStall
+	// KindWriteErr makes the wrapped writer of an export site return
+	// an injected error on the chosen Write call.
+	KindWriteErr
+	// KindShortWrite makes the wrapped writer write only half of the
+	// chosen Write call's bytes and return io.ErrShortWrite.
+	KindShortWrite
+)
+
+// String names the kind as the -faults spec spells it.
+func (k Kind) String() string {
+	switch k {
+	case KindPanic:
+		return "panic"
+	case KindError:
+		return "err"
+	case KindStall:
+		return "stall"
+	case KindWriteErr:
+		return "werr"
+	case KindShortWrite:
+		return "short"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Fault is one armed failure: where (Site, with optional
+// machine/trace filters), what (Kind), and when — At selects the
+// guard tick or Write call that fires within a hit, After/Times
+// select which hits of the site arm the fault at all (a "hit" is one
+// simulation run for the sim site, one opened file for a write site).
+type Fault struct {
+	Site string // "sim" or "write.<name>"
+	Kind Kind
+
+	// At is the 1-based guard tick (sim faults) or Write call (write
+	// faults) that fires; 0 means 1 (immediately).
+	At int64
+
+	// After is the first 1-based site hit the fault arms on; 0 means 1.
+	After int64
+
+	// Times bounds how many consecutive hits arm the fault; 0 means
+	// every hit from After on.
+	Times int64
+
+	// Machine and Trace, when non-empty, restrict a sim fault to
+	// machines/traces whose name contains the substring.
+	Machine string
+	Trace   string
+
+	// Transient marks an injected error as retryable: the batch
+	// layer's transient-vs-permanent classification sends it through
+	// the retry loop rather than failing the cell outright.
+	Transient bool
+}
+
+// covers reports whether hit number n (1-based) arms the fault.
+func (f *Fault) covers(n int64) bool {
+	after := f.After
+	if after <= 0 {
+		after = 1
+	}
+	if n < after {
+		return false
+	}
+	return f.Times <= 0 || n < after+f.Times
+}
+
+// at returns the effective 1-based firing ordinal.
+func (f *Fault) at() int64 {
+	if f.At <= 0 {
+		return 1
+	}
+	return f.At
+}
+
+// String renders the fault in the -faults spec syntax.
+func (f *Fault) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:%s", f.Site, f.Kind)
+	if f.At > 0 {
+		fmt.Fprintf(&b, ":at=%d", f.At)
+	}
+	if f.After > 0 {
+		fmt.Fprintf(&b, ":after=%d", f.After)
+	}
+	if f.Times > 0 {
+		fmt.Fprintf(&b, ":times=%d", f.Times)
+	}
+	if f.Machine != "" {
+		fmt.Fprintf(&b, ":machine=%s", f.Machine)
+	}
+	if f.Trace != "" {
+		fmt.Fprintf(&b, ":trace=%s", f.Trace)
+	}
+	if f.Transient {
+		b.WriteString(":transient")
+	}
+	return b.String()
+}
+
+// Plan is a parsed fault plan: the armed faults plus the seed that
+// makes any randomized choices (trace mutations) reproducible.
+type Plan struct {
+	Seed   int64
+	Faults []Fault
+}
+
+// ParsePlan parses the -faults flag syntax: comma-separated fault
+// items, each "<site>:<kind>[:opt]..." with options "at=N",
+// "after=N", "times=N", "machine=SUBSTR", "trace=SUBSTR", and
+// "transient". Examples:
+//
+//	sim:panic:at=1000
+//	sim:stall:at=500:machine=RUU
+//	sim:err:times=2:transient
+//	write.metrics:werr
+//	write.trace:short:after=3:times=1
+func ParsePlan(spec string, seed int64) (*Plan, error) {
+	p := &Plan{Seed: seed}
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			return nil, fmt.Errorf("faultinject: empty fault item in %q", spec)
+		}
+		f, err := parseFault(item)
+		if err != nil {
+			return nil, err
+		}
+		p.Faults = append(p.Faults, f)
+	}
+	if len(p.Faults) == 0 {
+		return nil, fmt.Errorf("faultinject: empty fault plan")
+	}
+	return p, nil
+}
+
+// parseFault parses one "<site>:<kind>[:opt]..." item.
+func parseFault(item string) (Fault, error) {
+	fields := strings.Split(item, ":")
+	if len(fields) < 2 {
+		return Fault{}, fmt.Errorf("faultinject: fault %q needs at least <site>:<kind>", item)
+	}
+	f := Fault{Site: fields[0]}
+	if f.Site != "sim" && !strings.HasPrefix(f.Site, "write.") {
+		return Fault{}, fmt.Errorf("faultinject: unknown site %q (want \"sim\" or \"write.<name>\")", f.Site)
+	}
+	switch fields[1] {
+	case "panic":
+		f.Kind = KindPanic
+	case "err":
+		f.Kind = KindError
+	case "stall":
+		f.Kind = KindStall
+	case "werr":
+		f.Kind = KindWriteErr
+	case "short":
+		f.Kind = KindShortWrite
+	default:
+		return Fault{}, fmt.Errorf("faultinject: unknown fault kind %q in %q (want panic, err, stall, werr, or short)", fields[1], item)
+	}
+	simKind := f.Kind == KindPanic || f.Kind == KindError || f.Kind == KindStall
+	if simKind != (f.Site == "sim") {
+		return Fault{}, fmt.Errorf("faultinject: kind %q does not apply to site %q", f.Kind, f.Site)
+	}
+	for _, opt := range fields[2:] {
+		key, val, hasVal := strings.Cut(opt, "=")
+		var err error
+		switch {
+		case key == "transient" && !hasVal:
+			if f.Kind != KindError {
+				return Fault{}, fmt.Errorf("faultinject: transient only applies to err faults, not %q", f.Kind)
+			}
+			f.Transient = true
+		case key == "at" && hasVal:
+			f.At, err = parseCount(val)
+		case key == "after" && hasVal:
+			f.After, err = parseCount(val)
+		case key == "times" && hasVal:
+			f.Times, err = parseCount(val)
+		case key == "machine" && hasVal:
+			f.Machine = val
+		case key == "trace" && hasVal:
+			f.Trace = val
+		default:
+			return Fault{}, fmt.Errorf("faultinject: unknown option %q in %q", opt, item)
+		}
+		if err != nil {
+			return Fault{}, fmt.Errorf("faultinject: option %q in %q: %v", opt, item, err)
+		}
+	}
+	return f, nil
+}
+
+func parseCount(s string) (int64, error) {
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("want a positive count, got %q", s)
+	}
+	return n, nil
+}
+
+// Error is the failure value of injected write faults. Injected
+// simulation faults surface as *simerr.SimError with KindInjected
+// instead, so that they flow through the same structured-error path
+// as genuine watchdog failures.
+type Error struct {
+	Site      string
+	Transient bool
+}
+
+// Error renders the injected failure with its site.
+func (e *Error) Error() string {
+	kind := "permanent"
+	if e.Transient {
+		kind = "transient"
+	}
+	return fmt.Sprintf("faultinject: injected %s failure at site %q", kind, e.Site)
+}
+
+// Injector evaluates a plan's faults against site hits. One injector
+// serves any number of goroutines: hit counting is serialized on an
+// internal mutex (injection sites are off the hot path — once per
+// run, once per file — so the lock is uncontended in practice).
+type Injector struct {
+	plan *Plan
+
+	mu    sync.Mutex
+	hits  map[string]int64 // per (site, machine, trace) resolution count
+	fired map[string]int64 // per site: faults actually armed
+}
+
+// New builds an injector for plan. A nil plan yields an injector that
+// never fires (useful to exercise the plumbing itself).
+func New(plan *Plan) *Injector {
+	if plan == nil {
+		plan = &Plan{}
+	}
+	return &Injector{
+		plan:  plan,
+		hits:  make(map[string]int64),
+		fired: make(map[string]int64),
+	}
+}
+
+// Plan returns the injector's plan (never nil).
+func (in *Injector) Plan() *Plan { return in.plan }
+
+// hit bumps and returns the 1-based hit counter for key.
+func (in *Injector) hit(key string) int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.hits[key]++
+	return in.hits[key]
+}
+
+// firedAt records that a fault armed at site, for the summary.
+func (in *Injector) firedAt(site string) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.fired[site]++
+}
+
+// SimFault resolves the sim-site faults for one run of machine over
+// trc. It is called once per run, at guard construction; the returned
+// values are the guard's injection schedule (tick ordinals for panic,
+// stall, and error injection — zero when not armed). Hit counting is
+// per (machine, trace), so "the second attempt of this cell" means
+// the same thing at any worker count.
+func (in *Injector) SimFault(machine, trc string) (panicAt, stallAt, errAt int64, transient, armed bool) {
+	if in == nil {
+		return 0, 0, 0, false, false
+	}
+	var n int64 = -1
+	for i := range in.plan.Faults {
+		f := &in.plan.Faults[i]
+		if f.Site != "sim" ||
+			!strings.Contains(machine, f.Machine) ||
+			!strings.Contains(trc, f.Trace) {
+			continue
+		}
+		if n < 0 {
+			n = in.hit("sim|" + machine + "|" + trc)
+		}
+		if !f.covers(n) {
+			continue
+		}
+		switch f.Kind {
+		case KindPanic:
+			if panicAt == 0 {
+				panicAt = f.at()
+			}
+		case KindStall:
+			if stallAt == 0 {
+				stallAt = f.at()
+			}
+		case KindError:
+			if errAt == 0 {
+				errAt = f.at()
+				transient = f.Transient
+			}
+		}
+		armed = true
+		in.firedAt("sim")
+	}
+	return panicAt, stallAt, errAt, transient, armed
+}
+
+// Summary renders per-site hit and fired counts, one line per site in
+// sorted order, for the CLIs' end-of-run fault summaries.
+func (in *Injector) Summary() []string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	perSite := make(map[string]int64)
+	for key, n := range in.hits {
+		site, _, _ := strings.Cut(key, "|")
+		perSite[site] += n
+	}
+	sites := make([]string, 0, len(perSite))
+	for s := range perSite {
+		sites = append(sites, s)
+	}
+	sort.Strings(sites)
+	var lines []string
+	for _, s := range sites {
+		lines = append(lines, fmt.Sprintf("site %s: %d hits, %d faults armed", s, perSite[s], in.fired[s]))
+	}
+	return lines
+}
+
+// active is the globally activated injector; nil (the default) means
+// fault injection is off and every hook site takes its no-op path.
+var active atomic.Pointer[Injector]
+
+// Activate installs in as the process-wide injector consulted by the
+// hook sites. Pass the result of New; Activate(nil) is Deactivate.
+func Activate(in *Injector) {
+	active.Store(in)
+}
+
+// Deactivate turns fault injection off.
+func Deactivate() {
+	active.Store(nil)
+}
+
+// Active returns the activated injector, or nil when fault injection
+// is off. Hook sites call this and skip all work on nil.
+func Active() *Injector {
+	return active.Load()
+}

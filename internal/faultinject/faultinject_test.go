@@ -1,0 +1,289 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"mfup/internal/isa"
+	"mfup/internal/loops"
+	"mfup/internal/trace"
+)
+
+func TestParsePlan(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Fault
+	}{
+		{"sim:panic", Fault{Site: "sim", Kind: KindPanic}},
+		{"sim:panic:at=1000", Fault{Site: "sim", Kind: KindPanic, At: 1000}},
+		{"sim:stall:at=500:machine=RUU", Fault{Site: "sim", Kind: KindStall, At: 500, Machine: "RUU"}},
+		{"sim:err:times=2:transient", Fault{Site: "sim", Kind: KindError, Times: 2, Transient: true}},
+		{"sim:err:after=2:trace=loop01", Fault{Site: "sim", Kind: KindError, After: 2, Trace: "loop01"}},
+		{"write.metrics:werr", Fault{Site: "write.metrics", Kind: KindWriteErr}},
+		{"write.trace:short:after=3:times=1", Fault{Site: "write.trace", Kind: KindShortWrite, After: 3, Times: 1}},
+	}
+	for _, c := range cases {
+		p, err := ParsePlan(c.spec, 7)
+		if err != nil {
+			t.Errorf("ParsePlan(%q): %v", c.spec, err)
+			continue
+		}
+		if len(p.Faults) != 1 || p.Faults[0] != c.want {
+			t.Errorf("ParsePlan(%q) = %+v, want %+v", c.spec, p.Faults, c.want)
+		}
+		if p.Seed != 7 {
+			t.Errorf("ParsePlan(%q) seed = %d, want 7", c.spec, p.Seed)
+		}
+		// The String round trip re-parses to the same fault.
+		rt, err := ParsePlan(p.Faults[0].String(), 7)
+		if err != nil || rt.Faults[0] != c.want {
+			t.Errorf("round trip of %q via %q = %+v, %v", c.spec, p.Faults[0].String(), rt, err)
+		}
+	}
+
+	if p, err := ParsePlan("sim:panic:at=10, write.metrics:werr", 1); err != nil || len(p.Faults) != 2 {
+		t.Errorf("two-item plan = %+v, %v", p, err)
+	}
+
+	bad := []string{
+		"", "sim", "sim:explode", "bogus:panic", "sim:werr", "write.x:panic",
+		"sim:panic:at=0", "sim:panic:at=-3", "sim:panic:frobnicate",
+		"sim:panic:transient", "write.x:werr:transient", "sim:err:at",
+	}
+	for _, spec := range bad {
+		if p, err := ParsePlan(spec, 1); err == nil {
+			t.Errorf("ParsePlan(%q) = %+v, want error", spec, p)
+		}
+	}
+}
+
+func TestSimFaultSelection(t *testing.T) {
+	plan, err := ParsePlan("sim:err:after=2:times=1:machine=RUU:trace=loop01:transient", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(plan)
+
+	// Wrong machine and wrong trace never arm.
+	if _, _, _, _, armed := in.SimFault("Simple", "loop01"); armed {
+		t.Error("armed for non-matching machine")
+	}
+	if _, _, _, _, armed := in.SimFault("RUU(16)", "loop05"); armed {
+		t.Error("armed for non-matching trace")
+	}
+
+	// Matching cell: hit 1 is before After, hit 2 fires, hit 3 is past
+	// the Times window — the flaky-then-healed shape retry relies on.
+	if _, _, _, _, armed := in.SimFault("RUU(16)", "loop01"); armed {
+		t.Error("hit 1 armed, want clean (after=2)")
+	}
+	_, _, errAt, transient, armed := in.SimFault("RUU(16)", "loop01")
+	if !armed || errAt != 1 || !transient {
+		t.Errorf("hit 2: errAt=%d transient=%v armed=%v, want 1 true true", errAt, transient, armed)
+	}
+	if _, _, _, _, armed := in.SimFault("RUU(16)", "loop01"); armed {
+		t.Error("hit 3 armed, want healed (times=1)")
+	}
+
+	// The non-matching probes above must not have consumed hits.
+	sum := strings.Join(in.Summary(), "\n")
+	if !strings.Contains(sum, "site sim: 3 hits, 1 faults armed") {
+		t.Errorf("summary = %q", sum)
+	}
+}
+
+func TestSimFaultKinds(t *testing.T) {
+	plan, err := ParsePlan("sim:panic:at=10,sim:stall:at=20,sim:err:at=30", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	panicAt, stallAt, errAt, transient, armed := New(plan).SimFault("Simple", "loop01")
+	if panicAt != 10 || stallAt != 20 || errAt != 30 || transient || !armed {
+		t.Errorf("got panicAt=%d stallAt=%d errAt=%d transient=%v armed=%v",
+			panicAt, stallAt, errAt, transient, armed)
+	}
+
+	// A nil injector (injection off) never arms.
+	var off *Injector
+	if _, _, _, _, armed := off.SimFault("Simple", "loop01"); armed {
+		t.Error("nil injector armed a fault")
+	}
+}
+
+func TestWriterFail(t *testing.T) {
+	plan, err := ParsePlan("write.metrics:werr:at=2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(plan)
+
+	var dst bytes.Buffer
+	w := in.Writer("write.metrics", &dst)
+	if _, err := w.Write([]byte("first")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	_, err = w.Write([]byte("second"))
+	var ferr *Error
+	if !errors.As(err, &ferr) || ferr.Site != "write.metrics" {
+		t.Fatalf("write 2 err = %v, want *Error at write.metrics", err)
+	}
+	if _, err := w.Write([]byte("third")); err == nil {
+		t.Fatal("write 3 succeeded after failure; fail writers must stay broken")
+	}
+	// Nothing may reach the destination of a failing site: a file fated
+	// to fail leaves no partial bytes.
+	if dst.Len() != 0 {
+		t.Errorf("destination got %q, want nothing", dst.String())
+	}
+
+	// Other sites pass through untouched (same writer identity).
+	var clean bytes.Buffer
+	if w := in.Writer("write.trace", &clean); w != io.Writer(&clean) {
+		t.Error("non-matching site was wrapped")
+	}
+}
+
+func TestWriterShort(t *testing.T) {
+	plan, err := ParsePlan("write.trace:short:at=2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dst bytes.Buffer
+	w := New(plan).Writer("write.trace", &dst)
+	if n, err := w.Write([]byte("full-")); err != nil || n != 5 {
+		t.Fatalf("write 1 = %d, %v", n, err)
+	}
+	n, err := w.Write([]byte("truncated"))
+	if err != io.ErrShortWrite || n != 4 {
+		t.Fatalf("write 2 = %d, %v, want 4, ErrShortWrite", n, err)
+	}
+	if got := dst.String(); got != "full-trun" {
+		t.Errorf("destination = %q, want %q", got, "full-trun")
+	}
+}
+
+func TestWriterCatchAllAndWindow(t *testing.T) {
+	// "write." matches every write site; after=2:times=1 breaks only
+	// the second opened file.
+	plan, err := ParsePlan("write.:werr:after=2:times=1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(plan)
+	var a, b, c bytes.Buffer
+	w1 := in.Writer("write.metrics", &a)
+	w2 := in.Writer("write.trace", &b)
+	w3 := in.Writer("write.checkpoint", &c)
+	if _, err := w1.Write([]byte("x")); err != nil {
+		t.Errorf("file 1: %v", err)
+	}
+	if _, err := w2.Write([]byte("x")); err == nil {
+		t.Error("file 2 should fail")
+	}
+	if _, err := w3.Write([]byte("x")); err != nil {
+		t.Errorf("file 3: %v", err)
+	}
+}
+
+func TestActivation(t *testing.T) {
+	if Active() != nil {
+		t.Fatal("injection active at test start")
+	}
+	plan, err := ParsePlan("write.x:werr", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(plan)
+	Activate(in)
+	defer Deactivate()
+	if Active() != in {
+		t.Fatal("Active() did not return the activated injector")
+	}
+	if _, err := WrapWriter("write.x", io.Discard).Write([]byte("x")); err == nil {
+		t.Error("activated injector did not wrap the writer")
+	}
+	Deactivate()
+	if Active() != nil {
+		t.Error("Deactivate left an injector active")
+	}
+	if w := WrapWriter("write.x", io.Discard); w != io.Discard {
+		t.Error("WrapWriter wrapped with injection off")
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a := Rand(1, 2, 3)
+	if b := Rand(1, 2, 3); a != b {
+		t.Errorf("Rand not deterministic: %x vs %x", a, b)
+	}
+	if Rand(1, 2, 4) == a || Rand(2, 2, 3) == a || Rand(1, 2) == a {
+		t.Error("Rand collisions across distinct keys (astronomically unlikely)")
+	}
+}
+
+func TestMutateTrace(t *testing.T) {
+	k, err := loops.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := k.SharedTrace()
+	origLen := orig.Len()
+	snapshot := make([]trace.Op, origLen)
+	copy(snapshot, orig.Ops)
+
+	for m := 0; m < NumMutations; m++ {
+		mut := Mutation(m)
+		mt := MutateTrace(orig, mut, 42)
+		if !strings.Contains(mt.Name, mut.String()) {
+			t.Errorf("%v: name %q does not record the class", mut, mt.Name)
+		}
+		again := MutateTrace(orig, mut, 42)
+		if len(again.Ops) != len(mt.Ops) {
+			t.Errorf("%v: not deterministic", mut)
+		}
+		damaged := false
+		switch mut {
+		case MutTruncate:
+			damaged = mt.Len() < origLen && mt.Ops[mt.Len()-1].Parcels == 0
+		case MutBadOpcode:
+			for i := range mt.Ops {
+				damaged = damaged || !mt.Ops[i].Code.Valid()
+			}
+		case MutBadReg:
+			for i := range mt.Ops {
+				o := &mt.Ops[i]
+				for _, r := range []isa.Reg{o.Dst, o.Src1, o.Src2} {
+					damaged = damaged || (r != isa.NoReg && !r.Valid())
+				}
+			}
+		case MutBadUnit:
+			for i := range mt.Ops {
+				damaged = damaged || int(mt.Ops[i].Unit) >= isa.NumUnits
+			}
+		case MutBadParcels:
+			for i := range mt.Ops {
+				damaged = damaged || mt.Ops[i].Parcels < 0
+			}
+		case MutBadVLen:
+			for i := range mt.Ops {
+				damaged = damaged || mt.Ops[i].VLen > isa.VecLen
+			}
+		}
+		if !damaged {
+			t.Errorf("%v: mutated trace shows no corruption of its class", mut)
+		}
+	}
+
+	// The shared source trace must be untouched: machines share it.
+	if orig.Len() != origLen {
+		t.Fatal("mutation changed the source trace length")
+	}
+	for i := range snapshot {
+		if orig.Ops[i] != snapshot[i] {
+			t.Fatalf("mutation modified shared source op %d", i)
+		}
+	}
+}

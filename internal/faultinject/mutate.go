@@ -1,0 +1,119 @@
+package faultinject
+
+import (
+	"mfup/internal/isa"
+	"mfup/internal/trace"
+)
+
+// Mutation selects a corruption class for MutateTrace. Each class
+// models one way a trace can arrive damaged — a truncated parcel
+// stream, an undefined opcode, a register or unit index that would
+// send a timing model out of its dense arrays — which are exactly the
+// crashes the decode path must turn into structured errors.
+type Mutation uint8
+
+// The corruption classes.
+const (
+	// MutTruncate cuts the op stream short and leaves the final op with
+	// a zeroed parcel count — the shape of a parcel stream that ends
+	// mid-instruction.
+	MutTruncate Mutation = iota
+	// MutBadOpcode replaces an opcode with an undefined encoding.
+	MutBadOpcode
+	// MutBadReg replaces a register operand with an index past NumRegs.
+	MutBadReg
+	// MutBadUnit replaces a functional-unit index with one past
+	// NumUnits — the classic "index out of range" panic in any model
+	// that keys its unit pool by Op.Unit.
+	MutBadUnit
+	// MutBadParcels gives an op a negative parcel count.
+	MutBadParcels
+	// MutBadVLen gives an op a vector length past isa.VecLen.
+	MutBadVLen
+	// NumMutations counts the classes, for sweeping all of them.
+	NumMutations = int(MutBadVLen) + 1
+)
+
+// String names the mutation class.
+func (m Mutation) String() string {
+	switch m {
+	case MutTruncate:
+		return "truncate"
+	case MutBadOpcode:
+		return "bad-opcode"
+	case MutBadReg:
+		return "bad-reg"
+	case MutBadUnit:
+		return "bad-unit"
+	case MutBadParcels:
+		return "bad-parcels"
+	case MutBadVLen:
+		return "bad-vlen"
+	}
+	return "Mutation(?)"
+}
+
+// splitmix64 advances and mixes a 64-bit state — the standard
+// splitmix64 finalizer. It is the only randomness source of the
+// package: all fault placement derives deterministically from seeds
+// through it.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Rand folds an arbitrary key sequence into one deterministic 64-bit
+// value. The runner derives retry jitter from (seed, task, trace,
+// attempt) through it, so a re-run with the same seed backs off
+// identically.
+func Rand(keys ...uint64) uint64 {
+	x := uint64(0x6d667570) // "mfup"
+	for _, k := range keys {
+		x = splitmix64(x ^ k)
+	}
+	return x
+}
+
+// MutateTrace returns a corrupted deep copy of t: mutation class m
+// applied at a seed-chosen position. The input trace is never
+// modified (traces are shared read-only across machines). The
+// returned trace's name records the class for error attribution.
+func MutateTrace(t *trace.Trace, m Mutation, seed int64) *trace.Trace {
+	ops := make([]trace.Op, len(t.Ops))
+	copy(ops, t.Ops)
+	mt := &trace.Trace{Name: t.Name + "+" + m.String(), Ops: ops}
+	if len(ops) == 0 {
+		return mt
+	}
+	r := Rand(uint64(seed), uint64(m))
+	i := int(r % uint64(len(ops)))
+	switch m {
+	case MutTruncate:
+		if i == 0 {
+			i = 1
+		}
+		mt.Ops = ops[:i]
+		mt.Ops[i-1].Parcels = 0
+	case MutBadOpcode:
+		ops[i].Code = isa.Opcode(200 + r%50)
+	case MutBadReg:
+		bad := isa.Reg(isa.NumRegs) + isa.Reg(r%100)
+		switch (r >> 8) % 3 {
+		case 0:
+			ops[i].Dst = bad
+		case 1:
+			ops[i].Src1 = bad
+		default:
+			ops[i].Src2 = bad
+		}
+	case MutBadUnit:
+		ops[i].Unit = isa.Unit(isa.NumUnits + int(r%8))
+	case MutBadParcels:
+		ops[i].Parcels = -1
+	case MutBadVLen:
+		ops[i].VLen = isa.VecLen + 1 + int16(r%100)
+	}
+	return mt
+}

@@ -1,0 +1,106 @@
+package faultinject
+
+import (
+	"io"
+	"strings"
+)
+
+// Writer resolves the write-site faults for one opened export file
+// and, when one is armed, wraps w so it fails on the chosen Write
+// call. With no armed fault (or no active injector) it returns w
+// unchanged — the export path pays one map lookup per opened file,
+// nothing per write.
+//
+// The site name is matched against each fault's Site: an exact match
+// ("write.metrics") or the catch-all "write." arms the fault. Hit
+// counting is per fault site pattern, so "the third metrics file"
+// means the same thing regardless of what other sites were exercised
+// in between.
+func (in *Injector) Writer(site string, w io.Writer) io.Writer {
+	if in == nil {
+		return w
+	}
+	for i := range in.plan.Faults {
+		f := &in.plan.Faults[i]
+		if f.Kind != KindWriteErr && f.Kind != KindShortWrite {
+			continue
+		}
+		if f.Site != site && f.Site != "write." {
+			continue
+		}
+		if !f.covers(in.hit(f.Site)) {
+			continue
+		}
+		in.firedAt(site)
+		if f.Kind == KindShortWrite {
+			return &shortWriter{w: w, site: site, at: f.at()}
+		}
+		return &failWriter{site: site, at: f.at()}
+	}
+	return w
+}
+
+// WrapWriter is the hook-site convenience: it consults the active
+// injector and returns w unchanged when fault injection is off.
+func WrapWriter(site string, w io.Writer) io.Writer {
+	return Active().Writer(site, w)
+}
+
+// failWriter returns an injected error on Write call number at (and,
+// stickily, on every call after — a broken file stays broken).
+type failWriter struct {
+	site   string
+	at     int64
+	calls  int64
+	broken bool
+}
+
+func (fw *failWriter) Write(p []byte) (int, error) {
+	fw.calls++
+	if fw.broken || fw.calls >= fw.at {
+		fw.broken = true
+		return 0, &Error{Site: fw.site}
+	}
+	return len(p), nil
+}
+
+// Note: failWriter deliberately swallows the bytes of calls before
+// the failing one instead of forwarding to the destination — once a
+// file is fated to fail, nothing it wrote may be observable, which is
+// exactly the contract the atomic writer must uphold (and the chaos
+// tests verify: no partial file survives an injected write fault).
+
+// shortWriter forwards to the destination until Write call number at,
+// which writes only the first half of its buffer and returns
+// io.ErrShortWrite; every later call fails the same way.
+type shortWriter struct {
+	w      io.Writer
+	site   string
+	at     int64
+	calls  int64
+	broken bool
+}
+
+func (sw *shortWriter) Write(p []byte) (int, error) {
+	sw.calls++
+	if sw.broken || sw.calls >= sw.at {
+		sw.broken = true
+		n, err := sw.w.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, io.ErrShortWrite
+	}
+	return sw.w.Write(p)
+}
+
+// SiteName derives the canonical write-site name for a path-flavored
+// export: "write." plus the last dot-suffix-free element the caller
+// passes. The CLIs use fixed literal sites instead; this helper
+// exists for tests that synthesize sites from file names.
+func SiteName(name string) string {
+	if i := strings.LastIndex(name, "."); i > 0 {
+		name = name[:i]
+	}
+	return "write." + name
+}

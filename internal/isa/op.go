@@ -133,6 +133,11 @@ func (o Opcode) info() opInfo {
 	return opInfo{name: fmt.Sprintf("Opcode(%d)", uint8(o))}
 }
 
+// Valid reports whether o names a defined operation, scalar or
+// vector. Trace validation uses it to reject corrupted streams before
+// they reach a timing model.
+func (o Opcode) Valid() bool { return int(o) < numAllOpcodes }
+
 // String returns the opcode mnemonic root.
 func (o Opcode) String() string {
 	n := o.info().name

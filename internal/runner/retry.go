@@ -1,0 +1,96 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"mfup/internal/faultinject"
+	"mfup/internal/simerr"
+)
+
+// Transient vs permanent classification, and the per-cell retry loop.
+//
+// The taxonomy mirrors what the failures mean, not how they surface:
+//
+//	transient — a re-run of the same cell may legitimately succeed:
+//	  - KindDeadline: the cell ran out of wall clock. On a loaded
+//	    machine the next attempt may fit (each attempt gets a fresh
+//	    CellTimeout window).
+//	  - KindInjected with Transient set: a deliberately flaky fault
+//	    that heals after its Times window — the chaos tests' stand-in
+//	    for any environmental blip.
+//	  - An injected write failure marked transient.
+//	permanent — re-running deterministically reproduces the failure:
+//	  - KindCycleBudget and KindStall: the simulation itself diverges
+//	    or livelocks; it will again.
+//	  - KindBadTrace: the input is damaged; it stays damaged.
+//	  - Panics: a model bug is not healed by repetition.
+//	  - ErrSkipped / context.Canceled: the sweep is shutting down —
+//	    retrying against a dead context only delays it.
+
+// Transient reports whether err is worth retrying.
+func Transient(err error) bool {
+	if err == nil || errors.Is(err, ErrSkipped) || errors.Is(err, context.Canceled) {
+		return false
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var se *simerr.SimError
+	if errors.As(err, &se) {
+		switch se.Kind {
+		case simerr.KindDeadline:
+			return true
+		case simerr.KindInjected:
+			return se.Transient
+		}
+		return false
+	}
+	var fe *faultinject.Error
+	if errors.As(err, &fe) {
+		return fe.Transient
+	}
+	return false
+}
+
+// maxBackoff caps the exponential growth of retry delays.
+const maxBackoff = 30 * time.Second
+
+// DefaultRetryBackoff is the base delay before the first retry when
+// retries are enabled without an explicit backoff.
+const DefaultRetryBackoff = 100 * time.Millisecond
+
+// backoffDelay computes the delay before retry attempt number attempt
+// (1-based: 1 precedes the first retry): the base doubled per attempt,
+// capped, then jittered deterministically into [d/2, d) by hashing
+// (seed, task, trace, attempt). Determinism matters more than true
+// randomness here — a re-run with the same seed backs off identically,
+// which the reproducibility contract of the whole suite demands.
+func backoffDelay(base time.Duration, seed int64, task, trc, attempt int) time.Duration {
+	if base <= 0 {
+		base = DefaultRetryBackoff
+	}
+	d := base << (attempt - 1)
+	if d > maxBackoff || d <= 0 { // <= 0: shift overflow
+		d = maxBackoff
+	}
+	r := faultinject.Rand(uint64(seed), uint64(task), uint64(trc), uint64(attempt))
+	half := uint64(d) / 2
+	return time.Duration(half + r%(half+1))
+}
+
+// sleep waits for d or until ctx ends, through opts.Sleep when the
+// caller injected a clock (tests replace real sleeps with a recorder).
+func (o *Options) sleep(ctx context.Context, d time.Duration) {
+	if o.Sleep != nil {
+		o.Sleep(d)
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}

@@ -71,6 +71,7 @@ type TaskStat struct {
 	Cycles        int64         // simulated cycles summed over the cell's runs
 	Events        int64         // events recorded (0 without a Recorder)
 	EventsDropped int64         // events dropped at the recorder's cap
+	Retries       int64         // re-attempts of transiently failed runs
 }
 
 // Workers normalizes a parallelism request: n itself when positive,
@@ -148,17 +149,22 @@ type CellError struct {
 	TraceName string // trace name, "" for construction failures
 	Err       error  // the failure; a recovered panic is wrapped
 	Stack     []byte // goroutine stack if the cell panicked, else nil
+	Attempts  int    // runs of this cell including retries; 0 reads as 1
 }
 
 // Error renders a one-line diagnostic naming the cell.
 func (e *CellError) Error() string {
+	suffix := ""
+	if e.Attempts > 1 {
+		suffix = fmt.Sprintf(" (after %d attempts)", e.Attempts)
+	}
 	switch {
 	case e.Trace < 0 && e.Machine == "":
-		return fmt.Sprintf("task %d: constructing machine: %v", e.Task, e.Err)
+		return fmt.Sprintf("task %d: constructing machine: %v%s", e.Task, e.Err, suffix)
 	case e.TraceName != "":
-		return fmt.Sprintf("task %d (%s) on %q: %v", e.Task, e.Machine, e.TraceName, e.Err)
+		return fmt.Sprintf("task %d (%s) on %q: %v%s", e.Task, e.Machine, e.TraceName, e.Err, suffix)
 	}
-	return fmt.Sprintf("task %d (%s): %v", e.Task, e.Machine, e.Err)
+	return fmt.Sprintf("task %d (%s): %v%s", e.Task, e.Machine, e.Err, suffix)
 }
 
 // Unwrap exposes the underlying error to errors.Is/As.
@@ -181,8 +187,30 @@ type Options struct {
 	FailFast bool
 
 	// CellTimeout, when positive, gives each cell its own wall-clock
-	// deadline (tighter of this and Limits.Deadline).
+	// deadline (tighter of this and Limits.Deadline). With retries, the
+	// window is re-anchored per attempt: a timed-out attempt does not
+	// eat the next one's budget.
 	CellTimeout time.Duration
+
+	// Retries is how many times a transiently failed run (see
+	// Transient) is re-attempted before its failure is reported. 0
+	// disables retrying; permanent failures are never retried.
+	Retries int
+
+	// RetryBackoff is the base delay before the first retry; each
+	// further retry doubles it (capped at 30s), jittered
+	// deterministically into [d/2, d) from RetrySeed and the cell
+	// coordinates. <= 0 means DefaultRetryBackoff.
+	RetryBackoff time.Duration
+
+	// RetrySeed feeds the deterministic jitter. Sweeps that must
+	// reproduce exactly (the tables' contract) pass a fixed seed.
+	RetrySeed int64
+
+	// Sleep, when non-nil, replaces the real inter-attempt wait. Tests
+	// inject a fake clock here so retry schedules are asserted without
+	// real sleeps.
+	Sleep func(time.Duration)
 }
 
 // Safe runs fn, converting a panic into an error (with the panic
@@ -237,10 +265,10 @@ func RunCheckedStats(ctx context.Context, opts Options, tasks []Task) ([][]core.
 		rs := make([]core.Result, len(task.Traces))
 		out[i] = rs
 
-		fail := func(j int, machine, traceName string, err error, stack []byte) {
+		fail := func(j int, machine, traceName string, err error, stack []byte, attempts int) {
 			errsByTask[i] = append(errsByTask[i], &CellError{
 				Task: i, Trace: j, Machine: machine, TraceName: traceName,
-				Err: err, Stack: stack,
+				Err: err, Stack: stack, Attempts: attempts,
 			})
 			if cancel != nil {
 				cancel(err)
@@ -249,14 +277,14 @@ func RunCheckedStats(ctx context.Context, opts Options, tasks []Task) ([][]core.
 
 		if runCtx.Err() != nil {
 			for j := range task.Traces {
-				fail(j, "", task.Traces[j].Name, ErrSkipped, nil)
+				fail(j, "", task.Traces[j].Name, ErrSkipped, nil, 0)
 			}
 			return
 		}
 
 		var m core.Machine
 		if err := safeCall(func() { m = task.New() }); err != nil {
-			fail(-1, "", "", err, stackOf(err))
+			fail(-1, "", "", err, stackOf(err), 0)
 			return
 		}
 		if task.Probe != nil {
@@ -269,24 +297,46 @@ func RunCheckedStats(ctx context.Context, opts Options, tasks []Task) ([][]core.
 		start := time.Now()
 		for j, t := range task.Traces {
 			if runCtx.Err() != nil {
-				fail(j, m.Name(), t.Name, ErrSkipped, nil)
+				fail(j, m.Name(), t.Name, ErrSkipped, nil, 0)
 				continue
 			}
-			lim := opts.Limits
-			if opts.CellTimeout > 0 {
-				d := time.Now().Add(opts.CellTimeout)
-				if lim.Deadline.IsZero() || d.Before(lim.Deadline) {
-					lim.Deadline = d
+			// Run the trace, retrying transient failures up to
+			// opts.Retries times with exponentially backed-off,
+			// deterministically jittered delays. Each attempt gets a
+			// fresh CellTimeout window — the attempt is what is bounded,
+			// not the cell's lifetime across retries.
+			var (
+				r       core.Result
+				lastErr error
+				stack   []byte
+				attempt int
+			)
+			for attempt = 1; ; attempt++ {
+				lim := opts.Limits
+				if opts.CellTimeout > 0 {
+					d := time.Now().Add(opts.CellTimeout)
+					if lim.Deadline.IsZero() || d.Before(lim.Deadline) {
+						lim.Deadline = d
+					}
+				}
+				var runErr error
+				if err := safeCall(func() { r, runErr = m.RunChecked(t, lim) }); err != nil {
+					lastErr, stack = err, stackOf(err)
+				} else {
+					lastErr, stack = runErr, nil
+				}
+				if lastErr == nil || attempt > opts.Retries ||
+					!Transient(lastErr) || runCtx.Err() != nil {
+					break
+				}
+				stats[i].Retries++
+				opts.sleep(runCtx, backoffDelay(opts.RetryBackoff, opts.RetrySeed, i, j, attempt))
+				if runCtx.Err() != nil {
+					break
 				}
 			}
-			var r core.Result
-			var runErr error
-			if err := safeCall(func() { r, runErr = m.RunChecked(t, lim) }); err != nil {
-				fail(j, m.Name(), t.Name, err, stackOf(err))
-				continue
-			}
-			if runErr != nil {
-				fail(j, m.Name(), t.Name, runErr, nil)
+			if lastErr != nil {
+				fail(j, m.Name(), t.Name, lastErr, stack, attempt)
 				continue
 			}
 			rs[j] = r

@@ -32,6 +32,7 @@ import (
 
 	"mfup/internal/bus"
 	"mfup/internal/events"
+	"mfup/internal/faultinject"
 	"mfup/internal/fu"
 	"mfup/internal/isa"
 	"mfup/internal/mem"
@@ -342,8 +343,21 @@ func (s *Simulator) Run(t *trace.Trace) int64 {
 // cycle budget, no-forward-progress watchdog, and wall-clock deadline.
 func (s *Simulator) RunChecked(t *trace.Trace, lim Limits) (int64, error) {
 	p := t.Prepared()
+	if p.Err != nil {
+		return 0, &simerr.SimError{
+			Kind: simerr.KindBadTrace, Machine: s.Name(), Trace: t.Name,
+			Instr: int64(p.ErrIndex), Msg: p.Err.Error(),
+		}
+	}
 	s.reset(p.NumAddrs)
 	g := simerr.NewGuard(s.Name(), t.Name, lim.MaxCycles, lim.StallCycles, lim.Deadline)
+	if in := faultinject.Active(); in != nil {
+		if panicAt, stallAt, errAt, transient, armed := in.SimFault(s.Name(), t.Name); armed {
+			g.Inject(simerr.InjectedFault{
+				PanicAt: panicAt, StallAt: stallAt, ErrAt: errAt, Transient: transient,
+			})
+		}
+	}
 	if s.probe != nil {
 		s.probe.Begin(s.Name(), t.Name, s.cfg.IssueUnits, s.cfg.Size)
 	}

@@ -1,0 +1,86 @@
+package simerr
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestGuardInjectError(t *testing.T) {
+	g := NewGuard("M", "t", 0, 0, time.Time{})
+	g.Inject(InjectedFault{ErrAt: 3, Transient: true})
+	for i := 1; i <= 2; i++ {
+		if err := g.Tick(int64(i), int64(i)); err != nil {
+			t.Fatalf("tick %d: %v", i, err)
+		}
+	}
+	err := g.Tick(3, 3)
+	if err == nil {
+		t.Fatal("tick 3: no injected error")
+	}
+	if err.Kind != KindInjected || !err.Transient || err.Cycle != 3 {
+		t.Errorf("injected error = %+v", err)
+	}
+	if !strings.Contains(err.Error(), "injected fault") {
+		t.Errorf("message %q does not name the kind", err.Error())
+	}
+}
+
+func TestGuardInjectPanic(t *testing.T) {
+	g := NewGuard("M", "t", 0, 0, time.Time{})
+	g.Inject(InjectedFault{PanicAt: 2})
+	if err := g.Tick(1, 1); err != nil {
+		t.Fatalf("tick 1: %v", err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("tick 2 did not panic")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "faultinject: injected panic") {
+			t.Errorf("panic value = %v", r)
+		}
+	}()
+	g.Tick(2, 2)
+}
+
+func TestGuardInjectStall(t *testing.T) {
+	g := NewGuard("M", "t", 0, 10, time.Time{})
+	g.Inject(InjectedFault{StallAt: 5})
+	// Before the stall point, progress is recorded normally.
+	for c := int64(1); c <= 4; c++ {
+		g.Tick(c, c)
+		g.Progress(c)
+		if err := g.Stalled(c, c, nil); err != nil {
+			t.Fatalf("cycle %d: %v", c, err)
+		}
+	}
+	// From tick 5 on, Progress is suppressed; the watchdog fires once
+	// the window (10 cycles past the last recorded progress at 4)
+	// elapses — exactly as for a genuine livelock.
+	var got *SimError
+	for c := int64(5); c <= 40 && got == nil; c++ {
+		g.Tick(c, c)
+		g.Progress(c) // suppressed
+		got = g.Stalled(c, c, func(max int) []string { return []string{"stuck"} })
+	}
+	if got == nil {
+		t.Fatal("watchdog never fired under an injected stall")
+	}
+	if got.Kind != KindStall || got.Cycle != 15 || len(got.InFlight) != 1 {
+		t.Errorf("stall error = %+v, want KindStall at cycle 15 with snapshot", got)
+	}
+}
+
+func TestGuardUnarmedZeroCost(t *testing.T) {
+	// An unarmed guard must behave exactly as before injection existed.
+	g := NewGuard("M", "t", 100, 0, time.Time{})
+	for c := int64(1); c <= 50; c++ {
+		if err := g.Tick(c, c); err != nil {
+			t.Fatalf("tick %d: %v", c, err)
+		}
+	}
+	if err := g.Over(101, 0); err == nil || err.Kind != KindCycleBudget {
+		t.Errorf("Over = %v, want cycle budget failure", err)
+	}
+}

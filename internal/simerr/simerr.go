@@ -36,8 +36,13 @@ const (
 	// KindDeadline: the wall-clock deadline passed mid-run.
 	KindDeadline
 	// KindBadTrace: the machine cannot simulate the trace at all
-	// (for example, a vector trace handed to a scalar machine).
+	// (for example, a vector trace handed to a scalar machine, or a
+	// corrupted trace that fails validation).
 	KindBadTrace
+	// KindInjected: a deliberate failure scheduled by the
+	// fault-injection layer (internal/faultinject) fired. Chaos runs
+	// use it to exercise the same error paths genuine failures take.
+	KindInjected
 )
 
 // String names the kind for diagnostics.
@@ -51,6 +56,8 @@ func (k Kind) String() string {
 		return "deadline exceeded"
 	case KindBadTrace:
 		return "unsimulatable trace"
+	case KindInjected:
+		return "injected fault"
 	}
 	return fmt.Sprintf("simerr.Kind(%d)", uint8(k))
 }
@@ -63,6 +70,12 @@ type SimError struct {
 	Cycle   int64  // simulated cycle at which the run was cut off
 	Instr   int64  // trace position reached, -1 when not meaningful
 	Msg     string // optional kind-specific detail
+
+	// Transient marks the failure as retryable: a re-run of the same
+	// cell may succeed. Only injected faults set it today (a flaky
+	// fault that heals after N attempts); the batch layer's retry
+	// classification keys off it.
+	Transient bool
 
 	// InFlight is a snapshot of the stalled in-flight instructions
 	// (stall errors only), newest-committed first, possibly truncated.
@@ -118,6 +131,55 @@ type Guard struct {
 
 	lastProgress int64
 	poll         int
+
+	// Fault-injection schedule (see Inject). armed is false outside
+	// chaos runs, so the hot-path cost of the hooks is one branch.
+	inj   InjectedFault
+	ticks int64
+	armed bool
+}
+
+// InjectedFault is a guard's fault-injection schedule: the Tick
+// ordinals (1-based) at which deliberate failures fire. Zero fields
+// are disarmed. The schedule is resolved once per run by the
+// fault-injection layer and installed with Inject.
+type InjectedFault struct {
+	// PanicAt panics on that Tick, exercising the runner's per-cell
+	// recover path with a genuine mid-run panic.
+	PanicAt int64
+	// StallAt stops the guard from recording forward progress from
+	// that Tick on, so an armed StallCycles watchdog fires exactly as
+	// it would for a real livelock. It has no effect on machines that
+	// never call Progress/Stalled (their issue times are computed
+	// directly; they cannot livelock).
+	StallAt int64
+	// ErrAt returns a KindInjected *SimError on that Tick.
+	ErrAt int64
+	// Transient marks the ErrAt failure retryable.
+	Transient bool
+}
+
+// Inject installs a fault schedule for this run. Call it between
+// NewGuard and the first Tick.
+func (g *Guard) Inject(f InjectedFault) {
+	g.inj = f
+	g.armed = f.PanicAt > 0 || f.StallAt > 0 || f.ErrAt > 0
+}
+
+// injected advances the tick counter and fires any scheduled fault.
+func (g *Guard) injected(cycle, instr int64) *SimError {
+	g.ticks++
+	if g.inj.PanicAt > 0 && g.ticks >= g.inj.PanicAt {
+		panic(fmt.Sprintf("faultinject: injected panic in %s on %q at tick %d (cycle %d)",
+			g.Machine, g.Trace, g.ticks, cycle))
+	}
+	if g.inj.ErrAt > 0 && g.ticks >= g.inj.ErrAt {
+		e := g.fail(KindInjected, cycle, instr)
+		e.Msg = fmt.Sprintf("scheduled at tick %d", g.inj.ErrAt)
+		e.Transient = g.inj.Transient
+		return e
+	}
+	return nil
 }
 
 // NewGuard builds a guard for one run of machine over trace. Zero
@@ -154,8 +216,13 @@ func (g *Guard) Over(cycle, instr int64) *SimError {
 }
 
 // Progress records that the machine did something at cycle c — issued,
-// dispatched, completed, or committed an instruction.
+// dispatched, completed, or committed an instruction. An injected
+// stall suppresses the recording, so the watchdog sees a machine that
+// has genuinely stopped moving.
 func (g *Guard) Progress(c int64) {
+	if g.armed && g.inj.StallAt > 0 && g.ticks >= g.inj.StallAt {
+		return
+	}
 	if c > g.lastProgress {
 		g.lastProgress = c
 	}
@@ -179,8 +246,15 @@ func (g *Guard) Stalled(c, instr int64, snapshot func(max int) []string) *SimErr
 
 // Tick polls the wall-clock deadline. It reads the clock only once
 // every pollStride calls, so it is cheap enough for per-cycle or
-// per-instruction use.
+// per-instruction use. Tick is also the fault-injection clock: every
+// machine's main loop calls it, so injected panics, errors, and
+// stalls are scheduled in Tick ordinals.
 func (g *Guard) Tick(cycle, instr int64) *SimError {
+	if g.armed {
+		if e := g.injected(cycle, instr); e != nil {
+			return e
+		}
+	}
 	if !g.timed {
 		return nil
 	}

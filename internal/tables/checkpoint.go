@@ -1,0 +1,192 @@
+package tables
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"sync"
+
+	"mfup/internal/faultinject"
+)
+
+// Checkpoint is a JSONL journal of completed table cells, the resume
+// mechanism of interrupted sweeps: every healthy cell's harmonic-mean
+// rate is appended as one line as soon as its batch resolves, and a
+// later run against the same journal skips those cells entirely,
+// producing byte-identical tables without recomputation.
+//
+// One line per cell:
+//
+//	{"table":3,"cell":17,"rate":"0x1.9c7ep-01"}
+//
+// Rates are recorded as Go hex floating-point literals, which round
+// trip exactly — a resumed table must render the very same bytes, so
+// "close to" is not close enough. Failed and non-finite cells are
+// never journaled; a resumed run re-attempts them.
+//
+// Append + a torn-line-tolerant reader make the journal crash-safe:
+// a process killed mid-append loses at most the line being written,
+// which the next run simply recomputes. Lines are written through the
+// "write.checkpoint" fault-injection site.
+type Checkpoint struct {
+	path string
+
+	mu     sync.Mutex
+	f      *os.File
+	cells  map[checkpointKey]float64
+	loaded int   // cells read from an existing journal
+	saved  int   // cells appended by this process
+	err    error // first write failure, sticky
+}
+
+type checkpointKey struct {
+	Table int
+	Cell  int
+}
+
+// checkpointLine is the JSONL wire form.
+type checkpointLine struct {
+	Table int    `json:"table"`
+	Cell  int    `json:"cell"`
+	Rate  string `json:"rate"`
+}
+
+// OpenCheckpoint opens (creating if absent) the journal at path and
+// loads every complete line already in it. A torn final line — a line
+// without its terminating newline, the signature of a kill mid-append
+// — is dropped and truncated away so the next append starts on a
+// clean line. Any complete line that does not parse is an error,
+// because resuming from a journal that cannot be trusted would
+// silently corrupt tables.
+func OpenCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	c := &Checkpoint{path: path, f: f, cells: make(map[checkpointKey]float64)}
+	r := bufio.NewReader(f)
+	var accepted int64 // offset past the last complete, valid line
+	lineno := 0
+	for {
+		line, err := r.ReadBytes('\n')
+		if err == io.EOF {
+			// No newline: empty tail or a torn append. Drop it either way.
+			break
+		}
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("checkpoint %s: %w", path, err)
+		}
+		lineno++
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) != 0 {
+			var cl checkpointLine
+			if err := json.Unmarshal(trimmed, &cl); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("checkpoint %s line %d: %v", path, lineno, err)
+			}
+			rate, err := strconv.ParseFloat(cl.Rate, 64)
+			if err != nil {
+				f.Close()
+				return nil, fmt.Errorf("checkpoint %s line %d: rate %q: %v", path, lineno, cl.Rate, err)
+			}
+			c.cells[checkpointKey{cl.Table, cl.Cell}] = rate
+		}
+		accepted += int64(len(line))
+	}
+	// Truncate away any torn tail: appending straight after a partial
+	// line would fuse it with the next record into one corrupt line
+	// that a second resume could not skip.
+	if err := f.Truncate(accepted); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	if _, err := f.Seek(accepted, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	c.loaded = len(c.cells)
+	return c, nil
+}
+
+// Lookup returns the journaled rate of (table, cell), if present.
+func (c *Checkpoint) Lookup(table, cell int) (float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.cells[checkpointKey{table, cell}]
+	return r, ok
+}
+
+// Record journals one completed cell. Non-finite rates are ignored
+// (failed cells must be re-attempted on resume, not replayed). Write
+// failures are sticky and reported by Close.
+func (c *Checkpoint) Record(table, cell int, rate float64) {
+	if rate != rate || rate == 0 { // NaN or degenerate
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := checkpointKey{table, cell}
+	if _, dup := c.cells[key]; dup {
+		return
+	}
+	c.cells[key] = rate
+	if c.err != nil {
+		return
+	}
+	line, err := json.Marshal(checkpointLine{
+		Table: table, Cell: cell,
+		Rate: strconv.FormatFloat(rate, 'x', -1, 64),
+	})
+	if err != nil {
+		c.err = err
+		return
+	}
+	w := faultinject.WrapWriter("write.checkpoint", c.f)
+	if _, err := w.Write(append(line, '\n')); err != nil {
+		c.err = fmt.Errorf("checkpoint %s: %w", c.path, err)
+		return
+	}
+	c.saved++
+}
+
+// Loaded reports how many cells an existing journal contributed, and
+// Saved how many this process appended.
+func (c *Checkpoint) Loaded() int { return c.loaded }
+
+// Saved reports how many cells this process appended to the journal.
+func (c *Checkpoint) Saved() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.saved
+}
+
+// Flush makes the journal durable without closing it — the SIGINT
+// path flushes before the process exits so every completed cell
+// survives the kill.
+func (c *Checkpoint) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.f.Sync(); err != nil && c.err == nil {
+		c.err = fmt.Errorf("checkpoint %s: %w", c.path, err)
+	}
+	return c.err
+}
+
+// Close syncs and closes the journal, returning the first write
+// failure encountered over its lifetime (injected or real).
+func (c *Checkpoint) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if serr := c.f.Sync(); serr != nil && c.err == nil {
+		c.err = fmt.Errorf("checkpoint %s: %w", c.path, serr)
+	}
+	if cerr := c.f.Close(); cerr != nil && c.err == nil {
+		c.err = cerr
+	}
+	return c.err
+}

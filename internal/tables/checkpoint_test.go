@@ -1,0 +1,254 @@
+package tables
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mfup/internal/faultinject"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	c, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Awkward floats must round-trip exactly — that is the whole point
+	// of the hex encoding.
+	vals := map[checkpointKey]float64{
+		{1, 0}:  1.0 / 3.0,
+		{1, 1}:  0.7224082934609726,
+		{3, 17}: math.Nextafter(1, 2),
+		{0, 2}:  2.5e-300,
+	}
+	for k, v := range vals {
+		c.Record(k.Table, k.Cell, v)
+	}
+	if c.Saved() != len(vals) {
+		t.Errorf("saved = %d, want %d", c.Saved(), len(vals))
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if c2.Loaded() != len(vals) {
+		t.Errorf("loaded = %d, want %d", c2.Loaded(), len(vals))
+	}
+	for k, v := range vals {
+		got, ok := c2.Lookup(k.Table, k.Cell)
+		if !ok || got != v {
+			t.Errorf("Lookup(%d,%d) = %v,%v, want exactly %v", k.Table, k.Cell, got, ok, v)
+		}
+	}
+	if _, ok := c2.Lookup(9, 9); ok {
+		t.Error("phantom cell found")
+	}
+}
+
+func TestCheckpointSkipsDegenerateAndDuplicate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	c, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Record(1, 0, math.NaN()) // failed cell: must be re-attempted on resume
+	c.Record(1, 1, 0)          // degenerate
+	c.Record(1, 2, 0.5)
+	c.Record(1, 2, 0.9) // duplicate: first write wins
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if c2.Loaded() != 1 {
+		t.Fatalf("loaded = %d, want 1", c2.Loaded())
+	}
+	if v, ok := c2.Lookup(1, 2); !ok || v != 0.5 {
+		t.Errorf("Lookup(1,2) = %v,%v, want 0.5", v, ok)
+	}
+}
+
+func TestCheckpointTornFinalLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	c, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Record(2, 0, 0.25)
+	c.Record(2, 1, 0.75)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a kill mid-append: a partial third record, no newline.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"table":2,"ce`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	c2, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatalf("torn final line must be tolerated: %v", err)
+	}
+	if c2.Loaded() != 2 {
+		t.Errorf("loaded = %d, want 2 (the torn line is dropped)", c2.Loaded())
+	}
+	// Appending after the torn tail must leave a journal every later
+	// resume can still read in full.
+	c2.Record(2, 2, 0.125)
+	if err := c2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c3, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatalf("journal unreadable after append-over-torn-tail: %v", err)
+	}
+	defer c3.Close()
+	if c3.Loaded() != 3 {
+		t.Errorf("loaded = %d, want 3", c3.Loaded())
+	}
+	if v, ok := c3.Lookup(2, 2); !ok || v != 0.125 {
+		t.Errorf("Lookup(2,2) = %v,%v, want 0.125", v, ok)
+	}
+}
+
+func TestCheckpointRejectsCorruptMiddle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	content := "{\"table\":1,\"cell\":0,\"rate\":\"0x1p-01\"}\nnot json at all\n{\"table\":1,\"cell\":1,\"rate\":\"0x1p-02\"}\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCheckpoint(path); err == nil {
+		t.Fatal("corrupt complete line accepted")
+	} else if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error %v does not name the corrupt line", err)
+	}
+}
+
+func TestCheckpointInjectedWriteFailure(t *testing.T) {
+	plan, err := faultinject.ParsePlan("write.checkpoint:werr", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Activate(faultinject.New(plan))
+	defer faultinject.Deactivate()
+
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	c, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Record(1, 0, 0.5)
+	err = c.Close()
+	if err == nil {
+		t.Fatal("injected write failure not reported at Close")
+	}
+	var fe *faultinject.Error
+	if !errors.As(err, &fe) {
+		t.Errorf("Close error %v does not wrap the injected fault", err)
+	}
+}
+
+func TestCheckpointServesCachedCells(t *testing.T) {
+	// A batch with a fully-journaled grid must not run any simulation;
+	// we verify by journaling sentinel rates and checking they surface
+	// verbatim in the table.
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	c, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := Table1() // healthy baseline, no checkpoint
+	cells := 0
+	for _, row := range ref.Rows {
+		cells += len(row.Rates)
+	}
+	for i := 0; i < cells; i++ {
+		c.Record(1, i, float64(i)+0.5) // sentinels, not real rates
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err = OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetCheckpoint(c)
+	defer SetCheckpoint(nil)
+	got := Table1()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Saved() != 0 {
+		t.Errorf("fully cached run appended %d cells", c.Saved())
+	}
+	i := 0
+	for _, row := range got.Rows {
+		for _, v := range row.Rates {
+			if want := float64(i) + 0.5; v != want {
+				t.Fatalf("cell %d = %v, want journaled sentinel %v", i, v, want)
+			}
+			i++
+		}
+	}
+}
+
+func TestCheckpointPartialResumeMatchesBaseline(t *testing.T) {
+	// Journal half of Table 1's cells from a real run, then regenerate
+	// with the journal installed: the rendered table must be
+	// byte-identical to the uncheckpointed baseline.
+	ref := Table1()
+	if len(ref.Errors) != 0 {
+		t.Fatalf("baseline has errors: %v", ref.Errors)
+	}
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	c, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	for _, row := range ref.Rows {
+		for _, v := range row.Rates {
+			if i%2 == 0 {
+				c.Record(1, i, v)
+			}
+			i++
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetCheckpoint(c2)
+	defer SetCheckpoint(nil)
+	got := Table1()
+	if err := c2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Render() != ref.Render() {
+		t.Errorf("resumed table differs from baseline:\n--- want\n%s\n--- got\n%s", ref.Render(), got.Render())
+	}
+	if c2.Saved() != i/2 {
+		t.Errorf("resume appended %d cells, want %d", c2.Saved(), i/2)
+	}
+}

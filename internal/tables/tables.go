@@ -121,13 +121,19 @@ type CellMetrics struct {
 	EventsDropped int64         // events dropped at the recorder's cap
 }
 
-// guardCfg holds the per-cell execution bounds applied during table
-// generation; the zero value (no bounds) reproduces the tables with
-// no guard overhead on the healthy path.
+// guardCfg holds the per-cell execution bounds and resilience
+// settings applied during table generation; the zero value (no
+// bounds, no retries, no checkpoint) reproduces the tables with no
+// guard overhead on the healthy path.
 var guardCfg struct {
 	sync.Mutex
-	lim         core.Limits
-	cellTimeout time.Duration
+	lim          core.Limits
+	cellTimeout  time.Duration
+	ctx          context.Context
+	retries      int
+	retryBackoff time.Duration
+	retrySeed    int64
+	ckpt         *Checkpoint
 }
 
 // SetLimits bounds every simulation cell run during table generation
@@ -147,15 +153,68 @@ func SetCellTimeout(d time.Duration) {
 	guardCfg.cellTimeout = d
 }
 
-// runnerOptions snapshots the configured worker count and bounds.
+// SetContext installs the cancellation context observed by table
+// generation: when it ends (SIGINT/SIGTERM in mfutables), in-flight
+// cells finish, unstarted cells are skipped with runner.ErrSkipped,
+// and the partial table still renders. nil restores Background.
+func SetContext(ctx context.Context) {
+	guardCfg.Lock()
+	defer guardCfg.Unlock()
+	guardCfg.ctx = ctx
+}
+
+// SetRetry configures per-cell retrying of transient failures during
+// table generation: up to retries re-attempts with exponential
+// backoff from base backoff (0 = the runner default) and
+// deterministic jitter derived from seed. retries <= 0 disables.
+func SetRetry(retries int, backoff time.Duration, seed int64) {
+	guardCfg.Lock()
+	defer guardCfg.Unlock()
+	guardCfg.retries = retries
+	guardCfg.retryBackoff = backoff
+	guardCfg.retrySeed = seed
+}
+
+// SetCheckpoint installs a journal of completed cells: every healthy
+// cell's rate is appended as soon as its batch resolves, and cells
+// already in the journal are served from it without simulation. nil
+// disables checkpointing.
+func SetCheckpoint(c *Checkpoint) {
+	guardCfg.Lock()
+	defer guardCfg.Unlock()
+	guardCfg.ckpt = c
+}
+
+// runnerOptions snapshots the configured worker count, bounds, and
+// retry policy.
 func runnerOptions() runner.Options {
 	guardCfg.Lock()
 	defer guardCfg.Unlock()
 	return runner.Options{
-		Parallel:    Parallel(),
-		Limits:      guardCfg.lim,
-		CellTimeout: guardCfg.cellTimeout,
+		Parallel:     Parallel(),
+		Limits:       guardCfg.lim,
+		CellTimeout:  guardCfg.cellTimeout,
+		Retries:      guardCfg.retries,
+		RetryBackoff: guardCfg.retryBackoff,
+		RetrySeed:    guardCfg.retrySeed,
 	}
+}
+
+// batchContext returns the configured cancellation context.
+func batchContext() context.Context {
+	guardCfg.Lock()
+	defer guardCfg.Unlock()
+	if guardCfg.ctx != nil {
+		return guardCfg.ctx
+	}
+	return context.Background()
+}
+
+// checkpoint returns the installed journal, or nil.
+func checkpoint() *Checkpoint {
+	guardCfg.Lock()
+	defer guardCfg.Unlock()
+	return guardCfg.ckpt
 }
 
 // Table is a rendered experiment: a grid of issue rates.
@@ -176,6 +235,10 @@ type Table struct {
 	// Nil otherwise, and always nil for the analytic Table 2, which
 	// runs no machines.
 	Metrics []CellMetrics
+
+	// Retries counts transient-failure re-attempts spent generating the
+	// table (always 0 unless SetRetry enabled retrying).
+	Retries int64
 }
 
 // ErrorSummary renders one line per failed cell, or "" when the whole
@@ -281,10 +344,12 @@ func classTraces(c loops.Class) []*trace.Trace {
 // fan-out. Cells resolve in the order they were added, so callers lay
 // out a table by adding cells row-major and calling rates once.
 type batch struct {
+	table     int                // table number, the checkpoint journal key
 	tasks     []runner.Task
 	probes    []*probe.Counters  // per cell; nil entries when collection is off
 	recorders []*events.Recorder // per cell; nil entries when tracing is off
 	stats     []runner.TaskStat  // per cell, filled by rates
+	retries   int64              // transient-failure re-attempts, summed by rates
 	observed  bool               // any cell carries a probe or recorder
 }
 
@@ -317,15 +382,53 @@ func (b *batch) cell(mk func() core.Machine, ts []*trace.Trace) {
 // NaN), so the cell is marked ERR with a diagnostic naming the loop
 // instead of leaking NaN into the rendered table.
 func (b *batch) rates() ([]float64, []*runner.CellError) {
-	results, taskStats, errs := runner.RunCheckedStats(context.Background(), runnerOptions(), b.tasks)
-	b.stats = taskStats
+	// Partition against the checkpoint journal: cells already
+	// completed by an earlier (interrupted) run are served from it and
+	// never re-simulated; only the remainder goes to the worker pool.
+	ckpt := checkpoint()
+	cached := make([]float64, len(b.tasks))
+	run := make([]runner.Task, 0, len(b.tasks))
+	origIdx := make([]int, 0, len(b.tasks)) // run index -> cell index
+	for i := range b.tasks {
+		if ckpt != nil {
+			if rate, ok := ckpt.Lookup(b.table, i); ok {
+				cached[i] = rate
+				continue
+			}
+		}
+		run = append(run, b.tasks[i])
+		origIdx = append(origIdx, i)
+	}
+
+	results, taskStats, errs := runner.RunCheckedStats(batchContext(), runnerOptions(), run)
+
+	// Remap everything the runner reported from run order back to cell
+	// order, so grid layout, metrics, and error coordinates are
+	// identical with and without a checkpoint.
+	b.stats = make([]runner.TaskStat, len(b.tasks))
+	for ri, st := range taskStats {
+		b.stats[origIdx[ri]] = st
+		b.retries += st.Retries
+	}
+	for _, e := range errs {
+		e.Task = origIdx[e.Task]
+	}
 	failed := make(map[int]bool, len(errs))
 	for _, e := range errs {
 		failed[e.Task] = true
 	}
-	out := make([]float64, 0, len(results))
+	out := make([]float64, 0, len(b.tasks))
 	rs := make([]float64, 0, 16)
-	for i, cell := range results {
+	resultAt := make(map[int][]core.Result, len(results))
+	for ri, cell := range results {
+		resultAt[origIdx[ri]] = cell
+	}
+	for i := range b.tasks {
+		cell, ran := resultAt[i]
+		if !ran {
+			out = append(out, cached[i])
+			continue
+		}
 		if failed[i] {
 			out = append(out, math.NaN())
 			continue
@@ -349,7 +452,11 @@ func (b *batch) rates() ([]float64, []*runner.CellError) {
 			out = append(out, math.NaN())
 			continue
 		}
-		out = append(out, stats.HarmonicMean(rs))
+		hm := stats.HarmonicMean(rs)
+		out = append(out, hm)
+		if ckpt != nil {
+			ckpt.Record(b.table, i, hm)
+		}
 	}
 	sort.Slice(errs, func(a, b int) bool {
 		if errs[a].Task != errs[b].Task {
@@ -378,7 +485,7 @@ func Table1() *Table {
 		Title:   "Instruction Issue Rates for Different Basic Machine Organizations",
 		Columns: configColumns(),
 	}
-	var b batch
+	b := batch{table: t.Number}
 	var labels []string
 	for _, class := range []loops.Class{loops.Scalar, loops.Vectorizable} {
 		ts := classTraces(class)
@@ -393,6 +500,7 @@ func Table1() *Table {
 	t.fill(labels, rates)
 	t.attachMetrics(labels, &b)
 	t.Errors = errs
+	t.Retries = b.retries
 	return t
 }
 
@@ -499,7 +607,7 @@ func multiIssueTable(number int, title string, class loops.Class,
 	mk func(core.Config) core.Machine) *Table {
 	t := &Table{Number: number, Title: title, Columns: issueStationColumns()}
 	ts := classTraces(class)
-	var b batch
+	b := batch{table: t.Number}
 	var labels []string
 	for n := 1; n <= 8; n++ {
 		labels = append(labels, fmt.Sprintf("%d stations", n))
@@ -513,6 +621,7 @@ func multiIssueTable(number int, title string, class loops.Class,
 	t.fill(labels, rates)
 	t.attachMetrics(labels, &b)
 	t.Errors = errs
+	t.Retries = b.retries
 	return t
 }
 
@@ -557,7 +666,7 @@ func ruuTable(number int, title string, class loops.Class) *Table {
 			fmt.Sprintf("%d N-Bus", n), fmt.Sprintf("%d 1-Bus", n))
 	}
 	ts := classTraces(class)
-	var b batch
+	b := batch{table: t.Number}
 	var labels []string
 	for _, cfg := range core.BaseConfigs() {
 		for _, size := range RUUSizes {
@@ -574,6 +683,7 @@ func ruuTable(number int, title string, class loops.Class) *Table {
 	t.fill(labels, rates)
 	t.attachMetrics(labels, &b)
 	t.Errors = errs
+	t.Retries = b.retries
 	return t
 }
 
@@ -646,7 +756,7 @@ func SectionThreeThree() *Table {
 			return core.NewRUU(c.WithIssue(1, bus.BusN).WithRUU(50))
 		}},
 	}
-	var b batch
+	b := batch{table: t.Number}
 	var labels []string
 	for _, class := range []loops.Class{loops.Scalar, loops.Vectorizable} {
 		ts := classTraces(class)
@@ -661,5 +771,6 @@ func SectionThreeThree() *Table {
 	t.fill(labels, rates)
 	t.attachMetrics(labels, &b)
 	t.Errors = errs
+	t.Retries = b.retries
 	return t
 }

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"mfup/internal/atomicio"
 	"mfup/internal/events"
 )
 
@@ -54,14 +55,15 @@ func WriteTraces(dir string, t *Table) (int, error) {
 			continue
 		}
 		path := filepath.Join(dir, traceFileName(t.Number, m.Row, m.Column))
-		f, err := os.Create(path)
+		f, err := atomicio.Create("write.trace", path)
 		if err != nil {
 			return written, fmt.Errorf("tables: trace export: %w", err)
 		}
 		werr := events.WriteChrome(f, m.Recorder)
-		cerr := f.Close()
 		if werr == nil {
-			werr = cerr
+			werr = f.Commit()
+		} else {
+			f.Abort()
 		}
 		if werr != nil {
 			return written, fmt.Errorf("tables: trace export %s: %w", path, werr)

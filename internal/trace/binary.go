@@ -1,0 +1,228 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"mfup/internal/isa"
+)
+
+// Binary trace format. Traces cross process boundaries in two places —
+// mfuasm -traceout exports a traced program, mfusim -tracein and
+// mfulimits replay one — so the encoding must fail loudly on damage:
+// a truncated file, a corrupted opcode, or a register index outside
+// the architecture must come back as an error from ReadBinary (or,
+// for in-range-but-inconsistent streams, from the validation pass),
+// never as an index panic inside a timing model.
+//
+// Layout (all multi-byte values are varints, so the format is
+// byte-order independent):
+//
+//	magic "MFUT", format version byte
+//	uvarint name length, name bytes
+//	uvarint op count
+//	per op: uvarint PC; bytes Code, Unit; varint Parcels;
+//	        varint Dst, Src1, Src2, Addr, Stride, VLen;
+//	        flags byte (bit 0 = Taken)
+//
+// Seq is positional and not stored.
+
+// binaryMagic identifies a binary trace stream.
+const binaryMagic = "MFUT"
+
+// binaryVersion is the current format version.
+const binaryVersion = 1
+
+// maxBinaryOps bounds the declared op count: a corrupted count field
+// must not translate into an attempt to allocate petabytes. The cap
+// is far above the longest Livermore trace (loop 14 vectorized is
+// ~56k ops; the emulator's own step limit is 50M).
+const maxBinaryOps = 1 << 27
+
+// WriteBinary encodes t to w in the binary trace format.
+func WriteBinary(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(binaryVersion); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	putVarint := func(v int64) error {
+		n := binary.PutVarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(uint64(len(t.Name))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(t.Name); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(len(t.Ops))); err != nil {
+		return err
+	}
+	for i := range t.Ops {
+		o := &t.Ops[i]
+		if err := putUvarint(uint64(o.PC)); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(byte(o.Code)); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(byte(o.Unit)); err != nil {
+			return err
+		}
+		for _, v := range [...]int64{
+			int64(o.Parcels), int64(o.Dst), int64(o.Src1), int64(o.Src2),
+			o.Addr, o.Stride, int64(o.VLen),
+		} {
+			if err := putVarint(v); err != nil {
+				return err
+			}
+		}
+		var flags byte
+		if o.Taken {
+			flags |= 1
+		}
+		if err := bw.WriteByte(flags); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary decodes a binary trace from r. Every way the stream can
+// be damaged — truncation anywhere, a bad magic or version, a
+// preposterous op count, values outside their field's range — returns
+// an error; the successfully decoded trace additionally passes the
+// decode-level validation (Validate), so a trace returned without
+// error is safe to hand to any timing model.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var magic [5]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", noEOF(err))
+	}
+	if string(magic[:4]) != binaryMagic {
+		return nil, fmt.Errorf("trace: bad magic %q (not a binary trace)", magic[:4])
+	}
+	if magic[4] != binaryVersion {
+		return nil, fmt.Errorf("trace: unsupported format version %d (want %d)", magic[4], binaryVersion)
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading name length: %w", noEOF(err))
+	}
+	if nameLen > 4096 {
+		return nil, fmt.Errorf("trace: name length %d is preposterous", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("trace: reading name: %w", noEOF(err))
+	}
+	nops, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading op count: %w", noEOF(err))
+	}
+	if nops > maxBinaryOps {
+		return nil, fmt.Errorf("trace: op count %d exceeds the format cap %d", nops, maxBinaryOps)
+	}
+	t := &Trace{Name: string(name)}
+	// Grow incrementally rather than trusting the declared count with
+	// one huge up-front allocation: a truncated stream then costs
+	// memory proportional to its real length, not its claimed one.
+	if nops < 1<<16 {
+		t.Ops = make([]Op, 0, nops)
+	}
+	for i := uint64(0); i < nops; i++ {
+		o, err := readOp(br, int64(i))
+		if err != nil {
+			return nil, fmt.Errorf("trace: op %d of %d: %w", i, nops, err)
+		}
+		t.Ops = append(t.Ops, o)
+	}
+	if err := Validate(t); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// readOp decodes one op record.
+func readOp(br *bufio.Reader, seq int64) (Op, error) {
+	var o Op
+	o.Seq = seq
+	pc, err := binary.ReadUvarint(br)
+	if err != nil {
+		return o, noEOF(err)
+	}
+	if pc > 1<<31 {
+		return o, fmt.Errorf("pc %d is preposterous", pc)
+	}
+	o.PC = int(pc)
+	code, err := br.ReadByte()
+	if err != nil {
+		return o, noEOF(err)
+	}
+	unit, err := br.ReadByte()
+	if err != nil {
+		return o, noEOF(err)
+	}
+	var fields [7]int64
+	for f := range fields {
+		fields[f], err = binary.ReadVarint(br)
+		if err != nil {
+			return o, noEOF(err)
+		}
+	}
+	flags, err := br.ReadByte()
+	if err != nil {
+		return o, noEOF(err)
+	}
+	// Overflow checks before narrowing: a value that wraps its field
+	// could slip past validation (parcels 256 would narrow to 0).
+	const i16lo, i16hi = -1 << 15, 1<<15 - 1
+	if v := fields[0]; v < -1<<7 || v > 1<<7-1 {
+		return o, fmt.Errorf("parcels %d overflows its field", v)
+	}
+	for _, f := range [...]struct {
+		name string
+		v    int64
+	}{{"dst", fields[1]}, {"src1", fields[2]},
+		{"src2", fields[3]}, {"vlen", fields[6]}} {
+		if f.v < i16lo || f.v > i16hi {
+			return o, fmt.Errorf("%s %d overflows its field", f.name, f.v)
+		}
+	}
+	o.Code = isa.Opcode(code)
+	o.Unit = isa.Unit(unit)
+	o.Parcels = int8(fields[0])
+	o.Dst = isa.Reg(fields[1])
+	o.Src1 = isa.Reg(fields[2])
+	o.Src2 = isa.Reg(fields[3])
+	o.Addr = fields[4]
+	o.Stride = fields[5]
+	o.VLen = int16(fields[6])
+	o.Taken = flags&1 != 0
+	if flags &^= 1; flags != 0 {
+		return o, fmt.Errorf("unknown flag bits %#x", flags)
+	}
+	return o, nil
+}
+
+// noEOF converts a bare io.EOF into io.ErrUnexpectedEOF: inside a
+// record, running out of bytes is truncation, not a clean end.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"mfup/internal/isa"
+)
+
+// binaryTestTrace exercises every field of the record format,
+// including negative addresses' absence, strides, vector lengths, and
+// both parcel sizes.
+func binaryTestTrace() *Trace {
+	return &Trace{
+		Name: "binary-roundtrip",
+		Ops: []Op{
+			{Seq: 0, PC: 0, Code: isa.OpSAdd, Unit: isa.ScalarAdd, Parcels: 1, Dst: isa.S(1), Src1: isa.S(2), Src2: isa.S(3)},
+			{Seq: 1, PC: 1, Code: isa.OpLoadS, Unit: isa.Memory, Parcels: 2, Dst: isa.S(4), Src1: isa.A(1), Src2: isa.NoReg, Addr: 1 << 40},
+			{Seq: 2, PC: 2, Code: isa.OpJAZ, Unit: isa.Branch, Parcels: 2, Dst: isa.NoReg, Src1: isa.NoReg, Src2: isa.NoReg, Taken: true},
+			{Seq: 3, PC: 3, Code: isa.OpVLoad, Unit: isa.Memory, Parcels: 1, Dst: isa.V(0), Src1: isa.A(2), Src2: isa.NoReg, Addr: 512, Stride: -8, VLen: 64},
+			{Seq: 4, PC: 4, Code: isa.OpVFMul, Unit: isa.FloatMul, Parcels: 1, Dst: isa.V(1), Src1: isa.V(0), Src2: isa.V(2), VLen: 17},
+		},
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	orig := binaryTestTrace()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name {
+		t.Errorf("name = %q, want %q", got.Name, orig.Name)
+	}
+	if got.Len() != orig.Len() {
+		t.Fatalf("len = %d, want %d", got.Len(), orig.Len())
+	}
+	for i := range orig.Ops {
+		if got.Ops[i] != orig.Ops[i] {
+			t.Errorf("op %d = %+v, want %+v", i, got.Ops[i], orig.Ops[i])
+		}
+	}
+}
+
+func TestBinaryTruncationEverywhere(t *testing.T) {
+	// Cutting the encoding at every possible byte offset must yield a
+	// structured error — mostly ErrUnexpectedEOF, never a panic, and
+	// never a silently shortened trace.
+	orig := binaryTestTrace()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	enc := buf.Bytes()
+	for cut := 0; cut < len(enc); cut++ {
+		got, err := ReadBinary(bytes.NewReader(enc[:cut]))
+		if err == nil {
+			t.Fatalf("cut at %d of %d decoded successfully (%d ops)", cut, len(enc), got.Len())
+		}
+	}
+	if _, err := ReadBinary(bytes.NewReader(enc[:20])); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("mid-stream cut error = %v, want ErrUnexpectedEOF in the chain", err)
+	}
+}
+
+func TestBinaryRejects(t *testing.T) {
+	healthy := func() []byte {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, binaryTestTrace()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	cases := []struct {
+		name   string
+		damage func([]byte) []byte
+		want   string
+	}{
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }, "bad magic"},
+		{"bad version", func(b []byte) []byte { b[4] = 99; return b }, "version"},
+		{"empty", func(b []byte) []byte { return nil }, "unexpected EOF"},
+		{"preposterous name", func(b []byte) []byte {
+			// Replace the name-length varint (offset 5) with 0xFFFF...
+			return append(append(b[:5:5], 0xff, 0xff, 0xff, 0xff, 0x7f), b[6:]...)
+		}, "preposterous"},
+	}
+	for _, c := range cases {
+		_, err := ReadBinary(bytes.NewReader(c.damage(healthy())))
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestBinaryRejectsInvalidOps(t *testing.T) {
+	// WriteBinary encodes whatever it is given; ReadBinary must refuse
+	// streams whose ops fail decode validation.
+	bad := binaryTestTrace()
+	bad.Ops[1].Unit = isa.Unit(isa.NumUnits + 2)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBinary(bytes.NewReader(buf.Bytes())); err == nil ||
+		!strings.Contains(err.Error(), "functional unit") {
+		t.Errorf("invalid unit: err = %v", err)
+	}
+}

@@ -1,6 +1,10 @@
 package trace
 
-import "mfup/internal/isa"
+import (
+	"fmt"
+
+	"mfup/internal/isa"
+)
 
 // OpFlags is the decoded classification of one op: every predicate the
 // machine models test per cycle, resolved once at preparation time so
@@ -72,6 +76,59 @@ type Prepared struct {
 	// fetch-buffer question "where does the window starting at i end?"
 	// without a scan.
 	nextTaken []int32
+
+	// Err is non-nil when the trace failed validation: an undefined
+	// opcode, a functional-unit or register index outside the dense
+	// arrays the timing models key by it, a malformed parcel count, or
+	// a vector length past the hardware's. ErrIndex is the position of
+	// the first invalid op. Machines must refuse a trace with Err set
+	// (they surface it as a KindBadTrace SimError) — running it would
+	// index out of range deep inside a model.
+	Err      error
+	ErrIndex int
+}
+
+// validateOp checks the decode-level invariants every timing model
+// assumes: a defined opcode, Unit within [0, NumUnits) (models index
+// their functional-unit pools by it), registers either NoReg or in
+// range (scoreboards are dense arrays over Reg), a parcel count of 1
+// or 2 (the CRAY-1S instruction sizes), a nonnegative address for
+// memory ops, and a vector length within the hardware's VecLen.
+func validateOp(o *Op) error {
+	switch {
+	case !o.Code.Valid():
+		return fmt.Errorf("undefined opcode %d", uint8(o.Code))
+	case int(o.Unit) >= isa.NumUnits:
+		return fmt.Errorf("functional unit %d out of range [0,%d)", uint8(o.Unit), isa.NumUnits)
+	case o.Parcels < 0 || o.Parcels > 2:
+		// 1 and 2 are the CRAY-1S instruction sizes; 0 is tolerated as
+		// "unset" because synthetic traces (tests, workload generators)
+		// omit the field and every model treats it as one parcel.
+		return fmt.Errorf("parcel count %d out of range [0,2]", o.Parcels)
+	case o.Dst != isa.NoReg && !o.Dst.Valid():
+		return fmt.Errorf("destination register %d out of range [0,%d)", int(o.Dst), isa.NumRegs)
+	case o.Src1 != isa.NoReg && !o.Src1.Valid():
+		return fmt.Errorf("source register %d out of range [0,%d)", int(o.Src1), isa.NumRegs)
+	case o.Src2 != isa.NoReg && !o.Src2.Valid():
+		return fmt.Errorf("source register %d out of range [0,%d)", int(o.Src2), isa.NumRegs)
+	case o.Code.IsMemory() && o.Addr < 0:
+		return fmt.Errorf("negative address %d", o.Addr)
+	case o.VLen < 0 || o.VLen > isa.VecLen:
+		return fmt.Errorf("vector length %d out of range [0,%d]", o.VLen, isa.VecLen)
+	}
+	return nil
+}
+
+// Validate checks every op of t against the decode-level invariants
+// and returns the first violation (nil for a healthy trace). It is
+// the standalone form of the validation Prepare performs.
+func Validate(t *Trace) error {
+	for i := range t.Ops {
+		if err := validateOp(&t.Ops[i]); err != nil {
+			return fmt.Errorf("trace %q op %d: %w", t.Name, i, err)
+		}
+	}
+	return nil
 }
 
 // Prepare decodes t. Callers that run a trace more than once should
@@ -86,6 +143,14 @@ func Prepare(t *Trace) *Prepared {
 	addrIDs := make(map[int64]int32)
 	for i := range t.Ops {
 		o := &t.Ops[i]
+		if err := validateOp(o); err != nil {
+			// Record the first violation and stop decoding: machines
+			// check Err before touching Ops, so the partial decode is
+			// never consumed.
+			p.Err = fmt.Errorf("trace %q op %d: %w", t.Name, i, err)
+			p.ErrIndex = i
+			break
+		}
 		po := &p.Ops[i]
 		po.AddrID = -1
 		if o.Src1.Valid() {

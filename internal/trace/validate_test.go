@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"mfup/internal/isa"
+)
+
+func TestValidateHealthy(t *testing.T) {
+	tr := preparedTestTrace()
+	if err := Validate(tr); err != nil {
+		t.Fatalf("Validate(healthy) = %v", err)
+	}
+	if p := Prepare(tr); p.Err != nil {
+		t.Fatalf("Prepare(healthy).Err = %v", p.Err)
+	}
+}
+
+func TestValidateCorruptions(t *testing.T) {
+	cases := []struct {
+		name   string
+		damage func(o *Op)
+		want   string
+	}{
+		{"bad opcode", func(o *Op) { o.Code = isa.Opcode(250) }, "undefined opcode"},
+		{"bad unit", func(o *Op) { o.Unit = isa.Unit(isa.NumUnits + 3) }, "functional unit"},
+		{"negative parcels", func(o *Op) { o.Parcels = -1 }, "parcel count"},
+		{"huge parcels", func(o *Op) { o.Parcels = 3 }, "parcel count"},
+		{"bad dst", func(o *Op) { o.Dst = isa.Reg(isa.NumRegs) }, "destination register"},
+		{"bad src1", func(o *Op) { o.Src1 = isa.Reg(999) }, "source register"},
+		{"bad src2", func(o *Op) { o.Src2 = isa.Reg(-7) }, "source register"},
+		{"bad vlen", func(o *Op) { o.VLen = isa.VecLen + 1 }, "vector length"},
+	}
+	for _, c := range cases {
+		tr := preparedTestTrace()
+		const at = 2
+		c.damage(&tr.Ops[at])
+		err := Validate(tr)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: Validate = %v, want error containing %q", c.name, err, c.want)
+			continue
+		}
+		p := Prepare(tr)
+		if p.Err == nil || p.ErrIndex != at {
+			t.Errorf("%s: Prepare.Err = %v at %d, want error at op %d", c.name, p.Err, p.ErrIndex, at)
+		}
+	}
+
+	// A negative address is only invalid on memory ops.
+	tr := preparedTestTrace()
+	tr.Ops[0].Addr = -5 // ALU op: ignored
+	if err := Validate(tr); err != nil {
+		t.Errorf("negative addr on non-memory op rejected: %v", err)
+	}
+	tr.Ops[1].Addr = -5 // load: invalid
+	if err := Validate(tr); err == nil || !strings.Contains(err.Error(), "negative address") {
+		t.Errorf("negative addr on load: Validate = %v", err)
+	}
+}

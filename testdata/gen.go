@@ -1,0 +1,68 @@
+//go:build ignore
+
+// Command gen regenerates the corrupted binary-trace fixtures in this
+// directory. Each fixture is a damaged encoding of Livermore kernel
+// 1's trace, one per corruption class the decoder must reject:
+//
+//	corrupt_truncated.mfutrace    the stream ends mid-record
+//	corrupt_opcode.mfutrace       an undefined opcode encoding
+//	corrupt_register.mfutrace     a register index past NumRegs
+//
+// The fixtures seed the FuzzDecodeMutated corpus and drive the CLI
+// error-path e2e tests. Run from the repository root:
+//
+//	go run ./testdata/gen.go
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"mfup/internal/faultinject"
+	"mfup/internal/loops"
+	"mfup/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gen: ")
+	k, err := loops.Get(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := k.SharedTrace()
+
+	encode := func(t *trace.Trace) []byte {
+		var buf bytes.Buffer
+		if err := trace.WriteBinary(&buf, t); err != nil {
+			log.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	healthy := encode(t)
+	fixtures := map[string][]byte{
+		// Cut the healthy encoding mid-record: a parcel stream that
+		// stops partway through an instruction.
+		"corrupt_truncated.mfutrace": healthy[:len(healthy)*2/3],
+		// Seeded in-memory corruptions, re-encoded. WriteBinary does
+		// not validate, so the damage survives into the bytes.
+		"corrupt_opcode.mfutrace":   encode(faultinject.MutateTrace(t, faultinject.MutBadOpcode, 1)),
+		"corrupt_register.mfutrace": encode(faultinject.MutateTrace(t, faultinject.MutBadReg, 1)),
+	}
+
+	for name, data := range fixtures {
+		path := filepath.Join("testdata", name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := trace.ReadBinary(bytes.NewReader(data)); err == nil {
+			log.Fatalf("%s: decoder accepted the corrupted fixture", name)
+		} else {
+			fmt.Printf("%s: %d bytes, decoder says: %v\n", name, len(data), err)
+		}
+	}
+}
