@@ -378,3 +378,79 @@ func BenchmarkTablesParallel(b *testing.B) {
 	}
 	b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup")
 }
+
+// Steady-state extrapolation: the engine's O(1)-in-iterations claim,
+// and the cost of the always-safe wrapper when it cannot engage.
+
+// BenchmarkExtrapolation simulates LFK 1 at one billion iterations
+// through the extrapolation engine (4000 materialized + ~1e9 virtual).
+// "speedup" is the ratio against full simulation at the same length,
+// estimated from measured full-simulation throughput on the largest
+// materializable trace — running 1e9 iterations directly would take
+// hours, which is precisely the point.
+func BenchmarkExtrapolation(b *testing.B) {
+	const n = 1_000_000_000
+	k, extra, err := loops.ForScale(1, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vw, err := loops.VirtualWindows(k, extra)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := k.SharedTrace()
+	full := core.NewBasic(core.CRAYLike, core.M11BR5)
+	const fullRuns = 3
+	var fullInstr int64
+	start := time.Now()
+	for i := 0; i < fullRuns; i++ {
+		fullInstr = full.Run(tr).Instructions
+	}
+	fullPerInstr := time.Since(start).Seconds() / float64(fullRuns) / float64(fullInstr)
+
+	var last core.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := core.Extrapolate(core.NewBasic(core.CRAYLike, core.M11BR5)).
+			WithVirtual(map[string]int64{tr.Name: vw})
+		r, err := e.RunChecked(tr, core.DefaultLimits())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(float64(last.Instructions), "instrs")
+	fullEstimate := fullPerInstr * float64(last.Instructions)
+	b.ReportMetric(fullEstimate/(b.Elapsed().Seconds()/float64(b.N)), "speedup")
+}
+
+// BenchmarkExtrapolationOverhead measures the wrapper on a trace it
+// can never extrapolate (LFK 13, data-dependent control flow), against
+// the bare machine. "overhead" is the wrapped/bare time ratio: the
+// fallback path must stay at seed speed (~1.0), since the engine
+// decides from the cached period analysis before simulating anything.
+func BenchmarkExtrapolationOverhead(b *testing.B) {
+	k, err := loops.Get(13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := k.SharedTrace()
+	tr.Prepared() // charge the one-time decode to neither side
+	var bare, wrapped time.Duration
+	m := core.NewBasic(core.CRAYLike, core.M11BR5)
+	e := core.Extrapolate(core.NewBasic(core.CRAYLike, core.M11BR5))
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		if _, err := m.RunChecked(tr, core.Limits{}); err != nil {
+			b.Fatal(err)
+		}
+		bare += time.Since(start)
+
+		start = time.Now()
+		if _, err := e.RunChecked(tr, core.Limits{}); err != nil {
+			b.Fatal(err)
+		}
+		wrapped += time.Since(start)
+	}
+	b.ReportMetric(wrapped.Seconds()/bare.Seconds(), "overhead")
+}

@@ -8,6 +8,18 @@
 //	mfusim -machine ruu -units 3 -ruu 40 -bus 1bus -loops vector
 //	mfusim -machine ooo -units 8 -loops 1,5,13
 //	mfusim -machine cray -loops scalar -stats
+//	mfusim -machine cray -loops 1 -scale 1000000000 -extrapolate
+//
+// -scale n rebuilds every selected kernel at loop length n instead of
+// the paper defaults. -extrapolate enables the steady-state
+// extrapolation engine: each loop's repetitive middle is closed
+// analytically from a short ladder of reference runs, making the cost
+// of a loop independent of its iteration count while producing cycle
+// counts, issue rates, and stall breakdowns bit-identical to full
+// simulation. Loops with no detectable steady state fall back to full
+// simulation automatically. A -scale beyond what a kernel's memory
+// layout can materialize requires -extrapolate, which accounts for
+// the surplus iterations analytically.
 //
 // -stats attaches a stall-attribution probe and, after the rates,
 // prints a per-loop breakdown of where the machine's issue slots
@@ -72,6 +84,8 @@ func main() {
 		ruuSize     = flag.Int("ruu", 50, "RUU entries (ruu machine)")
 		stations    = flag.Int("stations", 4, "reservation stations per unit (tomasulo machine)")
 		which       = flag.String("loops", "all", `"all", "scalar", "vector", or comma-separated kernel numbers`)
+		scale       = flag.Int("scale", 0, "loop length for every selected kernel (0 = paper defaults); lengths beyond a kernel's memory layout need -extrapolate")
+		extrap      = flag.Bool("extrapolate", false, "close each loop's steady-state middle analytically instead of simulating every iteration")
 		showStats   = flag.Bool("stats", false, "print a per-loop stall-reason breakdown after the rates")
 		maxCycles   = flag.Int64("maxcycles", 0, "simulated-cycle budget per loop; 0 = unlimited")
 		stallCycles = flag.Int64("stallcycles", 0, "cycles without forward progress before the run is declared stalled; 0 = off")
@@ -88,13 +102,15 @@ func main() {
 	)
 	flag.Parse()
 	log = cli.NewLogger("mfusim", *verbose)
-	loopsSet, seedSet := false, false
+	loopsSet, seedSet, scaleSet := false, false, false
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "loops":
 			loopsSet = true
 		case "fault-seed":
 			seedSet = true
+		case "scale":
+			scaleSet = true
 		}
 	})
 
@@ -120,6 +136,12 @@ func main() {
 		fail(fmt.Errorf("-tracein conflicts with -loops: the trace file is the workload"))
 	case seedSet && *faults == "":
 		fail(fmt.Errorf("-fault-seed needs -faults"))
+	case scaleSet && *scale < 1:
+		fail(fmt.Errorf("-scale %d: loop length must be at least 1", *scale))
+	case scaleSet && *traceIn != "":
+		fail(fmt.Errorf("-scale conflicts with -tracein: the trace file fixes the workload"))
+	case scaleSet && strings.ToLower(*machine) == "vector":
+		fail(fmt.Errorf("-scale does not apply to the vector machine: the vector codings are fixed at the paper lengths"))
 	}
 
 	if *faults != "" {
@@ -187,6 +209,37 @@ func main() {
 		kernels = vks
 	}
 
+	// -scale rebuilds the selected kernels at the requested loop
+	// length. A length past a kernel's memory layout materializes the
+	// layout maximum; the remainder becomes virtual iterations for the
+	// extrapolation engine to account for analytically.
+	virtual := map[string]int64{}
+	if scaleSet {
+		scaledKs := make([]*loops.Kernel, 0, len(kernels))
+		for _, k := range kernels {
+			sk, extra, err := loops.ForScale(k.Number, *scale)
+			if err != nil {
+				fail(err)
+			}
+			if extra > 0 {
+				if !*extrap {
+					fail(fmt.Errorf("%s: -scale %d exceeds the %d iterations the memory layout supports; -extrapolate can extend it analytically",
+						sk, *scale, sk.N))
+				}
+				if err := core.CanExtrapolate(sk.SharedTrace()); err != nil {
+					fail(fmt.Errorf("%s: -scale %d needs analytic extension past %d iterations, but %v", sk, *scale, sk.N, err))
+				}
+				v, err := loops.VirtualWindows(sk, extra)
+				if err != nil {
+					fail(err)
+				}
+				virtual[sk.SharedTrace().Name] = v
+			}
+			scaledKs = append(scaledKs, sk)
+		}
+		kernels = scaledKs
+	}
+
 	// The workload: the built-in loops, or one externally assembled
 	// binary trace.
 	type workItem struct {
@@ -204,6 +257,12 @@ func main() {
 		for _, k := range kernels {
 			work = append(work, workItem{label: k.String(), tr: k.SharedTrace()})
 		}
+	}
+
+	var engine *core.Extrapolator
+	if *extrap {
+		engine = core.Extrapolate(m).WithVirtual(virtual)
+		m = engine
 	}
 
 	var rec *events.Recorder
@@ -242,6 +301,14 @@ func main() {
 		breakdowns = append(breakdowns, c)
 		fmt.Printf("  %-38s %8d instr %9d cycles  %.3f/cycle\n",
 			w.label, r.Instructions, r.Cycles, r.IssueRate())
+		if engine != nil {
+			if s := engine.Stats(); s.Engaged {
+				fmt.Printf("    extrapolated: lag %d, %d of %d windows bridged analytically, %d ops simulated\n",
+					s.Lag, s.Skipped, s.Windows, s.SimulatedOps)
+			} else {
+				fmt.Printf("    full simulation: %s\n", s.Reason)
+			}
+		}
 	}
 	fmt.Printf("harmonic mean issue rate: %.3f instructions/cycle\n", stats.HarmonicMean(rates))
 	if rec != nil {

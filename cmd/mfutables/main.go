@@ -13,6 +13,15 @@
 // across a worker pool; the output is bit-identical at any -parallel
 // value.
 //
+// -scale n regenerates every kernel at loop length n instead of the
+// paper defaults; kernels that cannot reach n (memory-layout limits,
+// no steady state to extend analytically) are clamped to their
+// largest feasible length, with a note per clamped kernel on standard
+// error. -extrapolate wraps every simulated cell in the steady-state
+// extrapolation engine (core.Extrapolate): table values are
+// bit-identical, but the repetitive middle of each loop is closed
+// analytically, which makes huge -scale values affordable.
+//
 // -cpuprofile and -memprofile write pprof profiles of the run, for
 // use with `go tool pprof`.
 //
@@ -87,6 +96,8 @@ func main() {
 func run() int {
 	table := flag.Int("table", 0, "table number 1-8; 0 regenerates all")
 	supplement := flag.Bool("supplement", false, "also print the section 3.3 dependency-resolution supplement")
+	scale := flag.Int("scale", 0, "loop length for every kernel (0 = paper defaults); kernels that cannot reach it are clamped and noted")
+	extrap := flag.Bool("extrapolate", false, "close each loop's steady-state middle analytically instead of simulating every iteration")
 	format := flag.String("format", "text", "output format: text | csv | json")
 	parallel := flag.Int("parallel", 0, "worker goroutines for the simulations; 0 = all cores")
 	maxCycles := flag.Int64("maxcycles", 0, "per-cell simulated-cycle budget; 0 = unlimited")
@@ -105,10 +116,13 @@ func run() int {
 	verbose := flag.Bool("v", false, "verbose logging (debug level) on standard error")
 	flag.Parse()
 	log := cli.NewLogger("mfutables", *verbose)
-	seedSet := false
+	seedSet, scaleSet := false, false
 	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "fault-seed" {
+		switch f.Name {
+		case "fault-seed":
 			seedSet = true
+		case "scale":
+			scaleSet = true
 		}
 	})
 
@@ -151,6 +165,8 @@ func run() int {
 		return fail(fmt.Errorf("-checkpoint conflicts with -trace-dir: cells served from the journal are not re-simulated and record no events"))
 	case seedSet && *faults == "":
 		return fail(fmt.Errorf("-fault-seed needs -faults"))
+	case scaleSet && *scale < 1:
+		return fail(fmt.Errorf("-scale %d: loop length must be at least 1", *scale))
 	}
 
 	var injector *faultinject.Injector
@@ -174,6 +190,8 @@ func run() int {
 		tables.SetCellTimeout(*timeout)
 	}
 	tables.SetRetry(*retries, *retryBackoff, *faultSeed)
+	tables.SetScale(*scale)
+	tables.SetExtrapolate(*extrap)
 
 	// SIGINT/SIGTERM cancels the generation context: in-flight cells
 	// finish, unstarted cells are skipped, completed cells are already
@@ -305,6 +323,11 @@ func run() int {
 	}
 	done := func() int {
 		code := 0
+		if scaleSet {
+			for _, note := range tables.ScaleNotes() {
+				log.Warn(note)
+			}
+		}
 		if *metrics != "" {
 			if err := writeMetrics(*metrics, emitted); err != nil {
 				return fail(err)

@@ -60,6 +60,26 @@ func TestCommandLineTools(t *testing.T) {
 		t.Errorf("mfusim -stats changed the per-loop line:\nwith: %s\nwithout: %s", out, plain)
 	}
 
+	// Steady-state extrapolation: a billion-iteration loop closes
+	// analytically, reporting how much of it was bridged; -scale at a
+	// materializable length gives the same numbers with or without the
+	// engine; a loop with no steady state reports its fallback.
+	out = runBin(mfusim, "-machine", "cray", "-loops", "1", "-scale", "1000000000", "-extrapolate")
+	if !strings.Contains(out, "windows bridged analytically") || !strings.Contains(out, "extrapolated: lag") {
+		t.Errorf("mfusim -extrapolate missing engine stats:\n%s", out)
+	}
+	scaled := runBin(mfusim, "-machine", "cray", "-loops", "1", "-scale", "1000")
+	scaledE := runBin(mfusim, "-machine", "cray", "-loops", "1", "-scale", "1000", "-extrapolate")
+	line := func(s string) string { return strings.Split(s, "\n")[1] }
+	if line(scaled) != line(scaledE) {
+		t.Errorf("-extrapolate changed a materializable run:\nwith:    %s\nwithout: %s",
+			line(scaledE), line(scaled))
+	}
+	out = runBin(mfusim, "-machine", "cray", "-loops", "13", "-extrapolate")
+	if !strings.Contains(out, "full simulation:") {
+		t.Errorf("mfusim -extrapolate on LFK 13 missing fallback note:\n%s", out)
+	}
+
 	mfutables := build("mfutables")
 	out = runBin(mfutables, "-table", "1")
 	if !strings.Contains(out, "Table 1.") || !strings.Contains(out, "CRAY-like") {
@@ -111,6 +131,16 @@ func TestCommandLineTools(t *testing.T) {
 	runBin(mfutables, "-table", "1", "-metrics", metricsCSV)
 	if b, err := os.ReadFile(metricsCSV); err != nil || !strings.HasPrefix(string(b), "table,row,column,machine,") {
 		t.Errorf("metrics CSV missing or malformed (err %v):\n%.200s", err, b)
+	}
+	// Scaled, extrapolated table regeneration: kernels that cannot
+	// reach the requested length are clamped with a note, the rest
+	// extend analytically, and the table still renders every cell.
+	out = runBin(mfutables, "-table", "1", "-scale", "100000", "-extrapolate")
+	if !strings.Contains(out, "Table 1.") || strings.Contains(out, "ERR") {
+		t.Errorf("scaled extrapolated table unexpected:\n%s", out)
+	}
+	if !strings.Contains(out, "clamped") {
+		t.Errorf("scaled run missing clamp notes for the fixed-length kernels:\n%s", out)
 	}
 
 	mfulimits := build("mfulimits")
@@ -465,6 +495,13 @@ func TestCommandLineErrorPaths(t *testing.T) {
 		{"mfutables fault-seed without faults", mfutables, []string{"-fault-seed", "7"}, "-fault-seed needs -faults"},
 		{"mfutables bad fault plan", mfutables, []string{"-faults", "sim:err:at=zero"}, "positive count"},
 		{"mfutables injected write fault", mfutables, []string{"-table", "2", "-format", "csv", "-metrics", filepath.Join(bindir, "m2.json"), "-faults", "write.metrics:werr"}, "injected permanent failure"},
+
+		{"mfusim zero scale", mfusim, []string{"-machine", "cray", "-loops", "1", "-scale", "0"}, "at least 1"},
+		{"mfusim scale with tracein", mfusim, []string{"-tracein", corruptTrace, "-scale", "10"}, "conflicts"},
+		{"mfusim scale on vector machine", mfusim, []string{"-machine", "vector", "-scale", "10"}, "does not apply"},
+		{"mfusim scale needs extrapolate", mfusim, []string{"-machine", "cray", "-loops", "1", "-scale", "100000"}, "-extrapolate"},
+		{"mfusim scale unreachable", mfusim, []string{"-machine", "cray", "-loops", "13", "-scale", "100000", "-extrapolate"}, "analytic extension"},
+		{"mfutables zero scale", mfutables, []string{"-scale", "0"}, "at least 1"},
 
 		{"mfusim timeline-window without timeline", mfusim, []string{"-timeline-window", "40"}, "-timeline-window needs -timeline"},
 		{"mfusim trace-events without trace", mfusim, []string{"-trace-events", "100"}, "-trace-events needs -trace or -timeline"},

@@ -1,0 +1,389 @@
+package core
+
+import (
+	"fmt"
+
+	"mfup/internal/events"
+	"mfup/internal/probe"
+	"mfup/internal/simerr"
+	"mfup/internal/trace"
+)
+
+// Steady-state extrapolation: make per-loop simulation cost O(1) in
+// the iteration count.
+//
+// Every Livermore trace is a short prologue, a long run of congruent
+// loop-body windows, and an epilogue (internal/trace.Period). The
+// machines are deterministic finite-state systems, so once the
+// pipeline reaches steady state every further iteration costs exactly
+// the same cycles and the same stall-attribution deltas as the last —
+// simulating a billion of them recomputes one number a billion times.
+//
+// The Extrapolator wrapper exploits that without touching a machine's
+// timing model. For a trace with B body windows it simulates a ladder
+// of reduced traces holding k0, k0+1, ..., k0+S-1 windows (Period
+// Slice; each run is a full prologue + tail, so end effects are
+// included), then looks for a lag L such that growing the loop by L
+// iterations always adds the same cycle count, the same issued/stall
+// slot counts per reason, the same per-unit work, and the same
+// occupancy histogram increments. A machine in steady state must show
+// such a fixed per-iteration delta; finding one, the engine closes
+// the run analytically:
+//
+//	result(B) = result(kref) + (B-kref)/L * (result(kref+L) - result(kref))
+//
+// with kref chosen congruent to B modulo L. The reference runs carry
+// the simulated epilogue, so cycle counts, issue rates, and stall
+// breakdowns are exact — bit-identical to full simulation — whenever
+// the steady-state premise holds; the differential matrix test
+// asserts exactly that across every machine and kernel. When no
+// period or no fixed delta exists (data-dependent control flow,
+// too few iterations, bank-hostile strides), the wrapper falls back
+// to full simulation, so it is always safe to apply.
+const (
+	// The reference ladder is adaptive: most machines show a fixed
+	// delta at lag 1 or 2, so a short ladder settles them cheaply; the
+	// RUU's round-robin issue banks, ring-buffer result bus, and
+	// wrap-around entry reuse can compose into much longer steady
+	// periods — up to the order of the RUU size (lags of 18 and ~100
+	// are observed) — which the extended stages cover when the trace
+	// has enough iterations to sample them.
+	extrapSamples    = 16
+	extrapMaxLag     = 8
+	extrapSamplesExt = 48
+	extrapMaxLagExt  = 32
+	extrapSamplesMax = 224
+	extrapMaxLagMax  = 192
+
+	// extrapMinPairs is the smallest number of confirming sample pairs
+	// a lag must exhibit before the engine trusts it.
+	extrapMinPairs = 8
+
+	// extrapHorizonOps and extrapHorizonWindows size the warmup the
+	// smallest reference run must contain before its tail: enough ops
+	// to flush any in-flight window (the largest RUU holds 100
+	// entries) and enough windows to retire any store-to-load distance
+	// a machine could still observe (each window costs at least one
+	// cycle; memory latency is at most 11).
+	extrapHorizonOps     = 256
+	extrapHorizonWindows = 16
+)
+
+// ExtrapolationStats reports what the engine did on the last run of
+// an Extrapolator.
+type ExtrapolationStats struct {
+	// Engaged is true when the run was closed analytically; false
+	// means the wrapper fell back to full simulation.
+	Engaged bool
+
+	// Reason explains a fallback ("" when Engaged).
+	Reason string
+
+	// Span and Lag are the detected ops-per-iteration and steady-state
+	// period in iterations.
+	Span, Lag int
+
+	// Windows is the total body-window count accounted for, including
+	// virtual iterations; Skipped of them were bridged analytically.
+	Windows, Skipped int64
+
+	// SimulatedOps counts the ops actually simulated across the
+	// reference runs (the engine's entire per-machine cost).
+	SimulatedOps int64
+
+	// CyclesPerLag is the fixed cycle delta per Lag iterations.
+	CyclesPerLag int64
+}
+
+// configured is implemented by every concrete machine in this
+// package; the engine consults the configuration for bank-safety.
+type configured interface{ machineConfig() Config }
+
+// extrapWarmup returns the smallest reference-run window count k0 for
+// a period of the given span: the full identity horizon must fit
+// before the reduced trace's tail window.
+func extrapWarmup(span int) int {
+	return extrapHorizonWindows + (extrapHorizonOps+span-1)/span + 2
+}
+
+// CanExtrapolate reports whether t satisfies the machine-independent
+// prerequisites of the extrapolation engine: a detectable steady-state
+// period, enough iterations for the reference ladder, and reduced
+// traces that preserve the tail's address-identity structure. A nil
+// return does not guarantee engagement — a machine can still fall
+// back (or, with virtual iterations, fail) for machine-dependent
+// reasons such as a bank-hostile stride — but callers deciding
+// whether a loop length beyond the materializable range is reachable
+// should require it.
+func CanExtrapolate(t *trace.Trace) error {
+	prep := t.Prepared()
+	if prep.Err != nil {
+		return prep.Err
+	}
+	pd := prep.Period()
+	if pd == nil {
+		return fmt.Errorf("core: %s: no steady-state period detected", t.Name)
+	}
+	k0 := extrapWarmup(pd.Span)
+	if need := k0 + extrapSamples + 1; pd.Iterations() < need {
+		return fmt.Errorf("core: %s: too few iterations (%d, need %d)", t.Name, pd.Iterations(), need)
+	}
+	if !pd.TailIdentityOK(k0) {
+		return fmt.Errorf("core: %s: a reduced trace does not preserve tail address identity", t.Name)
+	}
+	return nil
+}
+
+// Extrapolator wraps a Machine with the steady-state extrapolation
+// engine. It is itself a Machine: Name, probes, and recorders pass
+// through, results are bit-identical to the wrapped machine's, and
+// runs the engine cannot close analytically fall back to a plain
+// delegated run. Like the machines it wraps, an Extrapolator is
+// reusable but not safe for concurrent use.
+type Extrapolator struct {
+	inner      Machine
+	probe      probe.Probe
+	rec        *events.Recorder
+	extra      map[string]int64 // virtual iterations to add, by trace name
+	bestEffort bool
+	last       ExtrapolationStats
+}
+
+// Extrapolate wraps m with the steady-state extrapolation engine.
+func Extrapolate(m Machine) *Extrapolator {
+	if e, ok := m.(*Extrapolator); ok {
+		return e
+	}
+	return &Extrapolator{inner: m}
+}
+
+// WithVirtual directs the engine to account for extra additional loop
+// iterations beyond those materialized in the trace, keyed by trace
+// name. Virtual iterations cost nothing to simulate — they are pure
+// analytic extension — which is what makes n=1e9 affordable when the
+// kernel's memory layout caps the buildable trace far lower. A run
+// whose trace has virtual iterations but no detectable steady state
+// fails with a structured error: there is nothing to fall back to.
+func (e *Extrapolator) WithVirtual(extra map[string]int64) *Extrapolator {
+	e.extra = extra
+	return e
+}
+
+// BestEffort directs the engine to fall back to simulating just the
+// materialized trace when virtual iterations cannot be extended
+// analytically, instead of failing the run: the result then reflects
+// only the materialized iterations (Stats reports the fallback).
+// Issue rates are essentially independent of the iteration count in
+// steady state, so a clamped run's rate is still representative;
+// exact cycle totals are not, which is why the strict default errors.
+func (e *Extrapolator) BestEffort() *Extrapolator {
+	e.bestEffort = true
+	return e
+}
+
+// Stats returns what the engine did on the most recent run.
+func (e *Extrapolator) Stats() ExtrapolationStats { return e.last }
+
+// Name reports the wrapped machine's name: results must be
+// indistinguishable from the machine's own.
+func (e *Extrapolator) Name() string { return e.inner.Name() }
+
+// SetProbe attaches p to subsequent runs. During an engaged run the
+// wrapped machine drives only the engine's internal reference
+// counters; p receives the exact extrapolated totals instead.
+func (e *Extrapolator) SetProbe(p probe.Probe) { e.probe = p }
+
+// SetRecorder attaches r to subsequent runs. Lifecycle events exist
+// only for simulated instructions, so an attached recorder disables
+// extrapolation: every run falls back to full simulation and records
+// the complete stream, exactly as on the bare machine.
+func (e *Extrapolator) SetRecorder(r *events.Recorder) { e.rec = r }
+
+// Run simulates t unbounded, panicking on failure, like any Machine.
+func (e *Extrapolator) Run(t *trace.Trace) Result { return runUnchecked(e, t) }
+
+// RunChecked simulates t under lim, extrapolating the steady-state
+// middle of the loop when possible and falling back to a delegated
+// full run otherwise.
+func (e *Extrapolator) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
+	e.last = ExtrapolationStats{}
+	extraIters := e.extra[t.Name]
+	if r, err, done := e.tryExtrapolate(t, lim, extraIters); done {
+		return r, err
+	}
+	if extraIters > 0 && !e.bestEffort {
+		return Result{}, &simerr.SimError{
+			Kind: simerr.KindBadTrace, Machine: e.inner.Name(), Trace: t.Name,
+			Instr: -1,
+			Msg: fmt.Sprintf("cannot extrapolate %d virtual iterations: %s",
+				extraIters, e.last.Reason),
+		}
+	}
+	e.inner.SetProbe(e.probe)
+	e.inner.SetRecorder(e.rec)
+	defer func() {
+		e.inner.SetProbe(nil)
+		e.inner.SetRecorder(nil)
+	}()
+	return e.inner.RunChecked(t, lim)
+}
+
+// tryExtrapolate attempts the analytic closure. done reports whether
+// the run is finished (result or error); false means fall back, with
+// the reason recorded in e.last.
+func (e *Extrapolator) tryExtrapolate(t *trace.Trace, lim Limits, extraIters int64) (Result, error, bool) {
+	fallback := func(reason string) (Result, error, bool) {
+		e.last.Reason = reason
+		return Result{}, nil, false
+	}
+	if e.rec != nil {
+		return fallback("event recorder attached: every cycle must be simulated")
+	}
+	var uc *probe.Counters
+	if e.probe != nil {
+		c, ok := e.probe.(*probe.Counters)
+		if !ok {
+			return fallback("unsupported probe type")
+		}
+		uc = c
+	}
+	prep := t.Prepared()
+	if prep.Err != nil {
+		return fallback("invalid trace")
+	}
+	pd := prep.Period()
+	if pd == nil {
+		return fallback("no steady-state period detected")
+	}
+	e.last.Span = pd.Span
+	// Warmup: the smallest reference run must hold the full identity
+	// horizon before its tail window.
+	k0 := extrapWarmup(pd.Span)
+	windows := int64(pd.Iterations())
+	if windows < int64(k0+extrapSamples+1) {
+		return fallback(fmt.Sprintf("too few iterations (%d, need %d)", windows, k0+extrapSamples+1))
+	}
+	cm, ok := e.inner.(configured)
+	if !ok {
+		return fallback("machine does not expose its configuration")
+	}
+	if nb := cm.machineConfig().MemBanks; nb > 1 && !pd.BankSafe(nb) {
+		return fallback(fmt.Sprintf("address strides not aligned to %d memory banks", nb))
+	}
+	if !pd.TailIdentityOK(k0) {
+		return fallback("reduced trace does not preserve tail address identity")
+	}
+	// Reference ladder: simulate k0..k0+S-1 iterations, each run
+	// observed by a fresh counter set.
+	type sample struct {
+		r Result
+		c *probe.Counters
+	}
+	samples := make([]sample, 0, extrapSamplesExt)
+	defer e.inner.SetProbe(nil)
+	extendTo := func(n int) string {
+		for i := len(samples); i < n; i++ {
+			tr := pd.Slice(k0 + i)
+			if tr == nil {
+				return "reduced trace construction failed"
+			}
+			c := new(probe.Counters)
+			e.inner.SetProbe(c)
+			r, err := e.inner.RunChecked(tr, lim)
+			if err != nil {
+				return fmt.Sprintf("reference run (%d iterations) failed: %v", k0+i, err)
+			}
+			samples = append(samples, sample{r, c})
+			e.last.SimulatedOps += int64(len(tr.Ops))
+		}
+		return ""
+	}
+	// findLag returns the smallest L in [lo, hi] for which every
+	// L-apart pair of reference runs differs by one fixed observable
+	// delta, or 0 if there is none. A lag is only trusted with at
+	// least extrapMinPairs confirming pairs.
+	findLag := func(lo, hi int) int {
+		if max := len(samples) - extrapMinPairs; hi > max {
+			hi = max
+		}
+		for l := lo; l <= hi; l++ {
+			ok := samples[l].r.Cycles > samples[0].r.Cycles
+			for i := 1; ok && i+l < len(samples); i++ {
+				ok = samples[i+l].r.Cycles-samples[i].r.Cycles == samples[l].r.Cycles-samples[0].r.Cycles &&
+					samples[i+l].r.Instructions-samples[i].r.Instructions == samples[l].r.Instructions-samples[0].r.Instructions &&
+					probe.DeltaEqual(samples[0].c, samples[l].c, samples[i].c, samples[i+l].c)
+			}
+			if ok {
+				return l
+			}
+		}
+		return 0
+	}
+	stages := []struct{ samples, maxLag int }{
+		{extrapSamples, extrapMaxLag},
+		{extrapSamplesExt, extrapMaxLagExt},
+		{extrapSamplesMax, extrapMaxLagMax},
+	}
+	lag := 0
+	for _, st := range stages {
+		// Later stages shrink to the iterations the trace has; the
+		// first is guaranteed by the engagement check above. Re-search
+		// from lag 1 each stage: a short lag can sit above an earlier
+		// stage's pair-count ceiling, and re-checking the rest is cheap
+		// next to one reference simulation.
+		if n := int(windows) - k0 - 1; st.samples > n {
+			st.samples = n
+		}
+		if st.samples > len(samples) {
+			if reason := extendTo(st.samples); reason != "" {
+				return fallback(reason)
+			}
+		}
+		if lag = findLag(1, st.maxLag); lag != 0 {
+			break
+		}
+	}
+	if lag == 0 {
+		return fallback("no fixed per-iteration delta within the sampled ladder")
+	}
+	// Close the run at the target window count from a reference
+	// congruent to it modulo the lag.
+	target := windows + extraIters
+	ref := -1
+	for i := len(samples) - 1 - lag; i >= 0; i-- {
+		if (target-int64(k0+i))%int64(lag) == 0 {
+			ref = i
+			break
+		}
+	}
+	if ref < 0 {
+		return fallback("no reference run congruent to the target length")
+	}
+	lo, hi := &samples[ref], &samples[ref+lag]
+	times := (target - int64(k0+ref)) / int64(lag)
+	cycles := lo.r.Cycles + times*(hi.r.Cycles-lo.r.Cycles)
+	instrs := lo.r.Instructions + times*(hi.r.Instructions-lo.r.Instructions)
+	if extraIters == 0 && instrs != int64(len(t.Ops)) {
+		return fallback("extrapolated instruction count disagrees with the trace")
+	}
+	// The skipped iterations still count against the cycle budget: a
+	// full run past lim.MaxCycles must fail the same way here.
+	g := simerr.NewGuard(e.inner.Name(), t.Name, lim.MaxCycles, lim.StallCycles, lim.Deadline)
+	e.last.Engaged = true
+	e.last.Lag = lag
+	e.last.Windows = target
+	e.last.Skipped = times * int64(lag)
+	e.last.CyclesPerLag = hi.r.Cycles - lo.r.Cycles
+	if err := g.Over(cycles, instrs); err != nil {
+		return Result{}, err, true
+	}
+	if uc != nil {
+		uc.AddExtrapolated(lo.c, hi.c, times)
+	}
+	return Result{
+		Machine:      lo.r.Machine,
+		Trace:        t.Name,
+		Instructions: instrs,
+		Cycles:       cycles,
+	}, nil, true
+}

@@ -391,3 +391,6 @@ func (m *multiIssue) issueReason(op *trace.Op, po *trace.PreparedOp, isBranch bo
 	}
 	return reason
 }
+
+// machineConfig exposes the configuration to the extrapolation engine.
+func (m *multiIssue) machineConfig() Config { return m.cfg }

@@ -612,3 +612,6 @@ func (m *multiIssueOOO) hazardReason(t *trace.Trace, p *trace.Prepared, pos, i i
 	}
 	return probe.ReasonRAW
 }
+
+// machineConfig exposes the configuration to the extrapolation engine.
+func (m *multiIssueOOO) machineConfig() Config { return m.cfg }

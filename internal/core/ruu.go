@@ -12,8 +12,12 @@ import (
 // ruuMachine adapts the Register Update Unit simulator (§5.3,
 // internal/ruu) to the Machine interface.
 type ruuMachine struct {
+	cfg Config
 	sim *ruu.Simulator
 }
+
+// machineConfig exposes the configuration to the extrapolation engine.
+func (m *ruuMachine) machineConfig() Config { return m.cfg }
 
 // NewRUU builds the §5.3 machine: cfg.IssueUnits issue units over a
 // cfg.RUUSize-entry Register Update Unit with the cfg.Bus
@@ -48,7 +52,7 @@ func NewRUUChecked(cfg Config) (Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ruuMachine{sim: sim}, nil
+	return &ruuMachine{cfg: cfg, sim: sim}, nil
 }
 
 func (m *ruuMachine) Name() string { return m.sim.Name() }

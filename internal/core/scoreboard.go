@@ -182,3 +182,6 @@ func (m *scoreboard) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 		Cycles:       lastDone,
 	}, nil
 }
+
+// machineConfig exposes the configuration to the extrapolation engine.
+func (m *scoreboard) machineConfig() Config { return m.cfg }

@@ -296,3 +296,6 @@ func (m *singleIssue) issueReason(op *trace.Op, po *trace.PreparedOp, isBranch b
 	}
 	return reason
 }
+
+// machineConfig exposes the configuration to the extrapolation engine.
+func (m *singleIssue) machineConfig() Config { return m.cfg }

@@ -362,3 +362,6 @@ func (m *tomasulo) RunChecked(t *trace.Trace, lim Limits) (Result, error) {
 		Cycles:       lastEvent,
 	}, nil
 }
+
+// machineConfig exposes the configuration to the extrapolation engine.
+func (m *tomasulo) machineConfig() Config { return m.cfg }

@@ -313,3 +313,6 @@ func (m *vectorMachine) issueReason(op *trace.Op, po *trace.PreparedOp, unit isa
 	}
 	return reason
 }
+
+// machineConfig exposes the configuration to the extrapolation engine.
+func (m *vectorMachine) machineConfig() Config { return m.cfg }

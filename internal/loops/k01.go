@@ -10,12 +10,9 @@ import (
 //
 //	DO 1 k = 1,n
 //	1  X(k) = Q + Y(k)*(R*Z(k+10) + T*Z(k+11))
-func init() { registerBuilder(1, 100, buildK01) }
+func init() { registerBuilder(1, 100, 1, 4000, buildK01) }
 
 func buildK01(n int) (*Kernel, string, error) {
-	if err := checkN(n, 1, 4000); err != nil {
-		return nil, "", err
-	}
 	const (
 		constB = 0x0100 // q, r, t
 		xB     = 0x1000

@@ -21,12 +21,9 @@ import (
 //	    IF( ii.GT.1) GO TO 222
 //
 // The cascade halves ii each pass, so n is a power of two here.
-func init() { registerBuilder(2, 64, buildK02) }
+func init() { registerBuilder(2, 64, 4, 1024, buildK02) }
 
 func buildK02(n int) (*Kernel, string, error) {
-	if err := checkN(n, 4, 1024); err != nil {
-		return nil, "", err
-	}
 	if n&(n-1) != 0 {
 		return nil, "", fmt.Errorf("kernel 2 requires a power-of-two length, got %d", n)
 	}

@@ -11,12 +11,9 @@ import (
 //	Q = 0.0
 //	DO 3 k = 1,n
 //	3  Q = Q + Z(k)*X(k)
-func init() { registerBuilder(3, 100, buildK03) }
+func init() { registerBuilder(3, 100, 1, 4000, buildK03) }
 
 func buildK03(n int) (*Kernel, string, error) {
-	if err := checkN(n, 1, 4000); err != nil {
-		return nil, "", err
-	}
 	const (
 		qB = 0x0100
 		zB = 0x1000

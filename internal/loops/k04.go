@@ -16,12 +16,9 @@ import (
 //	      temp= temp - X(lw)*Y(j)
 //	4     lw= lw+1
 //	444 X(k-1)= Y(5)*temp
-func init() { registerBuilder(4, 100, buildK04) }
+func init() { registerBuilder(4, 100, 5, 4000, buildK04) }
 
 func buildK04(n int) (*Kernel, string, error) {
-	if err := checkN(n, 5, 4000); err != nil {
-		return nil, "", err
-	}
 	if n%5 != 0 {
 		return nil, "", fmt.Errorf("kernel 4 requires a multiple-of-five length, got %d", n)
 	}

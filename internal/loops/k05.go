@@ -14,12 +14,9 @@ import (
 // A true linear recurrence: each element needs the previous one, so
 // the loop cannot be vectorized. The running x[i-1] is kept in a
 // register, as a compiler would.
-func init() { registerBuilder(5, 100, buildK05) }
+func init() { registerBuilder(5, 100, 2, 4000, buildK05) }
 
 func buildK05(n int) (*Kernel, string, error) {
-	if err := checkN(n, 2, 4000); err != nil {
-		return nil, "", err
-	}
 	const (
 		xB = 0x1000
 		yB = 0x2000

@@ -14,12 +14,9 @@ import (
 //
 // Triangular doubly nested recurrence; every w[i] needs all earlier
 // w values, so the kernel is inherently scalar.
-func init() { registerBuilder(6, 40, buildK06) }
+func init() { registerBuilder(6, 40, 2, 256, buildK06) }
 
 func buildK06(n int) (*Kernel, string, error) {
-	if err := checkN(n, 2, 256); err != nil {
-		return nil, "", err
-	}
 	const (
 		wB = 0x1000
 		bB = 0x2000 // row-major n x n

@@ -15,12 +15,9 @@ import (
 //
 // The longest straight-line body among the vectorizable kernels:
 // plenty of instruction-level parallelism within an iteration.
-func init() { registerBuilder(7, 100, buildK07) }
+func init() { registerBuilder(7, 100, 1, 4000, buildK07) }
 
 func buildK07(n int) (*Kernel, string, error) {
-	if err := checkN(n, 1, 4000); err != nil {
-		return nil, "", err
-	}
 	const (
 		constB = 0x0100 // r, t
 		xB     = 0x1000

@@ -21,12 +21,9 @@ import (
 // ((a-b)-b)+c, avoiding a 2.0 constant; the reference matches that
 // association. Storage is Fortran order: element (kx,ky,l), all
 // 0-based here, lives at kx + NX*ky + NX*NY*l.
-func init() { registerBuilder(8, 50, buildK08) }
+func init() { registerBuilder(8, 50, 4, 130, buildK08) }
 
 func buildK08(n int) (*Kernel, string, error) {
-	if err := checkN(n, 4, 130); err != nil {
-		return nil, "", err
-	}
 	const (
 		uB  = 0x1000 // u1, then u2, then u3, contiguous
 		duB = 0x2000 // du1, du2, du3, contiguous (ny words each)

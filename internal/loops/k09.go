@@ -18,12 +18,9 @@ import (
 // columns are constant offsets. The seven DM constants and C0 live in
 // T registers, moved to S registers at each use — the classic CRAY
 // scalar code shape for constant-heavy kernels.
-func init() { registerBuilder(9, 100, buildK09) }
+func init() { registerBuilder(9, 100, 1, 4000, buildK09) }
 
 func buildK09(n int) (*Kernel, string, error) {
-	if err := checkN(n, 1, 4000); err != nil {
-		return nil, "", err
-	}
 	const (
 		cols = 25
 		pxB  = 0x1000

@@ -21,12 +21,9 @@ import (
 //
 // A serial difference cascade within each iteration; iterations are
 // independent. Layout matches LFK 9: 25 columns per particle.
-func init() { registerBuilder(10, 100, buildK10) }
+func init() { registerBuilder(10, 100, 1, 1100, buildK10) }
 
 func buildK10(n int) (*Kernel, string, error) {
-	if err := checkN(n, 1, 1100); err != nil {
-		return nil, "", err
-	}
 	const (
 		cols = 25
 		pxB  = 0x1000

@@ -13,12 +13,9 @@ import (
 //	11 X(k)= X(k-1) + Y(k)
 //
 // A running-sum recurrence; the partial sum stays in a register.
-func init() { registerBuilder(11, 100, buildK11) }
+func init() { registerBuilder(11, 100, 2, 4000, buildK11) }
 
 func buildK11(n int) (*Kernel, string, error) {
-	if err := checkN(n, 2, 4000); err != nil {
-		return nil, "", err
-	}
 	const (
 		xB = 0x1000
 		yB = 0x2000

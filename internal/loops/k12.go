@@ -13,12 +13,9 @@ import (
 //
 // The shortest loop body in the suite: two loads, one floating
 // subtract, one store, plus loop control.
-func init() { registerBuilder(12, 100, buildK12) }
+func init() { registerBuilder(12, 100, 1, 4000, buildK12) }
 
 func buildK12(n int) (*Kernel, string, error) {
-	if err := checkN(n, 1, 4000); err != nil {
-		return nil, "", err
-	}
 	const (
 		xB = 0x1000
 		yB = 0x2000

@@ -27,12 +27,9 @@ import (
 // round-trips through the scalar unit (FIX, move, mask, move). H is
 // treated as a flat array indexed i2 + 64*j2 in both the assembly and
 // the reference.
-func init() { registerBuilder(13, 100, buildK13) }
+func init() { registerBuilder(13, 100, 1, 1000, buildK13) }
 
 func buildK13(n int) (*Kernel, string, error) {
-	if err := checkN(n, 1, 1000); err != nil {
-		return nil, "", err
-	}
 	const (
 		pB    = 0x1000 // 4 words per particle
 		bB    = 0x2000 // 64x64

@@ -25,12 +25,9 @@ import (
 // The first pass gathers field values through the integer mesh index,
 // the third scatters charge back — the classic deposit phase. All
 // arrays are addressed as base + k with a single index register.
-func init() { registerBuilder(14, 100, buildK14) }
+func init() { registerBuilder(14, 100, 1, 250, buildK14) }
 
 func buildK14(n int) (*Kernel, string, error) {
-	if err := checkN(n, 1, 250); err != nil {
-		return nil, "", err
-	}
 	const (
 		mesh   = 2048
 		grdB   = 0x1000

@@ -134,11 +134,13 @@ var registry = map[int]*Kernel{}
 // unsupported n.
 type builder func(n int) (*Kernel, string, error)
 
-// builders holds each kernel's constructor and its paper-default loop
-// length; Scaled rebuilds kernels at other lengths from these.
+// builders holds each kernel's constructor, its paper-default loop
+// length, and the loop-length bounds its memory layout supports;
+// Scaled rebuilds kernels at other lengths from these.
 var builders = map[int]struct {
-	defaultN int
-	build    builder
+	defaultN   int
+	minN, maxN int
+	build      builder
 }{}
 
 // initErr accumulates kernel registration failures. Registration runs
@@ -153,19 +155,21 @@ func InitErr() error { return initErr }
 
 func recordInitErr(err error) { initErr = errors.Join(initErr, err) }
 
-// registerBuilder installs a kernel builder and registers the
+// registerBuilder installs a kernel builder with the loop-length
+// bounds [minN, maxN] its memory layout supports, and registers the
 // default-length instance. Called from each kernel file's init; a
 // failure is recorded in InitErr rather than panicking, and the
 // kernel is simply absent from the registry.
-func registerBuilder(number, defaultN int, b builder) {
+func registerBuilder(number, defaultN, minN, maxN int, b builder) {
 	if _, dup := builders[number]; dup {
 		recordInitErr(fmt.Errorf("loops: duplicate kernel %d", number))
 		return
 	}
 	builders[number] = struct {
-		defaultN int
-		build    builder
-	}{defaultN, b}
+		defaultN   int
+		minN, maxN int
+		build      builder
+	}{defaultN, minN, maxN, b}
 	k, err := buildAt(number, defaultN)
 	if err != nil {
 		recordInitErr(err)
@@ -179,6 +183,10 @@ func buildAt(number, n int) (*Kernel, error) {
 	b, ok := builders[number]
 	if !ok {
 		return nil, fmt.Errorf("loops: no kernel %d (have 1-14)", number)
+	}
+	if n < b.minN || n > b.maxN {
+		return nil, fmt.Errorf("loops: kernel %d: loop length %d outside [%d, %d]",
+			number, n, b.minN, b.maxN)
 	}
 	k, source, err := b.build(n)
 	if err != nil {
@@ -203,12 +211,95 @@ func Scaled(number, n int) (*Kernel, error) {
 	return buildAt(number, n)
 }
 
-// checkN validates a builder's loop length bounds.
-func checkN(n, min, max int) error {
-	if n < min || n > max {
-		return fmt.Errorf("loop length %d outside [%d, %d]", n, min, max)
+// DefaultN returns the paper-default loop length of kernel number.
+func DefaultN(number int) (int, error) {
+	b, ok := builders[number]
+	if !ok {
+		return 0, fmt.Errorf("loops: no kernel %d (have 1-14)", number)
 	}
-	return nil
+	return b.defaultN, nil
+}
+
+// Bounds returns the loop-length range kernel number's memory layout
+// supports. Some kernels constrain the length further (kernel 2 needs
+// a power of two, kernel 4 a multiple of five); those are reported by
+// Scaled, not here.
+func Bounds(number int) (minN, maxN int, err error) {
+	b, ok := builders[number]
+	if !ok {
+		return 0, 0, fmt.Errorf("loops: no kernel %d (have 1-14)", number)
+	}
+	return b.minN, b.maxN, nil
+}
+
+// maxScaleTries bounds ForScale's downward search for a buildable
+// length. The largest gap between valid lengths of any kernel is 512
+// (kernel 2's powers of two below 1024), so 1024 attempts always
+// suffice.
+const maxScaleTries = 1024
+
+// ForScale builds kernel number for a requested loop length n,
+// materializing the largest buildable length <= n: the layout maximum
+// caps it, and kernel-specific constraints (kernel 2's power of two,
+// kernel 4's multiple of five) are resolved by searching downward.
+// extra is the iteration count left unmaterialized (zero when n was
+// buildable as-is). Callers that can account for iterations
+// analytically — the steady-state extrapolation engine, via
+// VirtualWindows — pass extra on; others should treat extra > 0 as
+// out of range.
+func ForScale(number, n int) (k *Kernel, extra int64, err error) {
+	b, ok := builders[number]
+	if !ok {
+		return nil, 0, fmt.Errorf("loops: no kernel %d (have 1-14)", number)
+	}
+	if n < b.minN {
+		return nil, 0, fmt.Errorf("loops: kernel %d: loop length %d below minimum %d",
+			number, n, b.minN)
+	}
+	mat := n
+	if mat > b.maxN {
+		mat = b.maxN
+	}
+	for try := 0; mat >= b.minN && try < maxScaleTries; mat, try = mat-1, try+1 {
+		k, err = buildAt(number, mat)
+		if err == nil {
+			return k, int64(n - mat), nil
+		}
+	}
+	return nil, 0, fmt.Errorf("loops: kernel %d: no buildable length <= %d: %w", number, n, err)
+}
+
+// VirtualWindows converts the unmaterialized remainder of a ForScale
+// request into steady-state body windows for the extrapolation
+// engine: the kernel's windows-per-iteration slope times extra. The
+// window count of a counted loop is affine in its trip count, so the
+// slope measured between k and a build a few iterations shorter is
+// exact; kernels with no detectable steady state (data-dependent
+// control flow) cannot be extended analytically and return an error.
+func VirtualWindows(k *Kernel, extra int64) (int64, error) {
+	if extra == 0 {
+		return 0, nil
+	}
+	pd := k.SharedTrace().Prepared().Period()
+	if pd == nil {
+		return 0, fmt.Errorf("loops: %s: no steady-state period; cannot extend past %d materialized iterations", k, k.N)
+	}
+	for step := 1; step <= 8; step++ {
+		prev, err := buildAt(k.Number, k.N-step)
+		if err != nil {
+			continue
+		}
+		pdPrev := prev.MustTrace().Prepared().Period()
+		if pdPrev == nil || pdPrev.Span != pd.Span {
+			break
+		}
+		dw := pd.Iterations() - pdPrev.Iterations()
+		if dw <= 0 || dw%step != 0 {
+			break
+		}
+		return extra * int64(dw/step), nil
+	}
+	return 0, fmt.Errorf("loops: %s: window slope not measurable; cannot extend past %d materialized iterations", k, k.N)
 }
 
 // Get returns kernel n (1-14), or an error for unknown numbers.

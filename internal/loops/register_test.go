@@ -29,7 +29,7 @@ func TestRegisterBuilderCollectsErrors(t *testing.T) {
 	}()
 
 	boom := errors.New("boom")
-	registerBuilder(n, 10, func(int) (*Kernel, string, error) {
+	registerBuilder(n, 10, 1, 100, func(int) (*Kernel, string, error) {
 		return nil, "", boom
 	})
 	if err := InitErr(); err == nil || !errors.Is(err, boom) {
@@ -44,7 +44,7 @@ func TestRegisterBuilderCollectsErrors(t *testing.T) {
 
 	// A duplicate registration is also recorded, not a panic, and
 	// must not clobber the original builder.
-	registerBuilder(1, 10, func(int) (*Kernel, string, error) {
+	registerBuilder(1, 10, 1, 100, func(int) (*Kernel, string, error) {
 		return nil, "", fmt.Errorf("should never run")
 	})
 	if err := InitErr(); err == nil || !strings.Contains(err.Error(), "duplicate kernel 1") {

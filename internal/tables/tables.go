@@ -47,6 +47,114 @@ func SetParallel(n int) { parallel.Store(int64(n)) }
 // value, or 0 meaning "all cores".
 func Parallel() int { return int(parallel.Load()) }
 
+// extrapolate toggles the steady-state extrapolation engine for every
+// simulated cell.
+var extrapolate atomic.Bool
+
+// SetExtrapolate wraps every table cell's machine in the steady-state
+// extrapolation engine (core.Extrapolate): runs the engine can close
+// analytically skip the repetitive middle of each loop, and the rest
+// fall back to full simulation. Table values are bit-identical either
+// way; only the cost model changes — the engine's reference ladder
+// makes it a net win for scaled-up loop lengths (SetScale), not for
+// the paper defaults.
+func SetExtrapolate(on bool) { extrapolate.Store(on) }
+
+// Extrapolate reports whether the extrapolation engine is enabled.
+func Extrapolate() bool { return extrapolate.Load() }
+
+// scaleN is the requested per-kernel loop length; 0 means the paper
+// defaults.
+var scaleN atomic.Int64
+
+// SetScale regenerates every kernel at loop length n instead of the
+// paper defaults; n <= 0 restores the defaults. Each kernel
+// materializes the largest buildable length <= n its memory layout
+// supports; with SetExtrapolate(true), kernels with a detectable
+// steady state account for the remaining iterations analytically, so
+// n far beyond physical layouts stays affordable. Kernels that can do
+// neither are clamped, and ScaleNotes reports them.
+func SetScale(n int) {
+	if n < 0 {
+		n = 0
+	}
+	scaleN.Store(int64(n))
+}
+
+// Scale returns the requested loop length, or 0 for the paper
+// defaults.
+func Scale() int { return int(scaleN.Load()) }
+
+// scaleState caches the kernels of the current scale: their traces by
+// class, the virtual window counts for the extrapolation engine, and
+// notes about kernels that could not reach the requested length.
+var scaleState struct {
+	sync.Mutex
+	n       int
+	extrap  bool
+	byClass map[loops.Class][]*trace.Trace
+	virtual map[string]int64
+	notes   []string
+}
+
+// scaled resolves the current scale configuration, building and
+// caching the kernel set on first use (and whenever the requested
+// scale changes). It returns the traces of class c and the shared
+// virtual-window map.
+func scaled(c loops.Class) (ts []*trace.Trace, virtual map[string]int64, notes []string) {
+	n, ex := Scale(), Extrapolate()
+	scaleState.Lock()
+	defer scaleState.Unlock()
+	if scaleState.byClass == nil || scaleState.n != n || scaleState.extrap != ex {
+		scaleState.n, scaleState.extrap = n, ex
+		scaleState.byClass = map[loops.Class][]*trace.Trace{}
+		scaleState.virtual = map[string]int64{}
+		scaleState.notes = nil
+		for _, base := range loops.All() {
+			k, extra := base, int64(0)
+			if n > 0 {
+				var err error
+				k, extra, err = loops.ForScale(base.Number, n)
+				if err != nil {
+					// Below the kernel's minimum: keep the default build.
+					scaleState.notes = append(scaleState.notes,
+						fmt.Sprintf("%s: %v; using default length %d", base, err, base.N))
+					k, extra = base, 0
+				}
+			}
+			if extra > 0 {
+				v := int64(0)
+				if ex {
+					var err error
+					if err = core.CanExtrapolate(k.SharedTrace()); err == nil {
+						v, err = loops.VirtualWindows(k, extra)
+					}
+					if err != nil {
+						scaleState.notes = append(scaleState.notes,
+							fmt.Sprintf("%s: clamped to %d iterations: %v", k, k.N, err))
+					}
+				} else {
+					scaleState.notes = append(scaleState.notes,
+						fmt.Sprintf("%s: clamped to %d iterations (enable extrapolation to extend analytically)", k, k.N))
+				}
+				if v > 0 {
+					scaleState.virtual[k.SharedTrace().Name] = v
+				}
+			}
+			scaleState.byClass[k.Class] = append(scaleState.byClass[k.Class], k.SharedTrace())
+		}
+	}
+	return scaleState.byClass[c], scaleState.virtual, scaleState.notes
+}
+
+// ScaleNotes reports, after table generation, which kernels could not
+// reach the requested SetScale length and were clamped. Empty at the
+// paper defaults.
+func ScaleNotes() []string {
+	_, _, notes := scaled(loops.Scalar)
+	return notes
+}
+
 // collectMetrics toggles per-cell stall-breakdown collection.
 var collectMetrics atomic.Bool
 
@@ -329,12 +437,10 @@ func (t *Table) attachMetrics(labels []string, b *batch) {
 	}
 }
 
-// classTraces returns the cached traces of a loop class.
+// classTraces returns the cached traces of a loop class at the
+// current scale.
 func classTraces(c loops.Class) []*trace.Trace {
-	var ts []*trace.Trace
-	for _, k := range loops.ByClass(c) {
-		ts = append(ts, k.SharedTrace())
-	}
+	ts, _, _ := scaled(c)
 	return ts
 }
 
@@ -344,7 +450,7 @@ func classTraces(c loops.Class) []*trace.Trace {
 // fan-out. Cells resolve in the order they were added, so callers lay
 // out a table by adding cells row-major and calling rates once.
 type batch struct {
-	table     int                // table number, the checkpoint journal key
+	table     int // table number, the checkpoint journal key
 	tasks     []runner.Task
 	probes    []*probe.Counters  // per cell; nil entries when collection is off
 	recorders []*events.Recorder // per cell; nil entries when tracing is off
@@ -355,6 +461,14 @@ type batch struct {
 
 // cell schedules one grid cell: one machine from mk over all traces.
 func (b *batch) cell(mk func() core.Machine, ts []*trace.Trace) {
+	if Extrapolate() {
+		_, virtual, _ := scaled(loops.Scalar)
+		inner := mk
+		// Best effort: the rare machine/loop pair with no steady state
+		// within the engine's sampled horizon falls back to its
+		// materialized iterations rather than failing the cell.
+		mk = func() core.Machine { return core.Extrapolate(inner()).WithVirtual(virtual).BestEffort() }
+	}
 	t := runner.Task{New: mk, Traces: ts}
 	var c *probe.Counters
 	if CollectMetrics() {

@@ -1,0 +1,161 @@
+package trace_test
+
+import (
+	"testing"
+
+	"mfup/internal/loops"
+	"mfup/internal/trace"
+)
+
+// kernelPeriod returns the detected Period of Livermore kernel n's
+// shared trace (nil when none is detectable).
+func kernelPeriod(t *testing.T, n int) *trace.Period {
+	t.Helper()
+	k, err := loops.Get(n)
+	if err != nil {
+		t.Fatalf("kernel %d: %v", n, err)
+	}
+	prep := k.SharedTrace().Prepared()
+	if prep.Err != nil {
+		t.Fatalf("kernel %d: prepare: %v", n, prep.Err)
+	}
+	return prep.Period()
+}
+
+// TestPeriodDetectionPerKernel pins which Livermore traces expose a
+// steady-state period. The loops with data-dependent control flow
+// (LFK 13), data-dependent addressing (LFK 8), conditional bodies
+// (LFK 6), or non-counted structure (LFK 2's recursive halving) must
+// yield nil — they are exactly the traces the extrapolation engine
+// falls back on.
+func TestPeriodDetectionPerKernel(t *testing.T) {
+	periodic := map[int]bool{
+		1: true, 2: false, 3: true, 4: true, 5: true,
+		6: false, 7: true, 8: false, 9: true, 10: true,
+		11: true, 12: true, 13: false, 14: true,
+	}
+	for n := 1; n <= 14; n++ {
+		pd := kernelPeriod(t, n)
+		if got := pd != nil; got != periodic[n] {
+			t.Errorf("LFK %d: period detected = %v, want %v", n, got, periodic[n])
+			continue
+		}
+		if pd == nil {
+			continue
+		}
+		if pd.Span <= 0 || pd.Windows < 2 || pd.Start < 0 {
+			t.Errorf("LFK %d: implausible period %+v", n, pd)
+		}
+		if pd.Iterations() != pd.Windows {
+			t.Errorf("LFK %d: Iterations() = %d, want Windows = %d", n, pd.Iterations(), pd.Windows)
+		}
+	}
+}
+
+// TestPeriodSliceStructure checks the reduced-trace constructor: a
+// k-window slice holds the prologue, k-1 body windows verbatim, and
+// the shifted final window plus epilogue; the full-width slice is the
+// source trace op for op; out-of-range requests return nil.
+func TestPeriodSliceStructure(t *testing.T) {
+	k, err := loops.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := k.SharedTrace()
+	pd := src.Prepared().Period()
+	if pd == nil {
+		t.Fatal("LFK 1: no period")
+	}
+	epilogue := len(src.Ops) - pd.Start - pd.Windows*pd.Span
+	for _, kw := range []int{2, 3, 17, pd.Windows / 2, pd.Windows} {
+		tr := pd.Slice(kw)
+		if tr == nil {
+			t.Fatalf("Slice(%d) = nil", kw)
+		}
+		want := pd.Start + kw*pd.Span + epilogue
+		if len(tr.Ops) != want {
+			t.Errorf("Slice(%d): %d ops, want %d", kw, len(tr.Ops), want)
+		}
+		if prep := tr.Prepared(); prep.Err != nil {
+			t.Errorf("Slice(%d): reduced trace invalid: %v", kw, prep.Err)
+		}
+		for i, o := range tr.Ops {
+			if o.Seq != int64(i) {
+				t.Fatalf("Slice(%d): op %d has Seq %d", kw, i, o.Seq)
+			}
+		}
+	}
+	full := pd.Slice(pd.Windows)
+	if len(full.Ops) != len(src.Ops) {
+		t.Fatalf("full-width slice: %d ops, want %d", len(full.Ops), len(src.Ops))
+	}
+	for i := range full.Ops {
+		if full.Ops[i] != src.Ops[i] {
+			t.Fatalf("full-width slice differs from source at op %d: %+v vs %+v",
+				i, full.Ops[i], src.Ops[i])
+		}
+	}
+	for _, bad := range []int{-1, 0, 1, pd.Windows + 1} {
+		if tr := pd.Slice(bad); tr != nil {
+			t.Errorf("Slice(%d) = %d ops, want nil", bad, len(tr.Ops))
+		}
+	}
+}
+
+// TestPeriodSliceCached checks that repeated requests for the same
+// width share one constructed trace: a table grid's many machines must
+// not rebuild (or race on) the reduction.
+func TestPeriodSliceCached(t *testing.T) {
+	pd := kernelPeriod(t, 3)
+	if pd == nil {
+		t.Fatal("LFK 3: no period")
+	}
+	if a, b := pd.Slice(10), pd.Slice(10); a != b {
+		t.Errorf("Slice(10) built two traces: %p vs %p", a, b)
+	}
+}
+
+// TestPeriodTailIdentity pins the tail address-identity guard: the
+// regular strided kernels survive reduction, while LFK 14's gather
+// addressing must be rejected — its tail reads depend on history a
+// reduced trace no longer carries.
+func TestPeriodTailIdentity(t *testing.T) {
+	if pd := kernelPeriod(t, 1); pd == nil || !pd.TailIdentityOK(20) {
+		t.Errorf("LFK 1: TailIdentityOK(20) = false, want true")
+	}
+	pd := kernelPeriod(t, 14)
+	if pd == nil {
+		t.Fatal("LFK 14: no period")
+	}
+	ok := false
+	for k := 2; k < pd.Windows; k++ {
+		if !pd.TailIdentityOK(k) {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		t.Errorf("LFK 14: every reduction preserves tail identity, expected at least one failure")
+	}
+}
+
+// TestPeriodBankSafe checks the bank-safety predicate's degenerate
+// and self-consistency cases: one bank is always safe, and a stride
+// set safe for 2^k banks is safe for every divisor.
+func TestPeriodBankSafe(t *testing.T) {
+	for _, n := range []int{1, 3, 5, 9, 12} {
+		pd := kernelPeriod(t, n)
+		if pd == nil {
+			t.Fatalf("LFK %d: no period", n)
+		}
+		if !pd.BankSafe(1) {
+			t.Errorf("LFK %d: BankSafe(1) = false", n)
+		}
+		if pd.BankSafe(16) && !pd.BankSafe(8) {
+			t.Errorf("LFK %d: safe for 16 banks but not 8", n)
+		}
+		if pd.BankSafe(8) && !pd.BankSafe(2) {
+			t.Errorf("LFK %d: safe for 8 banks but not 2", n)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"fmt"
+	"sync"
 
 	"mfup/internal/isa"
 )
@@ -76,6 +77,12 @@ type Prepared struct {
 	// fetch-buffer question "where does the window starting at i end?"
 	// without a scan.
 	nextTaken []int32
+
+	// periodOnce guards the lazily computed steady-state loop
+	// structure (Period); like the decode itself, the analysis result
+	// is immutable and shared.
+	periodOnce sync.Once
+	period     *Period
 
 	// Err is non-nil when the trace failed validation: an undefined
 	// opcode, a functional-unit or register index outside the dense

@@ -232,3 +232,41 @@ func ScaledKernel(number, n int) (*Kernel, error) { return loops.Scaled(number, 
 func ComputeLimits(t *Trace, cfg Config, mode LimitMode) Limits {
 	return limits.Compute(t, cfg.Latencies(), mode)
 }
+
+// Steady-state extrapolation: per-loop simulation in O(1) of the
+// iteration count. See internal/core for the engine's contract.
+type (
+	// Extrapolator wraps any Machine with the steady-state
+	// extrapolation engine: results stay bit-identical to full
+	// simulation whenever the engine engages, and runs it cannot
+	// close analytically fall back to a plain delegated run.
+	Extrapolator = core.Extrapolator
+
+	// ExtrapolationStats reports what the engine did on the most
+	// recent run of an Extrapolator.
+	ExtrapolationStats = core.ExtrapolationStats
+)
+
+// Extrapolate wraps m with the steady-state extrapolation engine.
+//
+//	m := mfup.Extrapolate(mfup.NewBasic(mfup.CRAYLike, mfup.M11BR5))
+//	r := m.Run(k.SharedTrace())   // same Result, O(1) in iterations
+func Extrapolate(m Machine) *Extrapolator { return core.Extrapolate(m) }
+
+// CanExtrapolate reports whether t satisfies the machine-independent
+// prerequisites of the extrapolation engine (a detectable steady-state
+// period, enough iterations for the reference ladder, tail address
+// identity under reduction). A nil return does not guarantee
+// engagement — machine-dependent reasons can still force a fallback.
+func CanExtrapolate(t *Trace) error { return core.CanExtrapolate(t) }
+
+// KernelForScale builds kernel number at the largest buildable loop
+// length not above n, returning the kernel and the count of virtual
+// iterations left over (zero when n itself is buildable). Feed the
+// remainder to Extrapolator.WithVirtual via VirtualWindows to account
+// for the full n analytically.
+func KernelForScale(number, n int) (*Kernel, int64, error) { return loops.ForScale(number, n) }
+
+// VirtualWindows converts extra un-materialized loop iterations of k
+// into the body-window count the extrapolation engine must bridge.
+func VirtualWindows(k *Kernel, extra int64) (int64, error) { return loops.VirtualWindows(k, extra) }
