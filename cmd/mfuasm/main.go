@@ -18,6 +18,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -120,6 +121,15 @@ func main() {
 	fmt.Printf("; %s: %d instructions\n%s", p.Name, len(p.Code), p.Disassemble())
 	if !*run {
 		return
+	}
+
+	// SIGINT/SIGTERM before the emulation starts aborts cleanly; a
+	// second signal gets the default kill behavior.
+	intr := cli.NotifyInterrupt(context.Background(), log,
+		"interrupted; skipping the emulation run (signal again to kill)")
+	defer intr.Stop()
+	if intr.Interrupted() {
+		os.Exit(1)
 	}
 
 	if *maxSteps > 0 {

@@ -1,0 +1,153 @@
+// Command mfud is the simulation daemon: an HTTP/JSON job server over
+// the simulator suite (internal/serve).
+//
+// Clients POST machine/workload specs to /v1/jobs (add ?wait=1 to
+// block for the result) and poll GET /v1/jobs/{id}; /healthz and
+// /readyz serve probes, /v1/stats the counters. Identical jobs are
+// computed once ever: results are content-addressed (SHA-256 of the
+// canonical spec) and journaled to -cache, so a restarted daemon
+// serves warm results byte-identically.
+//
+// Usage examples:
+//
+//	mfud -addr :8080 -cache results.jsonl
+//	mfud -addr :8080 -rate 50 -burst 100 -queue 256 -workers 8
+//	mfud -addr :8080 -faults 'serve.accept:err:transient:times=3' -fault-seed 7
+//
+// Overload is shed explicitly — 429 plus Retry-After from the token
+// bucket and the bounded queue, 503 while draining or for a
+// quarantined job — and SIGINT/SIGTERM drains gracefully: admission
+// stops, in-flight jobs finish, the journal flushes, then the
+// process exits. A second signal kills immediately.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"mfup/internal/cli"
+	"mfup/internal/faultinject"
+	"mfup/internal/serve"
+)
+
+// log is the shared tool logger; main wires it up before first use.
+var log = cli.NewLogger("mfud", false)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address")
+		cache        = flag.String("cache", "", "result journal path; empty = memory-only (cold after restart)")
+		workers      = flag.Int("workers", 0, "simulation workers; 0 = all cores")
+		queue        = flag.Int("queue", 64, "job queue depth; overflow is shed with 429")
+		rate         = flag.Float64("rate", 0, "admitted jobs/second; 0 = unlimited")
+		burst        = flag.Int("burst", 0, "admission burst; 0 = queue depth")
+		deadline     = flag.Duration("deadline", 2*time.Minute, "default per-job deadline, measured from admission")
+		maxDeadline  = flag.Duration("max-deadline", 10*time.Minute, "cap on job-requested deadlines")
+		retries      = flag.Int("retries", 2, "retries per transiently failed run")
+		retryBackoff = flag.Duration("retry-backoff", 0, "base retry backoff; 0 = the runner default")
+		retrySeed    = flag.Int64("retry-seed", 1, "seed for deterministic retry jitter")
+		breakAfter   = flag.Int("breaker", 3, "consecutive permanent failures before a job is quarantined; -1 = off")
+		breakFor     = flag.Duration("breaker-cooldown", 30*time.Second, "quarantine length")
+		drainFor     = flag.Duration("drain-timeout", time.Minute, "grace for in-flight jobs on shutdown")
+		faults       = flag.String("faults", "", "fault-injection plan, e.g. 'serve.accept:err:times=3' (chaos testing)")
+		faultSeed    = flag.Int64("fault-seed", 1, "seed for fault placement")
+		verbose      = flag.Bool("v", false, "verbose logging (debug level) on standard error")
+	)
+	flag.Parse()
+	log = cli.NewLogger("mfud", *verbose)
+	seedSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "fault-seed" {
+			seedSet = true
+		}
+	})
+	switch {
+	case *rate < 0:
+		fail(fmt.Errorf("-rate %g is negative (0 = unlimited)", *rate))
+	case *burst < 0:
+		fail(fmt.Errorf("-burst %d is negative (0 = queue depth)", *burst))
+	case *queue < 1:
+		fail(fmt.Errorf("-queue %d: the job queue needs at least one slot", *queue))
+	case *retries < 0:
+		fail(fmt.Errorf("-retries %d is negative (0 = no retrying)", *retries))
+	case *deadline <= 0:
+		fail(fmt.Errorf("-deadline %v: jobs need a positive default deadline", *deadline))
+	case *drainFor <= 0:
+		fail(fmt.Errorf("-drain-timeout %v: shutdown needs a positive grace period", *drainFor))
+	case seedSet && *faults == "":
+		fail(fmt.Errorf("-fault-seed needs -faults"))
+	}
+
+	if *faults != "" {
+		plan, err := faultinject.ParsePlan(*faults, *faultSeed)
+		if err != nil {
+			fail(err)
+		}
+		faultinject.Activate(faultinject.New(plan))
+		defer faultinject.Deactivate()
+		log.Warn("fault injection active; failures below may be deliberate", "plan", *faults, "seed", *faultSeed)
+	}
+
+	threshold := *breakAfter
+	if threshold < 0 {
+		threshold = -1 // serve: negative disables, 0 means default
+	}
+	s, err := serve.New(serve.Config{
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		Rate:             *rate,
+		Burst:            *burst,
+		DefaultTimeout:   *deadline,
+		MaxTimeout:       *maxDeadline,
+		Retries:          *retries,
+		RetryBackoff:     *retryBackoff,
+		RetrySeed:        *retrySeed,
+		BreakerThreshold: threshold,
+		BreakerCooldown:  *breakFor,
+		CachePath:        *cache,
+		Log:              log,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	// First SIGINT/SIGTERM starts the drain; a second one gets the
+	// default kill behavior (cli.NotifyInterrupt re-arms it).
+	intr := cli.NotifyInterrupt(context.Background(), log,
+		"interrupted; draining: finishing in-flight jobs and flushing the cache journal (signal again to kill)")
+	defer intr.Stop()
+
+	drained := make(chan error, 1)
+	go func() {
+		<-intr.Context().Done()
+		dctx, cancel := context.WithTimeout(context.Background(), *drainFor)
+		defer cancel()
+		derr := s.Drain(dctx)
+		// Polling clients keep getting responses during the drain; only
+		// once the journal is safe does the listener itself shut down.
+		sctx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel2()
+		hs.Shutdown(sctx)
+		drained <- derr
+	}()
+
+	log.Info("listening", "addr", *addr)
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fail(err)
+	}
+	if err := <-drained; err != nil {
+		fail(err)
+	}
+}
+
+// fail reports err through the shared logger and exits nonzero.
+func fail(err error) {
+	log.Error(err.Error())
+	os.Exit(1)
+}

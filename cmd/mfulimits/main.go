@@ -16,6 +16,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -136,9 +137,18 @@ func main() {
 		}
 	}
 
+	// SIGINT/SIGTERM stops cleanly between traces; a second signal
+	// gets the default kill behavior.
+	intr := cli.NotifyInterrupt(context.Background(), log,
+		"interrupted; stopping after the current trace (signal again to kill)")
+	defer intr.Stop()
+
 	fmt.Printf("%s limits, %s\n", lm, cfg.Name())
 	var pdf, res, act []float64
 	for _, t := range traces {
+		if intr.Interrupted() {
+			os.Exit(1)
+		}
 		l := limits.Compute(t, cfg.Latencies(), lm)
 		pdf = append(pdf, l.PseudoDataflow)
 		res = append(res, l.Resource)

@@ -54,6 +54,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -271,10 +272,20 @@ func main() {
 		m.SetRecorder(rec)
 	}
 
+	// SIGINT/SIGTERM stops cleanly between loops: the current loop
+	// finishes, the rest are skipped, and the exit status is nonzero.
+	// A second signal gets the default kill behavior.
+	intr := cli.NotifyInterrupt(context.Background(), log,
+		"interrupted; stopping after the current loop (signal again to kill)")
+	defer intr.Stop()
+
 	fmt.Printf("%s, %s\n", m.Name(), cfg.Name())
 	var rates []float64
 	var breakdowns []*probe.Counters
 	for _, w := range work {
+		if intr.Interrupted() {
+			os.Exit(1)
+		}
 		lim := core.Limits{MaxCycles: *maxCycles, StallCycles: *stallCycles}
 		if *timeout > 0 {
 			lim.Deadline = time.Now().Add(*timeout)

@@ -71,13 +71,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
-	"sync/atomic"
-	"syscall"
 	"time"
 
 	"mfup/internal/atomicio"
@@ -196,23 +193,11 @@ func run() int {
 	// SIGINT/SIGTERM cancels the generation context: in-flight cells
 	// finish, unstarted cells are skipped, completed cells are already
 	// journaled, and the run exits with a resume hint. A second signal
-	// gets the default kill behavior (signal.Stop re-arms it).
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-	var interrupted atomic.Bool
-	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
-	defer signal.Stop(sigc)
-	go func() {
-		s, ok := <-sigc
-		if !ok {
-			return
-		}
-		interrupted.Store(true)
-		log.Warn("interrupted; finishing in-flight cells and flushing the checkpoint (signal again to kill)", "signal", s.String())
-		signal.Stop(sigc)
-		cancel()
-	}()
+	// gets the default kill behavior.
+	intr := cli.NotifyInterrupt(context.Background(), log,
+		"interrupted; finishing in-flight cells and flushing the checkpoint (signal again to kill)")
+	defer intr.Stop()
+	ctx := intr.Context()
 	tables.SetContext(ctx)
 
 	var ckpt *tables.Checkpoint
@@ -354,7 +339,7 @@ func run() int {
 				code = 1
 			}
 		}
-		if interrupted.Load() {
+		if intr.Interrupted() {
 			if *checkpointPath != "" {
 				log.Warn("run interrupted; rerun with the same -checkpoint to resume without recomputation")
 			} else {

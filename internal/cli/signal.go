@@ -1,0 +1,68 @@
+package cli
+
+import (
+	"context"
+	"log/slog"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+)
+
+// Interrupt is the one graceful-cancel policy of the suite, shared by
+// every binary (it grew up bespoke inside mfutables):
+//
+//   - the first SIGINT or SIGTERM cancels the returned context — the
+//     tool finishes or checkpoints in-flight work, flushes journals,
+//     and exits nonzero — and logs msg with the signal name;
+//   - a second signal gets the default kill behavior (the handler
+//     unregisters itself after the first), so a wedged drain can
+//     always be cut short;
+//   - Stop releases the handler and its goroutine; call it when the
+//     work the signal would cancel is over (a late ^C should kill a
+//     tool that is merely rendering output, not be swallowed).
+type Interrupt struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	fired  atomic.Bool
+	sigc   chan os.Signal
+	stop   sync.Once
+}
+
+// NotifyInterrupt installs the shared handler. log and msg shape the
+// first-signal diagnostic; a nil log or empty msg logs nothing.
+func NotifyInterrupt(parent context.Context, log *slog.Logger, msg string) *Interrupt {
+	ctx, cancel := context.WithCancel(parent)
+	in := &Interrupt{ctx: ctx, cancel: cancel, sigc: make(chan os.Signal, 1)}
+	signal.Notify(in.sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s, ok := <-in.sigc
+		if !ok {
+			return
+		}
+		in.fired.Store(true)
+		if log != nil && msg != "" {
+			log.Warn(msg, "signal", s.String())
+		}
+		signal.Stop(in.sigc) // re-arm default kill for a second signal
+		cancel()
+	}()
+	return in
+}
+
+// Context is cancelled by the first signal (or by Stop).
+func (in *Interrupt) Context() context.Context { return in.ctx }
+
+// Interrupted reports whether a signal arrived.
+func (in *Interrupt) Interrupted() bool { return in.fired.Load() }
+
+// Stop unregisters the handler, releases its goroutine, and cancels
+// the context. Safe to call more than once and from defers.
+func (in *Interrupt) Stop() {
+	in.stop.Do(func() {
+		signal.Stop(in.sigc)
+		close(in.sigc)
+		in.cancel()
+	})
+}

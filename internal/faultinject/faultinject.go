@@ -16,6 +16,16 @@
 //     (metrics, traces, profiles, checkpoints, binary traces) goes
 //     through internal/atomicio, which wraps the destination in a
 //     failing or short-writing io.Writer when a fault is armed.
+//   - "serve.<name>": the daemon's request-path sites
+//     (internal/serve): "serve.accept" fires on job admission — a
+//     panic (exercising the handler's recover), an injected error
+//     (a 500 the client must absorb), or a stall (the handler sleeps
+//     At milliseconds, exercising client timeouts and queue
+//     backpressure) — and "serve.respond" wraps the HTTP response
+//     body writer, so a werr/short fault tears the connection after
+//     the status line, exactly the mid-response crash a client's
+//     retry logic must survive. The daemon's cache journal writes go
+//     through the ordinary "write.cache" site.
 //
 // Injection is disabled by default and compiles down to one atomic
 // pointer load at each hook: Active returns nil unless a plan has
@@ -196,8 +206,9 @@ func parseFault(item string) (Fault, error) {
 		return Fault{}, fmt.Errorf("faultinject: fault %q needs at least <site>:<kind>", item)
 	}
 	f := Fault{Site: fields[0]}
-	if f.Site != "sim" && !strings.HasPrefix(f.Site, "write.") {
-		return Fault{}, fmt.Errorf("faultinject: unknown site %q (want \"sim\" or \"write.<name>\")", f.Site)
+	serveSite := strings.HasPrefix(f.Site, "serve.")
+	if f.Site != "sim" && !serveSite && !strings.HasPrefix(f.Site, "write.") {
+		return Fault{}, fmt.Errorf("faultinject: unknown site %q (want \"sim\", \"write.<name>\", or \"serve.<name>\")", f.Site)
 	}
 	switch fields[1] {
 	case "panic":
@@ -213,8 +224,17 @@ func parseFault(item string) (Fault, error) {
 	default:
 		return Fault{}, fmt.Errorf("faultinject: unknown fault kind %q in %q (want panic, err, stall, werr, or short)", fields[1], item)
 	}
+	// The sim-flavored kinds (panic, err, stall) apply to the sim site
+	// and the daemon's serve.* sites; the writer kinds (werr, short)
+	// apply to the export write.* sites and to serve.* response bodies.
 	simKind := f.Kind == KindPanic || f.Kind == KindError || f.Kind == KindStall
-	if simKind != (f.Site == "sim") {
+	var ok bool
+	if simKind {
+		ok = f.Site == "sim" || serveSite
+	} else {
+		ok = strings.HasPrefix(f.Site, "write.") || serveSite
+	}
+	if !ok {
 		return Fault{}, fmt.Errorf("faultinject: kind %q does not apply to site %q", f.Kind, f.Site)
 	}
 	for _, opt := range fields[2:] {
@@ -358,6 +378,34 @@ func (in *Injector) SimFault(machine, trc string) (panicAt, stallAt, errAt int64
 		in.firedAt("sim")
 	}
 	return panicAt, stallAt, errAt, transient, armed
+}
+
+// SiteFault resolves the sim-flavored faults (panic, err, stall)
+// armed at an arbitrary named hook site — the daemon's serve.* points
+// are the only such sites today. One call is one hit of the site; the
+// first armed fault in plan order wins. For a stall fault, at is the
+// fault's At field, which serve sites interpret as milliseconds to
+// sleep (the sim site interprets At as a guard tick instead).
+func (in *Injector) SiteFault(site string) (kind Kind, at int64, transient, armed bool) {
+	if in == nil {
+		return 0, 0, false, false
+	}
+	var n int64 = -1
+	for i := range in.plan.Faults {
+		f := &in.plan.Faults[i]
+		if f.Site != site || (f.Kind != KindPanic && f.Kind != KindError && f.Kind != KindStall) {
+			continue
+		}
+		if n < 0 {
+			n = in.hit(site)
+		}
+		if !f.covers(n) {
+			continue
+		}
+		in.firedAt(site)
+		return f.Kind, f.at(), f.Transient, true
+	}
+	return 0, 0, false, false
 }
 
 // Summary renders per-site hit and fired counts, one line per site in

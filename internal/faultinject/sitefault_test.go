@@ -1,0 +1,96 @@
+package faultinject
+
+import (
+	"strings"
+	"testing"
+)
+
+// The daemon's serve.* hook sites accept the sim-flavored kinds, and
+// SiteFault resolves them with the same After/Times hit windows the
+// sim site honors.
+func TestSiteFaultResolution(t *testing.T) {
+	plan, err := ParsePlan("serve.accept:err:after=2:times=2:transient", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(plan)
+
+	want := []bool{false, true, true, false, false}
+	for i, armed := range want {
+		kind, _, transient, got := in.SiteFault("serve.accept")
+		if got != armed {
+			t.Fatalf("hit %d: armed = %v, want %v", i+1, got, armed)
+		}
+		if got && (kind != KindError || !transient) {
+			t.Fatalf("hit %d: (%v, transient=%v), want transient err", i+1, kind, transient)
+		}
+	}
+	// A different serve site has its own hit counter and no faults.
+	if _, _, _, armed := in.SiteFault("serve.other"); armed {
+		t.Error("fault leaked to an unarmed site")
+	}
+}
+
+func TestSiteFaultStallCarriesAt(t *testing.T) {
+	plan, err := ParsePlan("serve.accept:stall:at=25", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(plan)
+	kind, at, _, armed := in.SiteFault("serve.accept")
+	if !armed || kind != KindStall || at != 25 {
+		t.Fatalf("got (%v, at=%d, armed=%v), want (stall, 25, true)", kind, at, armed)
+	}
+}
+
+// The nil injector (injection off) must be a no-op, matching the
+// other hook sites' contract.
+func TestSiteFaultNilInjector(t *testing.T) {
+	var in *Injector
+	if _, _, _, armed := in.SiteFault("serve.accept"); armed {
+		t.Error("nil injector armed a fault")
+	}
+}
+
+// The plan grammar accepts serve sites for both kind families and
+// still rejects sim-flavored kinds at write sites (and vice versa).
+func TestParseServeSites(t *testing.T) {
+	for _, ok := range []string{
+		"serve.accept:panic",
+		"serve.accept:err:transient",
+		"serve.accept:stall:at=10",
+		"serve.respond:werr",
+		"serve.respond:short:after=2",
+	} {
+		if _, err := ParsePlan(ok, 1); err != nil {
+			t.Errorf("ParsePlan(%q): %v", ok, err)
+		}
+	}
+	for _, bad := range []string{
+		"write.cache:panic",
+		"sim:werr",
+		"bogus.accept:err",
+	} {
+		if _, err := ParsePlan(bad, 1); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", bad)
+		}
+	}
+}
+
+// A serve.respond werr fault must reach the wrapped response writer
+// through the same Writer hook the export sites use.
+func TestServeRespondWriterFault(t *testing.T) {
+	plan, err := ParsePlan("serve.respond:werr", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(plan)
+	var sink strings.Builder
+	w := in.Writer("serve.respond", &sink)
+	if _, err := w.Write([]byte("body")); err == nil {
+		t.Fatal("injected write fault did not fire")
+	}
+	if sink.Len() != 0 {
+		t.Errorf("failing writer leaked %d bytes to the destination", sink.Len())
+	}
+}

@@ -1,0 +1,63 @@
+package runner
+
+import "fmt"
+
+// OptionError reports one structurally invalid Options field. The
+// sweep machinery historically papered over these — a negative
+// Retries silently meant "no retries", a negative RetryBackoff
+// silently became the default — which turned configuration bugs into
+// quietly different behavior. Validate makes them loud instead.
+type OptionError struct {
+	Field  string // the Options field name
+	Value  any    // the rejected value
+	Reason string // why it is invalid
+}
+
+// Error renders the one-line diagnostic.
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("runner: invalid Options.%s = %v: %s", e.Field, e.Value, e.Reason)
+}
+
+// Validate checks the Options for values that have no meaningful
+// interpretation, returning a *OptionError for the first one found.
+// Parallel <= 0 is NOT an error — "use all cores" is its documented
+// meaning — and a nil Sleep with retries enabled simply uses the real
+// clock.
+func (o *Options) Validate() error {
+	if o.Retries < 0 {
+		return &OptionError{Field: "Retries", Value: o.Retries,
+			Reason: "negative retry count (0 disables retrying)"}
+	}
+	if o.RetryBackoff < 0 {
+		return &OptionError{Field: "RetryBackoff", Value: o.RetryBackoff,
+			Reason: "negative backoff (0 means the default)"}
+	}
+	if o.RetryBackoff > 0 && o.Retries == 0 {
+		return &OptionError{Field: "RetryBackoff", Value: o.RetryBackoff,
+			Reason: "backoff without retries (set Retries, or drop the backoff)"}
+	}
+	if o.CellTimeout < 0 {
+		return &OptionError{Field: "CellTimeout", Value: o.CellTimeout,
+			Reason: "negative per-cell timeout (0 disables it)"}
+	}
+	if o.Sleep != nil && o.Retries == 0 {
+		return &OptionError{Field: "Sleep", Value: "func",
+			Reason: "injected retry clock with retries disabled: it could never tick, which almost certainly means Retries was forgotten"}
+	}
+	if o.Limits.MaxCycles < 0 {
+		return &OptionError{Field: "Limits.MaxCycles", Value: o.Limits.MaxCycles,
+			Reason: "negative cycle budget (0 disables it)"}
+	}
+	if o.Limits.StallCycles < 0 {
+		return &OptionError{Field: "Limits.StallCycles", Value: o.Limits.StallCycles,
+			Reason: "negative stall watchdog window (0 disables it)"}
+	}
+	return nil
+}
+
+// optionsError is the single CellError RunCheckedStats reports when
+// the Options themselves are invalid: coordinates (-1, -1) mark a
+// failure of the sweep configuration, not of any cell.
+func optionsError(err error) *CellError {
+	return &CellError{Task: -1, Trace: -1, Err: err}
+}

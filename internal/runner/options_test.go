@@ -1,0 +1,88 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"mfup/internal/core"
+)
+
+// Every structurally invalid Options value must be rejected with a
+// *OptionError naming the offending field — never silently reinterpreted.
+func TestOptionsValidateRejections(t *testing.T) {
+	cases := []struct {
+		name  string
+		opts  Options
+		field string
+	}{
+		{"negative retries", Options{Retries: -1}, "Retries"},
+		{"negative backoff", Options{Retries: 2, RetryBackoff: -time.Second}, "RetryBackoff"},
+		{"backoff without retries", Options{RetryBackoff: time.Second}, "RetryBackoff"},
+		{"negative cell timeout", Options{CellTimeout: -time.Minute}, "CellTimeout"},
+		{"sleep without retries", Options{Sleep: func(time.Duration) {}}, "Sleep"},
+		{"negative cycle budget", Options{Limits: core.Limits{MaxCycles: -5}}, "Limits.MaxCycles"},
+		{"negative stall window", Options{Limits: core.Limits{StallCycles: -5}}, "Limits.StallCycles"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.opts.Validate()
+			if err == nil {
+				t.Fatalf("Validate(%+v) = nil, want error", tc.opts)
+			}
+			var oe *OptionError
+			if !errors.As(err, &oe) {
+				t.Fatalf("error %v (%T) is not a *OptionError", err, err)
+			}
+			if oe.Field != tc.field {
+				t.Errorf("Field = %q, want %q", oe.Field, tc.field)
+			}
+			if oe.Error() == "" || oe.Reason == "" {
+				t.Error("empty diagnostic")
+			}
+		})
+	}
+}
+
+func TestOptionsValidateAccepts(t *testing.T) {
+	for _, opts := range []Options{
+		{},             // zero value: documented defaults
+		{Parallel: -3}, // <= 0 means all cores, by contract
+		{Retries: 3},   // nil Sleep = the real clock
+		{Retries: 1, RetryBackoff: time.Millisecond, Sleep: func(time.Duration) {}},
+		{CellTimeout: time.Second},
+	} {
+		if err := opts.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", opts, err)
+		}
+	}
+}
+
+// RunCheckedStats with invalid options must run nothing and report
+// exactly one coordinates-(-1,-1) error that unwraps to the
+// *OptionError.
+func TestRunCheckedStatsRejectsInvalidOptions(t *testing.T) {
+	task, _ := retryTestTask(t)
+	ran := false
+	task.New = func() core.Machine { ran = true; return nil }
+
+	out, stats, errs := RunCheckedStats(context.Background(),
+		Options{Retries: -2}, []Task{task})
+	if ran {
+		t.Error("a cell ran despite invalid options")
+	}
+	if len(errs) != 1 || errs[0].Task != -1 || errs[0].Trace != -1 {
+		t.Fatalf("errs = %v, want one (-1,-1) options error", errs)
+	}
+	var oe *OptionError
+	if !errors.As(errs[0], &oe) || oe.Field != "Retries" {
+		t.Fatalf("error %v does not unwrap to the Retries OptionError", errs[0])
+	}
+	if len(out) != 1 || len(out[0]) != len(task.Traces) {
+		t.Errorf("result shape broken: %d tasks, %d traces", len(out), len(out[0]))
+	}
+	if len(stats) != 1 || stats[0] != (TaskStat{}) {
+		t.Errorf("stats = %+v, want zero", stats)
+	}
+}

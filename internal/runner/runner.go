@@ -159,6 +159,9 @@ func (e *CellError) Error() string {
 		suffix = fmt.Sprintf(" (after %d attempts)", e.Attempts)
 	}
 	switch {
+	case e.Task < 0:
+		// Not a cell at all: the sweep's Options were invalid.
+		return e.Err.Error()
 	case e.Trace < 0 && e.Machine == "":
 		return fmt.Sprintf("task %d: constructing machine: %v%s", e.Task, e.Err, suffix)
 	case e.TraceName != "":
@@ -248,10 +251,21 @@ func RunChecked(ctx context.Context, opts Options, tasks []Task) ([][]core.Resul
 // time, simulated cycle total, and recorder event counts. The
 // telemetry is observational — results and errors are identical to
 // RunChecked's.
+//
+// Structurally invalid Options (opts.Validate) run nothing: the
+// single reported CellError carries coordinates (-1, -1) and unwraps
+// to the *OptionError, and every result slot stays zero.
 func RunCheckedStats(ctx context.Context, opts Options, tasks []Task) ([][]core.Result, []TaskStat, []*CellError) {
 	out := make([][]core.Result, len(tasks))
 	stats := make([]TaskStat, len(tasks))
 	errsByTask := make([][]*CellError, len(tasks))
+
+	if err := opts.Validate(); err != nil {
+		for i := range tasks {
+			out[i] = make([]core.Result, len(tasks[i].Traces))
+		}
+		return out, stats, []*CellError{optionsError(err)}
+	}
 
 	runCtx := ctx
 	var cancel context.CancelCauseFunc

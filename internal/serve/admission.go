@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// bucket is a token-bucket rate limiter with an injectable clock.
+// Admission control exists so overload is *shed*, explicitly and
+// early (HTTP 429 with a Retry-After the client can trust), instead
+// of absorbed into an unbounded queue that converts overload into
+// latency, memory growth, and eventually a crash.
+type bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens replenished per second; <= 0 disables limiting
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+// newBucket builds a limiter admitting rate jobs/second with bursts
+// of up to burst. rate <= 0 disables limiting entirely. A nil now
+// uses the real clock; tests inject a fake one.
+func newBucket(rate float64, burst int, now func() time.Time) *bucket {
+	if now == nil {
+		now = time.Now
+	}
+	b := &bucket{rate: rate, burst: float64(burst), now: now}
+	if b.burst < 1 {
+		b.burst = 1
+	}
+	b.tokens = b.burst // start full: a fresh daemon admits its burst
+	b.last = now()
+	return b
+}
+
+// take consumes one token if available. When the bucket is empty it
+// refuses and reports how long until one token will have accrued —
+// the Retry-After the handler sends back.
+func (b *bucket) take() (ok bool, retryAfter time.Duration) {
+	if b == nil || b.rate <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / b.rate // seconds until one whole token
+	return false, time.Duration(math.Ceil(need * float64(time.Second)))
+}
+
+// retryAfterSeconds renders a Retry-After header value: whole
+// seconds, rounded up, never less than 1 — "retry immediately" is
+// exactly the signal a shedding server must not send.
+func retryAfterSeconds(d time.Duration) int {
+	s := int((d + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-cranked time source for admission tests.
+type fakeClock struct{ t time.Time }
+
+// newFakeClock starts at the real current time: job deadlines derived
+// from the fake clock are compared against the real clock inside the
+// simulation guard, so a fixed past date would expire every job.
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Now()}
+}
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestBucketAdmitsBurstThenSheds(t *testing.T) {
+	clk := newFakeClock()
+	b := newBucket(1, 3, clk.now) // 1/s, burst 3
+
+	for i := 0; i < 3; i++ {
+		if ok, _ := b.take(); !ok {
+			t.Fatalf("take %d refused within the burst", i)
+		}
+	}
+	ok, retry := b.take()
+	if ok {
+		t.Fatal("fourth take admitted; burst is 3")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Errorf("retryAfter = %v, want (0, 1s]", retry)
+	}
+}
+
+func TestBucketReplenishes(t *testing.T) {
+	clk := newFakeClock()
+	b := newBucket(2, 1, clk.now) // 2/s, burst 1
+
+	if ok, _ := b.take(); !ok {
+		t.Fatal("initial take refused")
+	}
+	if ok, _ := b.take(); ok {
+		t.Fatal("empty bucket admitted")
+	}
+	clk.advance(500 * time.Millisecond) // one token at 2/s
+	if ok, _ := b.take(); !ok {
+		t.Fatal("replenished token refused")
+	}
+	// Tokens cap at the burst: a long idle stretch does not bank an
+	// unbounded burst.
+	clk.advance(time.Hour)
+	if ok, _ := b.take(); !ok {
+		t.Fatal("take after idle refused")
+	}
+	if ok, _ := b.take(); ok {
+		t.Fatal("idle time banked tokens beyond the burst")
+	}
+}
+
+func TestBucketUnlimitedWhenRateZero(t *testing.T) {
+	b := newBucket(0, 1, newFakeClock().now)
+	for i := 0; i < 1000; i++ {
+		if ok, _ := b.take(); !ok {
+			t.Fatal("unlimited bucket refused")
+		}
+	}
+}
+
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := map[time.Duration]int{
+		0:                       1, // never "retry immediately"
+		time.Millisecond:        1,
+		time.Second:             1,
+		1500 * time.Millisecond: 2,
+		30 * time.Second:        30,
+	}
+	for d, want := range cases {
+		if got := retryAfterSeconds(d); got != want {
+			t.Errorf("retryAfterSeconds(%v) = %d, want %d", d, got, want)
+		}
+	}
+}

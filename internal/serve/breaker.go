@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is a per-key circuit breaker. The key is the job's content
+// address, i.e. a (machine configuration, workload) pair: when that
+// pair fails *permanently* — a simulation divergence, a model panic,
+// a poisoned trace — re-running it reproduces the failure by
+// determinism, so after threshold consecutive permanent failures the
+// pair is quarantined and admission refuses it outright (HTTP 503
+// with Retry-After) instead of burning worker slots re-proving the
+// same defect.
+//
+// Transient failures (deadlines, injected blips) never count: the
+// runner's retry/backoff layer owns those.
+//
+// After cooldown the circuit goes half-open: one probe job is
+// admitted. Success closes the circuit and forgets the history; a
+// further permanent failure re-opens it for another full cooldown.
+type breaker struct {
+	threshold int           // consecutive permanent failures to open; <= 0 disables
+	cooldown  time.Duration // quarantine length
+	now       func() time.Time
+
+	mu      sync.Mutex
+	entries map[string]*breakerEntry
+}
+
+type breakerEntry struct {
+	fails     int       // consecutive permanent failures
+	openUntil time.Time // zero: closed (or half-open probe outstanding)
+}
+
+// newBreaker builds a breaker; threshold <= 0 disables it. A nil now
+// uses the real clock.
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	if now == nil {
+		now = time.Now
+	}
+	if cooldown <= 0 {
+		cooldown = 30 * time.Second
+	}
+	return &breaker{
+		threshold: threshold,
+		cooldown:  cooldown,
+		now:       now,
+		entries:   make(map[string]*breakerEntry),
+	}
+}
+
+// allow reports whether a job with this key may be admitted, and if
+// not, how long until the quarantine lifts.
+func (b *breaker) allow(key string) (ok bool, retryAfter time.Duration) {
+	if b == nil || b.threshold <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entries[key]
+	if e == nil || e.openUntil.IsZero() {
+		return true, 0
+	}
+	if remaining := e.openUntil.Sub(b.now()); remaining > 0 {
+		return false, remaining
+	}
+	// Cooldown over: go half-open. One probe runs; its outcome decides
+	// whether the circuit closes or re-opens. fails stays at the
+	// threshold so a single further permanent failure re-opens.
+	e.openUntil = time.Time{}
+	return true, 0
+}
+
+// success records a completed job: the key's failure history is
+// forgotten and its circuit closes.
+func (b *breaker) success(key string) {
+	if b == nil || b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.entries, key)
+}
+
+// failure records a failed job. Only permanent failures advance the
+// circuit toward open; transient ones are the retry layer's business.
+func (b *breaker) failure(key string, permanent bool) {
+	if b == nil || b.threshold <= 0 || !permanent {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entries[key]
+	if e == nil {
+		e = &breakerEntry{}
+		b.entries[key] = e
+	}
+	e.fails++
+	if e.fails >= b.threshold {
+		e.openUntil = b.now().Add(b.cooldown)
+	}
+}
+
+// quarantined reports how many keys are currently quarantined.
+func (b *breaker) quarantined() int {
+	if b == nil || b.threshold <= 0 {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	now := b.now()
+	for _, e := range b.entries {
+		if !e.openUntil.IsZero() && e.openUntil.After(now) {
+			n++
+		}
+	}
+	return n
+}

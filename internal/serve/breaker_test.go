@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerOpensAfterThresholdPermanentFailures(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(3, time.Minute, clk.now)
+
+	for i := 0; i < 2; i++ {
+		b.failure("k", true)
+		if ok, _ := b.allow("k"); !ok {
+			t.Fatalf("quarantined after %d failures; threshold is 3", i+1)
+		}
+	}
+	b.failure("k", true)
+	ok, retry := b.allow("k")
+	if ok {
+		t.Fatal("third permanent failure did not open the circuit")
+	}
+	if retry <= 0 || retry > time.Minute {
+		t.Errorf("retryAfter = %v, want (0, 1m]", retry)
+	}
+	if b.quarantined() != 1 {
+		t.Errorf("quarantined() = %d, want 1", b.quarantined())
+	}
+	// Other keys are unaffected: quarantine is per (machine, workload).
+	if ok, _ := b.allow("other"); !ok {
+		t.Error("unrelated key quarantined")
+	}
+}
+
+func TestBreakerIgnoresTransientFailures(t *testing.T) {
+	b := newBreaker(2, time.Minute, newFakeClock().now)
+	for i := 0; i < 10; i++ {
+		b.failure("k", false)
+	}
+	if ok, _ := b.allow("k"); !ok {
+		t.Fatal("transient failures opened the circuit; they belong to the retry layer")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(1, time.Minute, clk.now)
+
+	b.failure("k", true)
+	if ok, _ := b.allow("k"); ok {
+		t.Fatal("circuit not open")
+	}
+	clk.advance(time.Minute + time.Second)
+	// Cooldown over: exactly one probe is admitted.
+	if ok, _ := b.allow("k"); !ok {
+		t.Fatal("half-open probe refused after cooldown")
+	}
+	// The probe fails permanently: the circuit re-opens immediately.
+	b.failure("k", true)
+	if ok, _ := b.allow("k"); ok {
+		t.Fatal("failed probe did not re-open the circuit")
+	}
+
+	// Next probe succeeds: history is forgotten.
+	clk.advance(2 * time.Minute)
+	if ok, _ := b.allow("k"); !ok {
+		t.Fatal("second probe refused")
+	}
+	b.success("k")
+	b.failure("k", true) // threshold 1: one failure re-opens
+	if ok, _ := b.allow("k"); ok {
+		t.Fatal("circuit should re-open at threshold after reset")
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b := newBreaker(-1, time.Minute, newFakeClock().now)
+	for i := 0; i < 5; i++ {
+		b.failure("k", true)
+	}
+	if ok, _ := b.allow("k"); !ok {
+		t.Fatal("disabled breaker quarantined a key")
+	}
+	if b.quarantined() != 0 {
+		t.Errorf("disabled breaker reports %d quarantined", b.quarantined())
+	}
+}

@@ -1,0 +1,398 @@
+// Package serve is the simulation-as-a-service layer: a fault-tolerant
+// HTTP/JSON job daemon over the simulator suite.
+//
+// Clients POST jobs — a machine specification, a workload (built-in
+// Livermore loops or assembly source), simulation limits, and an
+// optional loop-length scale — and poll or block for results. The
+// paper's tables are pure functions of exactly these inputs, which
+// makes the service an ideal deduplicating compute cache: every job
+// spec canonicalizes to a content address (SHA-256), identical cells
+// are computed once ever, and a restarted daemon serves warm results
+// byte-identically from its journal.
+//
+// Robustness is layered end to end:
+//
+//   - admission control: a token-bucket rate limiter and a bounded
+//     job queue shed load explicitly (429 + Retry-After) instead of
+//     collapsing under it, and every accepted job carries a deadline
+//     plumbed into the simulation guard (internal/simerr);
+//   - fault containment: jobs run through runner.RunChecked (per-cell
+//     recover, transient retry with backoff), and a circuit breaker
+//     quarantines a (machine, workload) pair after repeated permanent
+//     failures instead of re-burning cycles on it;
+//   - durability: the content-addressed result cache appends to a
+//     crash-safe JSONL journal (torn-tail tolerant, flock'd, written
+//     through the "write.cache" fault-injection site);
+//   - graceful lifecycle: /healthz and /readyz, SIGTERM drain (stop
+//     admitting, finish in-flight jobs, flush the journal), and
+//     serve.accept / serve.respond fault-injection sites so the chaos
+//     harness can kill, stall, and corrupt the daemon deterministically.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mfup/internal/bus"
+	"mfup/internal/cli"
+	"mfup/internal/core"
+	"mfup/internal/loops"
+)
+
+// JobSpec is the wire form of one simulation job. The JSON field
+// order of a submitted document never matters: specs are decoded into
+// this struct and canonicalized before anything else looks at them.
+type JobSpec struct {
+	Machine  MachineSpec  `json:"machine"`
+	Workload WorkloadSpec `json:"workload"`
+	Limits   LimitsSpec   `json:"limits,omitempty"`
+
+	// Scale rebuilds every selected kernel at this loop length instead
+	// of the paper defaults (0 = defaults). Lengths beyond a kernel's
+	// memory layout require Extrapolate.
+	Scale int `json:"scale,omitempty"`
+
+	// Extrapolate closes each loop's steady-state middle analytically.
+	// It is a pure cost knob — the engine's results are bit-identical
+	// to full simulation by contract — so it does NOT enter the cache
+	// key: a job submitted with it hits the cache entry computed
+	// without it, and vice versa.
+	Extrapolate bool `json:"extrapolate,omitempty"`
+
+	// TimeoutMS is the job's wall-clock deadline in milliseconds,
+	// measured from admission (queue wait counts). 0 means the
+	// server's default. Wall-clock limits shape whether a job fails,
+	// never the values of a completed result, so the timeout does NOT
+	// enter the cache key either.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// MachineSpec names a machine model and its configuration, in the
+// same vocabulary as the mfusim flags.
+type MachineSpec struct {
+	// Kind: simple | serialmem | nonseg | cray | scoreboard |
+	// tomasulo | multi | ooo | ruu | vector.
+	Kind string `json:"kind"`
+
+	Mem      int    `json:"mem,omitempty"`      // memory access cycles; default 11
+	Br       int    `json:"br,omitempty"`       // branch execution cycles; default 5
+	Units    int    `json:"units,omitempty"`    // issue units (multi, ooo, ruu); default 1
+	Bus      string `json:"bus,omitempty"`      // nbus | 1bus | xbar (multi, ooo, ruu); default nbus
+	RUU      int    `json:"ruu,omitempty"`      // RUU entries (ruu); default 50
+	Stations int    `json:"stations,omitempty"` // stations per unit (tomasulo); default 4
+}
+
+// WorkloadSpec selects the traces the job runs: built-in Livermore
+// loops, or one assembly program traced on the architectural emulator.
+type WorkloadSpec struct {
+	// Loops is a loop spec as the CLIs accept it: "all", "scalar",
+	// "vector", or comma-separated kernel numbers. Default "all".
+	Loops string `json:"loops,omitempty"`
+
+	// Asm, when non-empty, is CRAY-like assembly source; it is
+	// assembled and traced instead of the built-in loops. Mutually
+	// exclusive with Loops.
+	Asm string `json:"asm,omitempty"`
+
+	// MaxSteps bounds the emulator when tracing Asm (0 = the emulator
+	// default). A budget only decides whether tracing fails — an
+	// exceeded budget is an error, not a shorter trace — so it does
+	// NOT enter the cache key.
+	MaxSteps int64 `json:"maxsteps,omitempty"`
+}
+
+// LimitsSpec bounds the simulation itself. Both limits change what a
+// job observably produces (a blown budget fails the job), so both
+// enter the cache key.
+type LimitsSpec struct {
+	MaxCycles   int64 `json:"maxcycles,omitempty"`   // simulated-cycle budget per trace; 0 = unlimited
+	StallCycles int64 `json:"stallcycles,omitempty"` // no-forward-progress watchdog; 0 = off
+}
+
+// machineKinds enumerates the valid MachineSpec.Kind values and
+// whether each takes the multiple-issue parameters.
+var machineKinds = map[string]struct{ multi bool }{
+	"simple":     {},
+	"serialmem":  {},
+	"nonseg":     {},
+	"cray":       {},
+	"scoreboard": {},
+	"tomasulo":   {},
+	"multi":      {multi: true},
+	"ooo":        {multi: true},
+	"ruu":        {multi: true},
+	"vector":     {},
+}
+
+// SpecError is a structurally invalid job spec: the admission path
+// maps it to HTTP 400.
+type SpecError struct{ Msg string }
+
+func (e *SpecError) Error() string { return "spec: " + e.Msg }
+
+func specErrf(format string, args ...any) error {
+	return &SpecError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// Canonicalize validates spec and rewrites it into the one normal
+// form that two semantically identical submissions share:
+//
+//   - names are lowercased and defaults are spelled out (mem 11, br 5,
+//     loops "all" resolved to explicit kernel numbers, ...);
+//   - parameters the chosen machine ignores are zeroed, so "a CRAY
+//     with ruu:50" and "a CRAY" are the same spec;
+//   - loop selections are resolved, deduplicated, and sorted — the
+//     service renders per-loop results in kernel order, so "5,1" and
+//     "1,5" are observably identical;
+//   - cost and environment knobs that cannot change a completed
+//     result (Extrapolate, TimeoutMS, MaxSteps) are preserved for
+//     execution but excluded from the cache key.
+//
+// The canonical form is what Key hashes.
+func Canonicalize(spec JobSpec) (JobSpec, error) {
+	c := spec
+
+	// Machine.
+	c.Machine.Kind = strings.ToLower(strings.TrimSpace(c.Machine.Kind))
+	kindInfo, ok := machineKinds[c.Machine.Kind]
+	if !ok {
+		return c, specErrf("unknown machine kind %q", spec.Machine.Kind)
+	}
+	if c.Machine.Mem == 0 {
+		c.Machine.Mem = 11
+	}
+	if c.Machine.Br == 0 {
+		c.Machine.Br = 5
+	}
+	if c.Machine.Mem < 1 || c.Machine.Br < 1 {
+		return c, specErrf("machine latencies must be positive (mem %d, br %d)", c.Machine.Mem, c.Machine.Br)
+	}
+	if kindInfo.multi {
+		if c.Machine.Units == 0 {
+			c.Machine.Units = 1
+		}
+		if c.Machine.Units < 1 {
+			return c, specErrf("units %d: need at least one issue unit", c.Machine.Units)
+		}
+		if c.Machine.Bus == "" {
+			c.Machine.Bus = "nbus"
+		}
+		kind, err := cli.ParseBusKind(c.Machine.Bus)
+		if err != nil {
+			return c, &SpecError{Msg: err.Error()}
+		}
+		c.Machine.Bus = canonicalBusName(kind)
+	} else {
+		// Parameters this machine ignores must not split the cache.
+		c.Machine.Units = 0
+		c.Machine.Bus = ""
+	}
+	if c.Machine.Kind == "ruu" {
+		if c.Machine.RUU == 0 {
+			c.Machine.RUU = 50
+		}
+		if c.Machine.RUU < c.Machine.Units {
+			return c, specErrf("ruu %d: need at least as many RUU entries as issue units (%d)", c.Machine.RUU, c.Machine.Units)
+		}
+	} else {
+		c.Machine.RUU = 0
+	}
+	if c.Machine.Kind == "tomasulo" {
+		if c.Machine.Stations == 0 {
+			c.Machine.Stations = 4
+		}
+		if c.Machine.Stations < 1 {
+			return c, specErrf("stations %d: need at least one reservation station per unit", c.Machine.Stations)
+		}
+	} else {
+		c.Machine.Stations = 0
+	}
+
+	// Workload.
+	c.Workload.Asm = spec.Workload.Asm
+	if c.Workload.Asm != "" {
+		if strings.TrimSpace(c.Workload.Loops) != "" {
+			return c, specErrf("workload gives both loops and asm; pick one")
+		}
+		if c.Workload.MaxSteps < 0 {
+			return c, specErrf("maxsteps %d is negative (0 = the emulator default)", c.Workload.MaxSteps)
+		}
+		if c.Machine.Kind == "vector" {
+			return c, specErrf("the vector machine runs the built-in vector codings, not assembly sources")
+		}
+		c.Workload.Loops = ""
+	} else {
+		if c.Workload.Loops == "" {
+			c.Workload.Loops = "all"
+		}
+		ks, err := cli.SelectLoops(c.Workload.Loops)
+		if err != nil {
+			return c, &SpecError{Msg: err.Error()}
+		}
+		if c.Machine.Kind == "vector" {
+			// The vector machine runs the vectorized codings; kernels
+			// without one drop out of the selection, as in mfusim.
+			var vks []*loops.Kernel
+			for _, k := range ks {
+				if vk, err := loops.VectorKernel(k.Number); err == nil {
+					vks = append(vks, vk)
+				}
+			}
+			if len(vks) == 0 {
+				return c, specErrf("no vector codings among the selected loops")
+			}
+			ks = vks
+		}
+		nums := make([]int, len(ks))
+		for i, k := range ks {
+			nums[i] = k.Number
+		}
+		sort.Ints(nums)
+		parts := make([]string, len(nums))
+		for i, n := range nums {
+			parts[i] = strconv.Itoa(n)
+		}
+		c.Workload.Loops = strings.Join(parts, ",")
+		c.Workload.MaxSteps = 0
+	}
+
+	// Scale.
+	if c.Scale < 0 {
+		return c, specErrf("scale %d is negative (0 = paper defaults)", c.Scale)
+	}
+	if c.Scale > 0 {
+		if c.Machine.Kind == "vector" {
+			return c, specErrf("scale does not apply to the vector machine: the vector codings are fixed at the paper lengths")
+		}
+		if c.Workload.Asm != "" {
+			return c, specErrf("scale does not apply to assembly workloads")
+		}
+	}
+
+	// Limits and deadline.
+	if c.Limits.MaxCycles < 0 {
+		return c, specErrf("maxcycles %d is negative (0 = unlimited)", c.Limits.MaxCycles)
+	}
+	if c.Limits.StallCycles < 0 {
+		return c, specErrf("stallcycles %d is negative (0 = off)", c.Limits.StallCycles)
+	}
+	if c.TimeoutMS < 0 {
+		return c, specErrf("timeout_ms %d is negative (0 = the server default)", c.TimeoutMS)
+	}
+	return c, nil
+}
+
+// canonicalBusName renders a parsed bus kind in the spelling the
+// canonical spec uses.
+func canonicalBusName(k bus.Kind) string {
+	switch k {
+	case bus.Bus1:
+		return "1bus"
+	case bus.XBar:
+		return "xbar"
+	default:
+		return "nbus"
+	}
+}
+
+// keySpec is the exact observable surface of a job: the fields whose
+// values can change a *completed* result. Everything else — the
+// extrapolation engine (bit-identical by contract), wall-clock
+// timeouts, emulator step budgets (failure-shaping only) — stays out,
+// so semantically identical jobs share one cache entry. The struct's
+// field order fixes the hash preimage; changing it invalidates every
+// cache on disk, so treat it like a file format.
+type keySpec struct {
+	Kind        string `json:"kind"`
+	Mem         int    `json:"mem"`
+	Br          int    `json:"br"`
+	Units       int    `json:"units"`
+	Bus         string `json:"bus"`
+	RUU         int    `json:"ruu"`
+	Stations    int    `json:"stations"`
+	Loops       string `json:"loops"`
+	AsmSHA      string `json:"asm,omitempty"` // hash of the exact source text
+	Scale       int    `json:"scale"`
+	MaxCycles   int64  `json:"maxcycles"`
+	StallCycles int64  `json:"stallcycles"`
+}
+
+// Key returns the content address of a canonical spec: the SHA-256,
+// in hex, of its observable fields. Call Canonicalize first — hashing
+// a raw spec would split semantically identical jobs across entries.
+func Key(c JobSpec) string {
+	ks := keySpec{
+		Kind:        c.Machine.Kind,
+		Mem:         c.Machine.Mem,
+		Br:          c.Machine.Br,
+		Units:       c.Machine.Units,
+		Bus:         c.Machine.Bus,
+		RUU:         c.Machine.RUU,
+		Stations:    c.Machine.Stations,
+		Loops:       c.Workload.Loops,
+		Scale:       c.Scale,
+		MaxCycles:   c.Limits.MaxCycles,
+		StallCycles: c.Limits.StallCycles,
+	}
+	if c.Workload.Asm != "" {
+		src := sha256.Sum256([]byte(c.Workload.Asm))
+		ks.AsmSHA = hex.EncodeToString(src[:])
+	}
+	b, err := json.Marshal(ks)
+	if err != nil {
+		// A struct of strings and ints cannot fail to marshal.
+		panic(fmt.Sprintf("serve: marshaling key spec: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// config assembles the core.Config of a canonical machine spec.
+func (m MachineSpec) config() core.Config {
+	cfg := core.Config{MemLatency: m.Mem, BranchLatency: m.Br}
+	if info := machineKinds[m.Kind]; info.multi {
+		kind, _ := cli.ParseBusKind(m.Bus)
+		cfg = cfg.WithIssue(m.Units, kind)
+	}
+	if m.Kind == "ruu" {
+		cfg = cfg.WithRUU(m.RUU)
+	}
+	if m.Kind == "tomasulo" {
+		cfg = cfg.WithRUU(m.Stations)
+	}
+	return cfg
+}
+
+// newMachine constructs the machine of a canonical spec. Construction
+// errors surface as structured errors, never panics.
+func (m MachineSpec) newMachine() (core.Machine, error) {
+	cfg := m.config()
+	switch m.Kind {
+	case "simple":
+		return core.NewBasicChecked(core.Simple, cfg)
+	case "serialmem":
+		return core.NewBasicChecked(core.SerialMemory, cfg)
+	case "nonseg":
+		return core.NewBasicChecked(core.NonSegmented, cfg)
+	case "cray":
+		return core.NewBasicChecked(core.CRAYLike, cfg)
+	case "scoreboard":
+		return core.NewScoreboardChecked(cfg)
+	case "tomasulo":
+		return core.NewTomasuloChecked(cfg)
+	case "multi":
+		return core.NewMultiIssueChecked(cfg)
+	case "ooo":
+		return core.NewMultiIssueOOOChecked(cfg)
+	case "ruu":
+		return core.NewRUUChecked(cfg)
+	case "vector":
+		return core.NewVectorChecked(cfg)
+	}
+	return nil, specErrf("unknown machine kind %q", m.Kind)
+}

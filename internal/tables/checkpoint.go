@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"sync"
 
+	"mfup/internal/atomicio"
 	"mfup/internal/faultinject"
 )
 
@@ -65,6 +66,16 @@ type checkpointLine struct {
 func OpenCheckpoint(path string) (*Checkpoint, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	// Exclusive advisory lock: the append-only crash-safety story
+	// assumes a single writer, and a second process (say, a daemon
+	// serving the same journal) interleaving appends would fuse
+	// records into unparseable lines. The second opener gets a
+	// structured *atomicio.LockError instead; the lock dies with the
+	// descriptor, so even kill -9 cannot wedge a later resume.
+	if err := atomicio.Lock(f); err != nil {
+		f.Close()
 		return nil, fmt.Errorf("checkpoint: %w", err)
 	}
 	c := &Checkpoint{path: path, f: f, cells: make(map[checkpointKey]float64)}

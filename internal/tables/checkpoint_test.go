@@ -8,8 +8,40 @@ import (
 	"strings"
 	"testing"
 
+	"mfup/internal/atomicio"
 	"mfup/internal/faultinject"
 )
+
+// A journal already held by one writer must refuse a second opener
+// with the structured lock error: two processes interleaving appends
+// would corrupt lines the torn-tail recovery cannot repair.
+func TestCheckpointSecondOpenerLockedOut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	c, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	_, err = OpenCheckpoint(path)
+	if err == nil {
+		t.Fatal("second opener succeeded; journal writes could interleave")
+	}
+	var le *atomicio.LockError
+	if !errors.As(err, &le) {
+		t.Fatalf("second open error = %v (%T), want *atomicio.LockError", err, err)
+	}
+
+	// Closing the first writer releases the lock; reopening resumes.
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatalf("reopen after close: %v", err)
+	}
+	c2.Close()
+}
 
 func TestCheckpointRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "ckpt.jsonl")

@@ -1,0 +1,126 @@
+#!/usr/bin/env bash
+# Soak drill for the mfud daemon: run the deterministic load generator
+# against a fault-armed daemon for a while, then demand the full
+# robustness contract:
+#
+#   1. zero corruption — mfuload byte-compares every result per
+#      content key and exits nonzero on divergence;
+#   2. clean drain — SIGTERM must finish in-flight jobs, flush the
+#      journal, and exit 0;
+#   3. byte-identical warm replay — a restarted daemon over the same
+#      journal must serve a previously computed job with exactly the
+#      same bytes, without admitting any new work for it;
+#   4. warm efficiency — a second load pass over the same job mix must
+#      be served overwhelmingly from the cache.
+#
+# Tunables (environment): SOAK_DURATION (60s), SOAK_RATE (40),
+# SOAK_CLIENTS (8), SOAK_FAULTS (a faultinject plan), SOAK_PORT,
+# SOAK_OUT (artifact directory, default artifacts/soak).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DURATION="${SOAK_DURATION:-60s}"
+RATE="${SOAK_RATE:-40}"
+CLIENTS="${SOAK_CLIENTS:-8}"
+# The default plan injects transient accept faults periodically: the
+# first 20 submissions are clean (so the cold probe below completes),
+# then 5 injected failures, repeating nothing after — enough chaos to
+# prove the verdict is measured under fire, not in calm.
+FAULTS="${SOAK_FAULTS:-serve.accept:err:transient:after=20:times=5}"
+PORT="${SOAK_PORT:-8931}"
+OUT="${SOAK_OUT:-artifacts/soak}"
+
+ADDR="127.0.0.1:$PORT"
+BASE="http://$ADDR"
+mkdir -p "$OUT"
+workdir="$(mktemp -d)"
+CACHE="$workdir/cache.jsonl"
+DAEMON=""
+
+cleanup() {
+  [ -n "$DAEMON" ] && kill -KILL "$DAEMON" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+say() { printf '== %s\n' "$*"; }
+
+start_daemon() {
+  "$workdir/mfud" -addr "$ADDR" -cache "$CACHE" "$@" >>"$OUT/mfud.log" 2>&1 &
+  DAEMON=$!
+  for _ in $(seq 1 100); do
+    curl -fsS "$BASE/healthz" >/dev/null 2>&1 && return 0
+    kill -0 "$DAEMON" 2>/dev/null || break
+    sleep 0.1
+  done
+  say "FAIL: daemon never became healthy (see $OUT/mfud.log)"
+  exit 1
+}
+
+# stop_daemon enforces drill 2: SIGTERM, drain, exit status 0.
+stop_daemon() {
+  kill -TERM "$DAEMON"
+  local status=0
+  wait "$DAEMON" || status=$?
+  DAEMON=""
+  if [ "$status" -ne 0 ]; then
+    say "FAIL: SIGTERM drain exited with status $status (see $OUT/mfud.log)"
+    exit 1
+  fi
+}
+
+say "building mfud and mfuload"
+go build -o "$workdir/mfud" ./cmd/mfud
+go build -o "$workdir/mfuload" ./cmd/mfuload
+
+say "starting fault-armed daemon on $ADDR (plan: $FAULTS)"
+start_daemon -faults "$FAULTS" -fault-seed 7
+
+say "probing one cold job and recording its exact response bytes"
+PROBE='{"machine":{"kind":"cray"},"workload":{"loops":"1,2"}}'
+curl -fsS -X POST -d "$PROBE" "$BASE/v1/jobs?wait=1" >"$workdir/probe.json"
+ID="$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["id"])' "$workdir/probe.json")"
+# GET the completed job: handleGet serves it from the cache, which is
+# the same path a restarted daemon will take — byte-comparable.
+curl -fsS "$BASE/v1/jobs/$ID" >"$workdir/cold.json"
+
+say "soaking for $DURATION at ${RATE} req/s x $CLIENTS clients (chaos tolerated, corruption fatal)"
+"$workdir/mfuload" -addr "$BASE" -duration "$DURATION" -rate "$RATE" \
+  -clients "$CLIENTS" -chaos -report "$OUT/soak-report.json"
+
+say "draining under SIGTERM"
+stop_daemon
+
+say "restarting over the same journal; demanding byte-identical replay"
+start_daemon
+curl -fsS "$BASE/v1/jobs/$ID" >"$workdir/warm.json"
+if ! cmp -s "$workdir/cold.json" "$workdir/warm.json"; then
+  say "FAIL: warm replay diverged from the cold result"
+  diff "$workdir/cold.json" "$workdir/warm.json" || true
+  exit 1
+fi
+curl -fsS "$BASE/v1/stats" >"$OUT/warm-stats.json"
+python3 - "$OUT/warm-stats.json" <<'PY'
+import json, sys
+st = json.load(open(sys.argv[1]))
+loaded, admitted = st.get("cache_loaded", 0), st.get("admitted", 0)
+assert loaded >= 1, f"restarted daemon loaded {loaded} journal entries, want >= 1"
+assert admitted == 0, f"warm replay admitted {admitted} jobs, want 0"
+print(f"   journal replayed {loaded} results; 0 jobs re-admitted")
+PY
+
+say "warm load pass: the same mix must be served from the cache"
+"$workdir/mfuload" -addr "$BASE" -duration 5s -rate "$RATE" \
+  -clients "$CLIENTS" -report "$OUT/warm-report.json"
+python3 - "$OUT/warm-report.json" <<'PY'
+import json, sys
+rep = json.load(open(sys.argv[1]))
+done, cached = rep["done"], rep["cached"]
+assert cached > done, f"warm pass computed {done} cold vs {cached} cached; the journal is not doing its job"
+print(f"   warm pass: {cached} cached vs {done} cold, p99 {rep['p99_ms']:.1f} ms")
+PY
+
+say "final drain"
+stop_daemon
+
+say "soak verdict: clean (reports in $OUT)"

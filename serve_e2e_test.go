@@ -1,0 +1,301 @@
+package mfup_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeDaemonEndToEnd drives the mfud daemon as real processes
+// through the acceptance drills: kill -9 and warm restart with
+// byte-identical replay, overload shedding with Retry-After, graceful
+// SIGTERM drain, and a short chaos soak with the load generator.
+// Skipped under -short (it shells out to the Go toolchain and runs
+// real daemons).
+func TestServeDaemonEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("daemon end-to-end test skipped in -short mode")
+	}
+	bindir := t.TempDir()
+	build := func(name string) string {
+		t.Helper()
+		bin := filepath.Join(bindir, name)
+		out, err := exec.Command("go", "build", "-o", bin, "./cmd/"+name).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, out)
+		}
+		return bin
+	}
+	mfud := build("mfud")
+	mfuload := build("mfuload")
+
+	t.Run("KillRestartRepliesByteIdentically", func(t *testing.T) {
+		cache := filepath.Join(t.TempDir(), "cache.jsonl")
+		d := startDaemon(t, mfud, "-cache", cache)
+
+		// Complete one job cold and keep its exact bytes.
+		spec := `{"machine":{"kind":"cray"},"workload":{"loops":"1,2"}}`
+		id, cold := submitWait(t, d.url, spec)
+		if len(cold) == 0 {
+			t.Fatal("cold run returned no result")
+		}
+		// Queue slower work so the kill lands mid-simulation, then
+		// SIGKILL: no drain, no flush beyond completed appends, the
+		// worst crash there is.
+		for _, loops := range []string{"all", "scalar"} {
+			postAsync(t, d.url, fmt.Sprintf(`{"machine":{"kind":"ruu","units":4,"ruu":40},"workload":{"loops":"%s"}}`, loops))
+		}
+		d.kill(t)
+
+		// A fresh daemon over the same journal: the completed job must
+		// replay from the journal, byte-identically, without admission.
+		d2 := startDaemon(t, mfud, "-cache", cache)
+		warm := getJob(t, d2.url, id)
+		if warm.Status != "done" || !warm.Cached {
+			t.Fatalf("warm GET after kill -9: %+v", warm)
+		}
+		if !bytes.Equal(cold, warm.Result) {
+			t.Errorf("restart changed result bytes:\ncold: %s\nwarm: %s", cold, warm.Result)
+		}
+		var st struct {
+			Admitted    int64 `json:"admitted"`
+			CacheLoaded int   `json:"cache_loaded"`
+		}
+		getJSON(t, d2.url+"/v1/stats", &st)
+		if st.CacheLoaded < 1 {
+			t.Errorf("cache_loaded = %d after restart, want >= 1", st.CacheLoaded)
+		}
+		if st.Admitted != 0 {
+			t.Errorf("warm replay admitted %d jobs", st.Admitted)
+		}
+		// Resubmitting the same spec — respelled — also hits the journal.
+		_, warm2 := submitWait(t, d2.url, `{"workload":{"loops":"2,1"},"machine":{"kind":"CRAY","mem":11,"br":5}}`)
+		if !bytes.Equal(cold, warm2) {
+			t.Errorf("respelled resubmit diverged:\ncold: %s\nwarm: %s", cold, warm2)
+		}
+		d2.terminate(t) // clean SIGTERM drain must exit 0
+	})
+
+	t.Run("OverloadShedsWithRetryAfter", func(t *testing.T) {
+		d := startDaemon(t, mfud, "-rate", "2", "-burst", "1", "-queue", "2", "-workers", "1")
+		shed := 0
+		for i := 0; i < 20; i++ {
+			spec := fmt.Sprintf(`{"machine":{"kind":"simple"},"workload":{"loops":"%d"}}`, 1+i%14)
+			resp, err := http.Post(d.url+"/v1/jobs", "application/json", strings.NewReader(spec))
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusAccepted:
+			case http.StatusTooManyRequests:
+				shed++
+				if resp.Header.Get("Retry-After") == "" {
+					t.Error("429 without Retry-After")
+				}
+			default:
+				t.Errorf("request %d: status %d", i, resp.StatusCode)
+			}
+		}
+		if shed == 0 {
+			t.Error("20 rapid submissions at rate 2 shed nothing")
+		}
+		// The daemon survived its own overload: health stays green.
+		resp, err := http.Get(d.url + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("healthz after overload: %d", resp.StatusCode)
+		}
+		d.terminate(t)
+	})
+
+	t.Run("ChaosSoakVerdictClean", func(t *testing.T) {
+		cache := filepath.Join(t.TempDir(), "cache.jsonl")
+		d := startDaemon(t, mfud, "-cache", cache,
+			"-faults", "serve.accept:err:transient:after=5:times=3", "-fault-seed", "7")
+		report := filepath.Join(t.TempDir(), "report.json")
+		out, err := exec.Command(mfuload, "-addr", d.url, "-duration", "3s",
+			"-rate", "40", "-clients", "4", "-chaos", "-report", report).CombinedOutput()
+		if err != nil {
+			t.Fatalf("mfuload: %v\n%s", err, out)
+		}
+		var rep struct {
+			Requests int      `json:"requests"`
+			Done     int      `json:"done"`
+			Cached   int      `json:"cached"`
+			Faulted  int      `json:"faulted"`
+			Corrupt  []string `json:"corrupt_keys"`
+		}
+		b, err := os.ReadFile(report)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(b, &rep); err != nil {
+			t.Fatalf("report %s: %v", b, err)
+		}
+		if rep.Requests == 0 || rep.Done+rep.Cached == 0 {
+			t.Errorf("soak did no useful work: %+v", rep)
+		}
+		if rep.Faulted == 0 {
+			t.Errorf("fault plan armed but no injected faults observed: %+v", rep)
+		}
+		if len(rep.Corrupt) != 0 {
+			t.Errorf("corruption under chaos: %v", rep.Corrupt)
+		}
+		// The mix resubmits identical jobs, so the cache must have hits.
+		if rep.Cached == 0 {
+			t.Errorf("no cache hits across a repeated job mix: %+v", rep)
+		}
+		d.terminate(t)
+	})
+}
+
+// daemon is one running mfud process.
+type daemon struct {
+	cmd *exec.Cmd
+	url string
+	out *bytes.Buffer
+}
+
+// startDaemon launches mfud on a free port and waits for /healthz.
+func startDaemon(t *testing.T, bin string, args ...string) *daemon {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	var out bytes.Buffer
+	cmd := exec.Command(bin, append([]string{"-addr", addr}, args...)...)
+	cmd.Stdout, cmd.Stderr = &out, &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{cmd: cmd, url: "http://" + addr, out: &out}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(d.url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return d
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never became healthy\n%s", out.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// kill sends SIGKILL — the crash drill — and reaps the process.
+func (d *daemon) kill(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	d.cmd.Wait()
+}
+
+// terminate sends SIGTERM and requires a clean drain: exit status 0.
+func (d *daemon) terminate(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- d.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("SIGTERM drain exited uncleanly: %v\n%s", err, d.out.String())
+		}
+	case <-time.After(30 * time.Second):
+		d.cmd.Process.Kill()
+		t.Errorf("daemon did not drain within 30s of SIGTERM\n%s", d.out.String())
+	}
+}
+
+type jobReply struct {
+	ID     string          `json:"id"`
+	Status string          `json:"status"`
+	Cached bool            `json:"cached"`
+	Result json.RawMessage `json:"result"`
+	Error  string          `json:"error"`
+}
+
+// submitWait posts a job with ?wait=1 and returns its id and result
+// bytes, failing the test on anything but a completed job.
+func submitWait(t *testing.T, base, spec string) (string, []byte) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/jobs?wait=1", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var jr jobReply
+	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || jr.Status != "done" {
+		t.Fatalf("submit %s: %d %+v", spec, resp.StatusCode, jr)
+	}
+	return jr.ID, jr.Result
+}
+
+// postAsync fires a job without waiting.
+func postAsync(t *testing.T, base, spec string) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async submit %s: %d", spec, resp.StatusCode)
+	}
+}
+
+// getJob fetches one job document.
+func getJob(t *testing.T, base, id string) jobReply {
+	t.Helper()
+	var jr jobReply
+	getJSON(t, base+"/v1/jobs/"+id, &jr)
+	return jr
+}
+
+// getJSON fetches and decodes one endpoint.
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+}
