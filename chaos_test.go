@@ -312,7 +312,7 @@ func TestChaosTableResume(t *testing.T) {
 				t.Fatalf("baseline has errors: %v", ref.Errors)
 			}
 			path := filepath.Join(t.TempDir(), "ckpt.jsonl")
-			ck, err := tables.OpenCheckpoint(path)
+			ck, err := tables.OpenCheckpoint(path, tables.JournalSignature())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -331,7 +331,7 @@ func TestChaosTableResume(t *testing.T) {
 				t.Fatal(err)
 			}
 
-			ck, err = tables.OpenCheckpoint(path)
+			ck, err = tables.OpenCheckpoint(path, tables.JournalSignature())
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -8,6 +8,15 @@
 // canonical spec) and journaled to -cache, so a restarted daemon
 // serves warm results byte-identically.
 //
+// POST /v1/sweeps admits a whole design-space sweep (internal/dse): a
+// base machine definition plus per-knob axes, expanded, pruned by the
+// analytic queueing model, simulated across the worker pool, and
+// cached as a Pareto-frontier report under the sweep spec's content
+// key (GET /v1/sweeps/{id}). -sweep-journal makes the individual
+// simulated points durable too: every sweep the daemon ever runs
+// shares one content-addressed point journal, so an interrupted sweep
+// resumes and overlapping sweeps share work.
+//
 // Usage examples:
 //
 //	mfud -addr :8080 -cache results.jsonl
@@ -41,6 +50,7 @@ func main() {
 	var (
 		addr         = flag.String("addr", "127.0.0.1:8080", "listen address")
 		cache        = flag.String("cache", "", "result journal path; empty = memory-only (cold after restart)")
+		sweepJournal = flag.String("sweep-journal", "", "design-space sweep point journal; empty = interrupted sweeps restart from scratch")
 		workers      = flag.Int("workers", 0, "simulation workers; 0 = all cores")
 		queue        = flag.Int("queue", 64, "job queue depth; overflow is shed with 429")
 		rate         = flag.Float64("rate", 0, "admitted jobs/second; 0 = unlimited")
@@ -109,6 +119,7 @@ func main() {
 		BreakerThreshold: threshold,
 		BreakerCooldown:  *breakFor,
 		CachePath:        *cache,
+		SweepJournalPath: *sweepJournal,
 		Log:              log,
 	})
 	if err != nil {

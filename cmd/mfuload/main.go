@@ -34,6 +34,7 @@ import (
 
 	"mfup/internal/cli"
 	"mfup/internal/faultinject"
+	"mfup/internal/stats"
 )
 
 // log is the shared tool logger; main wires it up before first use.
@@ -286,13 +287,15 @@ func (v *verdict) report() Report {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	sort.Slice(v.latencies, func(i, j int) bool { return v.latencies[i] < v.latencies[j] })
-	pct := func(p float64) float64 {
-		if len(v.latencies) == 0 {
-			return 0
-		}
-		i := int(p * float64(len(v.latencies)-1))
-		return float64(v.latencies[i]) / float64(time.Millisecond)
+	// Nearest-rank percentiles (stats.Percentile): exact at the small
+	// sample counts a short run produces — with two samples the p99 is
+	// the larger latency, not the smaller, and n == 1 cannot index out
+	// of range.
+	ms := make([]float64, len(v.latencies))
+	for i, d := range v.latencies {
+		ms[i] = float64(d) / float64(time.Millisecond)
 	}
+	pct := func(p float64) float64 { return stats.Percentile(ms, p) }
 	// Deduplicate corrupt keys for the report.
 	seen := map[string]bool{}
 	var corrupt []string

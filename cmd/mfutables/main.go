@@ -61,6 +61,20 @@
 // (internal/faultinject) for chaos testing: injected panics, stalls,
 // transient errors, and export-write failures, placed by -fault-seed.
 //
+// -sweep FILE leaves the paper's tables behind entirely and runs a
+// design-space sweep from the JSON spec in FILE (see internal/dse): a
+// base machine definition plus per-knob axes, expanded into every
+// combination, pruned by the analytic queueing model, simulated, and
+// reported as a Pareto frontier of issue rate against hardware cost.
+// -format selects the report form (text, csv, json), -parallel sizes
+// the worker pool, -maxcycles/-stallcycles bound each point, and
+// -checkpoint becomes the sweep's resume journal (content-addressed
+// per point, so it needs no signature). The spec's own scale and
+// extrapolate fields govern the workload, so the table-oriented
+// -scale/-extrapolate flags conflict, as do the per-cell observers
+// (-metrics, -trace-dir) and knobs the sweep runner does not thread
+// (-timeout, -retries).
+//
 // Diagnostics go through a shared logger: -v lowers its level to
 // debug (per-table wall-clock timings, trace-export notes), and
 // MFU_LOG (debug | info | warn | error) overrides it.
@@ -70,6 +84,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -80,6 +95,7 @@ import (
 	"mfup/internal/atomicio"
 	"mfup/internal/cli"
 	"mfup/internal/core"
+	"mfup/internal/dse"
 	"mfup/internal/faultinject"
 	"mfup/internal/tables"
 )
@@ -108,6 +124,7 @@ func run() int {
 	retries := flag.Int("retries", 0, "per-cell retries of transient failures (deadline, injected-transient); 0 = off")
 	retryBackoff := flag.Duration("retry-backoff", 0, "base retry backoff, doubled per attempt with deterministic jitter; 0 = 100ms")
 	checkpointPath := flag.String("checkpoint", "", "JSONL journal of completed cells; an interrupted run resumes from it without recomputation")
+	sweepPath := flag.String("sweep", "", "run the design-space sweep defined by this JSON spec instead of the paper tables")
 	faults := flag.String("faults", "", "fault-injection plan, e.g. 'sim:panic:at=1000,write.metrics:werr' (chaos testing)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for fault placement and retry jitter")
 	verbose := flag.Bool("v", false, "verbose logging (debug level) on standard error")
@@ -164,6 +181,16 @@ func run() int {
 		return fail(fmt.Errorf("-fault-seed needs -faults"))
 	case scaleSet && *scale < 1:
 		return fail(fmt.Errorf("-scale %d: loop length must be at least 1", *scale))
+	case *sweepPath != "" && *table != 0:
+		return fail(fmt.Errorf("-sweep conflicts with -table: a sweep runs its own machine grid, not the paper's"))
+	case *sweepPath != "" && *supplement:
+		return fail(fmt.Errorf("-sweep conflicts with -supplement"))
+	case *sweepPath != "" && (scaleSet || *extrap):
+		return fail(fmt.Errorf("-sweep conflicts with -scale/-extrapolate: the sweep spec's own scale and extrapolate fields govern its workload"))
+	case *sweepPath != "" && (*metrics != "" || *traceDir != ""):
+		return fail(fmt.Errorf("-sweep conflicts with -metrics/-trace-dir: sweep points carry no per-cell observers"))
+	case *sweepPath != "" && (*timeout != 0 || *retries != 0):
+		return fail(fmt.Errorf("-sweep conflicts with -timeout/-retries: use -maxcycles/-stallcycles to bound sweep points"))
 	}
 
 	var injector *faultinject.Injector
@@ -201,9 +228,11 @@ func run() int {
 	tables.SetContext(ctx)
 
 	var ckpt *tables.Checkpoint
-	if *checkpointPath != "" {
+	if *checkpointPath != "" && *sweepPath == "" {
 		var err error
-		ckpt, err = tables.OpenCheckpoint(*checkpointPath)
+		// The signature binds the journal to this run's scale and machine
+		// grid; SetScale has already run, so it is final here.
+		ckpt, err = tables.OpenCheckpoint(*checkpointPath, tables.JournalSignature())
 		if err != nil {
 			return fail(err)
 		}
@@ -263,6 +292,18 @@ func run() int {
 				fmt.Fprintln(os.Stderr, "mfutables:", err)
 			}
 		}()
+	}
+
+	if *sweepPath != "" {
+		return runSweep(ctx, log, sweepArgs{
+			specPath:    *sweepPath,
+			journalPath: *checkpointPath,
+			format:      *format,
+			parallel:    *parallel,
+			limits:      core.Limits{MaxCycles: *maxCycles, StallCycles: *stallCycles},
+			injector:    injector,
+			intr:        intr,
+		})
 	}
 
 	cellsFailed := false
@@ -375,6 +416,96 @@ func run() int {
 		return fail(err)
 	}
 	return done()
+}
+
+// sweepArgs carries the flag subset the sweep mode consumes.
+type sweepArgs struct {
+	specPath    string
+	journalPath string
+	format      string
+	parallel    int
+	limits      core.Limits
+	injector    *faultinject.Injector
+	intr        *cli.Interrupt
+}
+
+// runSweep is -sweep mode: parse the spec, run the design-space sweep
+// through internal/dse, and report the Pareto frontier in the
+// requested format. -checkpoint, when given, is the sweep's resume
+// journal.
+func runSweep(ctx context.Context, log *slog.Logger, a sweepArgs) int {
+	fail := func(err error) int {
+		log.Error(err.Error())
+		return 1
+	}
+	spec, err := dse.ParseFile(a.specPath)
+	if err != nil {
+		return fail(err)
+	}
+	var j *dse.Journal
+	if a.journalPath != "" {
+		j, err = dse.OpenJournal(a.journalPath)
+		if err != nil {
+			return fail(err)
+		}
+		if n := j.Loaded(); n > 0 {
+			log.Info("resuming from sweep journal", "path", a.journalPath, "points", n)
+		}
+	}
+	start := time.Now()
+	rep, err := dse.Run(ctx, spec, dse.Options{Parallel: a.parallel, Limits: a.limits, Journal: j})
+	if err != nil {
+		if j != nil {
+			j.Close()
+		}
+		return fail(err)
+	}
+	log.Debug("sweep complete", "points", rep.Deduped, "simulated", rep.Simulated,
+		"wall", time.Since(start).Round(time.Millisecond))
+
+	code := 0
+	switch a.format {
+	case "text":
+		fmt.Print(rep.Render())
+	case "csv":
+		out, err := rep.CSV()
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Print(out)
+	case "json":
+		b, err := rep.JSON()
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Println(string(b))
+	}
+
+	if a.injector != nil {
+		for _, line := range a.injector.Summary() {
+			fmt.Fprintln(os.Stderr, "mfutables: faultinject:", line)
+		}
+	}
+	if j != nil {
+		log.Info("sweep journal", "loaded", j.Loaded(), "saved", j.Saved())
+		if err := j.Close(); err != nil {
+			log.Error(err.Error())
+			code = 1
+		}
+	}
+	if a.intr.Interrupted() {
+		if a.journalPath != "" {
+			log.Warn("sweep interrupted; rerun with the same -checkpoint to resume without recomputation")
+		} else {
+			log.Warn("sweep interrupted; completed points are lost without -checkpoint")
+		}
+		code = 1
+	}
+	if rep.Failed > 0 {
+		log.Warn("some sweep points failed; see their err fields", "failed", rep.Failed)
+		code = 1
+	}
+	return code
 }
 
 // writeMetrics encodes the stall breakdowns of every emitted table to

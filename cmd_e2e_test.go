@@ -493,6 +493,12 @@ func TestCommandLineErrorPaths(t *testing.T) {
 		{"mfutables checkpoint with metrics", mfutables, []string{"-checkpoint", "c.jsonl", "-metrics", "m.json"}, "conflicts"},
 		{"mfutables checkpoint with trace-dir", mfutables, []string{"-checkpoint", "c.jsonl", "-trace-dir", "d"}, "conflicts"},
 		{"mfutables fault-seed without faults", mfutables, []string{"-fault-seed", "7"}, "-fault-seed needs -faults"},
+		{"mfutables sweep with table", mfutables, []string{"-sweep", "s.json", "-table", "1"}, "conflicts"},
+		{"mfutables sweep with scale", mfutables, []string{"-sweep", "s.json", "-scale", "100"}, "conflicts"},
+		{"mfutables sweep with extrapolate", mfutables, []string{"-sweep", "s.json", "-extrapolate"}, "conflicts"},
+		{"mfutables sweep with metrics", mfutables, []string{"-sweep", "s.json", "-metrics", "m.json"}, "conflicts"},
+		{"mfutables sweep with timeout", mfutables, []string{"-sweep", "s.json", "-timeout", "1s"}, "conflicts"},
+		{"mfutables sweep nonexistent spec", mfutables, []string{"-sweep", filepath.Join(bindir, "no-such.json")}, "mfutables:"},
 		{"mfutables bad fault plan", mfutables, []string{"-faults", "sim:err:at=zero"}, "positive count"},
 		{"mfutables injected write fault", mfutables, []string{"-table", "2", "-format", "csv", "-metrics", filepath.Join(bindir, "m2.json"), "-faults", "write.metrics:werr"}, "injected permanent failure"},
 
@@ -552,4 +558,66 @@ func TestCommandLineErrorPaths(t *testing.T) {
 			t.Errorf("healthy guarded run rendered ERR cells:\n%s", out)
 		}
 	})
+}
+
+// TestSweepE2E drives mfutables -sweep end to end: a small extrapolated
+// design-space sweep renders a Pareto frontier in every format, and a
+// second run against the same -checkpoint journal simulates nothing.
+func TestSweepE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end CLI test skipped in -short mode")
+	}
+	bindir := t.TempDir()
+	bin := filepath.Join(bindir, "mfutables")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/mfutables").CombinedOutput(); err != nil {
+		t.Fatalf("building mfutables: %v\n%s", err, out)
+	}
+	spec := filepath.Join(bindir, "sweep.json")
+	if err := os.WriteFile(spec, []byte(`{
+		"base": {"kind": "ooo", "mem": 11, "br": 5},
+		"axes": {"width": [1, 2, 4], "bus": ["nbus", "1bus"]},
+		"scale": 50000, "extrapolate": true
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	journal := filepath.Join(bindir, "points.jsonl")
+
+	run := func(args ...string) string {
+		t.Helper()
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("mfutables %v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+
+	out := run("-sweep", spec, "-checkpoint", journal)
+	if !strings.Contains(out, "Pareto frontier") || !strings.Contains(out, "frontier agreement") {
+		t.Fatalf("sweep text report missing sections:\n%s", out)
+	}
+
+	// JSON form decodes into the report document, and the journal
+	// resume serves every point without simulation.
+	out = run("-sweep", spec, "-checkpoint", journal, "-format", "json")
+	var rep struct {
+		Deduped     int   `json:"deduped"`
+		Simulated   int   `json:"simulated"`
+		FromJournal int   `json:"fromjournal"`
+		FrontierIdx []int `json:"frontier"`
+		Points      []struct {
+			Rate float64 `json:"rate"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("decoding sweep JSON: %v\n%.400s", err, out)
+	}
+	if rep.Simulated != 0 || rep.FromJournal != rep.Deduped || rep.Deduped != 6 {
+		t.Fatalf("resume tallies wrong: %+v", rep)
+	}
+
+	// CSV: one row per point plus the header.
+	out = run("-sweep", spec, "-checkpoint", journal, "-format", "csv")
+	if !strings.HasPrefix(out, "cost,rate,model,") || strings.Count(out, "\n") != 7 {
+		t.Fatalf("sweep CSV unexpected:\n%s", out)
+	}
 }

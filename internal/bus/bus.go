@@ -50,8 +50,9 @@ const window = 64
 // time: a slot is identified by the absolute cycle stored in it, so
 // stale entries from window wrap-around are self-invalidating.
 type Tracker struct {
-	kind Kind
-	n    int
+	kind  Kind
+	n     int
+	buses int // shared-cycle capacity for XBar; 1 for Bus1
 
 	// shared[c%window] counts results on cycle c (XBar, Bus1).
 	shared [window]slot
@@ -76,20 +77,57 @@ func NewTracker(k Kind, n int) *Tracker {
 }
 
 // NewTrackerChecked builds a tracker for kind k with n issue
-// stations, validating the configuration instead of panicking.
+// stations, validating the configuration instead of panicking. The
+// crossbar gets one bus per station, as in the paper; use
+// NewTrackerCheckedBuses to decouple the two.
 func NewTrackerChecked(k Kind, n int) (*Tracker, error) {
-	if n < 1 {
-		return nil, fmt.Errorf("bus: need at least 1 station, got %d", n)
+	return NewTrackerCheckedBuses(k, n, 0)
+}
+
+// NewTrackerCheckedBuses builds a tracker for kind k with stations
+// issue stations and an explicit shared-bus count. buses == 0 keeps
+// the paper's defaults (one bus per station for the crossbar); a
+// positive count sizes the XBar's per-cycle result capacity
+// independently of the station count, which is the design-space knob
+// a sweep varies. BusN is per-station by definition and Bus1 has
+// exactly one bus, so for those kinds a positive buses must restate
+// the implied count — anything else is a configuration error, not a
+// silent reinterpretation.
+func NewTrackerCheckedBuses(k Kind, stations, buses int) (*Tracker, error) {
+	if stations < 1 {
+		return nil, fmt.Errorf("bus: need at least 1 station, got %d", stations)
+	}
+	if buses < 0 {
+		return nil, fmt.Errorf("bus: negative bus count %d", buses)
 	}
 	if k > Bus1 {
 		return nil, fmt.Errorf("bus: unknown interconnect kind %d", uint8(k))
 	}
-	t := &Tracker{kind: k, n: n}
-	if k == BusN {
-		t.perStation = make([][window]slot, n)
+	t := &Tracker{kind: k, n: stations}
+	switch k {
+	case XBar:
+		t.buses = buses
+		if t.buses == 0 {
+			t.buses = stations
+		}
+	case BusN:
+		if buses != 0 && buses != stations {
+			return nil, fmt.Errorf("bus: %s dedicates one bus per station; %d buses with %d stations is contradictory", k, buses, stations)
+		}
+		t.buses = stations
+		t.perStation = make([][window]slot, stations)
+	case Bus1:
+		if buses > 1 {
+			return nil, fmt.Errorf("bus: %s has exactly one bus, got %d", k, buses)
+		}
+		t.buses = 1
 	}
 	return t, nil
 }
+
+// Buses reports the tracker's result-bus count: per-cycle capacity
+// for XBar, one per station for BusN, one for Bus1.
+func (t *Tracker) Buses() int { return t.buses }
 
 // Kind returns the tracker's organization.
 func (t *Tracker) Kind() Kind { return t.kind }
@@ -106,7 +144,7 @@ func (t *Tracker) Reset() {
 func (t *Tracker) capacity() int {
 	switch t.kind {
 	case XBar:
-		return t.n
+		return t.buses
 	case Bus1:
 		return 1
 	}

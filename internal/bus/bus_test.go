@@ -140,3 +140,50 @@ func TestTrackerMatchesNaiveModel(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestXBarExplicitBusCount(t *testing.T) {
+	// A 4-station crossbar with only 2 shared buses: two results may
+	// share a cycle, a third must not.
+	tr, err := NewTrackerCheckedBuses(XBar, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Buses() != 2 {
+		t.Fatalf("Buses() = %d, want 2", tr.Buses())
+	}
+	tr.Reserve(0, 9)
+	tr.Reserve(1, 9)
+	if tr.Free(2, 9) {
+		t.Error("third result admitted on a 2-bus crossbar cycle")
+	}
+	if !tr.Free(2, 10) {
+		t.Error("next cycle not free")
+	}
+}
+
+func TestBusCountDefaults(t *testing.T) {
+	for _, tc := range []struct {
+		kind  Kind
+		buses int
+	}{{XBar, 4}, {BusN, 4}, {Bus1, 1}} {
+		tr, err := NewTrackerCheckedBuses(tc.kind, 4, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.kind, err)
+		}
+		if tr.Buses() != tc.buses {
+			t.Errorf("%s: Buses() = %d, want %d", tc.kind, tr.Buses(), tc.buses)
+		}
+	}
+}
+
+func TestBusCountContradictionsRejected(t *testing.T) {
+	if _, err := NewTrackerCheckedBuses(BusN, 4, 2); err == nil {
+		t.Error("BusN with 2 buses for 4 stations accepted")
+	}
+	if _, err := NewTrackerCheckedBuses(Bus1, 4, 3); err == nil {
+		t.Error("Bus1 with 3 buses accepted")
+	}
+	if _, err := NewTrackerCheckedBuses(XBar, 4, -1); err == nil {
+		t.Error("negative bus count accepted")
+	}
+}

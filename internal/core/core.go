@@ -30,6 +30,7 @@ import (
 
 	"mfup/internal/bus"
 	"mfup/internal/events"
+	"mfup/internal/fu"
 	"mfup/internal/isa"
 	"mfup/internal/probe"
 	"mfup/internal/trace"
@@ -72,6 +73,25 @@ type Config struct {
 	// access time of a request it serves. Ignored by machines whose
 	// memory is serial anyway.
 	MemBanks int
+
+	// FULat overrides the fixed per-class functional-unit latencies
+	// (internal/isa): entry u > 0 replaces unit u's latency; entry 0
+	// keeps the CRAY-1 reference value. Memory and Branch entries must
+	// stay zero — those latencies are MemLatency and BranchLatency.
+	// The zero value therefore reproduces the paper's machines exactly.
+	FULat [isa.NumUnits]int
+
+	// FUCount replicates functional-unit classes: entry u > 1 gives
+	// the machine that many identical copies of unit u sharing one
+	// dispatch port; entries 0 and 1 both mean the base architecture's
+	// single copy.
+	FUCount [isa.NumUnits]int
+
+	// BusCount sizes the crossbar interconnect's shared result-bus
+	// capacity independently of the station count: 0 keeps the paper's
+	// one-bus-per-station crossbar. Contradictory for BusN/Bus1, whose
+	// bus counts are implied by the kind.
+	BusCount int
 }
 
 // The paper's four machine variations: memory access time crossed
@@ -93,9 +113,37 @@ func (c Config) Name() string {
 }
 
 // Latencies returns the functional-unit latency table for this
-// configuration.
+// configuration: the CRAY-1 reference table with the memory and
+// branch machine parameters applied, then any per-unit FULat
+// overrides.
 func (c Config) Latencies() isa.Latencies {
-	return isa.NewLatencies(c.MemLatency, c.BranchLatency)
+	l := isa.NewLatencies(c.MemLatency, c.BranchLatency)
+	for u, cycles := range c.FULat {
+		if cycles > 0 {
+			l = l.WithOverride(isa.Unit(u), cycles)
+		}
+	}
+	return l
+}
+
+// newPool builds the functional-unit pool for this configuration:
+// the latency table plus any per-class replication. Segmentation is
+// an organization property, so the caller sets it.
+func (c Config) newPool() *fu.Pool {
+	p := fu.NewPool(c.Latencies())
+	for u, n := range c.FUCount {
+		if n > 1 {
+			p.SetCount(isa.Unit(u), n)
+		}
+	}
+	return p
+}
+
+// newBusTracker builds the result-bus tracker for the multiple-issue
+// machines: IssueUnits stations under the Bus organization, with
+// BusCount shared crossbar buses (0 = one per station).
+func (c Config) newBusTracker() (*bus.Tracker, error) {
+	return bus.NewTrackerCheckedBuses(c.Bus, c.IssueUnits, c.BusCount)
 }
 
 // WithIssue returns c with the multiple-issue parameters set.
@@ -142,6 +190,20 @@ func (c Config) Validate() error {
 	}
 	if c.MemBanks < 0 {
 		return fmt.Errorf("core: config %s: negative memory bank count %d", c.Name(), c.MemBanks)
+	}
+	if c.BusCount < 0 {
+		return fmt.Errorf("core: config %s: negative result-bus count %d", c.Name(), c.BusCount)
+	}
+	for u := 0; u < isa.NumUnits; u++ {
+		if c.FULat[u] < 0 {
+			return fmt.Errorf("core: config %s: negative latency override %d for %s", c.Name(), c.FULat[u], isa.Unit(u))
+		}
+		if c.FULat[u] > 0 && (isa.Unit(u) == isa.Memory || isa.Unit(u) == isa.Branch) {
+			return fmt.Errorf("core: config %s: %s latency is a machine parameter; set MemLatency/BranchLatency, not FULat", c.Name(), isa.Unit(u))
+		}
+		if c.FUCount[u] < 0 {
+			return fmt.Errorf("core: config %s: negative copy count %d for %s", c.Name(), c.FUCount[u], isa.Unit(u))
+		}
 	}
 	return nil
 }

@@ -56,11 +56,11 @@ func NewMultiIssueOOOChecked(cfg Config) (Machine, error) {
 	if cfg.IssueUnits < 1 {
 		return nil, fmt.Errorf("core: MultiIssueOOO needs IssueUnits >= 1, got %d", cfg.IssueUnits)
 	}
-	bt, err := bus.NewTrackerChecked(cfg.Bus, cfg.IssueUnits)
+	bt, err := cfg.newBusTracker()
 	if err != nil {
 		return nil, err
 	}
-	pool := fu.NewPool(cfg.Latencies())
+	pool := cfg.newPool()
 	pool.SegmentAll()
 	return &multiIssueOOO{
 		cfg:   cfg,

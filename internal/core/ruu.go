@@ -48,6 +48,8 @@ func NewRUUChecked(cfg Config) (Machine, error) {
 		Bus:             cfg.Bus,
 		MemBanks:        cfg.MemBanks,
 		PerfectBranches: cfg.PerfectBranches,
+		FULat:           cfg.FULat,
+		FUCount:         cfg.FUCount,
 	})
 	if err != nil {
 		return nil, err

@@ -47,7 +47,7 @@ func NewScoreboardChecked(cfg Config) (Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	pool := fu.NewPool(cfg.Latencies())
+	pool := cfg.newPool()
 	pool.SegmentAll()
 	return &scoreboard{cfg: cfg, pool: pool}, nil
 }

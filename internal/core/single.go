@@ -86,7 +86,7 @@ func NewBasicChecked(o Organization, cfg Config) (Machine, error) {
 	if o > CRAYLike {
 		return nil, fmt.Errorf("core: unknown organization %d", o)
 	}
-	pool := fu.NewPool(cfg.Latencies())
+	pool := cfg.newPool()
 	switch o {
 	case Simple, SerialMemory:
 		// Every unit serial. (For Simple the setting is moot: the

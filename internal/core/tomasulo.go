@@ -79,7 +79,7 @@ func NewTomasuloChecked(cfg Config) (Machine, error) {
 	if stations <= 0 {
 		stations = DefaultStations
 	}
-	pool := fu.NewPool(cfg.Latencies())
+	pool := cfg.newPool()
 	pool.SegmentAll()
 	return &tomasulo{cfg: cfg, stations: stations, pool: pool}, nil
 }

@@ -1,0 +1,80 @@
+package dse
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// specLabel renders a canonical spec compactly for the text report:
+// its canonical JSON, which is short thanks to omitempty.
+func specLabel(p *Point) string {
+	b, err := json.Marshal(p.Spec)
+	if err != nil {
+		return p.Spec.Kind
+	}
+	return string(b)
+}
+
+// Render formats the sweep outcome as aligned text: the tallies, the
+// model calibration, and the Pareto frontier cost-ascending.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sweep %.12s  loops=%s", r.SweepKey, r.Loops)
+	if r.Scale > 0 {
+		fmt.Fprintf(&b, " scale=%d", r.Scale)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "expanded %d  invalid %d  distinct %d  pruned %d  simulated %d  journal %d  failed %d\n",
+		r.Expanded, r.Invalid, r.Deduped, r.Pruned, r.Simulated, r.FromJournal, r.Failed)
+	if r.Model.Pairs > 0 {
+		fmt.Fprintf(&b, "model: frontier agreement %.0f%% over %d pairs, mean |model-sim|/sim %.2f\n",
+			100*r.Model.FrontierAgreement, r.Model.Pairs, r.Model.MeanAbsRelErr)
+	}
+	fmt.Fprintf(&b, "Pareto frontier (%d points):\n", len(r.FrontierIdx))
+	fmt.Fprintf(&b, "%10s %8s %8s  %s\n", "COST", "RATE", "MODEL", "MACHINE")
+	for _, i := range r.FrontierIdx {
+		p := &r.Points[i]
+		fmt.Fprintf(&b, "%10.0f %8.3f %8.3f  %s\n", p.Cost, p.Rate, p.Model, specLabel(p))
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// JSON renders the full report, indented.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// CSV renders every point, one row each, frontier and pruning status
+// included, so the sweep can be replotted without rerunning.
+func (r *Report) CSV() (string, error) {
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
+	if err := w.Write([]string{"cost", "rate", "model", "pruned", "frontier", "fromjournal", "err", "spec"}); err != nil {
+		return "", err
+	}
+	for i := range r.Points {
+		p := &r.Points[i]
+		rec := []string{
+			strconv.FormatFloat(p.Cost, 'f', -1, 64),
+			strconv.FormatFloat(p.Rate, 'g', -1, 64),
+			strconv.FormatFloat(p.Model, 'g', -1, 64),
+			strconv.FormatBool(p.Pruned),
+			strconv.FormatBool(p.Frontier),
+			strconv.FormatBool(p.FromJournal),
+			p.Err,
+			specLabel(p),
+		}
+		if err := w.Write(rec); err != nil {
+			return "", err
+		}
+	}
+	w.Flush()
+	return buf.String(), w.Error()
+}

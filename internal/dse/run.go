@@ -1,0 +1,403 @@
+package dse
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"mfup/internal/core"
+	"mfup/internal/loops"
+	"mfup/internal/machdef"
+	"mfup/internal/queuemodel"
+	"mfup/internal/runner"
+	"mfup/internal/stats"
+	"mfup/internal/trace"
+)
+
+// Point is one machine definition's place in the sweep.
+type Point struct {
+	Spec machdef.Spec `json:"spec"` // canonical
+	Key  string       `json:"key"`  // content key of (spec, workload)
+
+	Cost  float64 `json:"cost"`  // machdef.Spec.Cost area proxy
+	Model float64 `json:"model"` // queueing-model predicted rate
+
+	// Unpriced marks a point the model could not estimate; it is
+	// exempt from pruning and from the calibration statistics.
+	Unpriced bool `json:"unpriced,omitempty"`
+
+	// Rate is the simulated harmonic-mean issue rate; 0 until the
+	// point is simulated (or served from the journal).
+	Rate        float64 `json:"rate,omitempty"`
+	Simulated   bool    `json:"simulated,omitempty"`
+	FromJournal bool    `json:"fromjournal,omitempty"`
+	Pruned      bool    `json:"pruned,omitempty"`
+	Frontier    bool    `json:"frontier,omitempty"`
+	Err         string  `json:"err,omitempty"`
+}
+
+// ModelStats quantifies how well the analytic model tracked the
+// simulator over the sweep.
+type ModelStats struct {
+	// MeanAbsRelErr is the mean |model-sim|/sim over rated points. The
+	// model is an optimistic bound, so this is typically large; it is
+	// reported for calibration, not correctness.
+	MeanAbsRelErr float64 `json:"meanabsrelerr"`
+
+	// FrontierAgreement is the fraction of pairwise orderings on the
+	// simulated Pareto frontier that the model reproduces — the
+	// cross-check the sweep is built around.
+	FrontierAgreement float64 `json:"frontieragreement"`
+
+	// Pairs is how many frontier pairs were compared.
+	Pairs int `json:"pairs"`
+}
+
+// Report is one sweep's full outcome.
+type Report struct {
+	SweepKey string `json:"sweepkey"`
+	Loops    string `json:"loops"`
+	Scale    int    `json:"scale,omitempty"`
+
+	Expanded    int `json:"expanded"`    // cartesian combinations visited
+	Invalid     int `json:"invalid"`     // combinations outside the space
+	Deduped     int `json:"deduped"`     // distinct machine definitions
+	Pruned      int `json:"pruned"`      // dropped by the queueing model
+	Simulated   int `json:"simulated"`   // actually run
+	FromJournal int `json:"fromjournal"` // served from the resume journal
+	Failed      int `json:"failed"`      // simulation failures
+
+	Points []Point `json:"points"`
+
+	// FrontierIdx indexes Points on the Pareto frontier (maximal rate
+	// for their cost), cost-ascending.
+	FrontierIdx []int `json:"frontier"`
+
+	Model ModelStats `json:"model"`
+
+	Notes []string `json:"notes,omitempty"`
+}
+
+// Options configures one sweep run.
+type Options struct {
+	Parallel int         // worker goroutines; <= 0 means all cores
+	Limits   core.Limits // per-run execution bounds
+	Journal  *Journal    // resume journal, or nil
+}
+
+// pointKey is the journal key of one (machine, workload) pair:
+// readable, and by construction different whenever anything
+// rate-affecting differs. Extrapolation is absent — it is
+// bit-identical — as are the execution limits, which only affect
+// whether a run completes.
+func pointKey(s SweepSpec, specKey string) string {
+	return fmt.Sprintf("dse-point/v1:loops=%s:scale=%d:machdef=%s", s.Loops, s.Scale, specKey)
+}
+
+// tracesFor materializes the sweep's workload: the selected loop
+// class at the requested scale, with virtual-window counts for the
+// extrapolation engine where kernels cannot physically reach it.
+func tracesFor(s SweepSpec) (ts []*trace.Trace, virtual map[string]int64, notes []string) {
+	virtual = map[string]int64{}
+	for _, base := range loops.All() {
+		switch s.Loops {
+		case "scalar":
+			if base.Class != loops.Scalar {
+				continue
+			}
+		case "vectorizable":
+			if base.Class != loops.Vectorizable {
+				continue
+			}
+		}
+		k, extra := base, int64(0)
+		if s.Scale > 0 {
+			var err error
+			k, extra, err = loops.ForScale(base.Number, s.Scale)
+			if err != nil {
+				notes = append(notes, fmt.Sprintf("%s: %v; using default length %d", base, err, base.N))
+				k, extra = base, 0
+			}
+		}
+		if extra > 0 {
+			if s.Extrapolate {
+				v := int64(0)
+				var err error
+				if err = core.CanExtrapolate(k.SharedTrace()); err == nil {
+					v, err = loops.VirtualWindows(k, extra)
+				}
+				if err != nil {
+					notes = append(notes, fmt.Sprintf("%s: clamped to %d iterations: %v", k, k.N, err))
+				}
+				if v > 0 {
+					virtual[k.SharedTrace().Name] = v
+				}
+			} else {
+				notes = append(notes, fmt.Sprintf("%s: clamped to %d iterations (enable extrapolation to extend analytically)", k, k.N))
+			}
+		}
+		ts = append(ts, k.SharedTrace())
+	}
+	return ts, virtual, notes
+}
+
+// Run executes the sweep: expand, price, predict, prune, simulate,
+// and assemble the frontier. The sweep is canonicalized first, so any
+// parsed spec works. Cancellation via ctx skips unstarted points; the
+// partial report still assembles.
+func Run(ctx context.Context, sweep SweepSpec, opt Options) (*Report, error) {
+	s, err := sweep.Canonicalize()
+	if err != nil {
+		return nil, err
+	}
+	specs, expanded, invalid, err := s.Expand()
+	if err != nil {
+		return nil, err
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("dse: sweep expands to no valid machine definitions")
+	}
+
+	ts, virtual, notes := tracesFor(s)
+	workload := queuemodel.WorkloadOf(ts)
+
+	r := &Report{
+		SweepKey: s.Key(), Loops: s.Loops, Scale: s.Scale,
+		Expanded: expanded, Invalid: invalid, Deduped: len(specs),
+		Points: make([]Point, len(specs)),
+		Notes:  notes,
+	}
+	for i, spec := range specs {
+		p := &r.Points[i]
+		p.Spec = spec
+		p.Key = pointKey(s, spec.Key())
+		p.Cost = spec.Cost()
+		est, err := queuemodel.Predict(spec, workload)
+		if err != nil {
+			// Never prune what the model cannot price.
+			r.Notes = append(r.Notes, fmt.Sprintf("model: %s: %v", spec.Kind, err))
+			p.Unpriced = true
+			continue
+		}
+		p.Model = est.Rate
+	}
+
+	if s.Prune != nil {
+		prune(r.Points, *s.Prune)
+		for i := range r.Points {
+			if r.Points[i].Pruned {
+				r.Pruned++
+			}
+		}
+	}
+
+	// Partition the survivors against the journal, then fan the rest
+	// out over the worker pool.
+	var tasks []runner.Task
+	var taskIdx []int
+	for i := range r.Points {
+		p := &r.Points[i]
+		if p.Pruned {
+			continue
+		}
+		if opt.Journal != nil {
+			if rate, ok := opt.Journal.Lookup(p.Key); ok {
+				p.Rate, p.FromJournal = rate, true
+				r.FromJournal++
+				continue
+			}
+		}
+		spec := p.Spec
+		mk := func() core.Machine {
+			m, err := spec.New()
+			if err != nil {
+				panic(fmt.Sprintf("dse: point %s: %v", spec.Key(), err))
+			}
+			return m
+		}
+		if s.Extrapolate {
+			inner := mk
+			mk = func() core.Machine {
+				return core.Extrapolate(inner()).WithVirtual(virtual).BestEffort()
+			}
+		}
+		tasks = append(tasks, runner.Task{New: mk, Traces: ts})
+		taskIdx = append(taskIdx, i)
+	}
+
+	results, _, errs := runner.RunCheckedStats(ctx, runner.Options{
+		Parallel: opt.Parallel,
+		Limits:   opt.Limits,
+	}, tasks)
+	failed := make(map[int]string)
+	for _, e := range errs {
+		i := taskIdx[e.Task]
+		if _, dup := failed[i]; !dup {
+			failed[i] = e.Error()
+		}
+	}
+	for ti, cell := range results {
+		i := taskIdx[ti]
+		p := &r.Points[i]
+		if msg, bad := failed[i]; bad {
+			p.Err = msg
+			r.Failed++
+			continue
+		}
+		rs := make([]float64, 0, len(cell))
+		for _, res := range cell {
+			rate := res.IssueRate()
+			if !(rate > 0) {
+				p.Err = fmt.Sprintf("non-positive issue rate on %s", res.Trace)
+				break
+			}
+			rs = append(rs, rate)
+		}
+		if p.Err != "" {
+			r.Failed++
+			continue
+		}
+		p.Rate = stats.HarmonicMean(rs)
+		p.Simulated = true
+		r.Simulated++
+		if opt.Journal != nil {
+			opt.Journal.Record(p.Key, p.Rate)
+		}
+	}
+
+	frontier(r)
+	modelStats(r)
+	return r, nil
+}
+
+// prune drops points the model says are dominated: sorted by cost
+// ascending (model-rate descending within a cost), a point whose
+// predicted rate is beaten by a factor of 1+Margin by some
+// cheaper-or-equal point is pruned — the margin is the model error a
+// near-frontier point is given the benefit of. An exact tie is
+// pruned outright: the model predicts zero gain for strictly more
+// hardware, typically because both points saturate the same
+// bottleneck. A Keep floor restores the best-predicted pruned points
+// if pruning bites too deep.
+func prune(points []Point, p PruneSpec) {
+	order := make([]int, len(points))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := &points[order[a]], &points[order[b]]
+		if pa.Cost != pb.Cost {
+			return pa.Cost < pb.Cost
+		}
+		if pa.Model != pb.Model {
+			return pa.Model > pb.Model
+		}
+		return pa.Key < pb.Key
+	})
+	best := math.Inf(-1)
+	survivors := 0
+	for _, i := range order {
+		pt := &points[i]
+		if pt.Unpriced {
+			survivors++ // never prune what the model could not price
+			continue
+		}
+		if best >= pt.Model*(1+p.Margin) || best == pt.Model {
+			pt.Pruned = true
+		} else {
+			survivors++
+		}
+		if pt.Model > best {
+			best = pt.Model
+		}
+	}
+	if survivors < p.Keep {
+		// Restore the best-predicted pruned points up to the floor.
+		var pruned []int
+		for i := range points {
+			if points[i].Pruned {
+				pruned = append(pruned, i)
+			}
+		}
+		sort.Slice(pruned, func(a, b int) bool {
+			pa, pb := &points[pruned[a]], &points[pruned[b]]
+			if pa.Model != pb.Model {
+				return pa.Model > pb.Model
+			}
+			return pa.Key < pb.Key
+		})
+		for _, i := range pruned {
+			if survivors >= p.Keep {
+				break
+			}
+			points[i].Pruned = false
+			survivors++
+		}
+	}
+}
+
+// frontier marks the Pareto-optimal rated points: maximal simulated
+// rate at their cost. FrontierIdx lists them cost-ascending.
+func frontier(r *Report) {
+	var rated []int
+	for i := range r.Points {
+		if r.Points[i].Rate > 0 {
+			rated = append(rated, i)
+		}
+	}
+	sort.Slice(rated, func(a, b int) bool {
+		pa, pb := &r.Points[rated[a]], &r.Points[rated[b]]
+		if pa.Cost != pb.Cost {
+			return pa.Cost < pb.Cost
+		}
+		if pa.Rate != pb.Rate {
+			return pa.Rate > pb.Rate
+		}
+		return pa.Key < pb.Key
+	})
+	best := 0.0
+	for _, i := range rated {
+		if r.Points[i].Rate > best {
+			best = r.Points[i].Rate
+			r.Points[i].Frontier = true
+			r.FrontierIdx = append(r.FrontierIdx, i)
+		}
+	}
+}
+
+// modelStats fills in the model-vs-simulation calibration numbers.
+func modelStats(r *Report) {
+	var absErr float64
+	var rated int
+	for i := range r.Points {
+		p := &r.Points[i]
+		if p.Rate > 0 && !p.Unpriced {
+			absErr += math.Abs(p.Model-p.Rate) / p.Rate
+			rated++
+		}
+	}
+	if rated > 0 {
+		r.Model.MeanAbsRelErr = absErr / float64(rated)
+	}
+	f := r.FrontierIdx
+	agree := 0
+	for a := 0; a < len(f); a++ {
+		for b := a + 1; b < len(f); b++ {
+			pa, pb := &r.Points[f[a]], &r.Points[f[b]]
+			if pa.Unpriced || pb.Unpriced {
+				continue
+			}
+			r.Model.Pairs++
+			// Frontier rates strictly increase with cost, so agreement
+			// means the model orders the pair the same way (ties count
+			// for the model: it never contradicts the simulation).
+			if (pa.Rate-pb.Rate)*(pa.Model-pb.Model) >= 0 {
+				agree++
+			}
+		}
+	}
+	if r.Model.Pairs > 0 {
+		r.Model.FrontierAgreement = float64(agree) / float64(r.Model.Pairs)
+	}
+}

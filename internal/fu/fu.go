@@ -10,7 +10,11 @@
 // machines differ.
 package fu
 
-import "mfup/internal/isa"
+import (
+	"fmt"
+
+	"mfup/internal/isa"
+)
 
 // Pool tracks when each functional-unit class can next accept an
 // operation.
@@ -18,13 +22,40 @@ type Pool struct {
 	lat       isa.Latencies
 	segmented [isa.NumUnits]bool
 	nextFree  [isa.NumUnits]int64
+	// copies[u] holds per-copy next-free cycles when unit u is
+	// replicated; nil (the default) keeps the single copy tracked in
+	// nextFree, so the base machine's hot path stays scan-free and
+	// cycle-identical to the unreplicated pool.
+	copies [isa.NumUnits][]int64
 }
 
 // NewPool builds a pool with the given latency table. Segmentation
-// defaults to non-segmented everywhere; use SetSegmented /
-// SegmentAll.
+// defaults to non-segmented everywhere (use SetSegmented /
+// SegmentAll); every class starts with one copy (use SetCount).
 func NewPool(lat isa.Latencies) *Pool {
 	return &Pool{lat: lat}
+}
+
+// SetCount replicates unit u into n identical copies sharing one
+// dispatch port: an operation goes to whichever copy frees first.
+// n < 1 panics; n == 1 restores the unreplicated fast path.
+func (p *Pool) SetCount(u isa.Unit, n int) {
+	if n < 1 {
+		panic(fmt.Sprintf("fu: unit %s needs at least one copy, got %d", u, n))
+	}
+	if n == 1 {
+		p.copies[u] = nil
+		return
+	}
+	p.copies[u] = make([]int64, n)
+}
+
+// Count reports how many copies of unit u the pool has.
+func (p *Pool) Count(u isa.Unit) int {
+	if c := p.copies[u]; c != nil {
+		return len(c)
+	}
+	return 1
 }
 
 // SetSegmented marks unit u as pipelined (true) or not (false).
@@ -44,11 +75,30 @@ func (p *Pool) Segmented(u isa.Unit) bool { return p.segmented[u] }
 func (p *Pool) Latency(u isa.Unit) int { return p.lat.Of(u) }
 
 // Reset marks every unit free at cycle 0.
-func (p *Pool) Reset() { p.nextFree = [isa.NumUnits]int64{} }
+func (p *Pool) Reset() {
+	p.nextFree = [isa.NumUnits]int64{}
+	for _, c := range p.copies {
+		for i := range c {
+			c[i] = 0
+		}
+	}
+}
 
 // EarliestAccept returns the earliest cycle >= t at which unit u can
-// accept a new operation.
+// accept a new operation (on any copy, if replicated).
 func (p *Pool) EarliestAccept(u isa.Unit, t int64) int64 {
+	if c := p.copies[u]; c != nil {
+		min := c[0]
+		for _, f := range c[1:] {
+			if f < min {
+				min = f
+			}
+		}
+		if min > t {
+			return min
+		}
+		return t
+	}
 	if p.nextFree[u] > t {
 		return p.nextFree[u]
 	}
@@ -56,14 +106,25 @@ func (p *Pool) EarliestAccept(u isa.Unit, t int64) int64 {
 }
 
 // Accept records that unit u starts an operation at cycle t and
-// returns the completion cycle. A segmented unit can accept again at
-// t+1, a non-segmented one at completion.
+// returns the completion cycle. A segmented unit (copy) can accept
+// again at t+1, a non-segmented one at completion. With replication
+// the operation claims the copy that frees first.
 func (p *Pool) Accept(u isa.Unit, t int64) (done int64) {
 	done = t + int64(p.lat.Of(u))
+	next := done
 	if p.segmented[u] {
-		p.nextFree[u] = t + 1
-	} else {
-		p.nextFree[u] = done
+		next = t + 1
 	}
+	if c := p.copies[u]; c != nil {
+		best := 0
+		for i, f := range c[1:] {
+			if f < c[best] {
+				best = i + 1
+			}
+		}
+		c[best] = next
+		return done
+	}
+	p.nextFree[u] = next
 	return done
 }

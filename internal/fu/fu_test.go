@@ -81,3 +81,71 @@ func TestBackToBackNonSegmented(t *testing.T) {
 		t.Errorf("third acceptance at %d, want 6", at)
 	}
 }
+
+func TestReplicatedNonSegmented(t *testing.T) {
+	// Two copies of a serial unit: two back-to-back ops run in
+	// parallel, the third waits for the first copy to free.
+	p := pool()
+	p.SetCount(isa.ScalarAdd, 2) // 3-cycle serial adds
+	if p.Count(isa.ScalarAdd) != 2 {
+		t.Fatalf("Count = %d, want 2", p.Count(isa.ScalarAdd))
+	}
+	if at := p.EarliestAccept(isa.ScalarAdd, 0); at != 0 {
+		t.Fatalf("first op accepts at %d, want 0", at)
+	}
+	p.Accept(isa.ScalarAdd, 0)
+	if at := p.EarliestAccept(isa.ScalarAdd, 0); at != 0 {
+		t.Fatalf("second copy busy at 0; accepts at %d", at)
+	}
+	p.Accept(isa.ScalarAdd, 0)
+	if at := p.EarliestAccept(isa.ScalarAdd, 0); at != 3 {
+		t.Fatalf("third op accepts at %d, want 3 (both copies busy)", at)
+	}
+}
+
+func TestReplicatedSegmented(t *testing.T) {
+	// Segmented copies each accept one op per cycle: with two copies,
+	// two ops start at cycle 0 and a third at cycle 1.
+	p := pool()
+	p.SetCount(isa.FloatMul, 2)
+	p.SetSegmented(isa.FloatMul, true)
+	p.Accept(isa.FloatMul, 0)
+	p.Accept(isa.FloatMul, 0)
+	if at := p.EarliestAccept(isa.FloatMul, 0); at != 1 {
+		t.Errorf("third op accepts at %d, want 1", at)
+	}
+}
+
+func TestReplicatedReset(t *testing.T) {
+	p := pool()
+	p.SetCount(isa.ScalarAdd, 3)
+	for i := 0; i < 3; i++ {
+		p.Accept(isa.ScalarAdd, 0)
+	}
+	p.Reset()
+	if at := p.EarliestAccept(isa.ScalarAdd, 0); at != 0 {
+		t.Errorf("after Reset, accepts at %d, want 0", at)
+	}
+}
+
+func TestSetCountOneRestoresFastPath(t *testing.T) {
+	p := pool()
+	p.SetCount(isa.ScalarAdd, 4)
+	p.SetCount(isa.ScalarAdd, 1)
+	if p.Count(isa.ScalarAdd) != 1 {
+		t.Fatalf("Count = %d, want 1", p.Count(isa.ScalarAdd))
+	}
+	p.Accept(isa.ScalarAdd, 0)
+	if at := p.EarliestAccept(isa.ScalarAdd, 0); at != 3 {
+		t.Errorf("single serial copy accepts at %d, want 3", at)
+	}
+}
+
+func TestSetCountPanicsBelowOne(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SetCount(0) did not panic")
+		}
+	}()
+	pool().SetCount(isa.ScalarAdd, 0)
+}

@@ -349,3 +349,44 @@ func TestInstructionStringAllOpcodes(t *testing.T) {
 		}
 	}
 }
+
+func TestLatencyOverride(t *testing.T) {
+	base := NewLatencies(11, 5)
+	l := base.WithOverride(FloatMul, 4)
+	if l.Of(FloatMul) != 4 {
+		t.Errorf("override: FloatMul = %d, want 4", l.Of(FloatMul))
+	}
+	if base.Of(FloatMul) != 7 {
+		t.Errorf("WithOverride mutated the receiver: FloatMul = %d", base.Of(FloatMul))
+	}
+	if l.Of(FloatAdd) != 6 || l.Of(Memory) != 11 {
+		t.Error("override touched unrelated units")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("WithOverride(0) did not panic")
+		}
+	}()
+	base.WithOverride(FloatAdd, 0)
+}
+
+func TestParseUnit(t *testing.T) {
+	for u := 0; u < NumUnits; u++ {
+		got, err := ParseUnit(Unit(u).String())
+		if err != nil || got != Unit(u) {
+			t.Errorf("ParseUnit(%q) = %v, %v", Unit(u).String(), got, err)
+		}
+	}
+	if _, err := ParseUnit("Teleport"); err == nil {
+		t.Error("unknown unit name accepted")
+	}
+}
+
+func TestDefaultLatency(t *testing.T) {
+	if DefaultLatency(FloatMul) != 7 || DefaultLatency(Recip) != 14 {
+		t.Error("fixed latencies wrong")
+	}
+	if DefaultLatency(Memory) != 0 || DefaultLatency(Branch) != 0 {
+		t.Error("machine-parameter units must report 0")
+	}
+}

@@ -85,3 +85,32 @@ func NewLatencies(memory, branch int) Latencies {
 // Of returns the latency of unit u: the number of cycles from the
 // cycle an operation enters the unit until its result is available.
 func (l Latencies) Of(u Unit) int { return l.table[u] }
+
+// DefaultLatency returns the fixed base-architecture latency of unit
+// u, or 0 for the machine-parameter units (Memory, Branch), whose
+// timing is set per machine via NewLatencies.
+func DefaultLatency(u Unit) int { return fixedLatency[u] }
+
+// ParseUnit resolves a functional-unit class by its String name
+// ("FloatAdd", "Memory", ...).
+func ParseUnit(name string) (Unit, error) {
+	for i, n := range unitNames {
+		if n == name {
+			return Unit(i), nil
+		}
+	}
+	return 0, fmt.Errorf("isa: unknown functional-unit class %q", name)
+}
+
+// WithOverride returns a copy of l with unit u's latency replaced by
+// cycles. It is the design-space knob behind core.Config.FULat: the
+// base table stays the CRAY-1 reference, and a study that asks "what
+// if the floating multiplier took 4 cycles" overrides exactly that
+// entry. Non-positive cycles panic, like NewLatencies.
+func (l Latencies) WithOverride(u Unit, cycles int) Latencies {
+	if cycles <= 0 {
+		panic(fmt.Sprintf("isa: non-positive latency override for %s: %d", u, cycles))
+	}
+	l.table[u] = cycles
+	return l
+}

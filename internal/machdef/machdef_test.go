@@ -1,0 +1,304 @@
+package machdef
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mfup/internal/bus"
+	"mfup/internal/core"
+	"mfup/internal/loops"
+)
+
+// TestGoldenSpecsCompile parses each of the ten golden testdata specs
+// and checks it compiles to the machine it names.
+func TestGoldenSpecsCompile(t *testing.T) {
+	wantName := map[string]string{
+		"simple":     "Simple",
+		"serialmem":  "SerialMemory",
+		"nonseg":     "NonSegmented",
+		"cray":       "CRAY-like",
+		"scoreboard": "Scoreboard",
+		"tomasulo":   "Tomasulo(4 stations/unit)",
+		"multi":      "MultiIssue(4,N-Bus)",
+		"ooo":        "MultiIssueOOO(4,N-Bus)",
+		"ruu":        "RUU(2 units, 50 entries, N-Bus)",
+		"vector":     "Vector",
+	}
+	for kind, want := range wantName {
+		s, err := ParseFile(filepath.Join("testdata", kind+".json"))
+		if err != nil {
+			t.Fatalf("%s.json: %v", kind, err)
+		}
+		m, err := s.New()
+		if err != nil {
+			t.Fatalf("%s.json: New: %v", kind, err)
+		}
+		if m.Name() != want {
+			t.Errorf("%s.json: built %q, want %q", kind, m.Name(), want)
+		}
+	}
+}
+
+// TestDifferentialAgainstDirectConstructors runs each golden kind,
+// across the paper's four machine variations, both ways — via machdef
+// and via the direct core constructor — and demands identical cycle
+// counts. This is the proof that the declarative layer is a faithful
+// re-expression of the hand-built configurations.
+func TestDifferentialAgainstDirectConstructors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential matrix is not short")
+	}
+	k, err := loops.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := k.SharedTrace()
+	vk, err := loops.VectorKernel(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vtr := vk.SharedTrace()
+
+	direct := map[string]func(core.Config) (core.Machine, error){
+		"simple":     func(c core.Config) (core.Machine, error) { return core.NewBasicChecked(core.Simple, c) },
+		"serialmem":  func(c core.Config) (core.Machine, error) { return core.NewBasicChecked(core.SerialMemory, c) },
+		"nonseg":     func(c core.Config) (core.Machine, error) { return core.NewBasicChecked(core.NonSegmented, c) },
+		"cray":       func(c core.Config) (core.Machine, error) { return core.NewBasicChecked(core.CRAYLike, c) },
+		"scoreboard": core.NewScoreboardChecked,
+		"tomasulo": func(c core.Config) (core.Machine, error) {
+			return core.NewTomasuloChecked(c.WithRUU(4))
+		},
+		"multi": func(c core.Config) (core.Machine, error) {
+			return core.NewMultiIssueChecked(c.WithIssue(4, bus.BusN))
+		},
+		"ooo": func(c core.Config) (core.Machine, error) {
+			return core.NewMultiIssueOOOChecked(c.WithIssue(4, bus.BusN))
+		},
+		"ruu": func(c core.Config) (core.Machine, error) {
+			return core.NewRUUChecked(c.WithIssue(2, bus.BusN).WithRUU(50))
+		},
+		"vector": core.NewVectorChecked,
+	}
+	for kind, mk := range direct {
+		for _, base := range core.BaseConfigs() {
+			s, err := ParseFile(filepath.Join("testdata", kind+".json"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Mem, s.Br = base.MemLatency, base.BranchLatency
+			if s, err = Canonicalize(s); err != nil {
+				t.Fatalf("%s %s: %v", kind, base.Name(), err)
+			}
+			declared, err := s.New()
+			if err != nil {
+				t.Fatalf("%s %s: declarative: %v", kind, base.Name(), err)
+			}
+			reference, err := mk(base)
+			if err != nil {
+				t.Fatalf("%s %s: direct: %v", kind, base.Name(), err)
+			}
+			workload := tr
+			if kind == "vector" {
+				workload = vtr
+			}
+			got := declared.Run(workload)
+			want := reference.Run(workload)
+			if got.Cycles != want.Cycles || got.Instructions != want.Instructions {
+				t.Errorf("%s %s: declarative %d cycles / %d instrs, direct %d / %d",
+					kind, base.Name(), got.Cycles, got.Instructions, want.Cycles, want.Instructions)
+			}
+		}
+	}
+}
+
+// TestCanonicalizeDefaults checks defaults are spelled out and
+// ignored knobs zeroed, so equivalent specs share one key.
+func TestCanonicalizeDefaults(t *testing.T) {
+	terse, err := Canonicalize(Spec{Kind: "CRAY "})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spelled, err := Canonicalize(Spec{Kind: "cray", Mem: 11, Br: 5, RUU: 50, Stations: 4, Width: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if terse.Key() != spelled.Key() {
+		t.Errorf("equivalent specs canonicalize apart:\n  %+v\n  %+v", terse, spelled)
+	}
+	if terse.Mem != 11 || terse.Br != 5 || terse.RUU != 0 || terse.Width != 0 {
+		t.Errorf("canonical cray = %+v", terse)
+	}
+
+	// A no-op override and a single-copy replication vanish.
+	noop, err := Canonicalize(Spec{Kind: "cray", FULat: map[string]int{"FloatMul": 7}, FUCount: map[string]int{"FloatAdd": 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noop.FULat != nil || noop.FUCount != nil {
+		t.Errorf("no-op unit maps survived canonicalization: %+v", noop)
+	}
+	if noop.Key() != terse.Key() {
+		t.Error("no-op unit maps changed the content key")
+	}
+
+	// A crossbar with one bus per station is spelled without Buses.
+	xb, err := Canonicalize(Spec{Kind: "multi", Width: 4, Bus: "xbar", Buses: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xb.Buses != 0 {
+		t.Errorf("default-width crossbar kept buses = %d", xb.Buses)
+	}
+}
+
+// TestRejectionTable exercises every out-of-range knob and checks for
+// a one-line diagnostic naming it.
+func TestRejectionTable(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		want string // substring of the one-line diagnostic
+	}{
+		{"unknown kind", Spec{Kind: "quantum"}, `unknown machine kind "quantum"`},
+		{"empty kind", Spec{}, "unknown machine kind"},
+		{"mem zero", Spec{Kind: "cray", Mem: -1}, "memory access time"},
+		{"br negative", Spec{Kind: "cray", Br: -2}, "branch execution time"},
+		{"width zero", Spec{Kind: "multi", Width: -1}, "need at least one issue station"},
+		{"width on single-issue", Spec{Kind: "cray", Width: 2}, "single-issue"},
+		{"bad bus", Spec{Kind: "multi", Bus: "tokenring"}, "unknown bus kind"},
+		{"xbar on ruu", Spec{Kind: "ruu", Bus: "xbar"}, "nbus or 1bus"},
+		{"buses negative", Spec{Kind: "multi", Bus: "xbar", Buses: -1}, "cannot be negative"},
+		{"buses on nbus", Spec{Kind: "multi", Bus: "nbus", Buses: 2}, "only the xbar"},
+		{"ruu zero entries", Spec{Kind: "ruu", RUU: -1}, "at least one RUU entry"},
+		{"ruu below width", Spec{Kind: "ruu", Width: 4, RUU: 2}, "at least as many RUU entries"},
+		{"stations zero", Spec{Kind: "tomasulo", Stations: -1}, "at least one reservation station"},
+		{"banks negative", Spec{Kind: "cray", MemBanks: -3}, "bank count cannot be negative"},
+		{"fulat unknown unit", Spec{Kind: "cray", FULat: map[string]int{"Warp": 3}}, `unknown functional-unit class "Warp"`},
+		{"fulat zero", Spec{Kind: "cray", FULat: map[string]int{"FloatMul": 0}}, "at least 1 cycle"},
+		{"fulat memory", Spec{Kind: "cray", FULat: map[string]int{"Memory": 3}}, "machine parameter"},
+		{"fulat branch", Spec{Kind: "cray", FULat: map[string]int{"Branch": 1}}, "machine parameter"},
+		{"fucount zero", Spec{Kind: "cray", FUCount: map[string]int{"FloatMul": 0}}, "at least 1"},
+		{"fucount negative", Spec{Kind: "cray", FUCount: map[string]int{"FloatMul": -2}}, "at least 1"},
+		{"fucount unknown unit", Spec{Kind: "cray", FUCount: map[string]int{"Blender": 2}}, `unknown functional-unit class "Blender"`},
+		{"fucount on vector", Spec{Kind: "vector", FUCount: map[string]int{"FloatMul": 2}}, "no functional-unit replication"},
+	}
+	for _, tc := range cases {
+		_, err := Canonicalize(tc.spec)
+		if err == nil {
+			t.Errorf("%s: accepted %+v", tc.name, tc.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: diagnostic %q does not mention %q", tc.name, err, tc.want)
+		}
+		if strings.Contains(err.Error(), "\n") {
+			t.Errorf("%s: diagnostic spans lines: %q", tc.name, err)
+		}
+	}
+}
+
+// TestParseRejectsUnknownFields: typos must not silently vanish.
+func TestParseRejectsUnknownFields(t *testing.T) {
+	if _, err := Parse([]byte(`{"kind": "cray", "wdith": 4}`)); err == nil {
+		t.Error("unknown JSON field accepted")
+	}
+}
+
+// TestKeyDiscriminates: every knob that can change a result must
+// change the key.
+func TestKeyDiscriminates(t *testing.T) {
+	base := Spec{Kind: "multi", Width: 4, Bus: "xbar"}
+	variants := []Spec{
+		{Kind: "ooo", Width: 4, Bus: "xbar"},
+		{Kind: "multi", Width: 8, Bus: "xbar"},
+		{Kind: "multi", Width: 4, Bus: "nbus"},
+		{Kind: "multi", Width: 4, Bus: "xbar", Buses: 2},
+		{Kind: "multi", Width: 4, Bus: "xbar", Mem: 5},
+		{Kind: "multi", Width: 4, Bus: "xbar", Br: 2},
+		{Kind: "multi", Width: 4, Bus: "xbar", MemBanks: 8},
+		{Kind: "multi", Width: 4, Bus: "xbar", FULat: map[string]int{"FloatMul": 4}},
+		{Kind: "multi", Width: 4, Bus: "xbar", FUCount: map[string]int{"FloatMul": 2}},
+		{Kind: "multi", Width: 4, Bus: "xbar", PerfectBranches: true},
+	}
+	b, err := Canonicalize(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]string{b.Key(): "base"}
+	for i, v := range variants {
+		c, err := Canonicalize(v)
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		if prev, dup := seen[c.Key()]; dup {
+			t.Errorf("variant %d collides with %s", i, prev)
+		}
+		seen[c.Key()] = c.Kind
+	}
+}
+
+// TestCostMonotonicity: more hardware must cost more, identical specs
+// identically.
+func TestCostMonotonicity(t *testing.T) {
+	c := func(s Spec) float64 {
+		cs, err := Canonicalize(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cs.Cost()
+	}
+	narrow := c(Spec{Kind: "multi", Width: 2})
+	wide := c(Spec{Kind: "multi", Width: 8})
+	if wide <= narrow {
+		t.Errorf("8-wide (%g) not dearer than 2-wide (%g)", wide, narrow)
+	}
+	one := c(Spec{Kind: "cray"})
+	two := c(Spec{Kind: "cray", FUCount: map[string]int{"FloatMul": 2}})
+	if two <= one {
+		t.Errorf("replicated multiplier (%g) not dearer than base (%g)", two, one)
+	}
+	smallRUU := c(Spec{Kind: "ruu", Width: 2, RUU: 10})
+	bigRUU := c(Spec{Kind: "ruu", Width: 2, RUU: 100})
+	if bigRUU <= smallRUU {
+		t.Errorf("RUU 100 (%g) not dearer than RUU 10 (%g)", bigRUU, smallRUU)
+	}
+	starved := c(Spec{Kind: "multi", Width: 8, Bus: "xbar", Buses: 2})
+	full := c(Spec{Kind: "multi", Width: 8, Bus: "xbar"})
+	if starved >= full {
+		t.Errorf("2-bus crossbar (%g) not cheaper than 8-bus (%g)", starved, full)
+	}
+}
+
+// TestNewKnobsChangeTiming: the new design-space knobs must actually
+// reach the timing model — a starved crossbar or a slower multiplier
+// cannot simulate identically to the base machine.
+func TestNewKnobsChangeTiming(t *testing.T) {
+	k, err := loops.Get(9) // FloatMul-heavy inner product
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := k.SharedTrace()
+	run := func(s Spec) core.Result {
+		t.Helper()
+		c, err := Canonicalize(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := c.New()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Run(tr)
+	}
+	base := run(Spec{Kind: "ooo", Width: 8, Bus: "xbar"})
+	starved := run(Spec{Kind: "ooo", Width: 8, Bus: "xbar", Buses: 1})
+	if starved.Cycles <= base.Cycles {
+		t.Errorf("1-bus crossbar (%d cycles) not slower than 8-bus (%d)", starved.Cycles, base.Cycles)
+	}
+	slowMul := run(Spec{Kind: "cray", FULat: map[string]int{"FloatMul": 20}})
+	craybase := run(Spec{Kind: "cray"})
+	if slowMul.Cycles <= craybase.Cycles {
+		t.Errorf("20-cycle multiplier (%d cycles) not slower than 7-cycle (%d)", slowMul.Cycles, craybase.Cycles)
+	}
+}

@@ -1,0 +1,156 @@
+package queuemodel
+
+import (
+	"math"
+	"testing"
+
+	"mfup/internal/loops"
+	"mfup/internal/machdef"
+	"mfup/internal/trace"
+)
+
+// workload builds the scalar-class mix the tests share.
+func workload(t *testing.T) Workload {
+	t.Helper()
+	var ts []*trace.Trace
+	for _, k := range loops.All() {
+		if k.Class == loops.Scalar {
+			ts = append(ts, k.SharedTrace())
+		}
+	}
+	w := WorkloadOf(ts)
+	if w.Instructions == 0 {
+		t.Fatal("empty scalar workload")
+	}
+	return w
+}
+
+func predict(t *testing.T, s machdef.Spec, w Workload) Estimate {
+	t.Helper()
+	e, err := Predict(s, w)
+	if err != nil {
+		t.Fatalf("Predict(%+v): %v", s, err)
+	}
+	if !(e.Rate > 0) || math.IsInf(e.Rate, 0) {
+		t.Fatalf("Predict(%+v) = %v, want finite positive rate", s, e.Rate)
+	}
+	return e
+}
+
+// More issue width must never predict a slower machine.
+func TestMonotoneInWidth(t *testing.T) {
+	w := workload(t)
+	prev := 0.0
+	for width := 1; width <= 8; width++ {
+		e := predict(t, machdef.Spec{Kind: "ooo", Width: width, Bus: "nbus"}, w)
+		if e.Rate < prev {
+			t.Errorf("width %d: rate %v < width %d's %v", width, e.Rate, width-1, prev)
+		}
+		prev = e.Rate
+	}
+}
+
+// A single shared result bus cannot beat one bus per station.
+func TestOneBusNoFasterThanNBus(t *testing.T) {
+	w := workload(t)
+	nbus := predict(t, machdef.Spec{Kind: "ooo", Width: 4, Bus: "nbus"}, w)
+	onebus := predict(t, machdef.Spec{Kind: "ooo", Width: 4, Bus: "1bus"}, w)
+	if onebus.Rate > nbus.Rate {
+		t.Errorf("1bus rate %v > nbus rate %v", onebus.Rate, nbus.Rate)
+	}
+	if onebus.Rate >= 1.000001 {
+		t.Errorf("1bus rate %v: one result per cycle is the hard ceiling", onebus.Rate)
+	}
+}
+
+// A starved crossbar is no faster than a full one.
+func TestStarvedCrossbar(t *testing.T) {
+	w := workload(t)
+	full := predict(t, machdef.Spec{Kind: "ooo", Width: 8, Bus: "xbar"}, w)
+	starved := predict(t, machdef.Spec{Kind: "ooo", Width: 8, Bus: "xbar", Buses: 1}, w)
+	if starved.Rate > full.Rate {
+		t.Errorf("1-bus crossbar rate %v > full crossbar %v", starved.Rate, full.Rate)
+	}
+}
+
+// Slower memory or branches must never predict a faster machine.
+func TestMonotoneInLatencies(t *testing.T) {
+	w := workload(t)
+	for _, kind := range []string{"serialmem", "cray", "ruu"} {
+		fast := predict(t, machdef.Spec{Kind: kind, Mem: 5, Br: 2}, w)
+		slow := predict(t, machdef.Spec{Kind: kind, Mem: 11, Br: 5}, w)
+		if slow.Rate > fast.Rate {
+			t.Errorf("%s: M11BR5 rate %v > M5BR2 rate %v", kind, slow.Rate, fast.Rate)
+		}
+	}
+}
+
+// A larger instruction window can only help.
+func TestMonotoneInRUUSize(t *testing.T) {
+	w := workload(t)
+	prev := 0.0
+	for _, size := range []int{4, 10, 20, 50, 100} {
+		e := predict(t, machdef.Spec{Kind: "ruu", Width: 4, RUU: size}, w)
+		if e.Rate < prev {
+			t.Errorf("RUU %d: rate %v below smaller window's %v", size, e.Rate, prev)
+		}
+		prev = e.Rate
+	}
+	// A tiny window must actually bind: rate well below saturation.
+	tiny := predict(t, machdef.Spec{Kind: "ruu", Width: 4, RUU: 4}, w)
+	if tiny.Rate >= tiny.Saturation {
+		t.Errorf("RUU 4: rate %v did not drop below saturation %v", tiny.Rate, tiny.Saturation)
+	}
+}
+
+// Replicating a loaded unit class can only help, and a second copy of
+// an idle one must change nothing.
+func TestMonotoneInReplication(t *testing.T) {
+	w := workload(t)
+	base := predict(t, machdef.Spec{Kind: "nonseg"}, w)
+	repl := predict(t, machdef.Spec{Kind: "nonseg", FUCount: map[string]int{"FloatMul": 2}}, w)
+	if repl.Rate < base.Rate {
+		t.Errorf("replicated FloatMul rate %v < base %v", repl.Rate, base.Rate)
+	}
+}
+
+// Perfect branches remove the branch shadow; the estimate must not
+// get worse.
+func TestPerfectBranchesHelp(t *testing.T) {
+	w := workload(t)
+	real := predict(t, machdef.Spec{Kind: "ooo", Width: 8}, w)
+	perfect := predict(t, machdef.Spec{Kind: "ooo", Width: 8, PerfectBranches: true}, w)
+	if perfect.Rate < real.Rate {
+		t.Errorf("perfect-branch rate %v < real-branch rate %v", perfect.Rate, real.Rate)
+	}
+}
+
+// The single-issue in-order machines order the way the paper's Table 1
+// does: simple <= serialmem <= nonseg <= cray.
+func TestOrganizationOrdering(t *testing.T) {
+	w := workload(t)
+	prev, prevKind := 0.0, ""
+	for _, kind := range []string{"simple", "serialmem", "nonseg", "cray"} {
+		e := predict(t, machdef.Spec{Kind: kind}, w)
+		if e.Rate < prev {
+			t.Errorf("%s rate %v < %s rate %v", kind, e.Rate, prevKind, prev)
+		}
+		prev, prevKind = e.Rate, kind
+	}
+	if prev > 1 {
+		t.Errorf("single-issue rate %v exceeds one instruction per cycle", prev)
+	}
+}
+
+func TestRejections(t *testing.T) {
+	w := workload(t)
+	if _, err := Predict(machdef.Spec{Kind: "vector"}, w); err == nil {
+		t.Error("vector machine accepted")
+	}
+	if _, err := Predict(machdef.Spec{Kind: "warp9"}, w); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := Predict(machdef.Spec{Kind: "cray"}, Workload{}); err == nil {
+		t.Error("empty workload accepted")
+	}
+}

@@ -54,6 +54,12 @@ type Config struct {
 	// a branch costs one issue slot and nothing else. Ablation only;
 	// the paper models no prediction.
 	PerfectBranches bool
+
+	// FULat and FUCount mirror core.Config: per-class latency
+	// overrides (0 = CRAY-1 reference; Memory/Branch entries must stay
+	// zero) and per-class replication (0 and 1 both mean one copy).
+	FULat   [isa.NumUnits]int
+	FUCount [isa.NumUnits]int
 }
 
 // Validate reports whether the configuration is structurally
@@ -71,7 +77,29 @@ func (cfg Config) Validate() error {
 	if cfg.MemBanks < 0 {
 		return fmt.Errorf("ruu: negative memory bank count %d", cfg.MemBanks)
 	}
+	for u := 0; u < isa.NumUnits; u++ {
+		if cfg.FULat[u] < 0 {
+			return fmt.Errorf("ruu: negative latency override %d for %s", cfg.FULat[u], isa.Unit(u))
+		}
+		if cfg.FULat[u] > 0 && (isa.Unit(u) == isa.Memory || isa.Unit(u) == isa.Branch) {
+			return fmt.Errorf("ruu: %s latency is a machine parameter; set MemLatency/BranchLatency, not FULat", isa.Unit(u))
+		}
+		if cfg.FUCount[u] < 0 {
+			return fmt.Errorf("ruu: negative copy count %d for %s", cfg.FUCount[u], isa.Unit(u))
+		}
+	}
 	return nil
+}
+
+// latencies builds the latency table with any per-unit overrides.
+func (cfg Config) latencies() isa.Latencies {
+	l := isa.NewLatencies(cfg.MemLatency, cfg.BranchLatency)
+	for u, cycles := range cfg.FULat {
+		if cycles > 0 {
+			l = l.WithOverride(isa.Unit(u), cycles)
+		}
+	}
+	return l
 }
 
 // Limits bounds a checked run; it mirrors core.Limits (this package
@@ -235,10 +263,15 @@ func NewChecked(cfg Config) (*Simulator, error) {
 	}
 	s := &Simulator{
 		cfg:  cfg,
-		lat:  isa.NewLatencies(cfg.MemLatency, cfg.BranchLatency),
-		pool: fu.NewPool(isa.NewLatencies(cfg.MemLatency, cfg.BranchLatency)),
+		lat:  cfg.latencies(),
+		pool: fu.NewPool(cfg.latencies()),
 	}
 	s.pool.SegmentAll()
+	for u, n := range cfg.FUCount {
+		if n > 1 {
+			s.pool.SetCount(isa.Unit(u), n)
+		}
+	}
 	if cfg.Bus == bus.BusN {
 		s.banks = cfg.IssueUnits
 	} else {

@@ -83,3 +83,28 @@ func TestRetryAfterSeconds(t *testing.T) {
 		}
 	}
 }
+
+// Truncation-to-zero regression at the boundary: every sub-second wait
+// — down to a single nanosecond — must render Retry-After: 1, and a
+// wait one tick past a whole second must round UP, never down. An
+// integer division here once risked "Retry-After: 0", which tells a
+// shed client to hammer the server immediately: the one signal a
+// shedding server must never send.
+func TestRetryAfterSecondsBoundary(t *testing.T) {
+	cases := map[time.Duration]int{
+		time.Nanosecond:               1,
+		time.Second - time.Nanosecond: 1, // 999,999,999ns: sub-second stays 1
+		time.Second + time.Nanosecond: 2, // rounds up, not down to 1
+		2*time.Second - 1:             2,
+		2 * time.Second:               2,
+	}
+	for d, want := range cases {
+		got := retryAfterSeconds(d)
+		if got != want {
+			t.Errorf("retryAfterSeconds(%v) = %d, want %d", d, got, want)
+		}
+		if got < 1 {
+			t.Errorf("retryAfterSeconds(%v) = %d: rendered a zero Retry-After", d, got)
+		}
+	}
+}

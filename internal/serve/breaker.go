@@ -17,9 +17,16 @@ import (
 // Transient failures (deadlines, injected blips) never count: the
 // runner's retry/backoff layer owns those.
 //
-// After cooldown the circuit goes half-open: one probe job is
-// admitted. Success closes the circuit and forgets the history; a
-// further permanent failure re-opens it for another full cooldown.
+// After cooldown the circuit goes half-open: exactly ONE probe job is
+// admitted per half-open window — concurrent submissions racing the
+// transition are refused with Retry-After until the probe's outcome
+// is known, never admitted as a thundering herd that would re-burn a
+// worker slot per caller on a key that is probably still broken.
+// Success closes the circuit and forgets the history; a further
+// permanent failure re-opens it for another full cooldown; a
+// transient outcome (or an admission path that could not enqueue the
+// probe after all) releases the probe slot so the next caller may
+// try.
 type breaker struct {
 	threshold int           // consecutive permanent failures to open; <= 0 disables
 	cooldown  time.Duration // quarantine length
@@ -31,7 +38,8 @@ type breaker struct {
 
 type breakerEntry struct {
 	fails     int       // consecutive permanent failures
-	openUntil time.Time // zero: closed (or half-open probe outstanding)
+	openUntil time.Time // zero: closed or half-open
+	probing   bool      // half-open with the single probe outstanding
 }
 
 // newBreaker builds a breaker; threshold <= 0 disables it. A nil now
@@ -60,17 +68,43 @@ func (b *breaker) allow(key string) (ok bool, retryAfter time.Duration) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	e := b.entries[key]
-	if e == nil || e.openUntil.IsZero() {
+	if e == nil {
+		return true, 0
+	}
+	if e.openUntil.IsZero() {
+		if e.probing {
+			// Half-open with the probe in flight: exactly one caller per
+			// window got through; everyone else backs off until the
+			// probe's outcome closes or re-opens the circuit.
+			return false, time.Second
+		}
 		return true, 0
 	}
 	if remaining := e.openUntil.Sub(b.now()); remaining > 0 {
 		return false, remaining
 	}
-	// Cooldown over: go half-open. One probe runs; its outcome decides
-	// whether the circuit closes or re-opens. fails stays at the
-	// threshold so a single further permanent failure re-opens.
+	// Cooldown over: go half-open. THIS caller is the single probe; its
+	// outcome decides whether the circuit closes or re-opens. fails
+	// stays at the threshold so a single further permanent failure
+	// re-opens.
 	e.openUntil = time.Time{}
+	e.probing = true
 	return true, 0
+}
+
+// release gives back a half-open probe slot without recording an
+// outcome: the admission path claimed the probe via allow but could
+// not actually start the job (queue full, drain began). The next
+// submission may probe instead.
+func (b *breaker) release(key string) {
+	if b == nil || b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if e := b.entries[key]; e != nil {
+		e.probing = false
+	}
 }
 
 // success records a completed job: the key's failure history is
@@ -85,14 +119,23 @@ func (b *breaker) success(key string) {
 }
 
 // failure records a failed job. Only permanent failures advance the
-// circuit toward open; transient ones are the retry layer's business.
+// circuit toward open; transient ones are the retry layer's business —
+// but either outcome ends an outstanding half-open probe, so a probe
+// that dies transiently (deadline, injected blip) frees the slot for
+// the next caller instead of wedging the key half-open forever.
 func (b *breaker) failure(key string, permanent bool) {
-	if b == nil || b.threshold <= 0 || !permanent {
+	if b == nil || b.threshold <= 0 {
 		return
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	e := b.entries[key]
+	if e != nil {
+		e.probing = false
+	}
+	if !permanent {
+		return
+	}
 	if e == nil {
 		e = &breakerEntry{}
 		b.entries[key] = e

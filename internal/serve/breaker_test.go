@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -70,6 +72,83 @@ func TestBreakerHalfOpenProbe(t *testing.T) {
 	b.failure("k", true) // threshold 1: one failure re-opens
 	if ok, _ := b.allow("k"); ok {
 		t.Fatal("circuit should re-open at threshold after reset")
+	}
+}
+
+// Exactly one probe per half-open window, under concurrency: when the
+// cooldown expires, N goroutines race allow() and precisely one may
+// win the probe slot — the rest are refused with a positive
+// Retry-After. Admitting the whole herd would re-burn a worker slot
+// per caller on a key that is probably still broken. Run with -race.
+func TestBreakerHalfOpenSingleProbeUnderConcurrency(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(1, time.Minute, clk.now)
+	for round := 0; round < 3; round++ {
+		b.failure("k", true)
+		if ok, _ := b.allow("k"); ok {
+			t.Fatalf("round %d: circuit not open", round)
+		}
+		clk.advance(2 * time.Minute)
+
+		const callers = 64
+		var admitted atomic.Int64
+		var start, done sync.WaitGroup
+		start.Add(1)
+		done.Add(callers)
+		for i := 0; i < callers; i++ {
+			go func() {
+				defer done.Done()
+				start.Wait()
+				ok, retry := b.allow("k")
+				if ok {
+					admitted.Add(1)
+				} else if retry <= 0 {
+					t.Error("refused probe racer got a non-positive Retry-After")
+				}
+			}()
+		}
+		start.Done()
+		done.Wait()
+		if n := admitted.Load(); n != 1 {
+			t.Fatalf("round %d: %d probes admitted in one half-open window, want exactly 1", round, n)
+		}
+		// While the probe is outstanding, later arrivals are still refused.
+		if ok, _ := b.allow("k"); ok {
+			t.Fatalf("round %d: second probe admitted before the first resolved", round)
+		}
+	}
+}
+
+// A probe that ends transiently — or an admission path that claimed
+// the slot but could not enqueue the job (queue full, drain) — must
+// release the slot, or the key would wedge half-open forever.
+func TestBreakerProbeSlotReleased(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(1, time.Minute, clk.now)
+
+	b.failure("k", true)
+	clk.advance(2 * time.Minute)
+	if ok, _ := b.allow("k"); !ok {
+		t.Fatal("probe refused after cooldown")
+	}
+	if ok, _ := b.allow("k"); ok {
+		t.Fatal("second probe admitted while the first is outstanding")
+	}
+	// Transient outcome: slot freed, circuit still at threshold, next
+	// caller probes.
+	b.failure("k", false)
+	if ok, _ := b.allow("k"); !ok {
+		t.Fatal("transient probe outcome did not release the slot")
+	}
+	// Explicit release (queue-full path): same effect.
+	b.release("k")
+	if ok, _ := b.allow("k"); !ok {
+		t.Fatal("release() did not free the probe slot")
+	}
+	// And the single-failure re-open still works after all that.
+	b.failure("k", true)
+	if ok, _ := b.allow("k"); ok {
+		t.Fatal("permanent probe failure did not re-open the circuit")
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"mfup/internal/core"
+	"mfup/internal/dse"
 	"mfup/internal/faultinject"
 	"mfup/internal/runner"
 )
@@ -46,6 +47,12 @@ type Config struct {
 	BreakerCooldown  time.Duration // <= 0 means 30s
 
 	CachePath string // result journal; "" = memory-only
+
+	// SweepJournalPath is the shared design-space-sweep point journal
+	// (internal/dse). Points are content-addressed, so one journal
+	// serves every sweep the daemon ever runs — an interrupted or
+	// repeated sweep resumes from it. "" = memory-only sweeps.
+	SweepJournalPath string
 
 	Log *slog.Logger // nil discards
 
@@ -86,12 +93,15 @@ type jobError struct {
 	Transient bool
 }
 
-// job is one admitted unit of work. Waiters select on done; by the
-// time it closes, exactly one of result and jerr is set and neither
-// changes again.
+// job is one admitted unit of work — a single simulation job, or a
+// whole design-space sweep when sweep is non-nil. Waiters select on
+// done; by the time it closes, exactly one of result and jerr is set
+// and neither changes again.
 type job struct {
-	key      string
-	spec     JobSpec // canonical
+	id       string         // public identifier echoed to clients
+	key      string         // internal cache/dedupe/breaker key
+	spec     JobSpec        // canonical (single-simulation jobs)
+	sweep    *dse.SweepSpec // canonical sweep, when this job is one
 	deadline time.Time
 
 	state  atomic.Int32 // 0 queued, 1 running
@@ -124,6 +134,7 @@ type Server struct {
 	cfg     Config
 	log     *slog.Logger
 	cache   *Cache
+	sweepJ  *dse.Journal // shared sweep point journal; nil = memory-only
 	bucket  *bucket
 	breaker *breaker
 
@@ -153,6 +164,7 @@ type Server struct {
 // counters is the server's observability surface, all atomics.
 type counters struct {
 	submitted  atomic.Int64 // POSTs that reached admission
+	sweeps     atomic.Int64 // of those, design-space sweep submissions
 	admitted   atomic.Int64 // jobs enqueued
 	shedRate   atomic.Int64 // 429: token bucket empty
 	shedQueue  atomic.Int64 // 429: queue full
@@ -180,11 +192,20 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	var sweepJ *dse.Journal
+	if cfg.SweepJournalPath != "" {
+		sweepJ, err = dse.OpenJournal(cfg.SweepJournalPath)
+		if err != nil {
+			cache.Close()
+			return nil, err
+		}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
 		log:        cfg.Log,
 		cache:      cache,
+		sweepJ:     sweepJ,
 		bucket:     newBucket(cfg.Rate, cfg.Burst, cfg.now),
 		breaker:    newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.now),
 		queue:      make(chan *job, cfg.QueueDepth),
@@ -222,6 +243,10 @@ func (s *Server) run(j *job) {
 		// The job expired in the queue. That is load shedding after
 		// admission — environmental, so the breaker does not count it.
 		s.finish(j, nil, &jobError{Msg: "deadline exceeded before the job ran", Transient: true})
+		return
+	}
+	if j.sweep != nil {
+		s.runSweep(j)
 		return
 	}
 	w, err := buildWork(j.spec)
@@ -307,6 +332,8 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{key}", s.handleGet)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
+	mux.HandleFunc("GET /v1/sweeps/{key}", s.handleSweepGet)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok\n")
@@ -331,34 +358,7 @@ func (s *Server) Handler() http.Handler {
 // refusing as early and as cheaply as it can.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.stats.submitted.Add(1)
-
-	// Deterministic chaos first, so injected faults exercise the full
-	// response path exactly as a real defect here would.
-	if kind, at, transient, armed := faultinject.Active().SiteFault("serve.accept"); armed {
-		s.stats.injected.Add(1)
-		switch kind {
-		case faultinject.KindPanic:
-			panic(&faultinject.Error{Site: "serve.accept"})
-		case faultinject.KindStall:
-			time.Sleep(time.Duration(at) * time.Millisecond)
-		default: // KindError
-			err := &faultinject.Error{Site: "serve.accept", Transient: transient}
-			s.writeError(w, http.StatusInternalServerError, err.Error(), 0)
-			return
-		}
-	}
-
-	s.mu.Lock()
-	draining := s.draining
-	s.mu.Unlock()
-	if draining {
-		s.stats.shedDrain.Add(1)
-		s.writeError(w, http.StatusServiceUnavailable, "draining", time.Second)
-		return
-	}
-	if ok, retry := s.bucket.take(); !ok {
-		s.stats.shedRate.Add(1)
-		s.writeError(w, http.StatusTooManyRequests, "rate limit exceeded", retry)
+	if !s.gate(w) {
 		return
 	}
 
@@ -376,23 +376,67 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := Key(c)
+	timeout := s.cfg.DefaultTimeout
+	if c.TimeoutMS > 0 {
+		timeout = time.Duration(c.TimeoutMS) * time.Millisecond
+	}
+	s.admit(w, r, &job{id: key, key: key, spec: c}, timeout)
+}
 
-	if raw, ok := s.cache.Get(key); ok {
+// gate is the front half of admission — the serve.accept fault hook,
+// the drain check, and the token bucket — shared by every job class.
+// It reports whether the request may proceed; refusals are already
+// written.
+func (s *Server) gate(w http.ResponseWriter) bool {
+	// Deterministic chaos first, so injected faults exercise the full
+	// response path exactly as a real defect here would.
+	if kind, at, transient, armed := faultinject.Active().SiteFault("serve.accept"); armed {
+		s.stats.injected.Add(1)
+		switch kind {
+		case faultinject.KindPanic:
+			panic(&faultinject.Error{Site: "serve.accept"})
+		case faultinject.KindStall:
+			time.Sleep(time.Duration(at) * time.Millisecond)
+		default: // KindError
+			err := &faultinject.Error{Site: "serve.accept", Transient: transient}
+			s.writeError(w, http.StatusInternalServerError, err.Error(), 0)
+			return false
+		}
+	}
+
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		s.stats.shedDrain.Add(1)
+		s.writeError(w, http.StatusServiceUnavailable, "draining", time.Second)
+		return false
+	}
+	if ok, retry := s.bucket.take(); !ok {
+		s.stats.shedRate.Add(1)
+		s.writeError(w, http.StatusTooManyRequests, "rate limit exceeded", retry)
+		return false
+	}
+	return true
+}
+
+// admit is the back half of admission, shared by every job class:
+// cache, breaker, drain re-check, queue, and the optional ?wait=1
+// block. proto carries the job's identity and payload; admit caps the
+// timeout and stamps the deadline.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, proto *job, timeout time.Duration) {
+	if raw, ok := s.cache.Get(proto.key); ok {
 		s.stats.cacheHits.Add(1)
-		s.writeJob(w, http.StatusOK, jobResponse{ID: key, Status: "done", Cached: true, Result: raw})
+		s.writeJob(w, http.StatusOK, jobResponse{ID: proto.id, Status: "done", Cached: true, Result: raw})
 		return
 	}
-	if ok, retry := s.breaker.allow(key); !ok {
+	if ok, retry := s.breaker.allow(proto.key); !ok {
 		s.stats.shedBreak.Add(1)
 		s.writeError(w, http.StatusServiceUnavailable,
 			"job quarantined after repeated permanent failures", retry)
 		return
 	}
 
-	timeout := s.cfg.DefaultTimeout
-	if c.TimeoutMS > 0 {
-		timeout = time.Duration(c.TimeoutMS) * time.Millisecond
-	}
 	if timeout > s.cfg.MaxTimeout {
 		timeout = s.cfg.MaxTimeout
 	}
@@ -400,23 +444,29 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
+		// A half-open probe slot claimed above must not die with this
+		// refusal: no job will run, so give the slot back.
+		s.breaker.release(proto.key)
 		s.stats.shedDrain.Add(1)
 		s.writeError(w, http.StatusServiceUnavailable, "draining", time.Second)
 		return
 	}
-	j, exists := s.active[key]
+	j, exists := s.active[proto.key]
 	if exists {
 		s.mu.Unlock()
 		s.stats.deduped.Add(1)
 	} else {
-		j = &job{key: key, spec: c, deadline: s.cfg.now().Add(timeout), done: make(chan struct{})}
+		j = proto
+		j.deadline = s.cfg.now().Add(timeout)
+		j.done = make(chan struct{})
 		select {
 		case s.queue <- j:
-			s.active[key] = j
+			s.active[j.key] = j
 			s.mu.Unlock()
 			s.stats.admitted.Add(1)
 		default:
 			s.mu.Unlock()
+			s.breaker.release(j.key)
 			s.stats.shedQueue.Add(1)
 			s.writeError(w, http.StatusTooManyRequests, "job queue full", time.Second)
 			return
@@ -433,7 +483,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	s.writeJob(w, http.StatusAccepted, jobResponse{ID: j.key, Status: j.status()})
+	s.writeJob(w, http.StatusAccepted, jobResponse{ID: j.id, Status: j.status()})
 }
 
 // handleGet serves job status and results by key: active jobs from
@@ -441,6 +491,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // restarts), failures from the bounded recent set.
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	key := r.PathValue("key")
+	s.serveByKey(w, key, key)
+}
+
+// serveByKey answers a status query for any job class: id is the
+// public identifier echoed back, key the internal cache/dedupe key.
+func (s *Server) serveByKey(w http.ResponseWriter, id, key string) {
 	s.mu.Lock()
 	j, ok := s.active[key]
 	if !ok {
@@ -449,7 +505,7 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	if raw, hit := s.cache.Get(key); hit {
 		s.stats.cacheHits.Add(1)
-		s.writeJob(w, http.StatusOK, jobResponse{ID: key, Status: "done", Cached: true, Result: raw})
+		s.writeJob(w, http.StatusOK, jobResponse{ID: id, Status: "done", Cached: true, Result: raw})
 		return
 	}
 	if !ok {
@@ -460,7 +516,7 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	case <-j.done:
 		s.writeFinished(w, j, false)
 	default:
-		s.writeJob(w, http.StatusOK, jobResponse{ID: j.key, Status: j.status()})
+		s.writeJob(w, http.StatusOK, jobResponse{ID: j.id, Status: j.status()})
 	}
 }
 
@@ -478,6 +534,7 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 // Stats is the /v1/stats document.
 type Stats struct {
 	Submitted   int64 `json:"submitted"`
+	Sweeps      int64 `json:"sweeps_submitted"`
 	Admitted    int64 `json:"admitted"`
 	Deduped     int64 `json:"deduped"`
 	CacheHits   int64 `json:"cache_hits"`
@@ -503,6 +560,7 @@ type Stats struct {
 func (s *Server) Snapshot() Stats {
 	return Stats{
 		Submitted:   s.stats.submitted.Load(),
+		Sweeps:      s.stats.sweeps.Load(),
 		Admitted:    s.stats.admitted.Load(),
 		Deduped:     s.stats.deduped.Load(),
 		CacheHits:   s.stats.cacheHits.Load(),
@@ -555,6 +613,11 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 	s.workCancel()
 	err := s.cache.Close()
+	if s.sweepJ != nil {
+		if jerr := s.sweepJ.Close(); jerr != nil && err == nil {
+			err = jerr
+		}
+	}
 	s.log.Info("drained", "completed", s.stats.completed.Load(),
 		"failed", s.stats.failed.Load(), "journaled", s.cache.Saved())
 	return err
@@ -575,11 +638,11 @@ type jobResponse struct {
 func (s *Server) writeFinished(w http.ResponseWriter, j *job, cached bool) {
 	if j.jerr != nil {
 		s.writeJob(w, http.StatusOK, jobResponse{
-			ID: j.key, Status: "failed", Error: j.jerr.Msg, Transient: j.jerr.Transient,
+			ID: j.id, Status: "failed", Error: j.jerr.Msg, Transient: j.jerr.Transient,
 		})
 		return
 	}
-	s.writeJob(w, http.StatusOK, jobResponse{ID: j.key, Status: "done", Cached: cached, Result: j.result})
+	s.writeJob(w, http.StatusOK, jobResponse{ID: j.id, Status: "done", Cached: cached, Result: j.result})
 }
 
 func (s *Server) writeJob(w http.ResponseWriter, status int, resp jobResponse) {

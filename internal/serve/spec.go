@@ -42,6 +42,7 @@ import (
 	"mfup/internal/cli"
 	"mfup/internal/core"
 	"mfup/internal/loops"
+	"mfup/internal/machdef"
 )
 
 // JobSpec is the wire form of one simulation job. The JSON field
@@ -352,47 +353,53 @@ func Key(c JobSpec) string {
 	return hex.EncodeToString(sum[:])
 }
 
-// config assembles the core.Config of a canonical machine spec.
-func (m MachineSpec) config() core.Config {
-	cfg := core.Config{MemLatency: m.Mem, BranchLatency: m.Br}
-	if info := machineKinds[m.Kind]; info.multi {
-		kind, _ := cli.ParseBusKind(m.Bus)
-		cfg = cfg.WithIssue(m.Units, kind)
+// machdefSpec translates the service's machine vocabulary into the
+// declarative machine-definition layer (internal/machdef), which owns
+// validation, canonicalization, and construction. The service spec is
+// a strict subset of machdef's — Units is machdef's Width — so the
+// translation is a field mapping, and canonicalizing it cannot fail
+// on a spec that already passed Canonicalize above.
+func (m MachineSpec) machdefSpec() (machdef.Spec, error) {
+	s, err := machdef.Canonicalize(machdef.Spec{
+		Kind:     m.Kind,
+		Mem:      m.Mem,
+		Br:       m.Br,
+		Width:    m.Units,
+		Bus:      m.Bus,
+		RUU:      m.RUU,
+		Stations: m.Stations,
+	})
+	if err != nil {
+		return s, &SpecError{Msg: err.Error()}
 	}
-	if m.Kind == "ruu" {
-		cfg = cfg.WithRUU(m.RUU)
-	}
-	if m.Kind == "tomasulo" {
-		cfg = cfg.WithRUU(m.Stations)
-	}
-	return cfg
+	return s, nil
 }
 
-// newMachine constructs the machine of a canonical spec. Construction
-// errors surface as structured errors, never panics.
-func (m MachineSpec) newMachine() (core.Machine, error) {
-	cfg := m.config()
-	switch m.Kind {
-	case "simple":
-		return core.NewBasicChecked(core.Simple, cfg)
-	case "serialmem":
-		return core.NewBasicChecked(core.SerialMemory, cfg)
-	case "nonseg":
-		return core.NewBasicChecked(core.NonSegmented, cfg)
-	case "cray":
-		return core.NewBasicChecked(core.CRAYLike, cfg)
-	case "scoreboard":
-		return core.NewScoreboardChecked(cfg)
-	case "tomasulo":
-		return core.NewTomasuloChecked(cfg)
-	case "multi":
-		return core.NewMultiIssueChecked(cfg)
-	case "ooo":
-		return core.NewMultiIssueOOOChecked(cfg)
-	case "ruu":
-		return core.NewRUUChecked(cfg)
-	case "vector":
-		return core.NewVectorChecked(cfg)
+// config assembles the core.Config of a canonical machine spec.
+func (m MachineSpec) config() core.Config {
+	s, err := m.machdefSpec()
+	if err == nil {
+		var cfg core.Config
+		if cfg, err = s.Config(); err == nil {
+			return cfg
+		}
 	}
-	return nil, specErrf("unknown machine kind %q", m.Kind)
+	// Unreachable on a canonical spec; keep the old direct mapping as
+	// the fallback so a labeling helper can never panic.
+	return core.Config{MemLatency: m.Mem, BranchLatency: m.Br}
+}
+
+// newMachine constructs the machine of a canonical spec through the
+// machdef layer. Construction errors surface as structured errors,
+// never panics.
+func (m MachineSpec) newMachine() (core.Machine, error) {
+	s, err := m.machdefSpec()
+	if err != nil {
+		return nil, err
+	}
+	mach, err := s.New()
+	if err != nil {
+		return nil, &SpecError{Msg: err.Error()}
+	}
+	return mach, nil
 }

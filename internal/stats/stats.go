@@ -56,3 +56,26 @@ func Min(xs []float64) (min float64, ok bool) {
 
 // Rate2 formats an issue rate with the paper's two-decimal precision.
 func Rate2(x float64) string { return fmt.Sprintf("%.2f", x) }
+
+// Percentile returns the p-th percentile (p in [0, 1]) of the sorted
+// ascending sample xs, using the nearest-rank convention: the value at
+// rank ceil(p*n), 1-indexed. Nearest-rank is exact for the small
+// sample counts load tools see at startup — for n == 1 every
+// percentile is the single sample, and for n == 2 the p99 is the
+// *larger* sample, not the smaller (the truncating index convention
+// int(p*(n-1)) got that wrong). The index is clamped, so no p in
+// [0, 1] can reach outside xs. An empty sample returns 0.
+func Percentile(xs []float64, p float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return xs[rank-1]
+}

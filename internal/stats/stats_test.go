@@ -49,6 +49,66 @@ func TestRate2(t *testing.T) {
 	}
 }
 
+// Percentile regression: the small-sample index math. With n == 1
+// every percentile is the sample; with n == 2 the p50 is the lower
+// sample under nearest-rank (rank ceil(0.5*2) = 1) and the p99 the
+// *upper* one (rank ceil(0.99*2) = 2) — the old truncating convention
+// int(p*(n-1)) returned the lower sample for both, reporting a p99
+// equal to the minimum.
+func TestPercentileSmallSamples(t *testing.T) {
+	if got := Percentile(nil, 0.99); got != 0 {
+		t.Errorf("Percentile(nil, .99) = %v, want 0", got)
+	}
+	one := []float64{7}
+	for _, p := range []float64{0, 0.5, 0.99, 1} {
+		if got := Percentile(one, p); got != 7 {
+			t.Errorf("Percentile([7], %v) = %v, want 7", p, got)
+		}
+	}
+	two := []float64{1, 9}
+	if got := Percentile(two, 0.50); got != 1 {
+		t.Errorf("p50 of [1 9] = %v, want 1 (nearest rank)", got)
+	}
+	if got := Percentile(two, 0.99); got != 9 {
+		t.Errorf("p99 of [1 9] = %v, want 9, not the minimum", got)
+	}
+	if got := Percentile(two, 1); got != 9 {
+		t.Errorf("p100 of [1 9] = %v, want 9", got)
+	}
+	if got := Percentile(two, 0); got != 1 {
+		t.Errorf("p0 of [1 9] = %v, want 1", got)
+	}
+}
+
+// Percentile never indexes out of range for any p in [0, 1] and any
+// sample count, and always returns an element of the sample.
+func TestPercentileInRange(t *testing.T) {
+	f := func(raw []uint8, pr uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		sortFloats(xs)
+		p := float64(pr) / 255
+		v := Percentile(xs, p)
+		return v >= xs[0] && v <= xs[len(xs)-1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
 // Properties of the harmonic mean over positive rates: it is bounded
 // by the minimum and the arithmetic mean, and is dominated by slow
 // loops — which is exactly why the paper uses it for issue rates.

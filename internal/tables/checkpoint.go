@@ -56,6 +56,12 @@ type checkpointLine struct {
 	Rate  string `json:"rate"`
 }
 
+// checkpointHeader is the journal's first line: the signature of the
+// grid the rates were computed under.
+type checkpointHeader struct {
+	Signature string `json:"signature"`
+}
+
 // OpenCheckpoint opens (creating if absent) the journal at path and
 // loads every complete line already in it. A torn final line — a line
 // without its terminating newline, the signature of a kill mid-append
@@ -63,7 +69,20 @@ type checkpointLine struct {
 // clean line. Any complete line that does not parse is an error,
 // because resuming from a journal that cannot be trusted would
 // silently corrupt tables.
-func OpenCheckpoint(path string) (*Checkpoint, error) {
+//
+// The journal's first line is a signature header binding the rates to
+// the grid that produced them (see JournalSignature): a fresh journal
+// is stamped with signature, and an existing one must carry the very
+// same stamp or the open fails closed. Cells are keyed (table, cell
+// index), so a journal written at a different loop scale — or against
+// a different set of machine definitions — holds rates whose keys
+// alias cells that now mean something else; replaying them would
+// corrupt the tables silently, which is worse than recomputing.
+// Journals that predate the header are refused for the same reason.
+func OpenCheckpoint(path, signature string) (*Checkpoint, error) {
+	if signature == "" {
+		return nil, fmt.Errorf("checkpoint: empty journal signature (use JournalSignature)")
+	}
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: %w", err)
@@ -82,6 +101,7 @@ func OpenCheckpoint(path string) (*Checkpoint, error) {
 	r := bufio.NewReader(f)
 	var accepted int64 // offset past the last complete, valid line
 	lineno := 0
+	signed := false // a matching signature header has been read
 	for {
 		line, err := r.ReadBytes('\n')
 		if err == io.EOF {
@@ -95,6 +115,27 @@ func OpenCheckpoint(path string) (*Checkpoint, error) {
 		lineno++
 		trimmed := bytes.TrimSpace(line)
 		if len(trimmed) != 0 {
+			if !signed {
+				// The first complete line must be the signature header.
+				// A legacy cell line lands here too: it unmarshals with an
+				// empty Signature and is refused as unsigned.
+				var hdr checkpointHeader
+				if err := json.Unmarshal(trimmed, &hdr); err != nil {
+					f.Close()
+					return nil, fmt.Errorf("checkpoint %s line %d: %v", path, lineno, err)
+				}
+				if hdr.Signature == "" {
+					f.Close()
+					return nil, fmt.Errorf("checkpoint %s: journal has no signature header (written by an incompatible run?); its cell keys cannot be trusted — delete it or start a fresh journal", path)
+				}
+				if hdr.Signature != signature {
+					f.Close()
+					return nil, fmt.Errorf("checkpoint %s: journal signature %.12s.. does not match this run's %.12s.. (different scale or machine grid); resuming would replay rates into the wrong cells — delete it or rerun with the journal's settings", path, hdr.Signature, signature)
+				}
+				signed = true
+				accepted += int64(len(line))
+				continue
+			}
 			var cl checkpointLine
 			if err := json.Unmarshal(trimmed, &cl); err != nil {
 				f.Close()
@@ -119,6 +160,25 @@ func OpenCheckpoint(path string) (*Checkpoint, error) {
 	if _, err := f.Seek(accepted, 0); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	if !signed {
+		if accepted != 0 {
+			// Complete-but-blank lines with no header: not a journal we
+			// wrote; refuse rather than stamp a header after them.
+			f.Close()
+			return nil, fmt.Errorf("checkpoint %s: journal has no signature header (written by an incompatible run?); its cell keys cannot be trusted — delete it or start a fresh journal", path)
+		}
+		// A fresh (or fully torn) journal: stamp it before any cells.
+		hdr, err := json.Marshal(checkpointHeader{Signature: signature})
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("checkpoint %s: %w", path, err)
+		}
+		w := faultinject.WrapWriter("write.checkpoint", f)
+		if _, err := w.Write(append(hdr, '\n')); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("checkpoint %s: %w", path, err)
+		}
 	}
 	c.loaded = len(c.cells)
 	return c, nil

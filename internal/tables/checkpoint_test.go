@@ -12,18 +12,23 @@ import (
 	"mfup/internal/faultinject"
 )
 
+// testSig is the journal signature the unit tests open with; any
+// non-empty string works, since OpenCheckpoint only compares it
+// against the journal's header.
+const testSig = "test-signature"
+
 // A journal already held by one writer must refuse a second opener
 // with the structured lock error: two processes interleaving appends
 // would corrupt lines the torn-tail recovery cannot repair.
 func TestCheckpointSecondOpenerLockedOut(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
-	c, err := OpenCheckpoint(path)
+	c, err := OpenCheckpoint(path, testSig)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
 
-	_, err = OpenCheckpoint(path)
+	_, err = OpenCheckpoint(path, testSig)
 	if err == nil {
 		t.Fatal("second opener succeeded; journal writes could interleave")
 	}
@@ -36,7 +41,7 @@ func TestCheckpointSecondOpenerLockedOut(t *testing.T) {
 	if err := c.Close(); err != nil {
 		t.Fatal(err)
 	}
-	c2, err := OpenCheckpoint(path)
+	c2, err := OpenCheckpoint(path, testSig)
 	if err != nil {
 		t.Fatalf("reopen after close: %v", err)
 	}
@@ -45,7 +50,7 @@ func TestCheckpointSecondOpenerLockedOut(t *testing.T) {
 
 func TestCheckpointRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
-	c, err := OpenCheckpoint(path)
+	c, err := OpenCheckpoint(path, testSig)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +72,7 @@ func TestCheckpointRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	c2, err := OpenCheckpoint(path)
+	c2, err := OpenCheckpoint(path, testSig)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +93,7 @@ func TestCheckpointRoundTrip(t *testing.T) {
 
 func TestCheckpointSkipsDegenerateAndDuplicate(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
-	c, err := OpenCheckpoint(path)
+	c, err := OpenCheckpoint(path, testSig)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +104,7 @@ func TestCheckpointSkipsDegenerateAndDuplicate(t *testing.T) {
 	if err := c.Close(); err != nil {
 		t.Fatal(err)
 	}
-	c2, err := OpenCheckpoint(path)
+	c2, err := OpenCheckpoint(path, testSig)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +119,7 @@ func TestCheckpointSkipsDegenerateAndDuplicate(t *testing.T) {
 
 func TestCheckpointTornFinalLine(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
-	c, err := OpenCheckpoint(path)
+	c, err := OpenCheckpoint(path, testSig)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +138,7 @@ func TestCheckpointTornFinalLine(t *testing.T) {
 	}
 	f.Close()
 
-	c2, err := OpenCheckpoint(path)
+	c2, err := OpenCheckpoint(path, testSig)
 	if err != nil {
 		t.Fatalf("torn final line must be tolerated: %v", err)
 	}
@@ -146,7 +151,7 @@ func TestCheckpointTornFinalLine(t *testing.T) {
 	if err := c2.Close(); err != nil {
 		t.Fatal(err)
 	}
-	c3, err := OpenCheckpoint(path)
+	c3, err := OpenCheckpoint(path, testSig)
 	if err != nil {
 		t.Fatalf("journal unreadable after append-over-torn-tail: %v", err)
 	}
@@ -161,18 +166,115 @@ func TestCheckpointTornFinalLine(t *testing.T) {
 
 func TestCheckpointRejectsCorruptMiddle(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
-	content := "{\"table\":1,\"cell\":0,\"rate\":\"0x1p-01\"}\nnot json at all\n{\"table\":1,\"cell\":1,\"rate\":\"0x1p-02\"}\n"
+	content := "{\"signature\":\"" + testSig + "\"}\n" +
+		"{\"table\":1,\"cell\":0,\"rate\":\"0x1p-01\"}\nnot json at all\n{\"table\":1,\"cell\":1,\"rate\":\"0x1p-02\"}\n"
 	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := OpenCheckpoint(path); err == nil {
+	if _, err := OpenCheckpoint(path, testSig); err == nil {
 		t.Fatal("corrupt complete line accepted")
-	} else if !strings.Contains(err.Error(), "line 2") {
+	} else if !strings.Contains(err.Error(), "line 3") {
 		t.Errorf("error %v does not name the corrupt line", err)
 	}
 }
 
+// A journal stamped under one signature must refuse to resume under
+// another: its (table, cell) keys describe a different grid, and
+// replaying them would silently put rates in the wrong cells.
+func TestCheckpointSignatureMismatchFailsClosed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	c, err := OpenCheckpoint(path, testSig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Record(1, 0, 0.5)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = OpenCheckpoint(path, "another-signature")
+	if err == nil {
+		t.Fatal("journal with a different signature resumed")
+	}
+	if !strings.Contains(err.Error(), "signature") {
+		t.Errorf("error %v does not explain the signature mismatch", err)
+	}
+	// The matching signature still resumes.
+	c2, err := OpenCheckpoint(path, testSig)
+	if err != nil {
+		t.Fatalf("matching signature refused: %v", err)
+	}
+	defer c2.Close()
+	if v, ok := c2.Lookup(1, 0); !ok || v != 0.5 {
+		t.Errorf("Lookup(1,0) = %v,%v, want 0.5", v, ok)
+	}
+}
+
+// A journal that predates the signature header — its first line is a
+// cell record — must be refused, not silently adopted.
+func TestCheckpointUnsignedJournalRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	content := "{\"table\":1,\"cell\":0,\"rate\":\"0x1p-01\"}\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCheckpoint(path, testSig); err == nil {
+		t.Fatal("unsigned legacy journal accepted")
+	} else if !strings.Contains(err.Error(), "no signature header") {
+		t.Errorf("error %v does not explain the missing header", err)
+	}
+}
+
+// An empty signature is a caller bug, not a wildcard.
+func TestCheckpointEmptySignatureRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	if _, err := OpenCheckpoint(path, ""); err == nil {
+		t.Fatal("empty signature accepted")
+	}
+}
+
+// The grid signature must move when the loop scale does — that is the
+// exact mismatched-resume scenario the header exists to catch: a
+// journal written at one -scale replayed into a run at another.
+func TestJournalSignatureTracksScale(t *testing.T) {
+	defer SetScale(Scale())
+	SetScale(0)
+	base := JournalSignature()
+	if base != JournalSignature() {
+		t.Fatal("signature not deterministic")
+	}
+	SetScale(100000)
+	scaled := JournalSignature()
+	if scaled == base {
+		t.Fatal("signature unchanged by -scale; a journal from another scale would resume")
+	}
+
+	// End to end: a journal stamped at the default scale must fail
+	// closed when reopened after the scale changes.
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	SetScale(0)
+	c, err := OpenCheckpoint(path, JournalSignature())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Record(1, 0, 0.5)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	SetScale(100000)
+	if _, err := OpenCheckpoint(path, JournalSignature()); err == nil {
+		t.Fatal("journal written at scale 0 resumed at scale 100000")
+	}
+}
+
 func TestCheckpointInjectedWriteFailure(t *testing.T) {
+	// Open before arming the plan: the signature header is written at
+	// open through the same fault site, and the target here is the
+	// sticky Record-failure path.
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	c, err := OpenCheckpoint(path, testSig)
+	if err != nil {
+		t.Fatal(err)
+	}
 	plan, err := faultinject.ParsePlan("write.checkpoint:werr", 1)
 	if err != nil {
 		t.Fatal(err)
@@ -180,11 +282,6 @@ func TestCheckpointInjectedWriteFailure(t *testing.T) {
 	faultinject.Activate(faultinject.New(plan))
 	defer faultinject.Deactivate()
 
-	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
-	c, err := OpenCheckpoint(path)
-	if err != nil {
-		t.Fatal(err)
-	}
 	c.Record(1, 0, 0.5)
 	err = c.Close()
 	if err == nil {
@@ -201,7 +298,7 @@ func TestCheckpointServesCachedCells(t *testing.T) {
 	// we verify by journaling sentinel rates and checking they surface
 	// verbatim in the table.
 	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
-	c, err := OpenCheckpoint(path)
+	c, err := OpenCheckpoint(path, testSig)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +314,7 @@ func TestCheckpointServesCachedCells(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	c, err = OpenCheckpoint(path)
+	c, err = OpenCheckpoint(path, testSig)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +347,7 @@ func TestCheckpointPartialResumeMatchesBaseline(t *testing.T) {
 		t.Fatalf("baseline has errors: %v", ref.Errors)
 	}
 	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
-	c, err := OpenCheckpoint(path)
+	c, err := OpenCheckpoint(path, testSig)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +364,7 @@ func TestCheckpointPartialResumeMatchesBaseline(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	c2, err := OpenCheckpoint(path)
+	c2, err := OpenCheckpoint(path, testSig)
 	if err != nil {
 		t.Fatal(err)
 	}

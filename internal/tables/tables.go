@@ -16,7 +16,10 @@ package tables
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"io"
 	"math"
 	"sort"
 	"strings"
@@ -24,11 +27,11 @@ import (
 	"sync/atomic"
 	"time"
 
-	"mfup/internal/bus"
 	"mfup/internal/core"
 	"mfup/internal/events"
 	"mfup/internal/limits"
 	"mfup/internal/loops"
+	"mfup/internal/machdef"
 	"mfup/internal/probe"
 	"mfup/internal/runner"
 	"mfup/internal/stats"
@@ -581,6 +584,129 @@ func (b *batch) rates() ([]float64, []*runner.CellError) {
 	return out, errs
 }
 
+// ---- declarative cell construction ----------------------------------
+//
+// Every simulated machine in the grid is built through a declarative
+// machine definition (internal/machdef) rather than a hand-assembled
+// constructor call. The golden-table tests and the seed snapshot
+// therefore double as a byte-identity proof that the spec→constructor
+// mapping is faithful; the same spec helpers feed JournalSignature, so
+// the checkpoint journal is keyed by the full machine grid.
+
+// orgKinds names the machdef kind of each §3 single-issue
+// organization.
+var orgKinds = map[core.Organization]string{
+	core.Simple:       "simple",
+	core.SerialMemory: "serialmem",
+	core.NonSegmented: "nonseg",
+	core.CRAYLike:     "cray",
+}
+
+// baseSpec carries one M/BR variation into a machine definition of
+// the given kind.
+func baseSpec(kind string, cfg core.Config) machdef.Spec {
+	return machdef.Spec{Kind: kind, Mem: cfg.MemLatency, Br: cfg.BranchLatency}
+}
+
+// multiSpec is the Tables 3-6 cell: a multi or ooo machine with n
+// issue stations on the named interconnect ("nbus" or "1bus").
+func multiSpec(kind string, cfg core.Config, n int, busName string) machdef.Spec {
+	s := baseSpec(kind, cfg)
+	s.Width, s.Bus = n, busName
+	return s
+}
+
+// ruuSpec is the Tables 7-8 cell: n issue units over a size-entry
+// Register Update Unit.
+func ruuSpec(cfg core.Config, n int, busName string, size int) machdef.Spec {
+	s := baseSpec("ruu", cfg)
+	s.Width, s.Bus, s.RUU = n, busName, size
+	return s
+}
+
+// defCell schedules one grid cell built from its declarative machine
+// definition. The grid's specs are static and covered by the golden
+// tests, so a spec that fails to canonicalize or compile is a
+// programming error: the constructor panics, and the runner's
+// per-cell recovery turns that into the cell's ERR entry.
+func (b *batch) defCell(s machdef.Spec, ts []*trace.Trace) {
+	b.cell(func() core.Machine {
+		c, err := machdef.Canonicalize(s)
+		if err == nil {
+			var m core.Machine
+			if m, err = c.New(); err == nil {
+				return m
+			}
+		}
+		panic(fmt.Sprintf("tables: grid spec: %v", err))
+	}, ts)
+}
+
+// journalVersion names the checkpoint journal's grid layout. Bump it
+// whenever the tables change shape — rows, columns, or cell order —
+// so every older journal fails closed instead of replaying rates into
+// cells that have moved.
+const journalVersion = "mfup-tables/v1"
+
+// gridSpecKeys enumerates the content key of every machine definition
+// the full table grid simulates, in a fixed order mirroring the table
+// layouts below. It exists so JournalSignature changes whenever the
+// set of simulated machines does — including through changes to
+// machdef's canonical encoding or defaults.
+func gridSpecKeys() []string {
+	var keys []string
+	add := func(s machdef.Spec) {
+		c, err := machdef.Canonicalize(s)
+		if err != nil {
+			panic(fmt.Sprintf("tables: grid spec: %v", err))
+		}
+		keys = append(keys, c.Key())
+	}
+	for _, cfg := range core.BaseConfigs() {
+		for _, org := range core.Organizations() { // Table 1
+			add(baseSpec(orgKinds[org], cfg))
+		}
+		for n := 1; n <= 8; n++ { // Tables 3-6
+			for _, kind := range []string{"multi", "ooo"} {
+				add(multiSpec(kind, cfg, n, "nbus"))
+				add(multiSpec(kind, cfg, n, "1bus"))
+			}
+		}
+		for _, size := range RUUSizes { // Tables 7-8
+			for n := 1; n <= 4; n++ {
+				add(ruuSpec(cfg, n, "nbus", size))
+				add(ruuSpec(cfg, n, "1bus", size))
+			}
+		}
+		// §3.3 supplement schemes not already enumerated above.
+		add(baseSpec("scoreboard", cfg))
+		add(baseSpec("tomasulo", cfg))
+	}
+	return keys
+}
+
+// JournalSignature fingerprints everything a checkpoint journal's
+// cell rates depend on: the grid-layout version, the loop scale, and
+// the content keys of every machine definition in the grid. Journal
+// cells are keyed (table, cell index), so any change to what a cell
+// index means — a different scale, a reshaped grid, a changed machine
+// definition — makes old journals unresumable, and OpenCheckpoint
+// fails closed on the mismatch.
+//
+// Extrapolation and parallelism are deliberately absent from the
+// signature: both are bit-identical knobs, so a journal written with
+// them off resumes cleanly with them on, and vice versa.
+func JournalSignature() string {
+	h := sha256.New()
+	io.WriteString(h, journalVersion)
+	fmt.Fprintf(h, "|scale=%d", Scale())
+	for _, k := range gridSpecKeys() {
+		io.WriteString(h, "|")
+		io.WriteString(h, k)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // configColumns returns the paper's four machine-variation headers.
 func configColumns() []string {
 	var cols []string
@@ -606,7 +732,7 @@ func Table1() *Table {
 		for _, org := range core.Organizations() {
 			labels = append(labels, fmt.Sprintf("%s %s", class, org))
 			for _, cfg := range core.BaseConfigs() {
-				b.cell(func() core.Machine { return core.NewBasic(org, cfg) }, ts)
+				b.defCell(baseSpec(orgKinds[org], cfg), ts)
 			}
 		}
 	}
@@ -716,9 +842,10 @@ func issueStationColumns() []string {
 }
 
 // multiIssueTable implements Tables 3-6: one row per issue-station
-// count 1-8, N-Bus and 1-Bus columns for each machine variation.
-func multiIssueTable(number int, title string, class loops.Class,
-	mk func(core.Config) core.Machine) *Table {
+// count 1-8, N-Bus and 1-Bus columns for each machine variation. kind
+// is the machdef kind simulated: "multi" (sequential issue) or "ooo"
+// (out-of-order issue).
+func multiIssueTable(number int, title string, class loops.Class, kind string) *Table {
 	t := &Table{Number: number, Title: title, Columns: issueStationColumns()}
 	ts := classTraces(class)
 	b := batch{table: t.Number}
@@ -726,9 +853,8 @@ func multiIssueTable(number int, title string, class loops.Class,
 	for n := 1; n <= 8; n++ {
 		labels = append(labels, fmt.Sprintf("%d stations", n))
 		for _, cfg := range core.BaseConfigs() {
-			nbus, onebus := cfg.WithIssue(n, bus.BusN), cfg.WithIssue(n, bus.Bus1)
-			b.cell(func() core.Machine { return mk(nbus) }, ts)
-			b.cell(func() core.Machine { return mk(onebus) }, ts)
+			b.defCell(multiSpec(kind, cfg, n, "nbus"), ts)
+			b.defCell(multiSpec(kind, cfg, n, "1bus"), ts)
 		}
 	}
 	rates, errs := b.rates()
@@ -743,28 +869,28 @@ func multiIssueTable(number int, title string, class loops.Class,
 // Code" (§5.1).
 func Table3() *Table {
 	return multiIssueTable(3, "Multiple Issue Units, Sequential Issue of Scalar Code",
-		loops.Scalar, core.NewMultiIssue)
+		loops.Scalar, "multi")
 }
 
 // Table4 reproduces "Multiple Issue Units, Sequential Issue for
 // Vectorizable Code" (§5.1).
 func Table4() *Table {
 	return multiIssueTable(4, "Multiple Issue Units, Sequential Issue for Vectorizable Code",
-		loops.Vectorizable, core.NewMultiIssue)
+		loops.Vectorizable, "multi")
 }
 
 // Table5 reproduces "Multiple Issue Units, Out-of-Order Issue for
 // Scalar Code" (§5.2).
 func Table5() *Table {
 	return multiIssueTable(5, "Multiple Issue Units, Out-of-Order Issue for Scalar Code",
-		loops.Scalar, core.NewMultiIssueOOO)
+		loops.Scalar, "ooo")
 }
 
 // Table6 reproduces "Multiple Issue Units, Out-of-Order Issue for
 // Vectorizable Loops" (§5.2).
 func Table6() *Table {
 	return multiIssueTable(6, "Multiple Issue Units, Out-of-Order Issue for Vectorizable Loops",
-		loops.Vectorizable, core.NewMultiIssueOOO)
+		loops.Vectorizable, "ooo")
 }
 
 // RUUSizes are the Register Update Unit sizes of Tables 7 and 8.
@@ -786,10 +912,8 @@ func ruuTable(number int, title string, class loops.Class) *Table {
 		for _, size := range RUUSizes {
 			labels = append(labels, fmt.Sprintf("%s RUU %d", cfg.Name(), size))
 			for n := 1; n <= 4; n++ {
-				nbus := cfg.WithIssue(n, bus.BusN).WithRUU(size)
-				onebus := cfg.WithIssue(n, bus.Bus1).WithRUU(size)
-				b.cell(func() core.Machine { return core.NewRUU(nbus) }, ts)
-				b.cell(func() core.Machine { return core.NewRUU(onebus) }, ts)
+				b.defCell(ruuSpec(cfg, n, "nbus", size), ts)
+				b.defCell(ruuSpec(cfg, n, "1bus", size), ts)
 			}
 		}
 	}
@@ -861,14 +985,12 @@ func SectionThreeThree() *Table {
 	}
 	schemes := []struct {
 		name string
-		mk   func(core.Config) core.Machine
+		spec func(core.Config) machdef.Spec
 	}{
-		{"CRAY-like (blocking)", func(c core.Config) core.Machine { return core.NewBasic(core.CRAYLike, c) }},
-		{"Scoreboard (CDC 6600)", core.NewScoreboard},
-		{"Tomasulo (360/91)", func(c core.Config) core.Machine { return core.NewTomasulo(c) }},
-		{"RUU 1 unit, 50 entries", func(c core.Config) core.Machine {
-			return core.NewRUU(c.WithIssue(1, bus.BusN).WithRUU(50))
-		}},
+		{"CRAY-like (blocking)", func(c core.Config) machdef.Spec { return baseSpec("cray", c) }},
+		{"Scoreboard (CDC 6600)", func(c core.Config) machdef.Spec { return baseSpec("scoreboard", c) }},
+		{"Tomasulo (360/91)", func(c core.Config) machdef.Spec { return baseSpec("tomasulo", c) }},
+		{"RUU 1 unit, 50 entries", func(c core.Config) machdef.Spec { return ruuSpec(c, 1, "nbus", 50) }},
 	}
 	b := batch{table: t.Number}
 	var labels []string
@@ -877,7 +999,7 @@ func SectionThreeThree() *Table {
 		for _, s := range schemes {
 			labels = append(labels, fmt.Sprintf("%s %s", class, s.name))
 			for _, cfg := range core.BaseConfigs() {
-				b.cell(func() core.Machine { return s.mk(cfg) }, ts)
+				b.defCell(s.spec(cfg), ts)
 			}
 		}
 	}

@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Smoke drill for the design-space sweep layer: run a ~200-point
+# sweep through a race-built mfutables and demand the contract that
+# makes sweeps affordable and trustworthy:
+#
+#   1. pruning budget — the queueing model must rule out at least
+#      half of the distinct machines before simulation (the whole
+#      point of the analytic bound), with zero failed points;
+#   2. cross-check — the model must order the simulated frontier the
+#      same way the simulator does (agreement >= 0.90), and the
+#      frontier must be non-empty;
+#   3. resumability — a re-run against the same point journal must
+#      simulate nothing and serve every point from the journal, with
+#      a byte-identical frontier.
+#
+# Tunables (environment): SWEEP_OUT (artifact directory, default
+# artifacts/sweep).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${SWEEP_OUT:-artifacts/sweep}"
+mkdir -p "$OUT"
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+say() { printf '== %s\n' "$*"; }
+
+say "building mfutables with the race detector"
+go build -race -o "$workdir/mfutables" ./cmd/mfutables
+
+# 192 grid points; the ruu axis is a no-op for the multi/ooo kinds,
+# so canonicalization collapses them to 128 distinct machines.
+cat > "$workdir/sweep.json" <<'JSON'
+{
+  "base": {"kind": "ooo", "mem": 11, "br": 5},
+  "axes": {
+    "kind": ["multi", "ooo", "ruu"],
+    "width": [1, 2, 3, 4],
+    "bus": ["nbus", "1bus"],
+    "mem": [5, 11],
+    "br": [2, 5],
+    "ruu": [25, 50]
+  },
+  "prune": {"margin": 0.15, "keep": 8}
+}
+JSON
+
+say "cold sweep"
+"$workdir/mfutables" -sweep "$workdir/sweep.json" \
+  -checkpoint "$workdir/points.jsonl" -format json > "$OUT/sweep.json"
+
+say "warm sweep (same journal)"
+"$workdir/mfutables" -sweep "$workdir/sweep.json" \
+  -checkpoint "$workdir/points.jsonl" -format json > "$OUT/sweep-warm.json"
+
+say "verdict"
+python3 - "$OUT/sweep.json" "$OUT/sweep-warm.json" <<'PY'
+import json, sys
+
+cold = json.load(open(sys.argv[1]))
+warm = json.load(open(sys.argv[2]))
+fail = []
+
+def check(ok, msg):
+    print(("   ok  " if ok else " FAIL  ") + msg)
+    if not ok:
+        fail.append(msg)
+
+# 1. pruning budget.
+deduped, pruned = cold["deduped"], cold["pruned"]
+check(deduped >= 100, f"distinct machines: {deduped} (want >= 100)")
+check(pruned >= deduped // 2,
+      f"prune budget: {pruned}/{deduped} pruned (want >= half)")
+check(cold["failed"] == 0, f"failed points: {cold['failed']}")
+check(cold["simulated"] == deduped - pruned,
+      f"cold run simulated {cold['simulated']} of {deduped - pruned} survivors")
+
+# 2. cross-check.
+model = cold["model"]
+check(len(cold["frontier"]) > 0, f"frontier points: {len(cold['frontier'])}")
+check(model["frontieragreement"] >= 0.90,
+      f"frontier agreement: {model['frontieragreement']:.2f} over "
+      f"{model['pairs']} pairs (want >= 0.90)")
+
+# 3. resumability.
+check(warm["simulated"] == 0 and warm["fromjournal"] == deduped - pruned,
+      f"warm run: simulated {warm['simulated']}, journal {warm['fromjournal']} "
+      f"(want 0 and {deduped - pruned})")
+check(warm["frontier"] == cold["frontier"]
+      and all(warm["points"][i]["rate"] == cold["points"][i]["rate"]
+              for i in warm["frontier"]),
+      "warm frontier identical to cold")
+
+if fail:
+    sys.exit("sweep smoke FAILED: " + "; ".join(fail))
+print(f"sweep smoke ok: {deduped} machines, {pruned} pruned, "
+      f"{cold['simulated']} simulated, agreement "
+      f"{model['frontieragreement']:.2f}/{model['pairs']} pairs")
+PY
