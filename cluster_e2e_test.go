@@ -1,0 +1,233 @@
+package mfup_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mfup/internal/cluster"
+	"mfup/internal/dse"
+)
+
+// The cluster drill sweep: 8 machines, small enough for CI, spread
+// across the fleet by content key.
+const clusterSweep = `{"base":{"kind":"ooo","mem":11,"br":5},"axes":{"width":[1,2,4,8],"bus":["nbus","1bus"]}}`
+
+// TestClusterEndToEnd drives the router and its workers as real
+// processes: flag validation, a dead-worker sweep with byte-identical
+// output and provable reassignment, and a mixed job/sweep soak with
+// the load generator round-robining across the fleet.
+func TestClusterEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster end-to-end test skipped in -short mode")
+	}
+	bindir := t.TempDir()
+	build := func(name string) string {
+		t.Helper()
+		bin := filepath.Join(bindir, name)
+		out, err := exec.Command("go", "build", "-o", bin, "./cmd/"+name).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, out)
+		}
+		return bin
+	}
+	mfud := build("mfud")
+	mfuload := build("mfuload")
+
+	t.Run("RouteFlagValidation", func(t *testing.T) {
+		for _, args := range [][]string{
+			{"-addr", "127.0.0.1:0", "-route"},
+			{"-addr", "127.0.0.1:0", "-peers", "127.0.0.1:1"},
+			{"-addr", "127.0.0.1:0", "-route", "-peers", ""},
+		} {
+			out, err := exec.Command(mfud, args...).CombinedOutput()
+			if err == nil {
+				t.Errorf("mfud %v: expected a usage error, got success\n%s", args, out)
+			}
+		}
+	})
+
+	t.Run("DeadWorkerSweepByteIdenticalAndReassigned", func(t *testing.T) {
+		want := localClusterReport(t)
+
+		var workers []*daemon
+		var urls []string
+		for i := 0; i < 3; i++ {
+			dir := t.TempDir()
+			w := startDaemon(t, mfud,
+				"-cache", filepath.Join(dir, "cache.jsonl"),
+				"-sweep-journal", filepath.Join(dir, "points.jsonl"),
+				"-workers", "2")
+			workers = append(workers, w)
+			urls = append(urls, w.url)
+		}
+
+		// Deterministic victim: a worker that owns at least one of the
+		// sweep's point keys, so its death forces reassignment.
+		victim, owned := pickVictim(t, urls)
+		workers[victim].kill(t)
+
+		router := startDaemon(t, mfud, "-route", "-peers", strings.Join(urls, ","))
+		got := submitSweepWait(t, router.url, clusterSweep)
+		if !bytes.Equal(got, want) {
+			t.Errorf("routed report with a dead worker diverged from the local run:\nrouted: %.200s\nlocal:  %.200s", got, want)
+		}
+
+		var st struct {
+			PointsDone       int64 `json:"points_done"`
+			PointsReassigned int64 `json:"points_reassigned"`
+		}
+		getJSON(t, router.url+"/v1/stats", &st)
+		if st.PointsDone != 8 {
+			t.Errorf("points_done = %d, want 8", st.PointsDone)
+		}
+		if st.PointsReassigned < int64(owned) {
+			t.Errorf("points_reassigned = %d, want >= %d (the dead worker's share)", st.PointsReassigned, owned)
+		}
+
+		// Survivors did real work, through their own admission paths.
+		var did int64
+		for i, w := range workers {
+			if i == victim {
+				continue
+			}
+			var ws struct {
+				Points int64 `json:"points_submitted"`
+			}
+			getJSON(t, w.url+"/v1/stats", &ws)
+			did += ws.Points
+		}
+		if did < 8 {
+			t.Errorf("survivors saw %d point submissions, want >= 8", did)
+		}
+		router.terminate(t)
+	})
+
+	t.Run("LoadMixAcrossFleetVerdictClean", func(t *testing.T) {
+		w1 := startDaemon(t, mfud, "-workers", "2")
+		w2 := startDaemon(t, mfud, "-workers", "2")
+		router := startDaemon(t, mfud, "-route", "-peers", w1.url+","+w2.url)
+
+		// Round-robin between the router and a worker it fronts: the
+		// byte-identity verdict now spans processes — a disagreement
+		// between the two paths for the same key is corruption.
+		report := filepath.Join(t.TempDir(), "report.json")
+		out, err := exec.Command(mfuload,
+			"-addr", router.url+","+w1.url,
+			"-duration", "3s", "-rate", "30", "-clients", "4",
+			"-sweeps", "5", "-report", report).CombinedOutput()
+		if err != nil {
+			t.Fatalf("mfuload: %v\n%s", err, out)
+		}
+		var rep struct {
+			Requests int      `json:"requests"`
+			Done     int      `json:"done"`
+			Cached   int      `json:"cached"`
+			Sweeps   int      `json:"sweeps"`
+			Errors   int      `json:"errors"`
+			Corrupt  []string `json:"corrupt_keys"`
+		}
+		b := readFileT(t, report)
+		if err := json.Unmarshal(b, &rep); err != nil {
+			t.Fatalf("report %s: %v", b, err)
+		}
+		if rep.Done+rep.Cached == 0 || rep.Sweeps == 0 {
+			t.Errorf("soak did no useful work: %+v", rep)
+		}
+		if len(rep.Corrupt) != 0 {
+			t.Errorf("cross-process corruption: %v", rep.Corrupt)
+		}
+		if rep.Errors != 0 {
+			t.Errorf("healthy fleet produced %d errors: %+v\nrouter log:\n%s", rep.Errors, rep, router.out.String())
+		}
+		router.terminate(t)
+		w1.terminate(t)
+		w2.terminate(t)
+	})
+}
+
+// localClusterReport computes the drill sweep in process — the bytes
+// every routed run must reproduce. The envelope embeds the report as
+// a json.RawMessage, which compacts it, so the reference compares
+// compacted too.
+func localClusterReport(t *testing.T) []byte {
+	t.Helper()
+	sw, err := dse.Parse([]byte(clusterSweep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := dse.Run(context.Background(), sw, dse.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, raw); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// pickVictim returns the first worker owning at least one of the
+// sweep's point keys, and how many it owns.
+func pickVictim(t *testing.T, urls []string) (int, int) {
+	t.Helper()
+	sw, err := dse.Parse([]byte(clusterSweep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := dse.PlanSweep(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owned := map[string]int{}
+	for _, i := range pl.Need {
+		owned[cluster.Owner(pl.Report.Points[i].Key, urls)]++
+	}
+	for i, u := range urls {
+		if owned[u] > 0 {
+			return i, owned[u]
+		}
+	}
+	t.Fatal("no worker owns any point — degenerate ranking")
+	return -1, 0
+}
+
+// submitSweepWait posts a sweep with ?wait=1 and returns the report
+// bytes, failing the test on anything but a completed sweep.
+func submitSweepWait(t *testing.T, base, doc string) []byte {
+	t.Helper()
+	hc := &http.Client{Timeout: 5 * time.Minute}
+	resp, err := hc.Post(base+"/v1/sweeps?wait=1", "application/json", strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var jr jobReply
+	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || jr.Status != "done" {
+		t.Fatalf("sweep submit: %d %+v", resp.StatusCode, jr)
+	}
+	return jr.Result
+}
+
+func readFileT(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

@@ -17,11 +17,19 @@
 // shares one content-addressed point journal, so an interrupted sweep
 // resumes and overlapping sweeps share work.
 //
+// With -route, mfud is instead a cluster router (internal/cluster):
+// it serves the same API but shards every job, sweep point, and poll
+// across the -peers worker fleet by content key (rendezvous
+// hashing), with health-checked membership, per-peer circuit
+// breakers, hedged retries against slow peers, and crash-consistent
+// reassignment of a dead worker's sweep points to the survivors.
+//
 // Usage examples:
 //
 //	mfud -addr :8080 -cache results.jsonl
 //	mfud -addr :8080 -rate 50 -burst 100 -queue 256 -workers 8
 //	mfud -addr :8080 -faults 'serve.accept:err:transient:times=3' -fault-seed 7
+//	mfud -addr :8080 -route -peers 127.0.0.1:8081,127.0.0.1:8082,127.0.0.1:8083
 //
 // Overload is shed explicitly — 429 plus Retry-After from the token
 // bucket and the bounded queue, 503 while draining or for a
@@ -36,9 +44,11 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"mfup/internal/cli"
+	"mfup/internal/cluster"
 	"mfup/internal/faultinject"
 	"mfup/internal/serve"
 )
@@ -66,6 +76,13 @@ func main() {
 		faults       = flag.String("faults", "", "fault-injection plan, e.g. 'serve.accept:err:times=3' (chaos testing)")
 		faultSeed    = flag.Int64("fault-seed", 1, "seed for fault placement")
 		verbose      = flag.Bool("v", false, "verbose logging (debug level) on standard error")
+
+		route         = flag.Bool("route", false, "run as a cluster router over -peers instead of a worker")
+		peers         = flag.String("peers", "", "comma-separated worker base URLs (router mode)")
+		probeEvery    = flag.Duration("probe-interval", time.Second, "router: peer /readyz probe interval")
+		downAfter     = flag.Int("down-after", 3, "router: consecutive probe failures before a peer leaves the ranking")
+		hedgeAfter    = flag.Duration("hedge-after", 2*time.Second, "router: dispatch a hedge to the next peer after this long without an answer")
+		maxRetryAfter = flag.Duration("max-retry-after", time.Minute, "router: cap on the Retry-After forwarded when the whole fleet sheds")
 	)
 	flag.Parse()
 	log = cli.NewLogger("mfud", *verbose)
@@ -90,6 +107,10 @@ func main() {
 		fail(fmt.Errorf("-drain-timeout %v: shutdown needs a positive grace period", *drainFor))
 	case seedSet && *faults == "":
 		fail(fmt.Errorf("-fault-seed needs -faults"))
+	case *route && *peers == "":
+		fail(fmt.Errorf("-route needs -peers"))
+	case !*route && *peers != "":
+		fail(fmt.Errorf("-peers needs -route"))
 	}
 
 	if *faults != "" {
@@ -105,6 +126,10 @@ func main() {
 	threshold := *breakAfter
 	if threshold < 0 {
 		threshold = -1 // serve: negative disables, 0 means default
+	}
+	if *route {
+		runRouter(*addr, *peers, threshold, *breakFor, *probeEvery, *downAfter, *hedgeAfter, *maxRetryAfter)
+		return
 	}
 	s, err := serve.New(serve.Config{
 		Workers:          *workers,
@@ -155,6 +180,47 @@ func main() {
 	if err := <-drained; err != nil {
 		fail(err)
 	}
+}
+
+// runRouter is the -route main: the same listen/serve/drain shape as
+// the worker, but the engine is internal/cluster and there is
+// nothing to flush on the way out — the router is stateless by
+// design (results live in the workers' journals).
+func runRouter(addr, peers string, breakThreshold int, breakFor, probeEvery time.Duration, downAfter int, hedgeAfter, maxRetryAfter time.Duration) {
+	rt, err := cluster.New(cluster.Config{
+		Peers:            strings.Split(peers, ","),
+		ProbeInterval:    probeEvery,
+		DownAfter:        downAfter,
+		HedgeAfter:       hedgeAfter,
+		MaxRetryAfter:    maxRetryAfter,
+		BreakerThreshold: breakThreshold,
+		BreakerCooldown:  breakFor,
+		Log:              log,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	hs := &http.Server{Addr: addr, Handler: rt.Handler()}
+	intr := cli.NotifyInterrupt(context.Background(), log,
+		"interrupted; shutting the router down (signal again to kill)")
+	defer intr.Stop()
+
+	stopped := make(chan struct{})
+	go func() {
+		<-intr.Context().Done()
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(sctx)
+		rt.Close()
+		close(stopped)
+	}()
+
+	log.Info("listening", "addr", addr, "mode", "router")
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fail(err)
+	}
+	<-stopped
 }
 
 // fail reports err through the shared logger and exits nonzero.

@@ -7,10 +7,19 @@
 // every other, across cache hits, concurrent duplicates, injected
 // faults, and daemon restarts.
 //
+// -addr takes a comma-separated target list: requests round-robin
+// across the fleet, and because results are content-addressed the
+// byte-identity verdict spans processes — a cluster in which two
+// workers (or a worker and a router) disagree about a key is
+// corruption, exactly like one daemon disagreeing with itself.
+// -sweeps N folds a design-space sweep submission into every Nth
+// request, so the verdict also covers whole sweep reports.
+//
 // Usage examples:
 //
 //	mfuload -addr http://127.0.0.1:8080 -duration 30s -rate 40
 //	mfuload -addr http://127.0.0.1:8080 -duration 60s -clients 16 -seed 7 -report soak.json
+//	mfuload -addr http://127.0.0.1:8080,http://127.0.0.1:8081 -sweeps 10 -duration 30s
 //
 // The exit status is the verdict: 0 for a clean run, 1 for any
 // corruption (byte-diverging results) or transport-level failure.
@@ -59,6 +68,16 @@ var jobMix = []string{
 	`{"machine":{"kind":"cray","mem":5,"br":2},"workload":{"loops":"10,11"}}`,
 }
 
+// sweepMix is the seeded sweep-spec pool for -sweeps: small sweeps,
+// again with a deliberate respelling so repeated submissions hit the
+// same content key from different spellings.
+var sweepMix = []string{
+	`{"base":{"kind":"ooo","mem":11,"br":5},"axes":{"width":[1,2]}}`,
+	`{"base":{"kind":"ooo","br":5,"mem":11},"axes":{"width":[2,1]}}`, // same sweep, respelled
+	`{"base":{"kind":"multi","mem":11,"br":5},"axes":{"width":[1,2]}}`,
+	`{"base":{"kind":"cray"},"axes":{"mem":[5,11]}}`,
+}
+
 // verdict accumulates the run's observations under one lock.
 type verdict struct {
 	mu        sync.Mutex
@@ -73,6 +92,7 @@ type verdict struct {
 	faulted   int // 500s tolerated under -chaos
 	failed    int // jobs the daemon reported as failed
 	errors    int // transport errors, unexpected statuses, bad JSON
+	sweeps    int // of the requests, sweep submissions
 }
 
 // Report is the -report JSON document.
@@ -85,6 +105,7 @@ type Report struct {
 	Faulted   int      `json:"faulted"`
 	Failed    int      `json:"failed"`
 	Errors    int      `json:"errors"`
+	Sweeps    int      `json:"sweeps"`
 	Corrupt   []string `json:"corrupt_keys"`
 	UniqueIDs int      `json:"unique_ids"`
 	P50MS     float64  `json:"p50_ms"`
@@ -93,7 +114,8 @@ type Report struct {
 
 func main() {
 	var (
-		addr     = flag.String("addr", "http://127.0.0.1:8080", "base URL of the mfud daemon")
+		addr     = flag.String("addr", "http://127.0.0.1:8080", "base URL(s) of the target daemon(s), comma-separated; requests round-robin")
+		sweeps   = flag.Int("sweeps", 0, "submit a design-space sweep every N requests; 0 = never")
 		duration = flag.Duration("duration", 10*time.Second, "how long to generate load")
 		rate     = flag.Float64("rate", 20, "target requests/second; 0 = as fast as the clients go")
 		clients  = flag.Int("clients", 4, "concurrent client goroutines")
@@ -112,10 +134,20 @@ func main() {
 		fail(fmt.Errorf("-rate %g is negative (0 = unpaced)", *rate))
 	case *clients < 1:
 		fail(fmt.Errorf("-clients %d: need at least one client", *clients))
+	case *sweeps < 0:
+		fail(fmt.Errorf("-sweeps %d is negative (0 = never)", *sweeps))
 	}
 
 	v := &verdict{results: make(map[string][]byte)}
-	base := strings.TrimRight(*addr, "/")
+	var targets []string
+	for _, a := range strings.Split(*addr, ",") {
+		if a = strings.TrimRight(strings.TrimSpace(a), "/"); a != "" {
+			targets = append(targets, a)
+		}
+	}
+	if len(targets) == 0 {
+		fail(fmt.Errorf("-addr %q names no targets", *addr))
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *duration)
 	defer cancel()
 	intr := cli.NotifyInterrupt(ctx, log,
@@ -151,8 +183,16 @@ func main() {
 					return
 				}
 				i := next()
+				base := targets[i%len(targets)] // round-robin: the same mix lands on every target
+				if *sweeps > 0 && i%*sweeps == *sweeps-1 {
+					doc := sweepMix[faultinject.Rand(uint64(*seed)^0x5eed, uint64(i))%uint64(len(sweepMix))]
+					o := oneRequest(hc, base, "/v1/sweeps", doc, *wait, *chaos)
+					o.sweep = true
+					v.observe(o)
+					continue
+				}
 				doc := jobMix[faultinject.Rand(uint64(*seed), uint64(i))%uint64(len(jobMix))]
-				v.observe(oneRequest(hc, base, doc, *wait, *chaos))
+				v.observe(oneRequest(hc, base, "/v1/jobs", doc, *wait, *chaos))
 			}
 		}()
 	}
@@ -182,11 +222,15 @@ type outcome struct {
 	id      string
 	result  []byte
 	note    string
+	sweep   bool
 }
 
-// oneRequest submits one job and classifies the response.
-func oneRequest(hc *http.Client, base, doc string, wait, chaos bool) outcome {
-	url := base + "/v1/jobs"
+// oneRequest submits one document to path and classifies the
+// response. The same verdict covers jobs and sweeps: both answer in
+// the daemon's standard envelope, both are content-addressed, so
+// byte-divergence means the same thing for either.
+func oneRequest(hc *http.Client, base, path, doc string, wait, chaos bool) outcome {
+	url := base + path
 	if wait {
 		url += "?wait=1"
 	}
@@ -252,6 +296,9 @@ func (v *verdict) observe(o outcome) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	v.requests++
+	if o.sweep {
+		v.sweeps++
+	}
 	v.latencies = append(v.latencies, o.latency)
 	switch o.class {
 	case "done", "cached":
@@ -315,6 +362,7 @@ func (v *verdict) report() Report {
 		Faulted:   v.faulted,
 		Failed:    v.failed,
 		Errors:    v.errors,
+		Sweeps:    v.sweeps,
 		Corrupt:   corrupt,
 		UniqueIDs: len(v.results),
 		P50MS:     pct(0.50),

@@ -1,0 +1,69 @@
+// Package cluster is the mfud fleet coordinator: a stateless router
+// that shards the daemon's job classes across worker processes by
+// content key, with health-checked membership, per-peer circuit
+// breakers, hedged retries, and crash-consistent sweep reassignment.
+//
+// Sharding is rendezvous (highest-random-weight) hashing: every
+// (peer, key) pair is scored by a hash, and the peers serve a key in
+// descending score order. The property that matters is minimal
+// remapping — when a peer dies, only the keys it owned move (each to
+// its own second choice), and every other key keeps its owner, so a
+// fleet-wide failover does not stampede the survivors' caches.
+//
+// Everything the router dispatches is content-addressed and
+// byte-deterministic: two workers given the same key produce the
+// same bytes. That is the idempotency argument the failure handling
+// leans on — a hedged duplicate, a replayed lost response, or a
+// reassigned sweep point can only ever re-derive the identical
+// result, never a conflicting one.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// weight scores one (peer, key) pair. SHA-256 rather than a fast
+// hash: scoring happens once per dispatch, and the suite's content
+// keys are SHA-256 built already — uniformity is worth more here
+// than nanoseconds.
+func weight(peer, key string) uint64 {
+	h := sha256.New()
+	h.Write([]byte(peer))
+	h.Write([]byte{0}) // separator: ("ab","c") must not collide with ("a","bc")
+	h.Write([]byte(key))
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Rank orders peers for key by descending rendezvous weight: the
+// first entry is the key's owner, the rest its failover sequence.
+// The order is a pure function of the (key, peer-set) pair — it does
+// not depend on the order peers are listed in, so every router over
+// the same fleet ranks identically. Ties (possible only between
+// duplicate peer entries) break lexically.
+func Rank(key string, peers []string) []string {
+	ranked := append([]string(nil), peers...)
+	ws := make(map[string]uint64, len(peers))
+	for _, p := range ranked {
+		ws[p] = weight(p, key)
+	}
+	sort.SliceStable(ranked, func(i, j int) bool {
+		wi, wj := ws[ranked[i]], ws[ranked[j]]
+		if wi != wj {
+			return wi > wj
+		}
+		return ranked[i] < ranked[j]
+	})
+	return ranked
+}
+
+// Owner returns the key's first-choice peer, or "" with no peers.
+func Owner(key string, peers []string) string {
+	if len(peers) == 0 {
+		return ""
+	}
+	return Rank(key, peers)[0]
+}

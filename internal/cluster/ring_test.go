@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestRankDeterministicAndOrderIndependent(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1", "http://c:1"}
+	shuffled := []string{"http://c:1", "http://a:1", "http://b:1"}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("dse-point/v1:loops=scalar:scale=0:machdef=%03d", i)
+		r1 := Rank(key, peers)
+		r2 := Rank(key, shuffled)
+		if !reflect.DeepEqual(r1, r2) {
+			t.Fatalf("key %q: rank depends on listing order: %v vs %v", key, r1, r2)
+		}
+		if len(r1) != 3 {
+			t.Fatalf("rank dropped peers: %v", r1)
+		}
+	}
+}
+
+// The rendezvous property the failover design leans on: removing one
+// peer moves ONLY the keys it owned (each to its own second choice);
+// every other key keeps its owner.
+func TestRankMinimalRemapping(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	dead := "http://c:1"
+	var survivors []string
+	for _, p := range peers {
+		if p != dead {
+			survivors = append(survivors, p)
+		}
+	}
+	moved, kept := 0, 0
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%04d", i)
+		before := Rank(key, peers)
+		after := Owner(key, survivors)
+		if before[0] == dead {
+			moved++
+			if after != before[1] {
+				t.Fatalf("key %q: owner died but key went to %s, not its second choice %s", key, after, before[1])
+			}
+		} else {
+			kept++
+			if after != before[0] {
+				t.Fatalf("key %q: owner %s alive but key moved to %s", key, before[0], after)
+			}
+		}
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: moved %d kept %d of 200", moved, kept)
+	}
+}
+
+// Sanity: the hash spreads keys across the fleet rather than piling
+// them on one peer.
+func TestRankSpreadsLoad(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1", "http://c:1"}
+	counts := map[string]int{}
+	for i := 0; i < 300; i++ {
+		counts[Owner(fmt.Sprintf("key-%04d", i), peers)]++
+	}
+	for _, p := range peers {
+		if counts[p] < 50 {
+			t.Errorf("peer %s owns only %d of 300 keys (want a reasonable share)", p, counts[p])
+		}
+	}
+}
+
+func TestNormalizePeer(t *testing.T) {
+	cases := map[string]string{
+		"127.0.0.1:8081":          "http://127.0.0.1:8081",
+		"http://127.0.0.1:8081/":  "http://127.0.0.1:8081",
+		" https://w.example.com ": "https://w.example.com",
+		"":                        "",
+		"   ":                     "",
+	}
+	for in, want := range cases {
+		if got := NormalizePeer(in); got != want {
+			t.Errorf("NormalizePeer(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -142,11 +142,27 @@ func tracesFor(s SweepSpec) (ts []*trace.Trace, virtual map[string]int64, notes 
 	return ts, virtual, notes
 }
 
-// Run executes the sweep: expand, price, predict, prune, simulate,
-// and assemble the frontier. The sweep is canonicalized first, so any
-// parsed spec works. Cancellation via ctx skips unstarted points; the
-// partial report still assembles.
-func Run(ctx context.Context, sweep SweepSpec, opt Options) (*Report, error) {
+// Planned is a sweep caught between planning and resolution: the
+// deterministic front half of a run — expansion, pricing, pruning —
+// has happened, and what remains is attaching a simulated rate to
+// every point in Need. The in-process driver (Run) resolves them on
+// the local worker pool; the cluster router resolves them by
+// dispatching each point to the worker that owns its content key.
+// Either way the same Finish assembles the same frontier, which is
+// what makes a sharded sweep byte-comparable to a local one.
+type Planned struct {
+	Spec    SweepSpec // canonical
+	Report  *Report
+	Need    []int // indices of Report.Points that still need a rate
+	Traces  []*trace.Trace
+	Virtual map[string]int64 // virtual-window counts for extrapolation
+}
+
+// PlanSweep runs the deterministic front half of a sweep: expand the
+// axes, price and model-predict every distinct machine, prune the
+// dominated ones. No simulation happens; the returned plan's Need
+// lists the surviving points awaiting rates.
+func PlanSweep(sweep SweepSpec) (*Planned, error) {
 	s, err := sweep.Canonicalize()
 	if err != nil {
 		return nil, err
@@ -192,15 +208,41 @@ func Run(ctx context.Context, sweep SweepSpec, opt Options) (*Report, error) {
 		}
 	}
 
+	pl := &Planned{Spec: s, Report: r, Traces: ts, Virtual: virtual}
+	for i := range r.Points {
+		if !r.Points[i].Pruned {
+			pl.Need = append(pl.Need, i)
+		}
+	}
+	return pl, nil
+}
+
+// Finish assembles the back half of the report — the Pareto frontier
+// and the model-agreement cross-check — once every resolvable point
+// carries a rate. It returns the finished report.
+func (pl *Planned) Finish() *Report {
+	frontier(pl.Report)
+	modelStats(pl.Report)
+	return pl.Report
+}
+
+// Run executes the sweep: expand, price, predict, prune, simulate,
+// and assemble the frontier. The sweep is canonicalized first, so any
+// parsed spec works. Cancellation via ctx skips unstarted points; the
+// partial report still assembles.
+func Run(ctx context.Context, sweep SweepSpec, opt Options) (*Report, error) {
+	pl, err := PlanSweep(sweep)
+	if err != nil {
+		return nil, err
+	}
+	s, r, ts, virtual := pl.Spec, pl.Report, pl.Traces, pl.Virtual
+
 	// Partition the survivors against the journal, then fan the rest
 	// out over the worker pool.
 	var tasks []runner.Task
 	var taskIdx []int
-	for i := range r.Points {
+	for _, i := range pl.Need {
 		p := &r.Points[i]
-		if p.Pruned {
-			continue
-		}
 		if opt.Journal != nil {
 			if rate, ok := opt.Journal.Lookup(p.Key); ok {
 				p.Rate, p.FromJournal = rate, true
@@ -266,9 +308,7 @@ func Run(ctx context.Context, sweep SweepSpec, opt Options) (*Report, error) {
 		}
 	}
 
-	frontier(r)
-	modelStats(r)
-	return r, nil
+	return pl.Finish(), nil
 }
 
 // prune drops points the model says are dominated: sorted by cost

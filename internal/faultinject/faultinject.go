@@ -26,6 +26,17 @@
 //     the status line, exactly the mid-response crash a client's
 //     retry logic must survive. The daemon's cache journal writes go
 //     through the ordinary "write.cache" site.
+//   - "peer.<name>": the cluster router's forwarding path
+//     (internal/cluster): "peer.dial" fires as the router is about to
+//     dispatch a request to a worker — an err fault models a connect
+//     refusal (the dispatch fails without touching the network), a
+//     stall sleeps At milliseconds first (a slow link) — and
+//     "peer.respond" fires after a worker has answered: an err fault
+//     drops the response on the floor (the worker did the work, the
+//     router never sees it — exactly the lost-reply case hedged
+//     retries and content-addressed idempotency exist for), and a
+//     stall delays its delivery by At milliseconds (a slow peer, the
+//     hedging trigger).
 //
 // Injection is disabled by default and compiles down to one atomic
 // pointer load at each hook: Active returns nil unless a plan has
@@ -207,8 +218,9 @@ func parseFault(item string) (Fault, error) {
 	}
 	f := Fault{Site: fields[0]}
 	serveSite := strings.HasPrefix(f.Site, "serve.")
-	if f.Site != "sim" && !serveSite && !strings.HasPrefix(f.Site, "write.") {
-		return Fault{}, fmt.Errorf("faultinject: unknown site %q (want \"sim\", \"write.<name>\", or \"serve.<name>\")", f.Site)
+	peerSite := strings.HasPrefix(f.Site, "peer.")
+	if f.Site != "sim" && !serveSite && !peerSite && !strings.HasPrefix(f.Site, "write.") {
+		return Fault{}, fmt.Errorf("faultinject: unknown site %q (want \"sim\", \"write.<name>\", \"serve.<name>\", or \"peer.<name>\")", f.Site)
 	}
 	switch fields[1] {
 	case "panic":
@@ -224,13 +236,14 @@ func parseFault(item string) (Fault, error) {
 	default:
 		return Fault{}, fmt.Errorf("faultinject: unknown fault kind %q in %q (want panic, err, stall, werr, or short)", fields[1], item)
 	}
-	// The sim-flavored kinds (panic, err, stall) apply to the sim site
-	// and the daemon's serve.* sites; the writer kinds (werr, short)
-	// apply to the export write.* sites and to serve.* response bodies.
+	// The sim-flavored kinds (panic, err, stall) apply to the sim site,
+	// the daemon's serve.* sites, and the router's peer.* sites; the
+	// writer kinds (werr, short) apply to the export write.* sites and
+	// to serve.* response bodies.
 	simKind := f.Kind == KindPanic || f.Kind == KindError || f.Kind == KindStall
 	var ok bool
 	if simKind {
-		ok = f.Site == "sim" || serveSite
+		ok = f.Site == "sim" || serveSite || peerSite
 	} else {
 		ok = strings.HasPrefix(f.Site, "write.") || serveSite
 	}
@@ -382,10 +395,11 @@ func (in *Injector) SimFault(machine, trc string) (panicAt, stallAt, errAt int64
 
 // SiteFault resolves the sim-flavored faults (panic, err, stall)
 // armed at an arbitrary named hook site — the daemon's serve.* points
-// are the only such sites today. One call is one hit of the site; the
-// first armed fault in plan order wins. For a stall fault, at is the
-// fault's At field, which serve sites interpret as milliseconds to
-// sleep (the sim site interprets At as a guard tick instead).
+// and the cluster router's peer.* points. One call is one hit of the
+// site; the first armed fault in plan order wins. For a stall fault,
+// at is the fault's At field, which serve and peer sites interpret as
+// milliseconds to sleep (the sim site interprets At as a guard tick
+// instead).
 func (in *Injector) SiteFault(site string) (kind Kind, at int64, transient, armed bool) {
 	if in == nil {
 		return 0, 0, false, false

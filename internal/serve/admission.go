@@ -59,10 +59,11 @@ func (b *bucket) take() (ok bool, retryAfter time.Duration) {
 	return false, time.Duration(math.Ceil(need * float64(time.Second)))
 }
 
-// retryAfterSeconds renders a Retry-After header value: whole
+// RetryAfterSeconds renders a Retry-After header value: whole
 // seconds, rounded up, never less than 1 — "retry immediately" is
-// exactly the signal a shedding server must not send.
-func retryAfterSeconds(d time.Duration) int {
+// exactly the signal a shedding server must not send. The cluster
+// router shares this arithmetic when it aggregates peer sheds.
+func RetryAfterSeconds(d time.Duration) int {
 	s := int((d + time.Second - 1) / time.Second)
 	if s < 1 {
 		s = 1

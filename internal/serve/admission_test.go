@@ -78,8 +78,8 @@ func TestRetryAfterSeconds(t *testing.T) {
 		30 * time.Second:        30,
 	}
 	for d, want := range cases {
-		if got := retryAfterSeconds(d); got != want {
-			t.Errorf("retryAfterSeconds(%v) = %d, want %d", d, got, want)
+		if got := RetryAfterSeconds(d); got != want {
+			t.Errorf("RetryAfterSeconds(%v) = %d, want %d", d, got, want)
 		}
 	}
 }
@@ -99,12 +99,12 @@ func TestRetryAfterSecondsBoundary(t *testing.T) {
 		2 * time.Second:               2,
 	}
 	for d, want := range cases {
-		got := retryAfterSeconds(d)
+		got := RetryAfterSeconds(d)
 		if got != want {
-			t.Errorf("retryAfterSeconds(%v) = %d, want %d", d, got, want)
+			t.Errorf("RetryAfterSeconds(%v) = %d, want %d", d, got, want)
 		}
 		if got < 1 {
-			t.Errorf("retryAfterSeconds(%v) = %d: rendered a zero Retry-After", d, got)
+			t.Errorf("RetryAfterSeconds(%v) = %d: rendered a zero Retry-After", d, got)
 		}
 	}
 }

@@ -5,14 +5,18 @@ import (
 	"time"
 )
 
-// breaker is a per-key circuit breaker. The key is the job's content
-// address, i.e. a (machine configuration, workload) pair: when that
-// pair fails *permanently* — a simulation divergence, a model panic,
-// a poisoned trace — re-running it reproduces the failure by
-// determinism, so after threshold consecutive permanent failures the
-// pair is quarantined and admission refuses it outright (HTTP 503
-// with Retry-After) instead of burning worker slots re-proving the
-// same defect.
+// Breaker is a per-key circuit breaker. The daemon keys it by a job's
+// content address, i.e. a (machine configuration, workload) pair:
+// when that pair fails *permanently* — a simulation divergence, a
+// model panic, a poisoned trace — re-running it reproduces the
+// failure by determinism, so after threshold consecutive permanent
+// failures the pair is quarantined and admission refuses it outright
+// (HTTP 503 with Retry-After) instead of burning worker slots
+// re-proving the same defect. The cluster router (internal/cluster)
+// reuses the same machine keyed by peer URL: there "permanent" means
+// a transport-level dispatch failure (connect refused, dropped
+// response, 5xx), and quarantine takes a flaky worker out of the
+// rendezvous ranking until its cooldown probe succeeds.
 //
 // Transient failures (deadlines, injected blips) never count: the
 // runner's retry/backoff layer owns those.
@@ -27,7 +31,7 @@ import (
 // transient outcome (or an admission path that could not enqueue the
 // probe after all) releases the probe slot so the next caller may
 // try.
-type breaker struct {
+type Breaker struct {
 	threshold int           // consecutive permanent failures to open; <= 0 disables
 	cooldown  time.Duration // quarantine length
 	now       func() time.Time
@@ -42,16 +46,16 @@ type breakerEntry struct {
 	probing   bool      // half-open with the single probe outstanding
 }
 
-// newBreaker builds a breaker; threshold <= 0 disables it. A nil now
+// NewBreaker builds a breaker; threshold <= 0 disables it. A nil now
 // uses the real clock.
-func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+func NewBreaker(threshold int, cooldown time.Duration, now func() time.Time) *Breaker {
 	if now == nil {
 		now = time.Now
 	}
 	if cooldown <= 0 {
 		cooldown = 30 * time.Second
 	}
-	return &breaker{
+	return &Breaker{
 		threshold: threshold,
 		cooldown:  cooldown,
 		now:       now,
@@ -59,9 +63,9 @@ func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *br
 	}
 }
 
-// allow reports whether a job with this key may be admitted, and if
+// Allow reports whether a job with this key may be admitted, and if
 // not, how long until the quarantine lifts.
-func (b *breaker) allow(key string) (ok bool, retryAfter time.Duration) {
+func (b *Breaker) Allow(key string) (ok bool, retryAfter time.Duration) {
 	if b == nil || b.threshold <= 0 {
 		return true, 0
 	}
@@ -92,11 +96,11 @@ func (b *breaker) allow(key string) (ok bool, retryAfter time.Duration) {
 	return true, 0
 }
 
-// release gives back a half-open probe slot without recording an
-// outcome: the admission path claimed the probe via allow but could
+// Release gives back a half-open probe slot without recording an
+// outcome: the admission path claimed the probe via Allow but could
 // not actually start the job (queue full, drain began). The next
 // submission may probe instead.
-func (b *breaker) release(key string) {
+func (b *Breaker) Release(key string) {
 	if b == nil || b.threshold <= 0 {
 		return
 	}
@@ -107,9 +111,9 @@ func (b *breaker) release(key string) {
 	}
 }
 
-// success records a completed job: the key's failure history is
+// Success records a completed job: the key's failure history is
 // forgotten and its circuit closes.
-func (b *breaker) success(key string) {
+func (b *Breaker) Success(key string) {
 	if b == nil || b.threshold <= 0 {
 		return
 	}
@@ -118,12 +122,12 @@ func (b *breaker) success(key string) {
 	delete(b.entries, key)
 }
 
-// failure records a failed job. Only permanent failures advance the
+// Failure records a failed job. Only permanent failures advance the
 // circuit toward open; transient ones are the retry layer's business —
 // but either outcome ends an outstanding half-open probe, so a probe
 // that dies transiently (deadline, injected blip) frees the slot for
 // the next caller instead of wedging the key half-open forever.
-func (b *breaker) failure(key string, permanent bool) {
+func (b *Breaker) Failure(key string, permanent bool) {
 	if b == nil || b.threshold <= 0 {
 		return
 	}
@@ -146,8 +150,21 @@ func (b *breaker) failure(key string, permanent bool) {
 	}
 }
 
-// quarantined reports how many keys are currently quarantined.
-func (b *breaker) quarantined() int {
+// QuarantinedKey reports whether one key is currently quarantined,
+// without claiming a half-open probe the way Allow would — the
+// read-only form the cluster router's stats endpoint needs.
+func (b *Breaker) QuarantinedKey(key string) bool {
+	if b == nil || b.threshold <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entries[key]
+	return e != nil && !e.openUntil.IsZero() && e.openUntil.After(b.now())
+}
+
+// Quarantined reports how many keys are currently quarantined.
+func (b *Breaker) Quarantined() int {
 	if b == nil || b.threshold <= 0 {
 		return 0
 	}

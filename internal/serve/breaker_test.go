@@ -9,68 +9,68 @@ import (
 
 func TestBreakerOpensAfterThresholdPermanentFailures(t *testing.T) {
 	clk := newFakeClock()
-	b := newBreaker(3, time.Minute, clk.now)
+	b := NewBreaker(3, time.Minute, clk.now)
 
 	for i := 0; i < 2; i++ {
-		b.failure("k", true)
-		if ok, _ := b.allow("k"); !ok {
+		b.Failure("k", true)
+		if ok, _ := b.Allow("k"); !ok {
 			t.Fatalf("quarantined after %d failures; threshold is 3", i+1)
 		}
 	}
-	b.failure("k", true)
-	ok, retry := b.allow("k")
+	b.Failure("k", true)
+	ok, retry := b.Allow("k")
 	if ok {
 		t.Fatal("third permanent failure did not open the circuit")
 	}
 	if retry <= 0 || retry > time.Minute {
 		t.Errorf("retryAfter = %v, want (0, 1m]", retry)
 	}
-	if b.quarantined() != 1 {
-		t.Errorf("quarantined() = %d, want 1", b.quarantined())
+	if b.Quarantined() != 1 {
+		t.Errorf("quarantined() = %d, want 1", b.Quarantined())
 	}
 	// Other keys are unaffected: quarantine is per (machine, workload).
-	if ok, _ := b.allow("other"); !ok {
+	if ok, _ := b.Allow("other"); !ok {
 		t.Error("unrelated key quarantined")
 	}
 }
 
 func TestBreakerIgnoresTransientFailures(t *testing.T) {
-	b := newBreaker(2, time.Minute, newFakeClock().now)
+	b := NewBreaker(2, time.Minute, newFakeClock().now)
 	for i := 0; i < 10; i++ {
-		b.failure("k", false)
+		b.Failure("k", false)
 	}
-	if ok, _ := b.allow("k"); !ok {
+	if ok, _ := b.Allow("k"); !ok {
 		t.Fatal("transient failures opened the circuit; they belong to the retry layer")
 	}
 }
 
 func TestBreakerHalfOpenProbe(t *testing.T) {
 	clk := newFakeClock()
-	b := newBreaker(1, time.Minute, clk.now)
+	b := NewBreaker(1, time.Minute, clk.now)
 
-	b.failure("k", true)
-	if ok, _ := b.allow("k"); ok {
+	b.Failure("k", true)
+	if ok, _ := b.Allow("k"); ok {
 		t.Fatal("circuit not open")
 	}
 	clk.advance(time.Minute + time.Second)
 	// Cooldown over: exactly one probe is admitted.
-	if ok, _ := b.allow("k"); !ok {
+	if ok, _ := b.Allow("k"); !ok {
 		t.Fatal("half-open probe refused after cooldown")
 	}
 	// The probe fails permanently: the circuit re-opens immediately.
-	b.failure("k", true)
-	if ok, _ := b.allow("k"); ok {
+	b.Failure("k", true)
+	if ok, _ := b.Allow("k"); ok {
 		t.Fatal("failed probe did not re-open the circuit")
 	}
 
 	// Next probe succeeds: history is forgotten.
 	clk.advance(2 * time.Minute)
-	if ok, _ := b.allow("k"); !ok {
+	if ok, _ := b.Allow("k"); !ok {
 		t.Fatal("second probe refused")
 	}
-	b.success("k")
-	b.failure("k", true) // threshold 1: one failure re-opens
-	if ok, _ := b.allow("k"); ok {
+	b.Success("k")
+	b.Failure("k", true) // threshold 1: one failure re-opens
+	if ok, _ := b.Allow("k"); ok {
 		t.Fatal("circuit should re-open at threshold after reset")
 	}
 }
@@ -82,10 +82,10 @@ func TestBreakerHalfOpenProbe(t *testing.T) {
 // per caller on a key that is probably still broken. Run with -race.
 func TestBreakerHalfOpenSingleProbeUnderConcurrency(t *testing.T) {
 	clk := newFakeClock()
-	b := newBreaker(1, time.Minute, clk.now)
+	b := NewBreaker(1, time.Minute, clk.now)
 	for round := 0; round < 3; round++ {
-		b.failure("k", true)
-		if ok, _ := b.allow("k"); ok {
+		b.Failure("k", true)
+		if ok, _ := b.Allow("k"); ok {
 			t.Fatalf("round %d: circuit not open", round)
 		}
 		clk.advance(2 * time.Minute)
@@ -99,7 +99,7 @@ func TestBreakerHalfOpenSingleProbeUnderConcurrency(t *testing.T) {
 			go func() {
 				defer done.Done()
 				start.Wait()
-				ok, retry := b.allow("k")
+				ok, retry := b.Allow("k")
 				if ok {
 					admitted.Add(1)
 				} else if retry <= 0 {
@@ -113,7 +113,7 @@ func TestBreakerHalfOpenSingleProbeUnderConcurrency(t *testing.T) {
 			t.Fatalf("round %d: %d probes admitted in one half-open window, want exactly 1", round, n)
 		}
 		// While the probe is outstanding, later arrivals are still refused.
-		if ok, _ := b.allow("k"); ok {
+		if ok, _ := b.Allow("k"); ok {
 			t.Fatalf("round %d: second probe admitted before the first resolved", round)
 		}
 	}
@@ -124,43 +124,43 @@ func TestBreakerHalfOpenSingleProbeUnderConcurrency(t *testing.T) {
 // release the slot, or the key would wedge half-open forever.
 func TestBreakerProbeSlotReleased(t *testing.T) {
 	clk := newFakeClock()
-	b := newBreaker(1, time.Minute, clk.now)
+	b := NewBreaker(1, time.Minute, clk.now)
 
-	b.failure("k", true)
+	b.Failure("k", true)
 	clk.advance(2 * time.Minute)
-	if ok, _ := b.allow("k"); !ok {
+	if ok, _ := b.Allow("k"); !ok {
 		t.Fatal("probe refused after cooldown")
 	}
-	if ok, _ := b.allow("k"); ok {
+	if ok, _ := b.Allow("k"); ok {
 		t.Fatal("second probe admitted while the first is outstanding")
 	}
 	// Transient outcome: slot freed, circuit still at threshold, next
 	// caller probes.
-	b.failure("k", false)
-	if ok, _ := b.allow("k"); !ok {
+	b.Failure("k", false)
+	if ok, _ := b.Allow("k"); !ok {
 		t.Fatal("transient probe outcome did not release the slot")
 	}
 	// Explicit release (queue-full path): same effect.
-	b.release("k")
-	if ok, _ := b.allow("k"); !ok {
+	b.Release("k")
+	if ok, _ := b.Allow("k"); !ok {
 		t.Fatal("release() did not free the probe slot")
 	}
 	// And the single-failure re-open still works after all that.
-	b.failure("k", true)
-	if ok, _ := b.allow("k"); ok {
+	b.Failure("k", true)
+	if ok, _ := b.Allow("k"); ok {
 		t.Fatal("permanent probe failure did not re-open the circuit")
 	}
 }
 
 func TestBreakerDisabled(t *testing.T) {
-	b := newBreaker(-1, time.Minute, newFakeClock().now)
+	b := NewBreaker(-1, time.Minute, newFakeClock().now)
 	for i := 0; i < 5; i++ {
-		b.failure("k", true)
+		b.Failure("k", true)
 	}
-	if ok, _ := b.allow("k"); !ok {
+	if ok, _ := b.Allow("k"); !ok {
 		t.Fatal("disabled breaker quarantined a key")
 	}
-	if b.quarantined() != 0 {
-		t.Errorf("disabled breaker reports %d quarantined", b.quarantined())
+	if b.Quarantined() != 0 {
+		t.Errorf("disabled breaker reports %d quarantined", b.Quarantined())
 	}
 }

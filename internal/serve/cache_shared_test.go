@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mfup/internal/atomicio"
+)
+
+// Two daemons sharing one cache journal: the cluster deployment model
+// gives every worker its own journal, and these tests pin the guard
+// rails that make a misconfigured shared journal safe — the second
+// process is refused with a structured lock error, the refusal never
+// modifies the holder's file, and once the holder is gone a successor
+// replays the journal byte-identically even over a torn tail.
+
+func TestSharedCacheSecondDaemonLockedOut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.jsonl")
+	s1, _ := testServer(t, Config{Workers: 1, CachePath: path})
+
+	_, err := New(Config{Workers: 1, CachePath: path})
+	var le *atomicio.LockError
+	if !errors.As(err, &le) {
+		t.Fatalf("second daemon error = %v (%T), want *atomicio.LockError", err, err)
+	}
+	if le.Path != path {
+		t.Errorf("lock error names %q, want the contended journal %q", le.Path, path)
+	}
+	// The holder is unharmed: it still accepts and caches work.
+	_ = s1
+}
+
+// A locked-out opener must fail before it reads or truncates: if it
+// ran the torn-tail repair on a journal another process is appending
+// to, it would truncate a line mid-write and corrupt the holder.
+func TestSharedCacheLockedOpenerNeverModifies(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.jsonl")
+	c1, err := OpenCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c1.Put("k1", []byte(`{"a":1}`))
+	if err := c1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// The holder is mid-append: the last line has no newline yet, the
+	// exact state a concurrent opener's repair pass would truncate.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"key":"k2","resu`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := OpenCache(path); err == nil {
+		t.Fatal("second open succeeded while the lock was held")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Errorf("locked-out opener modified the journal:\nbefore: %s\nafter:  %s", before, after)
+	}
+}
+
+// The full handoff: daemon A computes and journals a result, dies with
+// a torn tail (kill -9 mid-append), daemon B opens the same journal
+// and serves A's job from cache, byte-for-byte.
+func TestSharedCacheHandoffReplaysBytesOverTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.jsonl")
+	s1, hs1 := testServer(t, Config{Workers: 2, CachePath: path})
+
+	code, _, jr1 := post(t, hs1.URL+"/v1/jobs?wait=1", crayLoop1)
+	if code != http.StatusOK || jr1.Status != "done" {
+		t.Fatalf("first daemon: %d %+v", code, jr1)
+	}
+	if err := s1.Drain(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	// The crash: a partial append survives the first daemon.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"key":"torn","resu`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, hs2 := testServer(t, Config{Workers: 2, CachePath: path})
+	if got := s2.cache.Loaded(); got != 1 {
+		t.Fatalf("successor loaded %d entries, want 1 (torn tail dropped, real line kept)", got)
+	}
+	code, _, jr2 := post(t, hs2.URL+"/v1/jobs?wait=1", crayLoop1)
+	if code != http.StatusOK || !jr2.Cached {
+		t.Fatalf("successor did not serve from the shared journal: %d %+v", code, jr2)
+	}
+	if string(jr2.Result) != string(jr1.Result) {
+		t.Errorf("handoff result diverged:\nA: %.200s\nB: %.200s", jr1.Result, jr2.Result)
+	}
+}

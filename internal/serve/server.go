@@ -93,15 +93,17 @@ type jobError struct {
 	Transient bool
 }
 
-// job is one admitted unit of work — a single simulation job, or a
-// whole design-space sweep when sweep is non-nil. Waiters select on
-// done; by the time it closes, exactly one of result and jerr is set
-// and neither changes again.
+// job is one admitted unit of work — a single simulation job, a
+// whole design-space sweep when sweep is non-nil, or one sweep point
+// when point is non-nil. Waiters select on done; by the time it
+// closes, exactly one of result and jerr is set and neither changes
+// again.
 type job struct {
 	id       string         // public identifier echoed to clients
 	key      string         // internal cache/dedupe/breaker key
 	spec     JobSpec        // canonical (single-simulation jobs)
 	sweep    *dse.SweepSpec // canonical sweep, when this job is one
+	point    *dse.PointSpec // canonical sweep point, when this job is one
 	deadline time.Time
 
 	state  atomic.Int32 // 0 queued, 1 running
@@ -136,7 +138,7 @@ type Server struct {
 	cache   *Cache
 	sweepJ  *dse.Journal // shared sweep point journal; nil = memory-only
 	bucket  *bucket
-	breaker *breaker
+	breaker *Breaker
 
 	mu       sync.Mutex
 	draining bool
@@ -165,6 +167,7 @@ type Server struct {
 type counters struct {
 	submitted  atomic.Int64 // POSTs that reached admission
 	sweeps     atomic.Int64 // of those, design-space sweep submissions
+	points     atomic.Int64 // of those, sweep-point submissions (cluster shards)
 	admitted   atomic.Int64 // jobs enqueued
 	shedRate   atomic.Int64 // 429: token bucket empty
 	shedQueue  atomic.Int64 // 429: queue full
@@ -207,7 +210,7 @@ func New(cfg Config) (*Server, error) {
 		cache:      cache,
 		sweepJ:     sweepJ,
 		bucket:     newBucket(cfg.Rate, cfg.Burst, cfg.now),
-		breaker:    newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.now),
+		breaker:    NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.now),
 		queue:      make(chan *job, cfg.QueueDepth),
 		active:     make(map[string]*job),
 		recent:     make(map[string]*job),
@@ -249,11 +252,15 @@ func (s *Server) run(j *job) {
 		s.runSweep(j)
 		return
 	}
+	if j.point != nil {
+		s.runPoint(j)
+		return
+	}
 	w, err := buildWork(j.spec)
 	if err != nil {
 		// A spec that canonicalizes but cannot build (assembly errors,
 		// impossible scale) fails deterministically: breaker material.
-		s.breaker.failure(j.key, true)
+		s.breaker.Failure(j.key, true)
 		s.finish(j, nil, &jobError{Msg: err.Error()})
 		return
 	}
@@ -273,20 +280,20 @@ func (s *Server) run(j *job) {
 	if len(errs) > 0 {
 		e := errs[0]
 		transient := runner.Transient(e.Err)
-		s.breaker.failure(j.key, !transient)
+		s.breaker.Failure(j.key, !transient)
 		s.log.Warn("job failed", "key", short(j.key), "err", e.Error(), "transient", transient)
 		s.finish(j, nil, &jobError{Msg: e.Error(), Transient: transient})
 		return
 	}
 	jr, err := resultOf(j.spec, w, out[0])
 	if err != nil {
-		s.breaker.failure(j.key, true)
+		s.breaker.Failure(j.key, true)
 		s.finish(j, nil, &jobError{Msg: err.Error()})
 		return
 	}
 	raw, err := json.Marshal(jr)
 	if err != nil {
-		s.breaker.failure(j.key, true)
+		s.breaker.Failure(j.key, true)
 		s.finish(j, nil, &jobError{Msg: fmt.Sprintf("marshaling result: %v", err)})
 		return
 	}
@@ -296,7 +303,7 @@ func (s *Server) run(j *job) {
 		// memory and still served; only the journal is wounded.
 		s.log.Error("cache journal write failed; results no longer durable", "err", cerr.Error())
 	}
-	s.breaker.success(j.key)
+	s.breaker.Success(j.key)
 	s.finish(j, raw, nil)
 }
 
@@ -334,6 +341,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{key}", s.handleGet)
 	mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
 	mux.HandleFunc("GET /v1/sweeps/{key}", s.handleSweepGet)
+	mux.HandleFunc("POST /v1/points", s.handlePointSubmit)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok\n")
@@ -430,7 +438,7 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, proto *job, timeo
 		s.writeJob(w, http.StatusOK, jobResponse{ID: proto.id, Status: "done", Cached: true, Result: raw})
 		return
 	}
-	if ok, retry := s.breaker.allow(proto.key); !ok {
+	if ok, retry := s.breaker.Allow(proto.key); !ok {
 		s.stats.shedBreak.Add(1)
 		s.writeError(w, http.StatusServiceUnavailable,
 			"job quarantined after repeated permanent failures", retry)
@@ -446,7 +454,7 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, proto *job, timeo
 		s.mu.Unlock()
 		// A half-open probe slot claimed above must not die with this
 		// refusal: no job will run, so give the slot back.
-		s.breaker.release(proto.key)
+		s.breaker.Release(proto.key)
 		s.stats.shedDrain.Add(1)
 		s.writeError(w, http.StatusServiceUnavailable, "draining", time.Second)
 		return
@@ -466,7 +474,7 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, proto *job, timeo
 			s.stats.admitted.Add(1)
 		default:
 			s.mu.Unlock()
-			s.breaker.release(j.key)
+			s.breaker.Release(j.key)
 			s.stats.shedQueue.Add(1)
 			s.writeError(w, http.StatusTooManyRequests, "job queue full", time.Second)
 			return
@@ -535,6 +543,7 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 type Stats struct {
 	Submitted   int64 `json:"submitted"`
 	Sweeps      int64 `json:"sweeps_submitted"`
+	Points      int64 `json:"points_submitted"`
 	Admitted    int64 `json:"admitted"`
 	Deduped     int64 `json:"deduped"`
 	CacheHits   int64 `json:"cache_hits"`
@@ -561,6 +570,7 @@ func (s *Server) Snapshot() Stats {
 	return Stats{
 		Submitted:   s.stats.submitted.Load(),
 		Sweeps:      s.stats.sweeps.Load(),
+		Points:      s.stats.points.Load(),
 		Admitted:    s.stats.admitted.Load(),
 		Deduped:     s.stats.deduped.Load(),
 		CacheHits:   s.stats.cacheHits.Load(),
@@ -576,7 +586,7 @@ func (s *Server) Snapshot() Stats {
 		Panics:      s.stats.panics.Load(),
 		WriteFails:  s.stats.writeFails.Load(),
 		QueueDepth:  len(s.queue),
-		Quarantined: s.breaker.quarantined(),
+		Quarantined: s.breaker.Quarantined(),
 		CacheLoaded: s.cache.Loaded(),
 		CacheSaved:  s.cache.Saved(),
 	}
@@ -659,7 +669,7 @@ type errorResponse struct {
 func (s *Server) writeError(w http.ResponseWriter, status int, msg string, retry time.Duration) {
 	resp := errorResponse{Error: msg}
 	if retry > 0 {
-		resp.RetryAfter = retryAfterSeconds(retry)
+		resp.RetryAfter = RetryAfterSeconds(retry)
 		w.Header().Set("Retry-After", strconv.Itoa(resp.RetryAfter))
 	}
 	s.writeJSON(w, status, resp)

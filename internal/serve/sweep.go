@@ -84,7 +84,7 @@ func (s *Server) runSweep(j *job) {
 	if err != nil {
 		// Canonicalization and workload errors are deterministic:
 		// breaker material.
-		s.breaker.failure(j.key, true)
+		s.breaker.Failure(j.key, true)
 		s.finish(j, nil, &jobError{Msg: err.Error()})
 		return
 	}
@@ -93,7 +93,7 @@ func (s *Server) runSweep(j *job) {
 		// it must not be cached as the sweep's result — but the points
 		// already simulated are in the journal, so a resubmission picks
 		// up where this one stopped.
-		s.breaker.failure(j.key, false)
+		s.breaker.Failure(j.key, false)
 		s.finish(j, nil, &jobError{
 			Msg:       fmt.Sprintf("sweep deadline exceeded after %d of %d points", rep.Simulated+rep.FromJournal, rep.Deduped-rep.Pruned),
 			Transient: true,
@@ -101,13 +101,13 @@ func (s *Server) runSweep(j *job) {
 		return
 	}
 	if rep.Failed > 0 {
-		s.breaker.failure(j.key, true)
+		s.breaker.Failure(j.key, true)
 		s.finish(j, nil, &jobError{Msg: fmt.Sprintf("%d sweep points failed", rep.Failed)})
 		return
 	}
 	raw, err := rep.JSON()
 	if err != nil {
-		s.breaker.failure(j.key, true)
+		s.breaker.Failure(j.key, true)
 		s.finish(j, nil, &jobError{Msg: fmt.Sprintf("marshaling sweep report: %v", err)})
 		return
 	}
@@ -115,7 +115,7 @@ func (s *Server) runSweep(j *job) {
 	if cerr := s.cache.Err(); cerr != nil {
 		s.log.Error("cache journal write failed; results no longer durable", "err", cerr.Error())
 	}
-	s.breaker.success(j.key)
+	s.breaker.Success(j.key)
 	s.log.Info("sweep complete", "key", short(j.id), "points", rep.Deduped,
 		"pruned", rep.Pruned, "simulated", rep.Simulated, "journal", rep.FromJournal)
 	s.finish(j, raw, nil)
